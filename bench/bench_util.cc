@@ -1,0 +1,38 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+namespace stark::bench {
+
+void print_header(const std::string& figure, const std::string& description) {
+  std::printf("\n=== %s ===\n%s\n\n", figure.c_str(), description.c_str());
+}
+
+ContextOptions paper_cluster(ConfigKind kind, int servers) {
+  ContextOptions o;
+  o.config = kind;
+  o.cluster.num_servers = servers;
+  o.cluster.server.cores = 8;
+  o.cluster.server.ram = 16.0 * kGiB;
+  o.detail_task_metrics = true;
+  return o;
+}
+
+KeyHistogram wiki_hourly(int hour, Bytes bytes_per_hour, double exponent,
+                         std::uint64_t urls) {
+  trace::WikiTraceGen::Config c;
+  c.num_urls = urls;
+  c.bytes_per_hour = bytes_per_hour;
+  trace::WikiTraceGen gen(c);
+  return gen.histogram(bytes_per_hour * gen.diurnal_factor(hour), exponent);
+}
+
+std::string bar(double value, double max_value, int width) {
+  if (max_value <= 0.0) return "";
+  int n = static_cast<int>(value / max_value * width + 0.5);
+  if (n > width) n = width;
+  if (n < 0) n = 0;
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace stark::bench

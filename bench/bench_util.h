@@ -1,0 +1,36 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary regenerates one table/figure of the paper's evaluation
+// (see DESIGN.md §4) and prints the same rows/series the figure reports,
+// using simulated time. Absolute values depend on the cost model; the
+// expectation is that the *shape* (who wins, by what factor, where
+// crossovers fall) matches the paper, as recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/context.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "trace/taxi.h"
+#include "trace/tweet.h"
+#include "trace/wiki.h"
+
+namespace stark::bench {
+
+// Prints a standard header naming the figure being reproduced.
+void print_header(const std::string& figure, const std::string& description);
+
+// Default context options used across benches: the paper's 40-worker
+// cluster (16 GB each) unless a bench narrows it.
+ContextOptions paper_cluster(ConfigKind kind, int servers = 40);
+
+// Wikipedia histogram helpers with the paper's ~800 MB hourly logs.
+KeyHistogram wiki_hourly(int hour, Bytes bytes_per_hour = 800 * kMiB,
+                         double exponent = 0.9, std::uint64_t urls = 4096);
+
+// A sparkline-ish bar for quick visual scanning in terminal output.
+std::string bar(double value, double max_value, int width = 32);
+
+}  // namespace stark::bench

@@ -1,0 +1,60 @@
+// Quickstart: the smallest useful Stark program.
+//
+// Loads two hourly log datasets into a co-located collection, cogroups
+// them, and counts matches — then shows why co-locality matters by doing
+// the same under stock Spark placement.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "api/context.h"
+#include "common/stats.h"
+#include "trace/wiki.h"
+
+using namespace stark;
+
+namespace {
+
+JobResult run_once(ConfigKind kind) {
+  // 1. A simulated 8-server cluster wired for the chosen configuration.
+  ContextOptions opts;
+  opts.config = kind;
+  opts.cluster.num_servers = 8;
+  Context ctx(opts);
+
+  // 2. Two hours of synthetic Wikipedia request logs.
+  trace::WikiTraceGen wiki({});
+  auto part = ctx.collection_partitioner(/*num_partitions=*/8,
+                                         /*domain_size=*/4096);
+
+  // ingest = source -> localityPartitionBy(part, "logs") -> cache, plus the
+  // ingestion job that materializes the partitions in RAM.
+  auto hour0 = ctx.ingest("hour0", wiki.hourly_histogram(0), part, "logs");
+  auto hour1 = ctx.ingest("hour1", wiki.hourly_histogram(1), part, "logs");
+
+  // 3. A job across the collection: cogroup the two hours and count the
+  // records matching a keyword (~1% selectivity).
+  auto grouped = Dataset::cogroup({hour0, hour1}, part);
+  auto matches = grouped->filter({.selectivity = 0.01}, "matches");
+  return ctx.count(matches);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Stark quickstart: cogroup two cached datasets\n\n");
+  for (ConfigKind kind : {ConfigKind::kSparkH, ConfigKind::kStarkH}) {
+    const JobResult r = run_once(kind);
+    std::printf(
+        "%-8s  job delay %7.3f s | %d tasks (%d node-local) | "
+        "read %s from cache, %s over network\n",
+        config_name(kind), r.delay, r.num_tasks, r.node_local_tasks,
+        format_bytes(r.bytes_from_cache).c_str(),
+        format_bytes(r.bytes_from_net).c_str());
+  }
+  std::printf(
+      "\nStark-H serves every task from local RAM (co-locality); Spark-H\n"
+      "recomputes scattered collection partitions from shuffle outputs.\n");
+  return 0;
+}

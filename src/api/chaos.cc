@@ -1,0 +1,37 @@
+#include "api/chaos.h"
+
+namespace stark {
+
+ChaosInjector::ChaosInjector(Context& ctx, Config config)
+    : ctx_(&ctx), config_(config), rng_(config.seed) {}
+
+void ChaosInjector::start(SimTime t0, SimTime t1) { schedule_next(t0, t1); }
+
+void ChaosInjector::schedule_next(SimTime at, SimTime end) {
+  const double rate = config_.failures_per_hour / 3600.0;
+  if (rate <= 0.0) return;
+  const SimTime next = at + rng_.exponential(rate);
+  if (next >= end) return;
+  ctx_->sim().at(next, [this, next, end] {
+    inject();
+    schedule_next(next, end);
+  });
+}
+
+void ChaosInjector::inject() {
+  const auto alive = ctx_->cluster().alive_servers();
+  if (static_cast<int>(alive.size()) <= config_.min_alive) return;
+  const ServerId victim =
+      alive[rng_.next_below(alive.size())];
+  ctx_->kill_server(victim);
+  ++kills_;
+  const SimTime repair = rng_.exponential(1.0 / config_.mean_repair_seconds);
+  ctx_->sim().after(repair, [this, victim] {
+    ctx_->cluster().restart_server(victim);
+    ++restarts_;
+    // The revived server's cores become schedulable immediately.
+    ctx_->dag().tasks().schedule();
+  });
+}
+
+}  // namespace stark

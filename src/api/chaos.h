@@ -1,0 +1,42 @@
+// ChaosInjector: randomized failure injection for recovery experiments.
+//
+// Kills random alive servers at a Poisson rate and restarts them after an
+// exponentially distributed repair time, driving the failure-recovery paths
+// (block loss, task requeue, home re-assignment, lineage recompute) under
+// a live workload. Always leaves at least `min_alive` servers running.
+#pragma once
+
+#include "api/context.h"
+#include "common/rng.h"
+
+namespace stark {
+
+class ChaosInjector {
+ public:
+  struct Config {
+    double failures_per_hour = 6.0;
+    double mean_repair_seconds = 120.0;
+    int min_alive = 2;
+    std::uint64_t seed = 31;
+  };
+
+  ChaosInjector(Context& ctx, Config config);
+
+  // Schedules failure events over [t0, t1) of simulated time.
+  void start(SimTime t0, SimTime t1);
+
+  int kills() const noexcept { return kills_; }
+  int restarts() const noexcept { return restarts_; }
+
+ private:
+  void schedule_next(SimTime at, SimTime end);
+  void inject();
+
+  Context* ctx_;
+  Config config_;
+  Rng rng_;
+  int kills_ = 0;
+  int restarts_ = 0;
+};
+
+}  // namespace stark

@@ -1,0 +1,49 @@
+#include "api/configs.h"
+
+namespace stark {
+
+RunConfig run_config(ConfigKind kind) {
+  RunConfig c;
+  c.kind = kind;
+  switch (kind) {
+    case ConfigKind::kSparkR:
+      c.partitioner_mode = PartitionerMode::kPerRddRange;
+      break;
+    case ConfigKind::kSparkH:
+      c.partitioner_mode = PartitionerMode::kSharedHash;
+      break;
+    case ConfigKind::kStarkH:
+      c.partitioner_mode = PartitionerMode::kSharedHash;
+      c.colocate = true;
+      c.replicate_on_recompute = true;
+      break;
+    case ConfigKind::kStarkS:
+      c.partitioner_mode = PartitionerMode::kSharedStaticRange;
+      c.colocate = true;
+      c.grouped = true;  // static partition groups
+      c.replicate_on_recompute = true;
+      break;
+    case ConfigKind::kStarkE:
+      c.partitioner_mode = PartitionerMode::kSharedStaticRange;
+      c.colocate = true;
+      c.grouped = true;
+      c.extendable = true;
+      c.mcf = true;
+      c.replicate_on_recompute = true;
+      break;
+  }
+  return c;
+}
+
+const char* config_name(ConfigKind kind) {
+  switch (kind) {
+    case ConfigKind::kSparkR: return "Spark-R";
+    case ConfigKind::kSparkH: return "Spark-H";
+    case ConfigKind::kStarkH: return "Stark-H";
+    case ConfigKind::kStarkS: return "Stark-S";
+    case ConfigKind::kStarkE: return "Stark-E";
+  }
+  return "?";
+}
+
+}  // namespace stark

@@ -1,0 +1,37 @@
+// The five evaluation configurations of the paper (§IV-A).
+#pragma once
+
+#include <string>
+
+namespace stark {
+
+enum class ConfigKind {
+  kSparkR,  // new RangePartitioner per RDD, stock placement
+  kSparkH,  // shared HashPartitioner, stock placement
+  kStarkH,  // shared HashPartitioner + co-locality
+  kStarkS,  // shared StaticRangePartitioner + co-locality
+  kStarkE,  // Stark-S + extendable partition groups (+ MCF)
+};
+
+enum class PartitionerMode {
+  kPerRddRange,       // Spark-R
+  kSharedHash,        // Spark-H / Stark-H
+  kSharedStaticRange  // Stark-S / Stark-E
+};
+
+struct RunConfig {
+  ConfigKind kind = ConfigKind::kStarkH;
+  PartitionerMode partitioner_mode = PartitionerMode::kSharedHash;
+  bool colocate = false;    // LocalityManager homes consulted
+  bool grouped = false;     // partition groups (static under Stark-S)
+  bool extendable = false;  // groups may split/merge (Stark-E)
+  bool mcf = false;         // Minimum-Contention-First remote scheduling
+  // Stark's managers track recomputed replicas cluster-wide; stock Spark
+  // does not (paper §II-B), so its co-locality penalty recurs per job.
+  bool replicate_on_recompute = false;
+};
+
+RunConfig run_config(ConfigKind kind);
+const char* config_name(ConfigKind kind);
+
+}  // namespace stark

@@ -1,0 +1,127 @@
+#include "api/context.h"
+
+#include <stdexcept>
+
+namespace stark {
+
+Context::Context(ContextOptions options)
+    : options_(std::move(options)),
+      run_config_(::stark::run_config(options_.config)),
+      cluster_(options_.cluster),
+      locality_(cluster_),
+      groups_(locality_) {
+  DagOptions dag_opts;
+  dag_opts.use_locality_homes = run_config_.colocate;
+  dag_opts.mcf = run_config_.mcf;
+  dag_opts.locality_wait = options_.locality_wait;
+  dag_opts.speculation = options_.speculation;
+  dag_opts.replicate_on_recompute = run_config_.replicate_on_recompute;
+  dag_opts.detail_task_metrics = options_.detail_task_metrics;
+  dag_ = std::make_unique<DagScheduler>(sim_, cluster_, options_.cost,
+                                        locality_, groups_, dag_opts);
+  // Contention tracking (MCF) follows cache contents, and so do the
+  // LocalityManager homes: a collection partition maps to a *set* of
+  // executors — whenever a remote task materializes a namespaced block,
+  // that executor becomes an additional home (replication, §III-B/C3);
+  // when the last block of the unit leaves a server, the home decays.
+  cluster_.add_block_observer(
+      [this](ServerId s, const BlockId& id, bool inserted) {
+        dag_->tasks().on_block_event(s, id, inserted);
+        if (!run_config_.colocate) return;
+        const std::string ns = groups_.ns_of_dataset(id.dataset);
+        if (ns.empty() || !locality_.has(ns)) return;
+        const int unit = groups_.unit_of(ns, id.partition);
+        if (inserted) {
+          locality_.add_home(ns, unit, s);
+        } else {
+          // Drop the home only once no partition of the unit remains here.
+          const auto [lo, hi] = groups_.unit_range(ns, unit);
+          bool any_left = false;
+          for (int p = lo; p < hi && !any_left; ++p) {
+            // Any dataset of the namespace counts; checking this dataset is
+            // the cheap and usually sufficient approximation.
+            any_left = cluster_.cached_on({id.dataset, p}, s);
+          }
+          if (!any_left) locality_.remove_home(ns, unit, s);
+        }
+      });
+}
+
+PartitionerPtr Context::collection_partitioner(int num_partitions,
+                                               Key domain_size) {
+  if (shared_partitioner_ != nullptr) return shared_partitioner_;
+  switch (run_config_.partitioner_mode) {
+    case PartitionerMode::kSharedHash:
+      shared_partitioner_ = std::make_shared<HashPartitioner>(num_partitions);
+      break;
+    case PartitionerMode::kSharedStaticRange:
+      shared_partitioner_ =
+          StaticRangePartitioner::uniform(domain_size, num_partitions);
+      break;
+    case PartitionerMode::kPerRddRange:
+      throw std::logic_error(
+          "Spark-R has no shared collection partitioner; use "
+          "partitioner_for() per dataset");
+  }
+  return shared_partitioner_;
+}
+
+PartitionerPtr Context::partitioner_for(const KeyHistogram& hist,
+                                        int num_partitions, Key domain_size) {
+  if (run_config_.partitioner_mode == PartitionerMode::kPerRddRange) {
+    // Spark-R: every dataset gets its own randomized sampling pass, so no
+    // two range partitioners are ever equal (nothing co-partitions).
+    return RangePartitioner::sample(hist, num_partitions,
+                                    options_.seed + (++sample_counter_));
+  }
+  return collection_partitioner(num_partitions, domain_size);
+}
+
+DatasetPtr Context::ingest(const std::string& name, KeyHistogram hist,
+                           const PartitionerPtr& part, const std::string& ns,
+                           int source_splits, bool materialize) {
+  auto hist_ptr = std::make_shared<const KeyHistogram>(std::move(hist));
+  auto raw = Dataset::source(name + ".raw", hist_ptr, source_splits);
+  const std::string effective_ns = run_config_.colocate ? ns : std::string{};
+  if (!effective_ns.empty()) {
+    GroupConfig gc = options_.groups;
+    gc.grouped = run_config_.grouped;
+    gc.extendable = run_config_.extendable;
+    groups_.register_namespace(effective_ns, part, gc);
+  }
+  auto data = raw->partition_by(part, effective_ns, name);
+  data->cache();
+  groups_.report_dataset(*data);
+  if (materialize) {
+    dag_->run_job(data, ActionType::kCount);
+  }
+  return data;
+}
+
+JobResult Context::count(const DatasetPtr& ds) {
+  return dag_->run_job(ds, ActionType::kCount);
+}
+
+JobResult Context::run_action(const DatasetPtr& ds, ActionType action) {
+  return dag_->run_job(ds, action);
+}
+
+void Context::kill_server(ServerId s) { dag_->handle_server_failure(s); }
+
+CheckpointOptimizer Context::make_checkpoint_optimizer(double recovery_bound,
+                                                       double relax_factor) {
+  return CheckpointOptimizer(
+      {recovery_bound, relax_factor},
+      [this](const Dataset& ds) { return dag_->is_checkpointed(ds.id()); },
+      [this](const Dataset& ds) { return dag_->recompute_delay(ds); },
+      [this](const Dataset& ds) { return dag_->checkpoint_cost(ds); });
+}
+
+EdgeCheckpointer Context::make_edge_checkpointer(double recovery_bound) {
+  return EdgeCheckpointer(
+      recovery_bound,
+      [this](const Dataset& ds) { return dag_->is_checkpointed(ds.id()); },
+      [this](const Dataset& ds) { return dag_->recompute_delay(ds); });
+}
+
+}  // namespace stark

@@ -1,0 +1,97 @@
+// stark::Context — the umbrella entry point of the library.
+//
+// Owns the simulation clock, the cluster, the Stark managers and the DAG
+// scheduler, pre-wired for one of the paper's five evaluation
+// configurations. Typical use (see examples/quickstart.cpp):
+//
+//   stark::ContextOptions opts;
+//   opts.config = stark::ConfigKind::kStarkH;
+//   stark::Context ctx(opts);
+//   auto part = ctx.collection_partitioner(8, /*domain=*/4096);
+//   auto a = ctx.ingest("hour0", gen.hourly_histogram(0), part, "logs");
+//   auto b = ctx.ingest("hour1", gen.hourly_histogram(1), part, "logs");
+//   auto cg = stark::Dataset::cogroup({a, b}, part);
+//   auto r = ctx.count(cg);   // r.delay is the simulated job makespan
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/configs.h"
+#include "cluster/cluster.h"
+#include "cluster/cost_model.h"
+#include "sched/dag_scheduler.h"
+#include "sim/simulation.h"
+#include "stark/checkpoint_optimizer.h"
+#include "stark/group_manager.h"
+#include "stark/locality_manager.h"
+
+namespace stark {
+
+struct ContextOptions {
+  ConfigKind config = ConfigKind::kStarkH;
+  ClusterConfig cluster;
+  CostModel cost;
+  double locality_wait = 3.0;
+  bool speculation = false;  // straggler task copies (spark.speculation)
+  GroupConfig groups;  // bounds/window for extendable namespaces
+  bool detail_task_metrics = true;
+  std::uint64_t seed = 7;
+};
+
+class Context {
+ public:
+  explicit Context(ContextOptions options);
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  sim::Simulation& sim() noexcept { return sim_; }
+  Cluster& cluster() noexcept { return cluster_; }
+  LocalityManager& locality() noexcept { return locality_; }
+  GroupManager& groups() noexcept { return groups_; }
+  DagScheduler& dag() noexcept { return *dag_; }
+  const RunConfig& run_config() const noexcept { return run_config_; }
+  const ContextOptions& options() const noexcept { return options_; }
+
+  // The partitioner shared across the dataset collection (hash or static
+  // range depending on the configuration). For Spark-R this returns a fresh
+  // per-call RangePartitioner instead — pass the dataset's histogram.
+  PartitionerPtr collection_partitioner(int num_partitions, Key domain_size);
+  PartitionerPtr partitioner_for(const KeyHistogram& hist, int num_partitions,
+                                 Key domain_size);
+
+  // Loads one dataset of a collection: source -> localityPartitionBy(ns) ->
+  // cache, registers the namespace with the configured grouping, reports
+  // the RDD to the GroupManager, and (by default) runs the ingestion job so
+  // the partitions are materialized in RAM.
+  DatasetPtr ingest(const std::string& name, KeyHistogram hist,
+                    const PartitionerPtr& part, const std::string& ns,
+                    int source_splits = 4, bool materialize = true);
+
+  // Runs an action to completion and returns the job result.
+  JobResult count(const DatasetPtr& ds);
+  JobResult run_action(const DatasetPtr& ds, ActionType action);
+
+  // Failure injection (drops the server's cache, requeues its tasks,
+  // removes it from locality homes).
+  void kill_server(ServerId s);
+
+  // A checkpoint optimizer wired to this context's cost model and
+  // checkpoint registry.
+  CheckpointOptimizer make_checkpoint_optimizer(double recovery_bound,
+                                                double relax_factor = 1.0);
+  EdgeCheckpointer make_edge_checkpointer(double recovery_bound);
+
+ private:
+  ContextOptions options_;
+  RunConfig run_config_;
+  sim::Simulation sim_;
+  Cluster cluster_;
+  LocalityManager locality_;
+  GroupManager groups_;
+  std::unique_ptr<DagScheduler> dag_;
+  PartitionerPtr shared_partitioner_;
+  std::uint64_t sample_counter_ = 0;
+};
+
+}  // namespace stark

@@ -1,0 +1,75 @@
+#include "api/metrics.h"
+
+#include <cstdio>
+
+namespace stark {
+
+MetricsCollector::MetricsCollector(Cluster& cluster) {
+  cluster.add_block_observer(
+      [this](ServerId, const BlockId&, bool inserted) {
+        if (inserted) {
+          ++inserts_;
+        } else {
+          ++evictions_;
+        }
+      });
+}
+
+void MetricsCollector::observe_job(const JobResult& r) {
+  ++jobs_;
+  tasks_ += r.num_tasks;
+  node_local_tasks_ += r.node_local_tasks;
+  delays_.add(r.delay);
+  bytes_cache_ += r.bytes_from_cache;
+  bytes_net_ += r.bytes_from_net;
+  bytes_disk_ += r.bytes_from_disk;
+  cpu_ += r.total_cpu;
+  gc_ += r.total_gc;
+}
+
+double MetricsCollector::node_local_fraction() const noexcept {
+  return tasks_ > 0 ? static_cast<double>(node_local_tasks_) / tasks_ : 0.0;
+}
+
+double MetricsCollector::gc_fraction() const noexcept {
+  const double total = cpu_ + gc_;
+  return total > 0.0 ? gc_ / total : 0.0;
+}
+
+double MetricsCollector::cache_hit_ratio() const noexcept {
+  const Bytes total = bytes_cache_ + bytes_net_ + bytes_disk_;
+  return total > 0.0 ? bytes_cache_ / total : 0.0;
+}
+
+double MetricsCollector::cluster_utilization(const Cluster& cluster,
+                                             double now) {
+  if (now <= 0.0) return 0.0;
+  double busy = 0.0;
+  double capacity = 0.0;
+  for (ServerId s : cluster.alive_servers()) {
+    const Server& srv = cluster.server(s);
+    busy += srv.busy_seconds();
+    capacity += static_cast<double>(srv.cores()) * now;
+  }
+  return capacity > 0.0 ? busy / capacity : 0.0;
+}
+
+std::string MetricsCollector::summary() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "jobs: %d  tasks: %d  node-local: %.0f%%\n"
+      "delay: mean %s  p50 %s  p99 %s\n"
+      "input: %s cache / %s net / %s disk  (cache hit %.0f%%)\n"
+      "cpu: %.1f s  gc: %.1f s (%.0f%%)  cache inserts/evictions: %lld/%lld\n",
+      jobs_, tasks_, node_local_fraction() * 100.0,
+      format_seconds(delays_.mean()).c_str(),
+      format_seconds(delays_.count() ? delays_.percentile(0.5) : 0.0).c_str(),
+      format_seconds(delays_.count() ? delays_.percentile(0.99) : 0.0).c_str(),
+      format_bytes(bytes_cache_).c_str(), format_bytes(bytes_net_).c_str(),
+      format_bytes(bytes_disk_).c_str(), cache_hit_ratio() * 100.0, cpu_,
+      gc_, gc_fraction() * 100.0, inserts_, evictions_);
+  return buf;
+}
+
+}  // namespace stark

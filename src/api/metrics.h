@@ -1,0 +1,62 @@
+// MetricsCollector: cluster- and job-level counters for experiments.
+//
+// Subscribes to job completions and cache events and aggregates the numbers
+// every bench/report wants: job delay distribution, cache hit volume,
+// network/disk traffic, GC time, evictions, locality rate. One collector
+// can watch a whole run and print a summary table.
+#pragma once
+
+#include <string>
+
+#include "common/stats.h"
+#include "sched/dag_scheduler.h"
+
+namespace stark {
+
+class MetricsCollector {
+ public:
+  // Wires the collector into the cluster's block events. Job results must
+  // be fed explicitly (wrap your JobCallback with `observe_job`, or use
+  // Context-level helpers).
+  explicit MetricsCollector(Cluster& cluster);
+
+  void observe_job(const JobResult& r);
+
+  // Aggregates.
+  int jobs() const noexcept { return jobs_; }
+  int tasks() const noexcept { return tasks_; }
+  const Distribution& job_delays() const noexcept { return delays_; }
+  double node_local_fraction() const noexcept;
+  Bytes bytes_from_cache() const noexcept { return bytes_cache_; }
+  Bytes bytes_from_net() const noexcept { return bytes_net_; }
+  Bytes bytes_from_disk() const noexcept { return bytes_disk_; }
+  double total_cpu_seconds() const noexcept { return cpu_; }
+  double total_gc_seconds() const noexcept { return gc_; }
+  double gc_fraction() const noexcept;
+  long long cache_insertions() const noexcept { return inserts_; }
+  long long cache_evictions() const noexcept { return evictions_; }
+
+  // Fraction of task input served from local RAM.
+  double cache_hit_ratio() const noexcept;
+
+  std::string summary() const;
+
+  // Mean fraction of core time spent executing tasks across alive servers,
+  // over [0, now]. Requires the cluster and the current simulated time.
+  static double cluster_utilization(const Cluster& cluster, double now);
+
+ private:
+  int jobs_ = 0;
+  int tasks_ = 0;
+  int node_local_tasks_ = 0;
+  Distribution delays_;
+  Bytes bytes_cache_ = 0.0;
+  Bytes bytes_net_ = 0.0;
+  Bytes bytes_disk_ = 0.0;
+  double cpu_ = 0.0;
+  double gc_ = 0.0;
+  long long inserts_ = 0;
+  long long evictions_ = 0;
+};
+
+}  // namespace stark

@@ -1,0 +1,77 @@
+#include "cluster/block_manager.h"
+
+#include <stdexcept>
+
+namespace stark {
+
+BlockManager::BlockManager(Bytes capacity) : capacity_(capacity) {
+  if (capacity < 0.0) {
+    throw std::invalid_argument("BlockManager: negative capacity");
+  }
+}
+
+bool BlockManager::contains(const BlockId& id) const noexcept {
+  return blocks_.find(id) != blocks_.end();
+}
+
+Bytes BlockManager::block_bytes(const BlockId& id) const {
+  const auto it = blocks_.find(id);
+  return it == blocks_.end() ? 0.0 : it->second.bytes;
+}
+
+void BlockManager::touch(const BlockId& id) {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+BlockManager::InsertResult BlockManager::insert(const BlockId& id,
+                                                Bytes bytes,
+                                                bool spill_on_evict) {
+  InsertResult result;
+  if (bytes > capacity_) {
+    // Too large to ever cache; don't evict the world for it.
+    remove(id);
+    return result;
+  }
+  // Resize-or-insert: drop the old copy first.
+  remove(id);
+  // Evict LRU blocks until the new block fits.
+  while (used_ + bytes > capacity_ && !lru_.empty()) {
+    const BlockId victim = lru_.back();
+    lru_.pop_back();
+    const auto it = blocks_.find(victim);
+    used_ -= it->second.bytes;
+    result.evicted.push_back(
+        {victim, it->second.bytes, it->second.spill_on_evict});
+    blocks_.erase(it);
+  }
+  lru_.push_front(id);
+  blocks_.emplace(id, Entry{bytes, spill_on_evict, lru_.begin()});
+  used_ += bytes;
+  result.stored = true;
+  return result;
+}
+
+bool BlockManager::remove(const BlockId& id) {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return false;
+  used_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  blocks_.erase(it);
+  return true;
+}
+
+std::vector<BlockId> BlockManager::clear() {
+  std::vector<BlockId> all(lru_.begin(), lru_.end());
+  lru_.clear();
+  blocks_.clear();
+  used_ = 0.0;
+  return all;
+}
+
+std::vector<BlockId> BlockManager::blocks_mru_order() const {
+  return {lru_.begin(), lru_.end()};
+}
+
+}  // namespace stark

@@ -1,0 +1,88 @@
+// Per-server cached-block store with LRU eviction.
+//
+// Mirrors Spark's BlockManager at the granularity the simulation needs:
+// which (dataset, partition) blocks live in this server's storage pool, how
+// big they are, and which get evicted when memory runs out.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace stark {
+
+struct BlockId {
+  DatasetId dataset = kInvalidId;
+  int partition = -1;
+
+  bool operator==(const BlockId&) const = default;
+};
+
+struct BlockIdHash {
+  std::size_t operator()(const BlockId& b) const noexcept {
+    return std::hash<long long>()(
+        (static_cast<long long>(b.dataset) << 32) ^
+        static_cast<long long>(b.partition));
+  }
+};
+
+class BlockManager {
+ public:
+  explicit BlockManager(Bytes capacity);
+
+  Bytes capacity() const noexcept { return capacity_; }
+  Bytes used() const noexcept { return used_; }
+  double utilization() const noexcept {
+    return capacity_ > 0.0 ? used_ / capacity_ : 1.0;
+  }
+  std::size_t num_blocks() const noexcept { return blocks_.size(); }
+
+  bool contains(const BlockId& id) const noexcept;
+  Bytes block_bytes(const BlockId& id) const;  // 0 if absent
+
+  // Marks the block most-recently-used.
+  void touch(const BlockId& id);
+
+  // Inserts (or resizes) a block, evicting LRU blocks as needed. Returns
+  // the evicted blocks. A block larger than total capacity is not stored
+  // (Spark skips caching partitions that cannot fit) and `stored` is false.
+  // `spill_on_evict` tags MEMORY_AND_DISK blocks: the owner (Cluster) moves
+  // such victims to the server's disk store instead of dropping them.
+  struct EvictedBlock {
+    BlockId id;
+    Bytes bytes = 0.0;
+    bool spill = false;
+  };
+  struct InsertResult {
+    bool stored = false;
+    std::vector<EvictedBlock> evicted;
+  };
+  InsertResult insert(const BlockId& id, Bytes bytes,
+                      bool spill_on_evict = false);
+
+  // Removes a block if present; returns true if it existed.
+  bool remove(const BlockId& id);
+
+  // Drops everything (server failure).
+  std::vector<BlockId> clear();
+
+  // Blocks from most- to least-recently used.
+  std::vector<BlockId> blocks_mru_order() const;
+
+ private:
+  struct Entry {
+    Bytes bytes;
+    bool spill_on_evict;
+    std::list<BlockId>::iterator lru_it;
+  };
+  Bytes capacity_;
+  Bytes used_ = 0.0;
+  std::list<BlockId> lru_;  // front = most recently used
+  std::unordered_map<BlockId, Entry, BlockIdHash> blocks_;
+};
+
+}  // namespace stark

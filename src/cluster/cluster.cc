@@ -1,0 +1,150 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stark {
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  if (config.num_servers <= 0) {
+    throw std::invalid_argument("Cluster: num_servers must be > 0");
+  }
+  servers_.reserve(static_cast<std::size_t>(config.num_servers));
+  disk_store_.resize(static_cast<std::size_t>(config.num_servers));
+  for (int i = 0; i < config.num_servers; ++i) {
+    servers_.push_back(std::make_unique<Server>(i, config.server));
+  }
+}
+
+Server& Cluster::server(ServerId id) {
+  return *servers_.at(static_cast<std::size_t>(id));
+}
+
+const Server& Cluster::server(ServerId id) const {
+  return *servers_.at(static_cast<std::size_t>(id));
+}
+
+const std::vector<ServerId>& Cluster::cache_locations(
+    const BlockId& id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? empty_ : it->second;
+}
+
+bool Cluster::cached_on(const BlockId& id, ServerId s) const {
+  const auto& locs = cache_locations(id);
+  return std::find(locs.begin(), locs.end(), s) != locs.end();
+}
+
+bool Cluster::cached_anywhere(const BlockId& id) const {
+  return !cache_locations(id).empty();
+}
+
+void Cluster::notify(ServerId s, const BlockId& id, bool inserted) {
+  for (const auto& obs : observers_) obs(s, id, inserted);
+}
+
+void Cluster::index_remove(ServerId s, const BlockId& id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  auto& locs = it->second;
+  locs.erase(std::remove(locs.begin(), locs.end(), s), locs.end());
+  if (locs.empty()) index_.erase(it);
+}
+
+bool Cluster::insert_block(ServerId s, const BlockId& id, Bytes bytes,
+                           bool spill_on_evict) {
+  Server& srv = server(s);
+  if (!srv.alive()) return false;
+  const auto result = srv.storage().insert(id, bytes, spill_on_evict);
+  for (const auto& victim : result.evicted) {
+    if (victim.spill) {
+      disk_store_[static_cast<std::size_t>(s)][victim.id] = victim.bytes;
+    }
+    index_remove(s, victim.id);
+    notify(s, victim.id, /*inserted=*/false);
+  }
+  // A fresh in-memory copy supersedes any stale spilled one.
+  disk_store_[static_cast<std::size_t>(s)].erase(id);
+  if (!result.stored) return false;
+  auto& locs = index_[id];
+  if (std::find(locs.begin(), locs.end(), s) == locs.end()) {
+    locs.push_back(s);
+  }
+  notify(s, id, /*inserted=*/true);
+  return true;
+}
+
+void Cluster::remove_block(ServerId s, const BlockId& id) {
+  disk_store_[static_cast<std::size_t>(s)].erase(id);
+  if (server(s).storage().remove(id)) {
+    index_remove(s, id);
+    notify(s, id, /*inserted=*/false);
+  }
+}
+
+void Cluster::remove_block_everywhere(const BlockId& id) {
+  // Copy: index_remove mutates the vector we'd be iterating.
+  const std::vector<ServerId> locs = cache_locations(id);
+  for (ServerId s : locs) remove_block(s, id);
+  for (auto& store : disk_store_) store.erase(id);
+}
+
+void Cluster::touch_block(ServerId s, const BlockId& id) {
+  server(s).storage().touch(id);
+}
+
+void Cluster::kill_server(ServerId s) {
+  Server& srv = server(s);
+  if (!srv.alive()) return;
+  disk_store_[static_cast<std::size_t>(s)].clear();
+  for (const BlockId& id : srv.storage().clear()) {
+    index_remove(s, id);
+    notify(s, id, /*inserted=*/false);
+  }
+  srv.kill();
+}
+
+void Cluster::restart_server(ServerId s) { server(s).restart(); }
+
+int Cluster::total_free_cores() const noexcept {
+  int n = 0;
+  for (const auto& srv : servers_) {
+    if (srv->alive()) n += srv->free_cores();
+  }
+  return n;
+}
+
+std::vector<ServerId> Cluster::alive_servers() const {
+  std::vector<ServerId> out;
+  out.reserve(servers_.size());
+  for (const auto& srv : servers_) {
+    if (srv->alive()) out.push_back(srv->id());
+  }
+  return out;
+}
+
+Bytes Cluster::total_cached_bytes() const noexcept {
+  Bytes total = 0.0;
+  for (const auto& srv : servers_) total += srv->storage().used();
+  return total;
+}
+
+Bytes Cluster::disk_block_bytes(ServerId s, const BlockId& id) const {
+  const auto& store = disk_store_.at(static_cast<std::size_t>(s));
+  const auto it = store.find(id);
+  return it == store.end() ? 0.0 : it->second;
+}
+
+Bytes Cluster::total_spilled_bytes() const noexcept {
+  Bytes total = 0.0;
+  for (const auto& store : disk_store_) {
+    for (const auto& [id, bytes] : store) total += bytes;
+  }
+  return total;
+}
+
+void Cluster::add_block_observer(BlockObserver obs) {
+  observers_.push_back(std::move(obs));
+}
+
+}  // namespace stark

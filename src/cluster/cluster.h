@@ -1,0 +1,84 @@
+// Cluster: the set of simulated servers plus a global cached-block index.
+//
+// The index answers "which servers hold block B in RAM" — what Spark's
+// driver-side BlockManagerMaster tracks — and keeps itself consistent with
+// per-server LRU evictions and server failures. Observers (the task
+// scheduler's contention tracking, metrics) subscribe to block events.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/server.h"
+#include "common/types.h"
+
+namespace stark {
+
+struct ClusterConfig {
+  int num_servers = 40;
+  ServerConfig server;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  int size() const noexcept { return static_cast<int>(servers_.size()); }
+  Server& server(ServerId id);
+  const Server& server(ServerId id) const;
+  const ClusterConfig& config() const noexcept { return config_; }
+
+  // Servers currently holding the block in RAM.
+  const std::vector<ServerId>& cache_locations(const BlockId& id) const;
+  bool cached_on(const BlockId& id, ServerId s) const;
+  bool cached_anywhere(const BlockId& id) const;
+
+  // Stores a block on a server (LRU evictions propagate to the index).
+  // Returns false if the block did not fit. With `spill_on_evict`, a later
+  // eviction moves the block to the server's local disk store
+  // (MEMORY_AND_DISK semantics) instead of dropping it.
+  bool insert_block(ServerId s, const BlockId& id, Bytes bytes,
+                    bool spill_on_evict = false);
+
+  // Local-disk spill store (unbounded; disk reads pay the cost model).
+  Bytes disk_block_bytes(ServerId s, const BlockId& id) const;  // 0 if absent
+  bool disk_cached_on(const BlockId& id, ServerId s) const {
+    return disk_block_bytes(s, id) > 0.0;
+  }
+  Bytes total_spilled_bytes() const noexcept;
+
+  // Drops one replica (or all replicas) of a block.
+  void remove_block(ServerId s, const BlockId& id);
+  void remove_block_everywhere(const BlockId& id);
+
+  void touch_block(ServerId s, const BlockId& id);
+
+  // Failure injection: kills the server and forgets its blocks.
+  void kill_server(ServerId s);
+  void restart_server(ServerId s);
+
+  int total_free_cores() const noexcept;
+  std::vector<ServerId> alive_servers() const;
+
+  Bytes total_cached_bytes() const noexcept;
+
+  // Block event observers.
+  using BlockObserver =
+      std::function<void(ServerId, const BlockId&, bool inserted)>;
+  void add_block_observer(BlockObserver obs);
+
+ private:
+  void notify(ServerId s, const BlockId& id, bool inserted);
+  void index_remove(ServerId s, const BlockId& id);
+
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::unordered_map<BlockId, std::vector<ServerId>, BlockIdHash> index_;
+  std::vector<std::unordered_map<BlockId, Bytes, BlockIdHash>> disk_store_;
+  std::vector<BlockObserver> observers_;
+  std::vector<ServerId> empty_;
+};
+
+}  // namespace stark

@@ -1,0 +1,29 @@
+#include "cluster/cost_model.h"
+
+#include <algorithm>
+
+namespace stark {
+
+double CostModel::cpu_seconds(OpKind op, Bytes bytes) const noexcept {
+  double bw = map_bw;
+  switch (op) {
+    case OpKind::kSourceParse: bw = source_parse_bw; break;
+    case OpKind::kMap: bw = map_bw; break;
+    case OpKind::kFilter: bw = filter_bw; break;
+    case OpKind::kShuffleWrite: bw = shuffle_write_bw; break;
+    case OpKind::kShuffleRead: bw = shuffle_read_bw; break;
+    case OpKind::kCoGroup: bw = cogroup_bw; break;
+    case OpKind::kJoin: bw = join_bw; break;
+    case OpKind::kReduce: bw = reduce_bw; break;
+    case OpKind::kUnion: bw = union_bw; break;
+    case OpKind::kMemScan: bw = mem_bw; break;
+  }
+  return bytes / bw;
+}
+
+double CostModel::gc_factor(double heap_utilization) const noexcept {
+  const double over = std::max(0.0, heap_utilization - gc_knee);
+  return gc_coeff * over * over;
+}
+
+}  // namespace stark

@@ -1,0 +1,48 @@
+#include "cluster/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stark {
+
+Server::Server(ServerId id, const ServerConfig& config)
+    : id_(id),
+      config_(config),
+      free_cores_(config.cores),
+      storage_(std::make_unique<BlockManager>(config.ram *
+                                              config.storage_fraction)) {
+  if (config.cores <= 0) throw std::invalid_argument("Server: cores must be > 0");
+}
+
+void Server::acquire_core() {
+  if (!alive_) throw std::logic_error("Server::acquire_core on dead server");
+  if (free_cores_ <= 0) throw std::logic_error("Server::acquire_core: no free core");
+  --free_cores_;
+}
+
+void Server::release_core() {
+  if (free_cores_ >= config_.cores) {
+    throw std::logic_error("Server::release_core: all cores already free");
+  }
+  ++free_cores_;
+}
+
+double Server::heap_utilization(Bytes task_working_set) const noexcept {
+  // Capped: past ~25% overcommit a real JVM spills or dies rather than
+  // thrashing ever harder, so GC pressure saturates.
+  const Bytes used = storage_->used() + active_working_set_ + task_working_set;
+  return config_.ram > 0.0 ? std::min(1.25, used / config_.ram) : 1.25;
+}
+
+void Server::kill() noexcept {
+  alive_ = false;
+  free_cores_ = 0;
+  active_working_set_ = 0.0;
+}
+
+void Server::restart() noexcept {
+  alive_ = true;
+  free_cores_ = config_.cores;
+}
+
+}  // namespace stark

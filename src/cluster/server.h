@@ -1,0 +1,69 @@
+// A simulated worker node: execution slots (cores) plus a block store.
+#pragma once
+
+#include <memory>
+
+#include "cluster/block_manager.h"
+#include "common/types.h"
+
+namespace stark {
+
+struct ServerConfig {
+  int cores = 8;
+  Bytes ram = 16.0 * kGiB;
+  // Fraction of RAM given to the block store (spark.storage.memoryFraction).
+  double storage_fraction = 0.6;
+};
+
+class Server {
+ public:
+  Server(ServerId id, const ServerConfig& config);
+
+  ServerId id() const noexcept { return id_; }
+  int cores() const noexcept { return config_.cores; }
+  Bytes ram() const noexcept { return config_.ram; }
+  bool alive() const noexcept { return alive_; }
+
+  int free_cores() const noexcept { return free_cores_; }
+  bool has_free_core() const noexcept { return alive_ && free_cores_ > 0; }
+  void acquire_core();
+  void release_core();
+
+  // Cumulative core-seconds of task execution on this server; divide by
+  // (cores x wall time) for utilization. The task scheduler accounts it.
+  void add_busy_seconds(double s) noexcept { busy_seconds_ += s; }
+  double busy_seconds() const noexcept { return busy_seconds_; }
+
+  BlockManager& storage() noexcept { return *storage_; }
+  const BlockManager& storage() const noexcept { return *storage_; }
+
+  // Deserialized working sets of tasks currently running here. The task
+  // scheduler registers them at launch and removes them at completion, so
+  // concurrent tasks see each other's heap pressure.
+  void add_working_set(Bytes ws) noexcept { active_working_set_ += ws; }
+  void remove_working_set(Bytes ws) noexcept {
+    active_working_set_ -= ws;
+    if (active_working_set_ < 0.0) active_working_set_ = 0.0;
+  }
+  Bytes active_working_set() const noexcept { return active_working_set_; }
+
+  // Heap pressure seen by a task with the given deserialized working set:
+  // storage pool usage plus all running tasks' objects, against total RAM.
+  double heap_utilization(Bytes task_working_set) const noexcept;
+
+  // Failure handling: a dead server has no cores and loses its blocks
+  // (the Cluster drops them from the index).
+  void kill() noexcept;
+  void restart() noexcept;
+
+ private:
+  ServerId id_;
+  ServerConfig config_;
+  int free_cores_;
+  bool alive_ = true;
+  Bytes active_working_set_ = 0.0;
+  double busy_seconds_ = 0.0;
+  std::unique_ptr<BlockManager> storage_;
+};
+
+}  // namespace stark

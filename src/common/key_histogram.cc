@@ -1,0 +1,175 @@
+#include "common/key_histogram.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace stark {
+
+void KeyHistogram::recompute_totals() noexcept {
+  total_records_ = 0.0;
+  total_bytes_ = 0.0;
+  for (const auto& e : entries_) {
+    total_records_ += e.records;
+    total_bytes_ += e.bytes;
+  }
+}
+
+KeyHistogram KeyHistogram::from_entries(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  KeyHistogram h;
+  h.entries_.reserve(entries.size());
+  for (const auto& e : entries) {
+    if (!h.entries_.empty() && h.entries_.back().key == e.key) {
+      h.entries_.back().records += e.records;
+      h.entries_.back().bytes += e.bytes;
+    } else {
+      h.entries_.push_back(e);
+    }
+  }
+  h.recompute_totals();
+  return h;
+}
+
+KeyHistogram KeyHistogram::scaled(double record_factor,
+                                  double bytes_factor) const {
+  KeyHistogram h;
+  h.entries_.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    h.entries_.push_back(
+        {e.key, e.records * record_factor, e.bytes * bytes_factor});
+  }
+  h.recompute_totals();
+  return h;
+}
+
+KeyHistogram KeyHistogram::filtered(
+    const std::function<bool(Key)>& keep) const {
+  KeyHistogram h;
+  for (const auto& e : entries_) {
+    if (keep(e.key)) h.entries_.push_back(e);
+  }
+  h.recompute_totals();
+  return h;
+}
+
+KeyHistogram KeyHistogram::range(Key lo, Key hi) const {
+  KeyHistogram h;
+  auto first = std::lower_bound(
+      entries_.begin(), entries_.end(), lo,
+      [](const Entry& e, Key k) { return e.key < k; });
+  auto last = std::upper_bound(
+      entries_.begin(), entries_.end(), hi,
+      [](Key k, const Entry& e) { return k < e.key; });
+  h.entries_.assign(first, last);
+  h.recompute_totals();
+  return h;
+}
+
+KeyHistogram KeyHistogram::reduced_by_key(double bytes_factor) const {
+  KeyHistogram h;
+  h.entries_.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    h.entries_.push_back({e.key, 1.0, e.bytes * bytes_factor});
+  }
+  h.recompute_totals();
+  return h;
+}
+
+KeyHistogram KeyHistogram::distinct() const {
+  KeyHistogram h;
+  h.entries_.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    const double per_record = e.records > 0.0 ? e.bytes / e.records : 0.0;
+    h.entries_.push_back({e.key, 1.0, per_record});
+  }
+  h.recompute_totals();
+  return h;
+}
+
+KeyHistogram KeyHistogram::merge(
+    std::span<const KeyHistogram* const> inputs) {
+  // K-way merge over sorted entry vectors.
+  struct Cursor {
+    const KeyHistogram* hist;
+    std::size_t idx;
+  };
+  auto cmp = [](const Cursor& a, const Cursor& b) {
+    return a.hist->entries()[a.idx].key > b.hist->entries()[b.idx].key;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> pq(cmp);
+  for (const KeyHistogram* h : inputs) {
+    if (h != nullptr && !h->empty()) pq.push({h, 0});
+  }
+  KeyHistogram out;
+  while (!pq.empty()) {
+    Cursor c = pq.top();
+    pq.pop();
+    const Entry& e = c.hist->entries()[c.idx];
+    if (!out.entries_.empty() && out.entries_.back().key == e.key) {
+      out.entries_.back().records += e.records;
+      out.entries_.back().bytes += e.bytes;
+    } else {
+      out.entries_.push_back(e);
+    }
+    if (++c.idx < c.hist->size()) pq.push(c);
+  }
+  out.recompute_totals();
+  return out;
+}
+
+KeyHistogram KeyHistogram::merge2(const KeyHistogram& a,
+                                  const KeyHistogram& b) {
+  const KeyHistogram* inputs[] = {&a, &b};
+  return merge(inputs);
+}
+
+std::vector<Bytes> KeyHistogram::partition_bytes(
+    const std::function<int(Key)>& key_to_partition,
+    int num_partitions) const {
+  if (num_partitions <= 0) {
+    throw std::invalid_argument("partition_bytes: num_partitions must be > 0");
+  }
+  std::vector<Bytes> out(static_cast<std::size_t>(num_partitions), 0.0);
+  for (const auto& e : entries_) {
+    const int p = key_to_partition(e.key);
+    if (p < 0 || p >= num_partitions) {
+      throw std::out_of_range("partition_bytes: partition index out of range");
+    }
+    out[static_cast<std::size_t>(p)] += e.bytes;
+  }
+  return out;
+}
+
+std::vector<double> KeyHistogram::partition_records(
+    const std::function<int(Key)>& key_to_partition,
+    int num_partitions) const {
+  if (num_partitions <= 0) {
+    throw std::invalid_argument(
+        "partition_records: num_partitions must be > 0");
+  }
+  std::vector<double> out(static_cast<std::size_t>(num_partitions), 0.0);
+  for (const auto& e : entries_) {
+    const int p = key_to_partition(e.key);
+    if (p < 0 || p >= num_partitions) {
+      throw std::out_of_range(
+          "partition_records: partition index out of range");
+    }
+    out[static_cast<std::size_t>(p)] += e.records;
+  }
+  return out;
+}
+
+Key KeyHistogram::key_at_byte_quantile(double q) const {
+  if (entries_.empty()) return 0;
+  const double target = q * total_bytes_;
+  double acc = 0.0;
+  for (const auto& e : entries_) {
+    acc += e.bytes;
+    if (acc >= target) return e.key;
+  }
+  return entries_.back().key;
+}
+
+}  // namespace stark

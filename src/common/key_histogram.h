@@ -1,0 +1,82 @@
+// KeyHistogram: the data-content currency of the simulated engine.
+//
+// Instead of materializing individual records, datasets carry per-key
+// aggregate statistics (record count and byte volume). Trace generators
+// produce histograms; transformations rewrite them analytically. This gives
+// exact partition sizes, skew, filter selectivities, and action results
+// while keeping simulation costs proportional to the number of distinct
+// keys rather than records (see DESIGN.md §1).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace stark {
+
+class KeyHistogram {
+ public:
+  struct Entry {
+    Key key = 0;
+    double records = 0.0;
+    double bytes = 0.0;
+  };
+
+  KeyHistogram() = default;
+
+  // Builds a histogram; entries are sorted by key and duplicates merged.
+  static KeyHistogram from_entries(std::vector<Entry> entries);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  double total_records() const noexcept { return total_records_; }
+  Bytes total_bytes() const noexcept { return total_bytes_; }
+
+  // Uniformly scales every key's records/bytes (e.g. map output expansion).
+  KeyHistogram scaled(double record_factor, double bytes_factor) const;
+
+  // Keeps only keys satisfying the predicate (exact filter semantics).
+  KeyHistogram filtered(const std::function<bool(Key)>& keep) const;
+
+  // Keeps only keys in [lo, hi] (inclusive); O(log n + matched).
+  KeyHistogram range(Key lo, Key hi) const;
+
+  // Collapses every key to a single record carrying the summed bytes scaled
+  // by `bytes_factor` (reduceByKey semantics).
+  KeyHistogram reduced_by_key(double bytes_factor) const;
+
+  // Keeps one representative record per key (distinct semantics): records
+  // become 1 and bytes shrink to one record's average size.
+  KeyHistogram distinct() const;
+
+  // K-way merge summing stats of equal keys (cogroup/union semantics).
+  static KeyHistogram merge(std::span<const KeyHistogram* const> inputs);
+  static KeyHistogram merge2(const KeyHistogram& a, const KeyHistogram& b);
+
+  // Sums bytes per partition under a key→partition mapping.
+  std::vector<Bytes> partition_bytes(
+      const std::function<int(Key)>& key_to_partition, int num_partitions) const;
+  std::vector<double> partition_records(
+      const std::function<int(Key)>& key_to_partition, int num_partitions) const;
+
+  // Smallest key k such that keys <= k carry at least fraction q of total
+  // bytes. Used by RangePartitioner boundary sampling. q in [0, 1].
+  Key key_at_byte_quantile(double q) const;
+
+ private:
+  std::vector<Entry> entries_;  // sorted by key, unique keys
+  double total_records_ = 0.0;
+  Bytes total_bytes_ = 0.0;
+
+  void recompute_totals() noexcept;
+};
+
+using KeyHistogramPtr = std::shared_ptr<const KeyHistogram>;
+
+}  // namespace stark

@@ -1,0 +1,32 @@
+// Tiny leveled logger. Quiet by default so tests and benches stay clean;
+// set STARK_LOG=debug (env) or call set_log_level for tracing simulations.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace stark {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+}  // namespace detail
+
+#define STARK_LOG_DEBUG(...) \
+  ::stark::detail::log_line(::stark::LogLevel::kDebug, __VA_ARGS__)
+#define STARK_LOG_INFO(...) \
+  ::stark::detail::log_line(::stark::LogLevel::kInfo, __VA_ARGS__)
+#define STARK_LOG_WARN(...) \
+  ::stark::detail::log_line(::stark::LogLevel::kWarn, __VA_ARGS__)
+#define STARK_LOG_ERROR(...) \
+  ::stark::detail::log_line(::stark::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace stark

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be fully reproducible: every stochastic choice goes
+// through an explicitly seeded Rng. The generator is xoshiro256**, seeded
+// via SplitMix64 so that nearby seeds give independent streams.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace stark {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5741524bULL) noexcept;  // "WARK"
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n) noexcept;
+
+  // Uniform integer in [lo, hi]. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  // Exponentially distributed with given rate (events per unit time).
+  double exponential(double rate) noexcept;
+
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation above 64 to stay O(1)).
+  std::uint64_t poisson(double mean) noexcept;
+
+  // Standard normal via Box-Muller (no cached spare; stateless per call).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  // Derive an independent child stream; deterministic in (state, salt).
+  Rng fork(std::uint64_t salt) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// SplitMix64 step, exposed for hashing keys deterministically.
+std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+}  // namespace stark

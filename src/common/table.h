@@ -1,0 +1,30 @@
+// Minimal fixed-width ASCII table printer for bench output.
+//
+// Benches print the same rows/series the paper's figures report; a small
+// table helper keeps that output aligned and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stark {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  std::string to_string() const;
+  void print() const;  // to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stark

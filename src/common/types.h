@@ -1,0 +1,33 @@
+// Fundamental aliases shared across the Stark reproduction.
+#pragma once
+
+#include <cstdint>
+
+namespace stark {
+
+// Simulated time, in seconds. All simulator components use this unit.
+using SimTime = double;
+
+// Data keys are 64-bit integers. Trace generators map their domain
+// (URLs, Z-encoded coordinates, hashtags) into this space.
+using Key = std::uint64_t;
+
+// Byte counts are doubles: selectivities and cost-model math produce
+// fractional bytes and we never need exact integral sizes.
+using Bytes = double;
+
+inline constexpr Bytes kKiB = 1024.0;
+inline constexpr Bytes kMiB = 1024.0 * 1024.0;
+inline constexpr Bytes kGiB = 1024.0 * 1024.0 * 1024.0;
+
+// Identifier types. Values are dense indexes assigned by their owners.
+using ServerId = int;
+using DatasetId = int;
+using ShuffleId = int;
+using JobId = int;
+using StageId = int;
+using TaskId = int;
+
+inline constexpr int kInvalidId = -1;
+
+}  // namespace stark

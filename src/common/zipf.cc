@@ -1,0 +1,43 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stark {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be positive");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint64_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -exponent);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::uint64_t rank) const {
+  if (rank >= n_) return 0.0;
+  const double prev = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - prev;
+}
+
+std::vector<double> ZipfSampler::shares() const {
+  std::vector<double> out(n_);
+  double prev = 0.0;
+  for (std::uint64_t r = 0; r < n_; ++r) {
+    out[r] = cdf_[r] - prev;
+    prev = cdf_[r];
+  }
+  return out;
+}
+
+}  // namespace stark

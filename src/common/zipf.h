@@ -1,0 +1,38 @@
+// Zipf-distributed key sampling and analytic Zipf weights.
+//
+// Wikipedia request popularity follows a Zipf law; the generators use this
+// both to sample individual keys and to compute expected per-key volumes
+// without sampling (the histogram-level fidelity described in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace stark {
+
+class ZipfSampler {
+ public:
+  // Ranks 1..n with P(rank) proportional to rank^-exponent.
+  ZipfSampler(std::uint64_t n, double exponent);
+
+  // Sample a rank in [0, n).
+  std::uint64_t sample(Rng& rng) const;
+
+  // Probability mass of rank r (0-based).
+  double pmf(std::uint64_t rank) const;
+
+  std::uint64_t size() const noexcept { return n_; }
+  double exponent() const noexcept { return exponent_; }
+
+  // Expected share of total traffic per rank (== pmf), as a dense vector.
+  std::vector<double> shares() const;
+
+ private:
+  std::uint64_t n_;
+  double exponent_;
+  std::vector<double> cdf_;  // inclusive prefix sums, cdf_[n-1] == 1.0
+};
+
+}  // namespace stark

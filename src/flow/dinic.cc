@@ -1,0 +1,151 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace stark::flow {
+
+Dinic::Dinic(int num_nodes) {
+  if (num_nodes <= 0) throw std::invalid_argument("Dinic: num_nodes must be > 0");
+  graph_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+int Dinic::add_edge(int u, int v, double capacity) {
+  if (u < 0 || u >= num_nodes() || v < 0 || v >= num_nodes()) {
+    throw std::out_of_range("Dinic::add_edge: node out of range");
+  }
+  if (capacity < 0.0) throw std::invalid_argument("Dinic::add_edge: negative capacity");
+  const int id = static_cast<int>(edges_.size());
+  edges_.push_back({v, capacity, capacity});
+  edges_.push_back({u, 0.0, 0.0});
+  graph_[static_cast<std::size_t>(u)].push_back(id);
+  graph_[static_cast<std::size_t>(v)].push_back(id + 1);
+  return id / 2;
+}
+
+bool Dinic::bfs(int s, int t) {
+  level_.assign(graph_.size(), -1);
+  std::queue<int> q;
+  level_[static_cast<std::size_t>(s)] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int eid : graph_[static_cast<std::size_t>(u)]) {
+      const Edge& e = edges_[static_cast<std::size_t>(eid)];
+      if (e.cap > 1e-12 && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] = level_[static_cast<std::size_t>(u)] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+double Dinic::dfs(int u, int t, double pushed) {
+  if (u == t) return pushed;
+  auto& it = iter_[static_cast<std::size_t>(u)];
+  for (; it < graph_[static_cast<std::size_t>(u)].size(); ++it) {
+    const int eid = graph_[static_cast<std::size_t>(u)][it];
+    Edge& e = edges_[static_cast<std::size_t>(eid)];
+    if (e.cap > 1e-12 &&
+        level_[static_cast<std::size_t>(e.to)] ==
+            level_[static_cast<std::size_t>(u)] + 1) {
+      const double d = dfs(e.to, t, std::min(pushed, e.cap));
+      if (d > 0.0) {
+        e.cap -= d;
+        edges_[static_cast<std::size_t>(eid ^ 1)].cap += d;
+        return d;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double Dinic::max_flow(int s, int t) {
+  if (s == t) throw std::invalid_argument("Dinic::max_flow: s == t");
+  double total = 0.0;
+  while (bfs(s, t)) {
+    iter_.assign(graph_.size(), 0);
+    while (true) {
+      const double pushed = dfs(s, t, kInfCapacity);
+      if (pushed <= 0.0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double Dinic::flow(int edge_id) const {
+  const auto& e = edges_.at(static_cast<std::size_t>(edge_id) * 2);
+  return e.orig - e.cap;
+}
+
+double Dinic::capacity(int edge_id) const {
+  return edges_.at(static_cast<std::size_t>(edge_id) * 2).orig;
+}
+
+double Dinic::residual(int edge_id) const {
+  return edges_.at(static_cast<std::size_t>(edge_id) * 2).cap;
+}
+
+std::vector<bool> Dinic::residual_reachable(int s) const {
+  std::vector<bool> seen(graph_.size(), false);
+  std::queue<int> q;
+  seen[static_cast<std::size_t>(s)] = true;
+  q.push(s);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int eid : graph_[static_cast<std::size_t>(u)]) {
+      const Edge& e = edges_[static_cast<std::size_t>(eid)];
+      if (e.cap > 1e-12 && !seen[static_cast<std::size_t>(e.to)]) {
+        seen[static_cast<std::size_t>(e.to)] = true;
+        q.push(e.to);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<Dinic::EdgeRef> Dinic::min_cut_edges(int s) const {
+  const std::vector<bool> reach = residual_reachable(s);
+  std::vector<EdgeRef> out;
+  for (std::size_t k = 0; k < edges_.size(); k += 2) {
+    const Edge& fwd = edges_[k];
+    const Edge& bwd = edges_[k + 1];
+    const int u = bwd.to;
+    const int v = fwd.to;
+    if (reach[static_cast<std::size_t>(u)] &&
+        !reach[static_cast<std::size_t>(v)] && fwd.orig > 0.0) {
+      out.push_back({static_cast<int>(k / 2), u, v});
+    }
+  }
+  return out;
+}
+
+std::vector<Dinic::EdgeRef> Dinic::out_edges(int u) const {
+  std::vector<EdgeRef> out;
+  for (int eid : graph_.at(static_cast<std::size_t>(u))) {
+    if ((eid & 1) == 0) {
+      out.push_back({eid / 2, u, edges_[static_cast<std::size_t>(eid)].to});
+    }
+  }
+  return out;
+}
+
+std::vector<Dinic::EdgeRef> Dinic::in_edges(int u) const {
+  std::vector<EdgeRef> out;
+  for (int eid : graph_.at(static_cast<std::size_t>(u))) {
+    if ((eid & 1) == 1) {
+      // eid is the back edge stored at forward id (eid ^ 1); the forward
+      // edge's origin is this back edge's target list owner.
+      const int fwd = eid ^ 1;
+      out.push_back({fwd / 2, edges_[static_cast<std::size_t>(eid)].to, u});
+    }
+  }
+  return out;
+}
+
+}  // namespace stark::flow

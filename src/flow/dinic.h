@@ -1,0 +1,68 @@
+// Dinic max-flow / min-cut on small directed graphs.
+//
+// The CheckpointOptimizer (paper §III-D2) models "which RDDs to checkpoint"
+// as a minimum s-t cut: split every RDD node into in/out halves joined by an
+// edge of capacity = checkpoint cost; structural lineage edges get infinite
+// capacity. This solver provides max_flow plus the residual inspection the
+// optimizer's relaxed (f > 1) cut extraction needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stark::flow {
+
+inline constexpr double kInfCapacity = 1e30;
+
+class Dinic {
+ public:
+  explicit Dinic(int num_nodes);
+
+  // Adds a directed edge u -> v with the given capacity.
+  // Returns an edge id usable with flow()/residual().
+  int add_edge(int u, int v, double capacity);
+
+  // Computes the maximum flow from s to t. Call once per instance.
+  double max_flow(int s, int t);
+
+  int num_nodes() const noexcept { return static_cast<int>(graph_.size()); }
+  std::size_t num_edges() const noexcept { return edges_.size() / 2; }
+
+  double flow(int edge_id) const;       // flow currently on the edge
+  double capacity(int edge_id) const;   // original capacity
+  double residual(int edge_id) const;   // capacity - flow
+
+  struct EdgeRef {
+    int id;
+    int from;
+    int to;
+  };
+  // Edges crossing the canonical min cut: from the source-side set
+  // (reachable in the residual graph) to the sink side. Valid after
+  // max_flow().
+  std::vector<EdgeRef> min_cut_edges(int s) const;
+
+  // Nodes reachable from s in the residual graph. Valid after max_flow().
+  std::vector<bool> residual_reachable(int s) const;
+
+  // All outgoing edge ids of node u (forward edges only).
+  std::vector<EdgeRef> out_edges(int u) const;
+  // All incoming forward edges of node u.
+  std::vector<EdgeRef> in_edges(int u) const;
+
+ private:
+  struct Edge {
+    int to;
+    double cap;      // remaining capacity
+    double orig;     // original capacity
+  };
+  bool bfs(int s, int t);
+  double dfs(int u, int t, double pushed);
+
+  std::vector<Edge> edges_;               // pairs: forward at 2k, back at 2k+1
+  std::vector<std::vector<int>> graph_;   // adjacency: edge indices
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace stark::flow

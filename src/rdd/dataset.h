@@ -1,0 +1,191 @@
+// Dataset: the simulated RDD.
+//
+// An immutable, partitioned, lazily-evaluated dataset node in a lineage
+// DAG, mirroring Spark's RDD. Content is carried as a key histogram (see
+// common/key_histogram.h) so partition sizes and action results are exact
+// for the synthetic traces, while per-record work is captured by the cost
+// model.
+//
+// Dependency semantics follow Spark:
+//   * map/filter are narrow and preserve the parent's partitioner (our
+//     transforms are key-preserving unless MapSpec says otherwise);
+//   * partitionBy/reduceByKey shuffle unless the parent is already
+//     partitioned by an equal partitioner;
+//   * cogroup/join classify each parent independently: equal partitioner =>
+//     narrow, otherwise a shuffle dependency (paper §III-B);
+//   * union requires co-partitioned parents (PartitionerAwareUnionRDD).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/key_histogram.h"
+#include "common/types.h"
+#include "rdd/partitioner.h"
+
+namespace stark {
+
+enum class Op {
+  kSource,
+  kMap,
+  kFilter,
+  kPartitionBy,
+  kReduceByKey,
+  kCoGroup,
+  kJoin,
+  kUnion,
+};
+
+const char* op_name(Op op) noexcept;
+
+class Dataset;
+using DatasetPtr = std::shared_ptr<Dataset>;
+
+struct Dependency {
+  DatasetPtr parent;
+  bool wide = false;  // true => shuffle dependency
+};
+
+struct MapSpec {
+  double bytes_factor = 1.0;
+  double record_factor = 1.0;
+  // Our pipelines transform values, not keys, so partitioning survives by
+  // default (mapValues semantics). Set false for key-rewriting maps.
+  bool preserves_partitioning = true;
+};
+
+struct FilterSpec {
+  // Fraction of bytes/records kept when no key predicate is given.
+  double selectivity = 1.0;
+  // Exact key-level predicate; when set, histogram propagation computes
+  // exact per-partition sizes and counts.
+  std::function<bool(Key)> key_pred;
+};
+
+class Dataset : public std::enable_shared_from_this<Dataset> {
+ public:
+  // --- construction -------------------------------------------------------
+  // An external input (e.g. a text file on distributed storage) holding the
+  // given content, read as `num_splits` input splits.
+  static DatasetPtr source(std::string name, KeyHistogramPtr hist,
+                           int num_splits);
+
+  DatasetPtr map(const MapSpec& spec, std::string name = "");
+  // mapValues: transforms values only; partitioning always survives.
+  DatasetPtr map_values(double bytes_factor = 1.0, std::string name = "");
+  DatasetPtr filter(FilterSpec spec, std::string name = "");
+  // Bernoulli sample of the records (filter with uniform selectivity).
+  DatasetPtr sample(double fraction, std::string name = "");
+  // One record per distinct key. Shuffles unless already partitioned by an
+  // equal partitioner (Spark's distinct() over pair data).
+  DatasetPtr distinct(PartitionerPtr p, std::string name = "");
+  DatasetPtr distinct(std::string name = "");  // keeps current partitioner
+  // Shuffles into `p` unless already partitioned by an equal partitioner.
+  // `ns` tags the result with a Stark locality namespace
+  // (localityPartitionBy); empty = plain partitionBy.
+  DatasetPtr partition_by(PartitionerPtr p, std::string ns = "",
+                          std::string name = "");
+  DatasetPtr reduce_by_key(PartitionerPtr p, double bytes_factor = 1.0,
+                           std::string name = "");
+  // Keeps the current partitioner (requires one).
+  DatasetPtr reduce_by_key(double bytes_factor = 1.0, std::string name = "");
+
+  static DatasetPtr cogroup(std::vector<DatasetPtr> parents, PartitionerPtr p,
+                            std::string name = "");
+  static DatasetPtr join(DatasetPtr left, DatasetPtr right, PartitionerPtr p,
+                         double output_bytes_factor = 1.0,
+                         std::string name = "");
+  static DatasetPtr union_all(std::vector<DatasetPtr> parents,
+                              std::string name = "");
+
+  // --- identity & structure ----------------------------------------------
+  DatasetId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  Op op() const noexcept { return op_; }
+  const std::vector<Dependency>& deps() const noexcept { return deps_; }
+  const PartitionerPtr& partitioner() const noexcept { return partitioner_; }
+  int num_partitions() const noexcept { return num_partitions_; }
+
+  // Locality namespace; propagates from a tagged ancestor through
+  // partitioning-preserving narrow transformations (paper §III-E).
+  const std::string& ns() const noexcept { return ns_; }
+
+  bool has_shuffle_dep() const noexcept;
+  bool co_partitioned_with(const Partitioner& p) const noexcept;
+
+  // --- caching intent ------------------------------------------------------
+  // Storage levels mirror Spark's:
+  //  * kMemory          — deserialized objects; biggest footprint, cheapest
+  //                       reads (a memory scan);
+  //  * kMemorySerialized— serialized bytes (MEMORY_ONLY_SER, the Spark
+  //                       Streaming default): ~serialization_ratio of the
+  //                       footprint, but every read pays deserialization;
+  //  * kMemoryAndDisk   — serialized, and evicted blocks spill to local
+  //                       disk instead of vanishing.
+  enum class StorageLevel { kMemory, kMemorySerialized, kMemoryAndDisk };
+
+  void cache(StorageLevel level = StorageLevel::kMemory) noexcept {
+    cache_requested_ = true;
+    storage_level_ = level;
+  }
+  void uncache() noexcept { cache_requested_ = false; }
+  bool cache_requested() const noexcept { return cache_requested_; }
+  StorageLevel storage_level() const noexcept { return storage_level_; }
+
+  // --- content -------------------------------------------------------------
+  // Bytes per partition. Cheap for co-partitioned lineages (vector math);
+  // falls back to exact histogram partitioning across shuffles.
+  const std::vector<Bytes>& partition_bytes() const;
+  Bytes total_bytes() const;
+
+  // Exact content histogram. May materialize ancestors' histograms.
+  const KeyHistogram& histogram() const;
+  double total_records() const { return histogram().total_records(); }
+
+  // Reduce-side input sizes of the shuffle behind dependency `dep_index`
+  // (bytes each reducer partition fetches). Requires deps()[dep_index].wide.
+  const std::vector<Bytes>& shuffle_input_bytes(std::size_t dep_index) const;
+
+  // Extra per-transform properties used by the cost/size model.
+  const MapSpec& map_spec() const noexcept { return map_spec_; }
+  const FilterSpec& filter_spec() const noexcept { return filter_spec_; }
+  double output_bytes_factor() const noexcept { return output_bytes_factor_; }
+
+  // One-line description of this node (op, partitions, size).
+  std::string describe() const;
+  // Multi-line lineage dump rooted at this dataset (children first).
+  std::string debug_string() const;
+  // Graphviz dot of the lineage DAG rooted here; wide deps are drawn as
+  // dashed edges (shuffles), checkpoint/cache intents are annotated.
+  std::string to_dot() const;
+
+ private:
+  Dataset(std::string name, Op op);
+  static DatasetPtr make(std::string name, Op op);
+  static int next_id() noexcept;
+
+  DatasetId id_;
+  std::string name_;
+  Op op_;
+  std::vector<Dependency> deps_;
+  PartitionerPtr partitioner_;
+  int num_partitions_ = 0;
+  std::string ns_;
+  bool cache_requested_ = false;
+  StorageLevel storage_level_ = StorageLevel::kMemory;
+
+  KeyHistogramPtr source_hist_;
+  MapSpec map_spec_;
+  FilterSpec filter_spec_;
+  double output_bytes_factor_ = 1.0;
+  bool distinct_ = false;  // reduceByKey keeps one record's bytes per key
+
+  mutable std::optional<std::vector<Bytes>> part_bytes_;
+  mutable KeyHistogramPtr hist_;
+  mutable std::vector<std::optional<std::vector<Bytes>>> shuffle_bytes_;
+};
+
+}  // namespace stark

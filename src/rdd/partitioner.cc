@@ -1,0 +1,88 @@
+#include "rdd/partitioner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stark {
+
+HashPartitioner::HashPartitioner(int num_partitions) : n_(num_partitions) {
+  if (n_ <= 0) throw std::invalid_argument("HashPartitioner: n must be > 0");
+}
+
+int HashPartitioner::get_partition(Key key) const {
+  return static_cast<int>(splitmix64(key) % static_cast<Key>(n_));
+}
+
+bool HashPartitioner::equals(const Partitioner& other) const {
+  const auto* h = dynamic_cast<const HashPartitioner*>(&other);
+  return h != nullptr && h->n_ == n_;
+}
+
+std::string HashPartitioner::describe() const {
+  return "HashPartitioner(" + std::to_string(n_) + ")";
+}
+
+RangePartitioner::RangePartitioner(std::vector<Key> bounds, int num_partitions)
+    : bounds_(std::move(bounds)), n_(num_partitions) {
+  if (n_ <= 0) throw std::invalid_argument("RangePartitioner: n must be > 0");
+  if (static_cast<int>(bounds_.size()) != n_ - 1) {
+    throw std::invalid_argument("RangePartitioner: need n-1 bounds");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("RangePartitioner: bounds must be sorted");
+  }
+}
+
+std::shared_ptr<RangePartitioner> RangePartitioner::sample(
+    const KeyHistogram& hist, int num_partitions, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Key> bounds;
+  bounds.reserve(static_cast<std::size_t>(num_partitions) - 1);
+  const double step = 1.0 / static_cast<double>(num_partitions);
+  for (int i = 1; i < num_partitions; ++i) {
+    double q = static_cast<double>(i) * step;
+    if (seed != 0) {
+      // Reservoir-sampling noise: boundary quantiles wobble within a
+      // fraction of one partition's span.
+      q += (rng.next_double() - 0.5) * 0.5 * step;
+    }
+    Key b = hist.key_at_byte_quantile(std::clamp(q, 0.0, 1.0));
+    if (!bounds.empty() && b < bounds.back()) b = bounds.back();
+    bounds.push_back(b);
+  }
+  return std::make_shared<RangePartitioner>(std::move(bounds), num_partitions);
+}
+
+int RangePartitioner::get_partition(Key key) const {
+  // Partition i covers (bounds[i-1], bounds[i]]: first bound >= key.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), key);
+  return static_cast<int>(it - bounds_.begin());
+}
+
+bool RangePartitioner::equals(const Partitioner& other) const {
+  const auto* r = dynamic_cast<const RangePartitioner*>(&other);
+  return r != nullptr && r->n_ == n_ && r->bounds_ == bounds_;
+}
+
+std::string RangePartitioner::describe() const {
+  return "RangePartitioner(" + std::to_string(n_) + ")";
+}
+
+std::shared_ptr<StaticRangePartitioner> StaticRangePartitioner::uniform(
+    Key domain_size, int num_partitions) {
+  std::vector<Key> bounds;
+  bounds.reserve(static_cast<std::size_t>(num_partitions) - 1);
+  for (int i = 1; i < num_partitions; ++i) {
+    bounds.push_back(domain_size * static_cast<Key>(i) /
+                         static_cast<Key>(num_partitions) -
+                     1);
+  }
+  return std::make_shared<StaticRangePartitioner>(std::move(bounds),
+                                                  num_partitions);
+}
+
+std::string StaticRangePartitioner::describe() const {
+  return "StaticRangePartitioner(" + std::to_string(num_partitions()) + ")";
+}
+
+}  // namespace stark

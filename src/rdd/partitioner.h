@@ -1,0 +1,96 @@
+// Partitioners: deterministic key -> partition mappings.
+//
+// Mirrors Spark's Partitioner contract. Logical equality (`equals`) decides
+// co-partitioning: a cogroup parent whose partitioner equals the result's
+// contributes a narrow dependency; anything else shuffles (paper §III-B).
+//
+// The evaluation's five configurations differ exactly here:
+//   Spark-R  — fresh RangePartitioner per RDD (bounds sampled per dataset,
+//              never equal across RDDs => cogroups always shuffle);
+//   Spark-H / Stark-H — one shared HashPartitioner;
+//   Stark-S / Stark-E — one shared StaticRangePartitioner (fixed bounds).
+// Extendable partitioning (Stark-E) deliberately does NOT change
+// getPartition (paper §III-C2): elasticity is layered above via partition
+// groups, so the base partitioner stays intact here.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/key_histogram.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace stark {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual int num_partitions() const noexcept = 0;
+  virtual int get_partition(Key key) const = 0;
+  virtual bool equals(const Partitioner& other) const = 0;
+  virtual std::string describe() const = 0;
+};
+
+using PartitionerPtr = std::shared_ptr<const Partitioner>;
+
+class HashPartitioner final : public Partitioner {
+ public:
+  explicit HashPartitioner(int num_partitions);
+
+  int num_partitions() const noexcept override { return n_; }
+  int get_partition(Key key) const override;
+  bool equals(const Partitioner& other) const override;
+  std::string describe() const override;
+
+ private:
+  int n_;
+};
+
+// Range partitioner over ordered keys. `bounds` holds n-1 inclusive upper
+// bounds: partition i covers (bounds[i-1], bounds[i]]; the last partition is
+// unbounded above.
+class RangePartitioner : public Partitioner {
+ public:
+  RangePartitioner(std::vector<Key> bounds, int num_partitions);
+
+  // Samples byte-balanced bounds from a dataset's key histogram — what
+  // Spark's RangePartitioner does with reservoir sampling. Spark's sampling
+  // is randomized, so two RangePartitioners are virtually never equal even
+  // over identical distributions; pass a nonzero `seed` to reproduce that
+  // (the Spark-R pathology). seed == 0 gives deterministic exact quantiles.
+  static std::shared_ptr<RangePartitioner> sample(const KeyHistogram& hist,
+                                                  int num_partitions,
+                                                  std::uint64_t seed = 0);
+
+  int num_partitions() const noexcept override { return n_; }
+  int get_partition(Key key) const override;
+  bool equals(const Partitioner& other) const override;
+  std::string describe() const override;
+
+  const std::vector<Key>& bounds() const noexcept { return bounds_; }
+
+ private:
+  std::vector<Key> bounds_;
+  int n_;
+};
+
+// A range partitioner with caller-fixed bounds, shared across a dataset
+// collection (Stark-S/Stark-E). Equality is by bounds, same as
+// RangePartitioner; the distinct type documents intent and lets configs
+// construct evenly-spaced bounds over a known key domain.
+class StaticRangePartitioner final : public RangePartitioner {
+ public:
+  StaticRangePartitioner(std::vector<Key> bounds, int num_partitions)
+      : RangePartitioner(std::move(bounds), num_partitions) {}
+
+  // Evenly spaced bounds over the key domain [0, domain_size).
+  static std::shared_ptr<StaticRangePartitioner> uniform(Key domain_size,
+                                                         int num_partitions);
+
+  std::string describe() const override;
+};
+
+}  // namespace stark

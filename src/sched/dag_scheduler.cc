@@ -1,0 +1,514 @@
+#include "sched/dag_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace stark {
+
+DagScheduler::DagScheduler(sim::Simulation& sim, Cluster& cluster,
+                           const CostModel& cost, LocalityManager& locality,
+                           GroupManager& groups, DagOptions options)
+    : sim_(&sim),
+      cluster_(&cluster),
+      cost_(cost),
+      locality_(&locality),
+      groups_(&groups),
+      options_(options),
+      task_scheduler_(
+          sim, cluster, cost,
+          [&options] {
+            TaskScheduler::Options o;
+            o.mcf = options.mcf;
+            o.locality_wait = options.locality_wait;
+            o.speculation = options.speculation;
+            return o;
+          }(),
+          [this](DatasetId id) { return groups_->ns_of_dataset(id); }) {}
+
+JobId DagScheduler::submit(DatasetPtr final, ActionType action,
+                           JobCallback cb) {
+  if (final == nullptr) throw std::invalid_argument("submit: null dataset");
+  const JobId id = next_job_id_++;
+  auto job = std::make_unique<Job>();
+  job->id = id;
+  job->action = action;
+  job->final = std::move(final);
+  job->cb = std::move(cb);
+  job->result.id = id;
+  job->result.submit_time = sim_->now();
+  Job& ref = *job;
+  jobs_.emplace(id, std::move(job));
+
+  // Make the lineage known to the group manager (ns resolution for MCF).
+  for (const auto& ds :
+       collect_stage_chain(ref.final, [](DatasetId) { return false; })
+           .datasets) {
+    groups_->note_dataset(*ds);
+  }
+
+  build_stage(ref, ref.final, std::nullopt);
+  ref.result.num_stages = static_cast<int>(ref.stages.size());
+  // Launch every stage whose parents are already satisfied. Snapshot: a
+  // completing stage may append nothing, but launching mutates nothing in
+  // `stages` either — direct loop is fine.
+  for (auto& stage : ref.stages) maybe_launch(*stage);
+  return id;
+}
+
+DagScheduler::StageRun* DagScheduler::build_stage(
+    Job& job, const DatasetPtr& boundary, std::optional<ShuffleEdge> output) {
+  auto stage = std::make_unique<StageRun>();
+  stage->id = next_stage_id_++;
+  stage->job = &job;
+  stage->boundary = boundary;
+  stage->output = std::move(output);
+  stage->chain = collect_stage_chain(
+      boundary, [this](DatasetId id) { return is_checkpointed(id); });
+  StageRun* raw = stage.get();
+  job.stages.push_back(std::move(stage));
+  ++job.stages_remaining;
+
+  for (const auto& edge : raw->chain.shuffle_deps) {
+    const ShuffleKey key = edge.key();
+    if (shuffle_done_.contains(key)) continue;
+    ++raw->waiting_parents;
+    shuffle_waiters_[key].push_back(raw);
+    if (shuffle_building_.insert(key).second) {
+      build_stage(job, edge.map_side(), edge);
+    }
+  }
+  return raw;
+}
+
+void DagScheduler::maybe_launch(StageRun& stage) {
+  if (stage.launched || stage.waiting_parents > 0) return;
+  stage.launched = true;
+
+  const DatasetPtr& ds = stage.boundary;
+  const auto units = groups_->units_for(*ds);
+  auto ts = std::make_shared<TaskScheduler::TaskSet>();
+  ts->job = stage.job->id;
+  ts->stage = stage.id;
+  ts->tasks.reserve(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    TaskSpec spec;
+    spec.job = stage.job->id;
+    spec.stage = stage.id;
+    spec.index = static_cast<int>(i);
+    spec.unit_id = units[i].unit_id;
+    spec.lo = units[i].lo;
+    spec.hi = units[i].hi;
+    spec.preferred =
+        preferred_servers(stage, spec.unit_id, spec.lo, spec.hi);
+    ts->tasks.push_back(std::move(spec));
+  }
+  StageRun* stage_ptr = &stage;
+  ts->plan = [this, stage_ptr](const TaskSpec& task, ServerId server) {
+    return plan_task(*stage_ptr, task, server);
+  };
+  ts->task_done = [this, stage_ptr](const TaskSpec& task,
+                                    const TaskMetrics& m) {
+    // Replica learning happens at the block level (see api::Context's block
+    // observer): any namespaced block materializing on an executor makes it
+    // an additional home for its unit.
+    (void)task;
+    JobResult& r = stage_ptr->job->result;
+    ++r.num_tasks;
+    if (m.node_local) ++r.node_local_tasks;
+    r.total_cpu += m.cpu;
+    r.total_gc += m.gc;
+    r.total_shuffle_read += m.shuffle_read;
+    r.bytes_from_cache += m.bytes_from_cache;
+    r.bytes_from_net += m.bytes_from_net;
+    r.bytes_from_disk += m.bytes_from_disk;
+    if (options_.detail_task_metrics) r.tasks.push_back(m);
+  };
+  ts->all_done = [this, stage_ptr] { on_stage_complete(*stage_ptr); };
+  task_scheduler_.submit(std::move(ts));
+}
+
+void DagScheduler::on_stage_complete(StageRun& stage) {
+  Job& job = *stage.job;
+  --job.stages_remaining;
+  if (stage.output.has_value()) {
+    const ShuffleKey key = stage.output->key();
+    shuffle_done_.insert(key);
+    shuffle_building_.erase(key);
+    shuffle_bytes_ += stage.boundary->total_bytes();
+    const auto it = shuffle_waiters_.find(key);
+    if (it != shuffle_waiters_.end()) {
+      const auto waiters = std::move(it->second);
+      shuffle_waiters_.erase(it);
+      for (StageRun* w : waiters) {
+        --w->waiting_parents;
+        maybe_launch(*w);
+      }
+    }
+  }
+  if (job.stages_remaining == 0 && !job.done) finish_job(job);
+}
+
+void DagScheduler::finish_job(Job& job) {
+  job.done = true;
+  job.result.completed = true;
+  job.result.finish_time = sim_->now();
+  job.result.delay = job.result.finish_time - job.result.submit_time;
+  ++jobs_completed_;
+  results_.emplace(job.id, job.result);
+  if (job.cb) job.cb(results_.at(job.id));
+  jobs_.erase(job.id);
+}
+
+JobResult DagScheduler::run_job(DatasetPtr final, ActionType action) {
+  const JobId id = submit(std::move(final), action);
+  sim_->run_until([this, id] { return job_done(id); });
+  if (!job_done(id)) {
+    throw std::runtime_error("run_job: simulation drained before completion");
+  }
+  return results_.at(id);
+}
+
+bool DagScheduler::job_done(JobId id) const { return results_.contains(id); }
+
+const JobResult& DagScheduler::result(JobId id) const {
+  return results_.at(id);
+}
+
+// --- preferred locations ----------------------------------------------------
+
+std::vector<ServerId> DagScheduler::preferred_servers(const StageRun& stage,
+                                                      int unit_id, int lo,
+                                                      int hi) {
+  std::vector<ServerId> out;
+  const DatasetPtr& boundary = stage.boundary;
+  if (options_.use_locality_homes && !boundary->ns().empty() &&
+      locality_->has(boundary->ns())) {
+    // Paper §III-B/E: the DAGScheduler consults the LocalityManager for the
+    // preferred executors of the collection partition, then runs delay
+    // scheduling against those. The home set grows when hot units replicate
+    // (see the task-completion hook), so this stays authoritative even for
+    // replicated partitions. Using only homes — not arbitrary cache
+    // locations — is what moves a split-off group to its newly assigned
+    // executor (Fig 14's first-job rebuild).
+    for (ServerId s : locality_->homes(boundary->ns(), unit_id)) {
+      if (cluster_->server(s).alive()) out.push_back(s);
+    }
+    if (!out.empty()) return out;
+  }
+  // First narrow-reachable dataset with all of the unit's partitions cached
+  // on a common server (Spark's getPreferredLocs walk).
+  for (const auto& ds : stage.chain.datasets) {
+    std::vector<ServerId> common;
+    for (int p = lo; p < hi; ++p) {
+      const auto& locs = cluster_->cache_locations({ds->id(), p});
+      if (locs.empty()) {
+        common.clear();
+        break;
+      }
+      if (p == lo) {
+        common = locs;
+      } else {
+        std::vector<ServerId> next;
+        for (ServerId s : common) {
+          if (std::find(locs.begin(), locs.end(), s) != locs.end()) {
+            next.push_back(s);
+          }
+        }
+        common = std::move(next);
+      }
+      if (common.empty()) break;
+    }
+    if (!common.empty()) {
+      for (ServerId s : common) {
+        if (std::find(out.begin(), out.end(), s) == out.end() &&
+            cluster_->server(s).alive()) {
+          out.push_back(s);
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+// --- task planning -----------------------------------------------------------
+
+void DagScheduler::plan_chain(const DatasetPtr& ds, int partition,
+                              ServerId server, DatasetId boundary_id,
+                              TaskPlan& plan) {
+  const Bytes bytes = ds->partition_bytes()[static_cast<std::size_t>(partition)];
+  const BlockId bid{ds->id(), partition};
+  const bool serialized =
+      ds->storage_level() != Dataset::StorageLevel::kMemory;
+  if (cluster_->cached_on(bid, server)) {
+    if (serialized) {
+      // MEMORY_ONLY_SER / MEMORY_AND_DISK: smaller footprint, but every
+      // read pays deserialization.
+      const Bytes stored = bytes * cost_.serialization_ratio;
+      plan.cpu += cost_.cpu_seconds(OpKind::kSourceParse, stored);
+      plan.bytes_cache += stored;
+    } else {
+      plan.cpu += cost_.cpu_seconds(OpKind::kMemScan, bytes);
+      plan.bytes_cache += bytes;
+    }
+    cluster_->touch_block(server, bid);
+    return;
+  }
+  if (ds->storage_level() == Dataset::StorageLevel::kMemoryAndDisk &&
+      cluster_->disk_cached_on(bid, server)) {
+    // Spilled copy on local disk: read + deserialize, no recompute.
+    const Bytes stored = cluster_->disk_block_bytes(server, bid);
+    plan.bytes_disk += stored;
+    plan.cpu += cost_.cpu_seconds(OpKind::kSourceParse, stored);
+    return;
+  }
+  if (is_checkpointed(ds->id())) {
+    const Bytes ck = bytes * cost_.serialization_ratio;
+    plan.bytes_disk += ck;
+    plan.cpu += cost_.cpu_seconds(OpKind::kSourceParse, ck);  // deserialize
+  } else {
+    const auto add_fetch = [&](Bytes fetch) {
+      // Reduce-side fetch: map outputs stream from remote disks over the
+      // network. Bytes accumulate here; plan_task turns them into time
+      // using the cluster-wide congestion factors.
+      ++plan.fetch_waves;
+      plan.bytes_net += fetch;
+    };
+    switch (ds->op()) {
+      case Op::kSource:
+        plan.bytes_disk += bytes;
+        plan.cpu += cost_.cpu_seconds(OpKind::kSourceParse, bytes);
+        break;
+      case Op::kMap:
+      case Op::kFilter: {
+        const DatasetPtr& parent = ds->deps()[0].parent;
+        plan_chain(parent, partition, server, boundary_id, plan);
+        plan.cpu += cost_.cpu_seconds(
+            ds->op() == Op::kMap ? OpKind::kMap : OpKind::kFilter,
+            parent->partition_bytes()[static_cast<std::size_t>(partition)]);
+        break;
+      }
+      case Op::kPartitionBy:
+      case Op::kReduceByKey: {
+        const auto& dep = ds->deps()[0];
+        if (!dep.wide) {
+          plan_chain(dep.parent, partition, server, boundary_id, plan);
+          if (ds->op() == Op::kReduceByKey) {
+            plan.cpu += cost_.cpu_seconds(
+                OpKind::kReduce,
+                dep.parent
+                    ->partition_bytes()[static_cast<std::size_t>(partition)]);
+          }
+        } else {
+          const Bytes fetch =
+              ds->shuffle_input_bytes(0)[static_cast<std::size_t>(partition)];
+          add_fetch(fetch);
+          plan.cpu += cost_.cpu_seconds(OpKind::kShuffleRead, fetch);
+          if (ds->op() == Op::kReduceByKey) {
+            plan.cpu += cost_.cpu_seconds(OpKind::kReduce, fetch);
+          }
+        }
+        break;
+      }
+      case Op::kCoGroup:
+      case Op::kJoin:
+      case Op::kUnion: {
+        if (ds->op() != Op::kUnion) {
+          plan.cogroup_width = std::max(plan.cogroup_width,
+                                        static_cast<int>(ds->deps().size()));
+        }
+        Bytes total_in = 0.0;
+        for (std::size_t i = 0; i < ds->deps().size(); ++i) {
+          const auto& dep = ds->deps()[i];
+          if (!dep.wide) {
+            plan_chain(dep.parent, partition, server, boundary_id, plan);
+            total_in +=
+                dep.parent
+                    ->partition_bytes()[static_cast<std::size_t>(partition)];
+          } else {
+            const Bytes fetch =
+                ds->shuffle_input_bytes(i)[static_cast<std::size_t>(partition)];
+            add_fetch(fetch);
+            plan.cpu += cost_.cpu_seconds(OpKind::kShuffleRead, fetch);
+            total_in += fetch;
+          }
+        }
+        const OpKind kind = ds->op() == Op::kCoGroup ? OpKind::kCoGroup
+                            : ds->op() == Op::kJoin  ? OpKind::kJoin
+                                                     : OpKind::kUnion;
+        plan.cpu += cost_.cpu_seconds(kind, total_in);
+        break;
+      }
+    }
+  }
+  if (ds->cache_requested() &&
+      (options_.replicate_on_recompute || ds->id() == boundary_id)) {
+    // A dataset's own materialization job always caches its output; whether
+    // ancestors recomputed in passing become lasting replicas depends on
+    // the engine's tracking model (see DagOptions::replicate_on_recompute).
+    const Bytes footprint =
+        serialized ? bytes * cost_.serialization_ratio : bytes;
+    plan.blocks_to_cache.push_back(
+        {bid, footprint,
+         ds->storage_level() == Dataset::StorageLevel::kMemoryAndDisk});
+  }
+}
+
+TaskPlan DagScheduler::plan_task(const StageRun& stage, const TaskSpec& task,
+                                 ServerId server) {
+  TaskPlan plan;
+  for (int p = task.lo; p < task.hi; ++p) {
+    plan_chain(stage.boundary, p, server, stage.boundary->id(), plan);
+    if (stage.output.has_value()) {
+      // Shuffle-map side: bucket the partition by the child's partitioner
+      // and commit map outputs to persistent storage.
+      const Bytes out =
+          stage.boundary->partition_bytes()[static_cast<std::size_t>(p)];
+      plan.cpu += cost_.cpu_seconds(OpKind::kShuffleWrite, out);
+      plan.bytes_written += out;
+    }
+  }
+  // I/O times under contention: per-flow bandwidth shrinks once concurrent
+  // flows outnumber NICs/spindles (average flows-per-server model).
+  const double servers =
+      std::max(1.0, static_cast<double>(cluster_->alive_servers().size()));
+  const double net_factor = std::max(
+      1.0, (task_scheduler_.active_net_flows() + 1.0) / servers);
+  const double disk_factor = std::max(
+      1.0, (task_scheduler_.active_disk_flows() + 1.0) / servers);
+  plan.shuffle_read =
+      plan.fetch_waves * cost_.net_latency +
+      plan.bytes_net /
+          (std::min(cost_.net_bw, cost_.disk_read_bw) / net_factor);
+  plan.disk = plan.bytes_disk / (cost_.disk_read_bw / disk_factor) +
+              plan.bytes_written / (cost_.disk_write_bw / disk_factor);
+  plan.working_set =
+      cost_.working_set_expansion *
+      (plan.bytes_cache + plan.bytes_net + plan.bytes_disk) *
+      std::min(cost_.cogroup_ws_factor_cap,
+               1.0 + cost_.cogroup_ws_per_input *
+                         std::max(0, plan.cogroup_width - 1));
+  plan.gc = plan.cpu *
+            cost_.gc_factor(
+                cluster_->server(server).heap_utilization(plan.working_set));
+  return plan;
+}
+
+// --- checkpointing & recovery -----------------------------------------------
+
+void DagScheduler::checkpoint_now(const DatasetPtr& ds) {
+  if (ds == nullptr) throw std::invalid_argument("checkpoint_now: null dataset");
+  if (is_checkpointed(ds->id())) return;
+  const Bytes bytes = checkpoint_cost(*ds);
+  checkpointed_.emplace(ds->id(), bytes);
+  checkpoint_bytes_ += bytes;
+}
+
+bool DagScheduler::is_checkpointed(DatasetId id) const noexcept {
+  return checkpointed_.contains(id);
+}
+
+Bytes DagScheduler::checkpoint_cost(const Dataset& ds) const {
+  return ds.total_bytes() * cost_.serialization_ratio;
+}
+
+double DagScheduler::recompute_delay(const Dataset& ds) const {
+  // Max across partitions of the transform-only cost, inputs available.
+  double worst = 0.0;
+  const auto& bytes = ds.partition_bytes();
+  for (std::size_t p = 0; p < bytes.size(); ++p) {
+    double d = 0.0;
+    switch (ds.op()) {
+      case Op::kSource:
+        d = bytes[p] / cost_.disk_read_bw +
+            cost_.cpu_seconds(OpKind::kSourceParse, bytes[p]);
+        break;
+      case Op::kMap:
+      case Op::kFilter: {
+        const Bytes in = ds.deps()[0].parent->partition_bytes()[p];
+        d = cost_.cpu_seconds(
+            ds.op() == Op::kMap ? OpKind::kMap : OpKind::kFilter, in);
+        break;
+      }
+      case Op::kPartitionBy:
+      case Op::kReduceByKey: {
+        const auto& dep = ds.deps()[0];
+        const Bytes in = dep.wide ? ds.shuffle_input_bytes(0)[p]
+                                  : dep.parent->partition_bytes()[p];
+        if (dep.wide) {
+          d += cost_.net_latency + in / std::min(cost_.net_bw, cost_.disk_read_bw);
+          d += cost_.cpu_seconds(OpKind::kShuffleRead, in);
+        }
+        if (ds.op() == Op::kReduceByKey) {
+          d += cost_.cpu_seconds(OpKind::kReduce, in);
+        }
+        break;
+      }
+      case Op::kCoGroup:
+      case Op::kJoin:
+      case Op::kUnion: {
+        Bytes total_in = 0.0;
+        for (std::size_t i = 0; i < ds.deps().size(); ++i) {
+          const auto& dep = ds.deps()[i];
+          const Bytes in = dep.wide ? ds.shuffle_input_bytes(i)[p]
+                                    : dep.parent->partition_bytes()[p];
+          if (dep.wide) {
+            d += cost_.net_latency +
+                 in / std::min(cost_.net_bw, cost_.disk_read_bw);
+            d += cost_.cpu_seconds(OpKind::kShuffleRead, in);
+          }
+          total_in += in;
+        }
+        const OpKind kind = ds.op() == Op::kCoGroup ? OpKind::kCoGroup
+                            : ds.op() == Op::kJoin  ? OpKind::kJoin
+                                                    : OpKind::kUnion;
+        d += cost_.cpu_seconds(kind, total_in);
+        break;
+      }
+    }
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+double DagScheduler::recovery_chain_delay(const DatasetPtr& ds,
+                                          int partition) const {
+  // Recompute chain for one partition assuming no cached copies survive:
+  // stops at checkpoints and shuffles, like plan_chain without a cache.
+  if (is_checkpointed(ds->id())) {
+    const Bytes ck = ds->partition_bytes()[static_cast<std::size_t>(partition)] *
+                     cost_.serialization_ratio;
+    return ck / cost_.disk_read_bw +
+           cost_.cpu_seconds(OpKind::kSourceParse, ck);
+  }
+  double d = recompute_delay(*ds);
+  double parent_worst = 0.0;
+  for (const auto& dep : ds->deps()) {
+    if (dep.wide) continue;  // anchored at persisted map outputs
+    parent_worst =
+        std::max(parent_worst, recovery_chain_delay(dep.parent, partition));
+  }
+  return d + parent_worst;
+}
+
+double DagScheduler::estimate_recovery_delay(const DatasetPtr& ds) const {
+  double worst = 0.0;
+  for (int p = 0; p < ds->num_partitions(); ++p) {
+    worst = std::max(worst, recovery_chain_delay(ds, p));
+  }
+  return worst;
+}
+
+void DagScheduler::handle_server_failure(ServerId s) {
+  cluster_->kill_server(s);
+  locality_->on_server_failure(s);
+  task_scheduler_.handle_server_failure(s);
+}
+
+bool DagScheduler::shuffle_materialized(const ShuffleKey& key) const {
+  return shuffle_done_.contains(key);
+}
+
+}  // namespace stark

@@ -1,0 +1,154 @@
+// DagScheduler: jobs -> stages -> task sets, with Spark's recompute
+// semantics.
+//
+// Key fidelity points (paper §II-B):
+//  * Stages are cut at shuffle boundaries; shuffle map outputs persist and
+//    are reused by later jobs, so a reused shuffle needs no new map stage.
+//  * When a task runs on an executor that lacks its cached parent
+//    partitions, it does NOT fetch remote cached blocks — it recomputes the
+//    whole narrow chain from the stage origin (shuffle fetch / source read /
+//    checkpoint read). This is the co-locality penalty Stark removes.
+//  * Datasets marked cache() materialize on whichever executor computed
+//    them, which is how delay scheduling grows replicas of hot collection
+//    partitions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/cost_model.h"
+#include "sched/stage.h"
+#include "sched/task.h"
+#include "sched/task_scheduler.h"
+#include "sim/simulation.h"
+#include "stark/group_manager.h"
+#include "stark/locality_manager.h"
+
+namespace stark {
+
+struct DagOptions {
+  // Consult LocalityManager homes as preferred locations (Stark configs).
+  bool use_locality_homes = false;
+  bool mcf = false;
+  double locality_wait = 3.0;
+  // Straggler mitigation via task copies (spark.speculation).
+  bool speculation = false;
+  // Whether ancestor partitions recomputed along a task's narrow chain are
+  // registered as lasting cached replicas. Stark tracks them (its
+  // LocalityManager bookkeeping turns hotspot recomputes into replicas,
+  // §III-B/C3). Stock Spark, per the paper's §II-B premise, avoids "the
+  // complexity and overhead of keeping track of all cached and evicted
+  // data across the entire cluster" — recomputes stay transient, so the
+  // co-locality penalty recurs on every job (Fig 2/3, Fig 11).
+  bool replicate_on_recompute = true;
+  // Keep per-task metrics inside JobResult (disable for huge sweeps).
+  bool detail_task_metrics = true;
+};
+
+class DagScheduler {
+ public:
+  DagScheduler(sim::Simulation& sim, Cluster& cluster, const CostModel& cost,
+               LocalityManager& locality, GroupManager& groups,
+               DagOptions options);
+
+  // Asynchronous submission; cb fires when the job completes.
+  JobId submit(DatasetPtr final, ActionType action, JobCallback cb = {});
+
+  // Submit and run the simulation until this job completes.
+  JobResult run_job(DatasetPtr final, ActionType action = ActionType::kCount);
+
+  bool job_done(JobId id) const;
+  const JobResult& result(JobId id) const;
+  int jobs_completed() const noexcept { return jobs_completed_; }
+
+  // --- checkpointing -------------------------------------------------------
+  // Persists the dataset now (forceCheckpoint, paper §III-E): records the
+  // serialized size and anchors future recovery at this dataset.
+  void checkpoint_now(const DatasetPtr& ds);
+  bool is_checkpointed(DatasetId id) const noexcept;
+  Bytes total_checkpoint_bytes() const noexcept { return checkpoint_bytes_; }
+  // c(v): what checkpointing would write for this dataset.
+  Bytes checkpoint_cost(const Dataset& ds) const;
+  // d(v): recovery delay of recomputing this one dataset (max across
+  // partitions), inputs assumed available.
+  double recompute_delay(const Dataset& ds) const;
+
+  // Estimated failure-recovery delay for a dataset: longest recompute chain
+  // from checkpoint/shuffle/source anchors (used by tests and benches).
+  double estimate_recovery_delay(const DatasetPtr& ds) const;
+
+  bool shuffle_materialized(const ShuffleKey& key) const;
+  // Total bytes written as shuffle map outputs so far.
+  Bytes total_shuffle_bytes_written() const noexcept { return shuffle_bytes_; }
+
+  void handle_server_failure(ServerId s);
+
+  TaskScheduler& tasks() noexcept { return task_scheduler_; }
+  sim::Simulation& sim() noexcept { return *sim_; }
+  Cluster& cluster() noexcept { return *cluster_; }
+  const CostModel& cost_model() const noexcept { return cost_; }
+
+ private:
+  struct Job;
+  struct StageRun {
+    StageId id = kInvalidId;
+    Job* job = nullptr;
+    DatasetPtr boundary;
+    StageChain chain;
+    std::optional<ShuffleEdge> output;  // set for shuffle-map stages
+    int waiting_parents = 0;
+    bool launched = false;
+  };
+  struct Job {
+    JobId id = kInvalidId;
+    ActionType action = ActionType::kCount;
+    DatasetPtr final;
+    JobCallback cb;
+    JobResult result;
+    std::vector<std::unique_ptr<StageRun>> stages;
+    int stages_remaining = 0;
+    bool done = false;
+  };
+
+  StageRun* build_stage(Job& job, const DatasetPtr& boundary,
+                        std::optional<ShuffleEdge> output);
+  void maybe_launch(StageRun& stage);
+  void on_stage_complete(StageRun& stage);
+  void finish_job(Job& job);
+  std::vector<ServerId> preferred_servers(const StageRun& stage, int unit_id,
+                                          int lo, int hi);
+  TaskPlan plan_task(const StageRun& stage, const TaskSpec& task,
+                     ServerId server);
+  void plan_chain(const DatasetPtr& ds, int partition, ServerId server,
+                  DatasetId boundary_id, TaskPlan& plan);
+  double recovery_chain_delay(const DatasetPtr& ds, int partition) const;
+
+  sim::Simulation* sim_;
+  Cluster* cluster_;
+  CostModel cost_;
+  LocalityManager* locality_;
+  GroupManager* groups_;
+  DagOptions options_;
+  TaskScheduler task_scheduler_;
+
+  std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
+  std::unordered_map<JobId, JobResult> results_;
+  std::unordered_set<ShuffleKey, ShuffleKeyHash> shuffle_done_;
+  // Shuffles with a map stage built (possibly by another job) but not yet
+  // materialized, with the stages waiting on them.
+  std::unordered_map<ShuffleKey, std::vector<StageRun*>, ShuffleKeyHash>
+      shuffle_waiters_;
+  std::unordered_set<ShuffleKey, ShuffleKeyHash> shuffle_building_;
+  std::unordered_map<DatasetId, Bytes> checkpointed_;
+  Bytes checkpoint_bytes_ = 0.0;
+  Bytes shuffle_bytes_ = 0.0;
+  JobId next_job_id_ = 0;
+  StageId next_stage_id_ = 0;
+  int jobs_completed_ = 0;
+};
+
+}  // namespace stark

@@ -1,0 +1,31 @@
+#include "sched/stage.h"
+
+#include <unordered_set>
+
+namespace stark {
+
+StageChain collect_stage_chain(
+    const DatasetPtr& boundary,
+    const std::function<bool(DatasetId)>& is_checkpointed) {
+  StageChain chain;
+  std::unordered_set<DatasetId> seen;
+  std::vector<DatasetPtr> stack{boundary};
+  seen.insert(boundary->id());
+  while (!stack.empty()) {
+    DatasetPtr ds = stack.back();
+    stack.pop_back();
+    chain.datasets.push_back(ds);
+    if (is_checkpointed(ds->id())) continue;  // recovery reads from disk
+    for (std::size_t i = 0; i < ds->deps().size(); ++i) {
+      const auto& dep = ds->deps()[i];
+      if (dep.wide) {
+        chain.shuffle_deps.push_back({ds, i});
+      } else if (seen.insert(dep.parent->id()).second) {
+        stack.push_back(dep.parent);
+      }
+    }
+  }
+  return chain;
+}
+
+}  // namespace stark

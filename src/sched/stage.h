@@ -1,0 +1,59 @@
+// Stage construction: cutting the lineage DAG at shuffle boundaries.
+//
+// A stage is a maximal narrow-dependency chain ending at a boundary dataset
+// (the job's final RDD, or the map side of a shuffle). Wide dependencies
+// encountered while walking narrow chains become ShuffleEdges: the reduce
+// side reads them from persistent map outputs, so a materialized shuffle
+// needs no parent stage — the mechanism behind both shuffle-output reuse
+// across jobs (paper Fig 1's D- case) and recovery anchoring.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "rdd/dataset.h"
+
+namespace stark {
+
+struct ShuffleKey {
+  DatasetId child = kInvalidId;
+  int dep_index = -1;
+  bool operator==(const ShuffleKey&) const = default;
+};
+
+struct ShuffleKeyHash {
+  std::size_t operator()(const ShuffleKey& k) const noexcept {
+    return std::hash<long long>()((static_cast<long long>(k.child) << 32) ^
+                                  static_cast<long long>(k.dep_index));
+  }
+};
+
+// A wide dependency: `child`'s dep at `dep_index` (its parent is the map
+// side; `child->partitioner()` defines the reduce-side layout).
+struct ShuffleEdge {
+  DatasetPtr child;
+  std::size_t dep_index = 0;
+
+  ShuffleKey key() const noexcept {
+    return {child->id(), static_cast<int>(dep_index)};
+  }
+  const DatasetPtr& map_side() const noexcept {
+    return child->deps()[dep_index].parent;
+  }
+};
+
+// The narrow-dependency closure of `boundary`: every dataset reachable via
+// narrow deps without passing through a checkpointed dataset, plus the wide
+// deps discovered on the way. `is_checkpointed` stops traversal.
+struct StageChain {
+  std::vector<DatasetPtr> datasets;     // boundary first (reverse topo)
+  std::vector<ShuffleEdge> shuffle_deps;
+};
+
+StageChain collect_stage_chain(
+    const DatasetPtr& boundary,
+    const std::function<bool(DatasetId)>& is_checkpointed);
+
+}  // namespace stark

@@ -1,0 +1,376 @@
+#include "sched/task_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace stark {
+
+TaskScheduler::TaskScheduler(sim::Simulation& sim, Cluster& cluster,
+                             const CostModel& cost, Options options,
+                             NsOfDatasetFn ns_of_dataset)
+    : sim_(&sim),
+      cluster_(&cluster),
+      cost_(cost),
+      options_(options),
+      ns_of_dataset_(std::move(ns_of_dataset)),
+      placement_rng_(options.seed) {}
+
+void TaskScheduler::submit(TaskSetPtr ts) {
+  if (ts == nullptr || ts->tasks.empty()) {
+    throw std::invalid_argument("TaskScheduler::submit: empty task set");
+  }
+  auto set = std::make_shared<ActiveSet>();
+  set->ts = std::move(ts);
+  set->task_done_flags.assign(set->ts->tasks.size(), 0);
+  set->task_speculated.assign(set->ts->tasks.size(), 0);
+  for (int i = 0; i < static_cast<int>(set->ts->tasks.size()); ++i) {
+    set->pending.push_back(i);
+    if (!set->ts->tasks[static_cast<std::size_t>(i)].preferred.empty()) {
+      set->has_preferences = true;
+    }
+  }
+  set->locality_anchor = sim_->now();
+  task_sets_.push_back(std::move(set));
+  schedule();
+}
+
+std::uint64_t TaskScheduler::collection_key(const BlockId& id) const {
+  const std::string ns = ns_of_dataset_ ? ns_of_dataset_(id.dataset) : "";
+  if (ns.empty()) {
+    // Not part of a collection: the block is its own "collection
+    // partition" and never aliases another dataset's.
+    return (static_cast<std::uint64_t>(id.dataset) << 32) |
+           static_cast<std::uint32_t>(id.partition);
+  }
+  return splitmix64(std::hash<std::string>()(ns)) ^
+         static_cast<std::uint64_t>(id.partition);
+}
+
+void TaskScheduler::on_block_event(ServerId s, const BlockId& id,
+                                   bool inserted) {
+  auto& counts = contention_[s];
+  const std::uint64_t key = collection_key(id);
+  if (inserted) {
+    ++counts[key];
+  } else {
+    const auto it = counts.find(key);
+    if (it != counts.end() && --it->second <= 0) counts.erase(it);
+  }
+}
+
+int TaskScheduler::unique_collection_partitions(ServerId s) const {
+  const auto it = contention_.find(s);
+  return it == contention_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+ServerId TaskScheduler::pick_remote_server() {
+  if (options_.mcf) {
+    // Algorithm 1: ascending by unique collection partitions cached.
+    ServerId best = kInvalidId;
+    int best_contention = 0;
+    int best_free = -1;
+    for (ServerId s : cluster_->alive_servers()) {
+      const Server& srv = cluster_->server(s);
+      if (srv.free_cores() <= 0) continue;
+      const int c = unique_collection_partitions(s);
+      if (best == kInvalidId || c < best_contention ||
+          (c == best_contention && srv.free_cores() > best_free)) {
+        best = s;
+        best_contention = c;
+        best_free = srv.free_cores();
+      }
+    }
+    return best;
+  }
+  // Stock behaviour: all remote workers are treated equally — Spark
+  // effectively scatters tasks (and hence cached partitions) randomly.
+  std::vector<ServerId> candidates;
+  for (ServerId s : cluster_->alive_servers()) {
+    if (cluster_->server(s).free_cores() > 0) candidates.push_back(s);
+  }
+  if (candidates.empty()) return kInvalidId;
+  return candidates[placement_rng_.next_below(candidates.size())];
+}
+
+void TaskScheduler::arm_timer(SimTime at) {
+  if (timer_armed_ && timer_at_ <= at + 1e-12) return;
+  timer_armed_ = true;
+  timer_at_ = at;
+  sim_->at(at, [this, at] {
+    if (timer_armed_ && timer_at_ <= at + 1e-12) timer_armed_ = false;
+    schedule();
+  });
+}
+
+void TaskScheduler::schedule() {
+  if (in_schedule_) return;  // guard against re-entrant launches
+  in_schedule_ = true;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Under saturation this function fires on every completion with
+    // thousands of queued task sets; bail out the moment the cluster has
+    // no free slot instead of scanning every pending task.
+    int free_cores = cluster_->total_free_cores();
+    if (free_cores == 0) break;
+    // Backlog guard: with a deep FIFO, scanning every blocked set per event
+    // is quadratic. After enough consecutive fruitless sets, stop and
+    // revisit shortly — at that depth the queueing delay dwarfs the revisit
+    // granularity anyway.
+    const bool deep_backlog = task_sets_.size() > 256;
+    int fruitless = 0;
+    for (auto& set : task_sets_) {
+      if (free_cores == 0) break;
+      if (deep_backlog && fruitless > 128) {
+        arm_timer(sim_->now() + 0.2);
+        break;
+      }
+      ++fruitless;
+      if (set->pending.empty()) continue;
+      // NODE_LOCAL pass: launch every pending task that has a preferred
+      // server with a free core.
+      for (std::size_t scan = set->pending.size(); scan-- > 0;) {
+        const int idx = set->pending.front();
+        set->pending.pop_front();
+        const TaskSpec& task = set->ts->tasks[static_cast<std::size_t>(idx)];
+        ServerId local = kInvalidId;
+        for (ServerId s : task.preferred) {
+          const Server& srv = cluster_->server(s);
+          if (srv.alive() && srv.free_cores() > 0) {
+            local = s;
+            break;
+          }
+        }
+        if (local != kInvalidId) {
+          launch(set, idx, local, /*node_local=*/true);
+          progress = true;
+          fruitless = 0;
+          --free_cores;
+        } else {
+          set->pending.push_back(idx);  // keep for ANY pass / next round
+        }
+        if (free_cores == 0) break;
+      }
+      if (free_cores == 0) break;
+      if (set->pending.empty()) continue;
+      // ANY pass, gated by delay scheduling.
+      const SimTime allowed_at = set->locality_anchor + options_.locality_wait;
+      const bool any_allowed =
+          !set->has_preferences || sim_->now() + 1e-12 >= allowed_at;
+      if (!any_allowed) {
+        arm_timer(allowed_at);
+        continue;
+      }
+      while (!set->pending.empty() && free_cores > 0) {
+        const ServerId s = pick_remote_server();
+        if (s == kInvalidId) break;  // no free cores anywhere
+        const int idx = set->pending.front();
+        set->pending.pop_front();
+        launch(set, idx, s, /*node_local=*/false);
+        progress = true;
+        fruitless = 0;
+        --free_cores;
+      }
+    }
+  }
+  in_schedule_ = false;
+}
+
+void TaskScheduler::launch(const std::shared_ptr<ActiveSet>& set, int index,
+                           ServerId server, bool node_local,
+                           bool speculative) {
+  Server& srv = cluster_->server(server);
+  srv.acquire_core();
+  if (node_local) set->locality_anchor = sim_->now();
+  ++set->running;
+
+  const TaskSpec& task = set->ts->tasks[static_cast<std::size_t>(index)];
+  // The driver serializes and ships tasks one at a time.
+  const SimTime launch_time =
+      std::max(sim_->now(), driver_free_at_) + cost_.driver_dispatch_per_task;
+  driver_free_at_ = launch_time;
+
+  TaskPlan plan = set->ts->plan(task, server);
+  srv.add_working_set(plan.working_set);
+  if (plan.bytes_net > 0.0) ++active_net_flows_;
+  if (plan.bytes_disk > 0.0 || plan.bytes_written > 0.0) ++active_disk_flows_;
+  const double overhead = cost_.task_launch_overhead;
+  const SimTime finish = launch_time + overhead + plan.work_seconds();
+
+  RunningTask run;
+  run.set = set;
+  run.index = index;
+  run.server = server;
+  run.speculative = speculative;
+  if (speculative) ++speculative_launches_;
+  run.plan = std::move(plan);
+  run.metrics.server = server;
+  run.metrics.node_local = node_local;
+  run.metrics.submit_time = sim_->now();
+  run.metrics.launch_time = launch_time;
+  run.metrics.finish_time = finish;
+  run.metrics.cpu = run.plan.cpu;
+  run.metrics.gc = run.plan.gc;
+  run.metrics.shuffle_read = run.plan.shuffle_read;
+  run.metrics.disk = run.plan.disk;
+  run.metrics.overhead = overhead + cost_.driver_dispatch_per_task;
+  run.metrics.bytes_from_cache = run.plan.bytes_cache;
+  run.metrics.bytes_from_net = run.plan.bytes_net;
+  run.metrics.bytes_from_disk = run.plan.bytes_disk;
+  run.metrics.bytes_written = run.plan.bytes_written;
+
+  const std::uint64_t run_id = next_run_id_++;
+  run.event = sim_->at(finish, [this, run_id] { complete(run_id); });
+  by_server_[server].insert(run_id);
+  set->runs_by_index[index].push_back(run_id);
+  running_.emplace(run_id, std::move(run));
+}
+
+void TaskScheduler::discard_run(std::uint64_t run_id) {
+  const auto it = running_.find(run_id);
+  if (it == running_.end()) return;
+  RunningTask run = std::move(it->second);
+  running_.erase(it);
+  by_server_[run.server].erase(run_id);
+  sim_->cancel(run.event);
+  Server& srv = cluster_->server(run.server);
+  if (srv.alive()) {
+    srv.release_core();
+    srv.remove_working_set(run.plan.working_set);
+  }
+  if (run.plan.bytes_net > 0.0) --active_net_flows_;
+  if (run.plan.bytes_disk > 0.0 || run.plan.bytes_written > 0.0) {
+    --active_disk_flows_;
+  }
+  --run.set->running;
+  auto& runs = run.set->runs_by_index[run.index];
+  std::erase(runs, run_id);
+}
+
+void TaskScheduler::maybe_speculate(const std::shared_ptr<ActiveSet>& set) {
+  if (!options_.speculation) return;
+  const std::size_t n = set->ts->tasks.size();
+  if (set->finished_durations.size() <
+      static_cast<std::size_t>(options_.speculation_quantile *
+                               static_cast<double>(n))) {
+    return;
+  }
+  std::vector<double> sorted = set->finished_durations;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  const double threshold = options_.speculation_multiplier * median;
+  // Snapshot: launching mutates runs_by_index.
+  std::vector<std::pair<int, std::uint64_t>> candidates;
+  for (const auto& [index, runs] : set->runs_by_index) {
+    if (set->task_done_flags[static_cast<std::size_t>(index)] ||
+        set->task_speculated[static_cast<std::size_t>(index)] ||
+        runs.size() != 1) {
+      continue;
+    }
+    candidates.emplace_back(index, runs.front());
+  }
+  for (const auto& [index, run_id] : candidates) {
+    const auto rit = running_.find(run_id);
+    if (rit == running_.end()) continue;
+    const auto& m = rit->second.metrics;
+    if (m.finish_time - m.launch_time <= threshold) continue;
+    if (m.finish_time - sim_->now() <= 0.0) continue;  // about to finish
+    const ServerId s = pick_remote_server();
+    if (s == kInvalidId || s == rit->second.server) continue;
+    set->task_speculated[static_cast<std::size_t>(index)] = 1;
+    launch(set, index, s, /*node_local=*/false, /*speculative=*/true);
+  }
+}
+
+void TaskScheduler::complete(std::uint64_t run_id) {
+  const auto it = running_.find(run_id);
+  if (it == running_.end()) return;
+  RunningTask run = std::move(it->second);
+  running_.erase(it);
+  by_server_[run.server].erase(run_id);
+
+  Server& srv = cluster_->server(run.server);
+  if (srv.alive()) {
+    srv.release_core();
+    srv.remove_working_set(run.plan.working_set);
+    srv.add_busy_seconds(run.metrics.duration());
+  }
+  if (run.plan.bytes_net > 0.0) --active_net_flows_;
+  if (run.plan.bytes_disk > 0.0 || run.plan.bytes_written > 0.0) {
+    --active_disk_flows_;
+  }
+
+  auto& set = run.set;
+  --set->running;
+  auto& runs = set->runs_by_index[run.index];
+  std::erase(runs, run_id);
+  if (set->task_done_flags[static_cast<std::size_t>(run.index)]) {
+    // A copy that lost the race but whose cancellation raced the event.
+    schedule();
+    return;
+  }
+  // This copy wins; kill any sibling still running.
+  set->task_done_flags[static_cast<std::size_t>(run.index)] = 1;
+  if (run.speculative) ++speculative_wins_;
+  for (const std::uint64_t sibling : std::vector<std::uint64_t>(runs)) {
+    discard_run(sibling);
+  }
+  set->runs_by_index.erase(run.index);
+
+  for (const auto& block : run.plan.blocks_to_cache) {
+    cluster_->insert_block(run.server, block.id, block.bytes,
+                           block.spill_on_evict);
+  }
+
+  ++set->finished;
+  set->finished_durations.push_back(run.metrics.duration());
+  const TaskSpec& task = set->ts->tasks[static_cast<std::size_t>(run.index)];
+  if (set->ts->task_done) set->ts->task_done(task, run.metrics);
+  if (set->pending.empty() && set->running == 0 &&
+      set->finished == static_cast<int>(set->ts->tasks.size())) {
+    task_sets_.remove(set);
+    if (set->ts->all_done) set->ts->all_done();
+  } else {
+    maybe_speculate(set);
+  }
+  schedule();
+}
+
+void TaskScheduler::handle_server_failure(ServerId s) {
+  const auto it = by_server_.find(s);
+  if (it != by_server_.end()) {
+    // Requeue every task that was running there.
+    const auto run_ids = it->second;
+    for (std::uint64_t run_id : run_ids) {
+      auto rit = running_.find(run_id);
+      if (rit == running_.end()) continue;
+      sim_->cancel(rit->second.event);
+      const TaskPlan& plan = rit->second.plan;
+      if (plan.bytes_net > 0.0) --active_net_flows_;
+      if (plan.bytes_disk > 0.0 || plan.bytes_written > 0.0) {
+        --active_disk_flows_;
+      }
+      auto set = rit->second.set;
+      const int index = rit->second.index;
+      --set->running;
+      auto& runs = set->runs_by_index[index];
+      std::erase(runs, run_id);
+      // Requeue only if no surviving copy exists and it never finished.
+      if (runs.empty() &&
+          !set->task_done_flags[static_cast<std::size_t>(index)]) {
+        set->task_speculated[static_cast<std::size_t>(index)] = 0;
+        set->pending.push_back(index);
+      }
+      running_.erase(rit);
+    }
+    by_server_.erase(s);
+  }
+  contention_.erase(s);
+  schedule();
+}
+
+}  // namespace stark

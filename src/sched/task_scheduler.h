@@ -1,0 +1,182 @@
+// TaskScheduler: delay scheduling with Stark's Minimum-Contention-First
+// remote placement (paper Algorithm 1).
+//
+// Task sets are served FIFO. Each set first tries NODE_LOCAL placement on
+// its tasks' preferred executors; once `locality_wait` elapses without a
+// local launch the set escalates to ANY and takes remote slots. Under MCF
+// the remote offers are sorted ascending by the number of unique collection
+// partitions the executor caches, so tasks spill onto the least-contended
+// executors — Stark's contention-aware replication signal.
+//
+// The driver dispatches tasks serially (`driver_dispatch_per_task`), which
+// is what makes very high partition counts and very high job rates
+// driver-bound, as in the paper's Fig 7 / Fig 19.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cluster/cluster.h"
+#include "cluster/cost_model.h"
+#include "common/rng.h"
+#include "sched/task.h"
+#include "sim/simulation.h"
+
+namespace stark {
+
+// What executing one task on one server will cost; produced by the
+// DagScheduler's planner at launch time from current cache state.
+struct TaskPlan {
+  double cpu = 0.0;
+  double gc = 0.0;
+  double shuffle_read = 0.0;
+  double disk = 0.0;
+  int fetch_waves = 0;  // remote fetch rounds (each pays an RTT)
+  Bytes bytes_cache = 0.0;
+  Bytes bytes_net = 0.0;
+  Bytes bytes_disk = 0.0;
+  Bytes bytes_written = 0.0;
+  // Deserialized heap footprint while the task runs (drives GC pressure
+  // for concurrently scheduled tasks).
+  Bytes working_set = 0.0;
+  // Widest cogroup/join the task materializes (scales object overhead).
+  int cogroup_width = 0;
+  // Blocks materialized on the executor when the task finishes.
+  struct CachedBlock {
+    BlockId id;
+    Bytes bytes = 0.0;         // in-memory footprint (post-serialization)
+    bool spill_on_evict = false;  // MEMORY_AND_DISK blocks spill, not drop
+  };
+  std::vector<CachedBlock> blocks_to_cache;
+
+  double work_seconds() const noexcept {
+    return cpu + gc + shuffle_read + disk;
+  }
+};
+
+class TaskScheduler {
+ public:
+  struct Options {
+    bool mcf = false;
+    double locality_wait = 3.0;
+    // Speculative execution (spark.speculation): once
+    // `speculation_quantile` of a set's tasks have finished, any still-
+    // running task expected to exceed `speculation_multiplier` x the median
+    // finished duration gets a second copy on another executor; the first
+    // copy to finish wins and the loser is cancelled.
+    bool speculation = false;
+    double speculation_multiplier = 1.5;
+    double speculation_quantile = 0.75;
+    // Seed for stock Spark's random remote placement (ignored under MCF,
+    // which orders offers by contention instead).
+    std::uint64_t seed = 0x5041524bULL;
+  };
+
+  using PlanFn = std::function<TaskPlan(const TaskSpec&, ServerId)>;
+  using TaskDoneFn = std::function<void(const TaskSpec&, const TaskMetrics&)>;
+  using AllDoneFn = std::function<void()>;
+  // Resolves a dataset to its locality namespace ('' if none).
+  using NsOfDatasetFn = std::function<std::string(DatasetId)>;
+
+  struct TaskSet {
+    JobId job = kInvalidId;
+    StageId stage = kInvalidId;
+    std::vector<TaskSpec> tasks;
+    PlanFn plan;
+    TaskDoneFn task_done;
+    AllDoneFn all_done;
+  };
+  using TaskSetPtr = std::shared_ptr<TaskSet>;
+
+  TaskScheduler(sim::Simulation& sim, Cluster& cluster, const CostModel& cost,
+                Options options, NsOfDatasetFn ns_of_dataset);
+
+  void submit(TaskSetPtr ts);
+
+  // Re-runs the matching loop; invoked internally on every event that can
+  // free or demand resources.
+  void schedule();
+
+  // MCF contention metric: unique collection partitions cached on a server.
+  int unique_collection_partitions(ServerId s) const;
+
+  // Wire this to Cluster::add_block_observer (done by the api::Context).
+  void on_block_event(ServerId s, const BlockId& id, bool inserted);
+
+  // Cancels tasks running on a failed server and requeues them.
+  void handle_server_failure(ServerId s);
+
+  std::size_t running_tasks() const noexcept { return running_.size(); }
+  std::size_t pending_task_sets() const noexcept { return task_sets_.size(); }
+  int speculative_launches() const noexcept { return speculative_launches_; }
+  int speculative_wins() const noexcept { return speculative_wins_; }
+  SimTime driver_free_at() const noexcept { return driver_free_at_; }
+
+  // Congestion signals: running tasks currently using the network (shuffle
+  // fetches) / the disks. The planner divides per-flow bandwidth by the
+  // average flows-per-server to approximate shared NICs and spindles.
+  int active_net_flows() const noexcept { return active_net_flows_; }
+  int active_disk_flows() const noexcept { return active_disk_flows_; }
+
+ private:
+  struct ActiveSet {
+    TaskSetPtr ts;
+    std::deque<int> pending;
+    int running = 0;
+    int finished = 0;
+    SimTime locality_anchor = 0.0;  // max(submit time, last local launch)
+    bool has_preferences = false;
+    // Speculation bookkeeping.
+    std::vector<char> task_done_flags;
+    std::vector<char> task_speculated;
+    std::vector<double> finished_durations;
+    std::unordered_map<int, std::vector<std::uint64_t>> runs_by_index;
+  };
+  struct RunningTask {
+    std::shared_ptr<ActiveSet> set;
+    int index;
+    ServerId server;
+    sim::EventId event;
+    TaskMetrics metrics;
+    TaskPlan plan;
+    bool speculative = false;
+  };
+
+  void launch(const std::shared_ptr<ActiveSet>& set, int index, ServerId s,
+              bool node_local, bool speculative = false);
+  void complete(std::uint64_t run_id);
+  void maybe_speculate(const std::shared_ptr<ActiveSet>& set);
+  void discard_run(std::uint64_t run_id);  // cancel + release resources
+  void arm_timer(SimTime at);
+  ServerId pick_remote_server();
+  std::uint64_t collection_key(const BlockId& id) const;
+
+  sim::Simulation* sim_;
+  Cluster* cluster_;
+  CostModel cost_;
+  Options options_;
+  NsOfDatasetFn ns_of_dataset_;
+
+  std::list<std::shared_ptr<ActiveSet>> task_sets_;  // FIFO
+  std::unordered_map<std::uint64_t, RunningTask> running_;
+  std::unordered_map<ServerId, std::unordered_set<std::uint64_t>> by_server_;
+  std::unordered_map<ServerId, std::unordered_map<std::uint64_t, int>>
+      contention_;
+  Rng placement_rng_;
+  int active_net_flows_ = 0;
+  int active_disk_flows_ = 0;
+  int speculative_launches_ = 0;
+  int speculative_wins_ = 0;
+  std::uint64_t next_run_id_ = 0;
+  SimTime driver_free_at_ = 0.0;
+  bool timer_armed_ = false;
+  SimTime timer_at_ = 0.0;
+  bool in_schedule_ = false;
+};
+
+}  // namespace stark

@@ -1,0 +1,51 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace stark::sim {
+
+EventId EventQueue::push(SimTime t, EventFn fn) {
+  const EventId id = next_id_++;
+  fns_.push_back(std::move(fn));
+  cancelled_.push_back(false);
+  heap_.push({t, id});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= next_id_ || cancelled_[id] || !fns_[id]) return false;
+  cancelled_[id] = true;
+  fns_[id] = nullptr;
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
+}
+
+bool EventQueue::empty() const noexcept {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Event EventQueue::pop() {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+  const Item item = heap_.top();
+  heap_.pop();
+  --live_;
+  Event ev{item.time, item.id, std::move(fns_[item.id])};
+  fns_[item.id] = nullptr;
+  return ev;
+}
+
+}  // namespace stark::sim

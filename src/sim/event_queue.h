@@ -1,0 +1,59 @@
+// Discrete-event queue: (time, sequence) ordered min-heap of closures.
+//
+// Ties on time break by insertion order so the simulation is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace stark::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  // Schedules fn at absolute time t; returns an id usable with cancel().
+  EventId push(SimTime t, EventFn fn);
+
+  // Cancels a pending event; returns false if already fired or cancelled.
+  bool cancel(EventId id);
+
+  bool empty() const noexcept;
+  std::size_t size() const noexcept { return live_; }
+
+  // Time of the earliest pending event. Requires !empty().
+  SimTime next_time() const;
+
+  // Pops and returns the earliest pending event. Requires !empty().
+  struct Event {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Event pop();
+
+ private:
+  struct Item {
+    SimTime time;
+    EventId id;
+    // Greater-than for min-heap via priority_queue.
+    bool operator<(const Item& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Item> heap_;
+  std::vector<EventFn> fns_;          // indexed by id
+  std::vector<bool> cancelled_;       // indexed by id
+  std::size_t live_ = 0;
+  EventId next_id_ = 0;
+};
+
+}  // namespace stark::sim

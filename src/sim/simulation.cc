@@ -1,0 +1,44 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace stark::sim {
+
+EventId Simulation::after(SimTime delay, EventFn fn) {
+  if (delay < 0.0) throw std::invalid_argument("Simulation::after: negative delay");
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::at(SimTime t, EventFn fn) {
+  return queue_.push(t < now_ ? now_ : t, std::move(fn));
+}
+
+std::size_t Simulation::run(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.next_time() < until) {
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++n;
+    ++executed_;
+  }
+  if (until != std::numeric_limits<SimTime>::infinity() && now_ < until) {
+    now_ = until;
+  }
+  return n;
+}
+
+bool Simulation::run_until(const std::function<bool()>& pred) {
+  if (pred()) return true;
+  while (!queue_.empty()) {
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed_;
+    if (pred()) return true;
+  }
+  return false;
+}
+
+}  // namespace stark::sim

@@ -1,0 +1,44 @@
+// Simulation: the discrete-event clock every other subsystem hangs off.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.h"
+
+namespace stark::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  // Schedules fn `delay` seconds from now (delay may be 0; never negative).
+  EventId after(SimTime delay, EventFn fn);
+
+  // Schedules fn at absolute time t (clamped to now if in the past).
+  EventId at(SimTime t, EventFn fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Runs until the queue drains or `until` is reached (events at exactly
+  // `until` do not run). Returns the number of events executed.
+  std::size_t run(SimTime until = std::numeric_limits<SimTime>::infinity());
+
+  // Runs until `pred()` becomes true (checked after each event) or the
+  // queue drains. Returns true if the predicate was satisfied.
+  bool run_until(const std::function<bool()>& pred);
+
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+  std::size_t executed_events() const noexcept { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace stark::sim

@@ -1,0 +1,339 @@
+#include "stark/checkpoint_optimizer.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/log.h"
+#include "flow/dinic.h"
+
+namespace stark {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+// The non-broken lineage subgraph that can reach `trigger`, in topological
+// order (parents before children), with parent links restricted to
+// in-subgraph nodes.
+struct Subgraph {
+  std::vector<DatasetPtr> nodes;                      // topo order
+  std::unordered_map<DatasetId, int> index;           // dataset id -> pos
+  std::vector<std::vector<int>> parents;              // by pos
+  std::vector<std::vector<int>> children;             // by pos
+};
+
+Subgraph collect_subgraph(
+    const DatasetPtr& trigger,
+    const std::function<bool(const Dataset&)>& broken) {
+  Subgraph g;
+  if (trigger == nullptr || broken(*trigger)) return g;
+  // Iterative DFS with postorder -> topo (parents first after reversal of
+  // finish order... simpler: collect then Kahn-sort by in-degree).
+  std::vector<DatasetPtr> stack{trigger};
+  std::unordered_map<DatasetId, DatasetPtr> seen;
+  seen.emplace(trigger->id(), trigger);
+  while (!stack.empty()) {
+    DatasetPtr ds = stack.back();
+    stack.pop_back();
+    for (const auto& dep : ds->deps()) {
+      // A wide dependency crosses a shuffle whose map outputs are
+      // persisted: recovery re-reads them, so no path continues upstream
+      // ("contains no ShuffledRDD").
+      if (dep.wide) continue;
+      const DatasetPtr& p = dep.parent;
+      if (broken(*p)) continue;  // path may not contain checkpointed RDDs
+      if (seen.emplace(p->id(), p).second) stack.push_back(p);
+    }
+  }
+  // Topological sort within the subgraph.
+  std::unordered_map<DatasetId, int> indegree;
+  for (const auto& [id, ds] : seen) {
+    indegree.try_emplace(id, 0);
+    for (const auto& dep : ds->deps()) {
+      if (!dep.wide && seen.contains(dep.parent->id())) ++indegree[id];
+    }
+  }
+  std::vector<DatasetPtr> ready;
+  for (const auto& [id, ds] : seen) {
+    if (indegree[id] == 0) ready.push_back(ds);
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(ready.begin(), ready.end(),
+            [](const DatasetPtr& a, const DatasetPtr& b) {
+              return a->id() < b->id();
+            });
+  // Child adjacency for Kahn.
+  std::unordered_map<DatasetId, std::vector<DatasetPtr>> child_of;
+  for (const auto& [id, ds] : seen) {
+    for (const auto& dep : ds->deps()) {
+      if (!dep.wide && seen.contains(dep.parent->id())) {
+        child_of[dep.parent->id()].push_back(ds);
+      }
+    }
+  }
+  std::size_t cursor = 0;
+  while (cursor < ready.size()) {
+    DatasetPtr ds = ready[cursor++];
+    g.index.emplace(ds->id(), static_cast<int>(g.nodes.size()));
+    g.nodes.push_back(ds);
+    auto it = child_of.find(ds->id());
+    if (it == child_of.end()) continue;
+    std::sort(it->second.begin(), it->second.end(),
+              [](const DatasetPtr& a, const DatasetPtr& b) {
+                return a->id() < b->id();
+              });
+    for (const auto& child : it->second) {
+      if (--indegree[child->id()] == 0) ready.push_back(child);
+    }
+  }
+  g.parents.resize(g.nodes.size());
+  g.children.resize(g.nodes.size());
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    for (const auto& dep : g.nodes[i]->deps()) {
+      if (dep.wide) continue;
+      const auto it = g.index.find(dep.parent->id());
+      if (it == g.index.end()) continue;
+      g.parents[i].push_back(it->second);
+      g.children[static_cast<std::size_t>(it->second)].push_back(
+          static_cast<int>(i));
+    }
+  }
+  return g;
+}
+
+// Longest-path DP. down[i] = longest path ending at i (inclusive);
+// up[i] = longest path from i to the trigger (inclusive).
+struct PathDp {
+  std::vector<double> down;
+  std::vector<double> up;
+};
+
+PathDp longest_paths(const Subgraph& g, int trigger_pos,
+                     const std::vector<double>& delay) {
+  PathDp dp;
+  const std::size_t n = g.nodes.size();
+  dp.down.assign(n, 0.0);
+  dp.up.assign(n, -1.0);  // -1 == cannot reach trigger
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = 0.0;
+    for (int p : g.parents[i]) {
+      best = std::max(best, dp.down[static_cast<std::size_t>(p)]);
+    }
+    dp.down[i] = best + delay[i];
+  }
+  if (trigger_pos >= 0) {
+    dp.up[static_cast<std::size_t>(trigger_pos)] =
+        delay[static_cast<std::size_t>(trigger_pos)];
+    for (std::size_t ri = n; ri-- > 0;) {
+      if (static_cast<int>(ri) == trigger_pos) continue;
+      double best = -1.0;
+      for (int c : g.children[ri]) {
+        best = std::max(best, dp.up[static_cast<std::size_t>(c)]);
+      }
+      dp.up[ri] = best < 0.0 ? -1.0 : best + delay[ri];
+    }
+  }
+  return dp;
+}
+}  // namespace
+
+CheckpointOptimizer::CheckpointOptimizer(Config config, BrokenFn broken,
+                                         DelayFn delay, CostFn cost)
+    : config_(config),
+      broken_(std::move(broken)),
+      delay_(std::move(delay)),
+      cost_(std::move(cost)) {
+  if (config_.recovery_bound <= 0.0) {
+    throw std::invalid_argument("CheckpointOptimizer: bound must be > 0");
+  }
+  if (config_.relax_factor < 1.0) {
+    throw std::invalid_argument("CheckpointOptimizer: relax_factor must be >= 1");
+  }
+}
+
+double CheckpointOptimizer::longest_uncheckpointed_delay(
+    const DatasetPtr& trigger) const {
+  const Subgraph g = collect_subgraph(trigger, broken_);
+  if (g.nodes.empty()) return 0.0;
+  std::vector<double> delay(g.nodes.size());
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    delay[i] = delay_(*g.nodes[i]);
+  }
+  const auto dp = longest_paths(g, g.index.at(trigger->id()), delay);
+  return dp.down[static_cast<std::size_t>(g.index.at(trigger->id()))];
+}
+
+bool CheckpointOptimizer::violated(const DatasetPtr& trigger) const {
+  return longest_uncheckpointed_delay(trigger) >
+         config_.recovery_bound + kEps;
+}
+
+CheckpointOptimizer::Plan CheckpointOptimizer::plan(
+    const DatasetPtr& trigger) const {
+  Plan result;
+  std::unordered_set<DatasetId> extra;  // datasets the plan already selected
+  const auto effective_broken = [&](const Dataset& ds) {
+    return extra.contains(ds.id()) || broken_(ds);
+  };
+
+  // A single cut can leave a violating suffix between the cut and the
+  // trigger; iterate until the bound holds (usually 1-2 rounds).
+  for (int round = 0; round < 64; ++round) {
+    const Subgraph g = collect_subgraph(trigger, effective_broken);
+    if (g.nodes.empty()) break;
+    const int trigger_pos = g.index.at(trigger->id());
+    std::vector<double> delay(g.nodes.size());
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+      delay[i] = delay_(*g.nodes[i]);
+    }
+    const auto dp = longest_paths(g, trigger_pos, delay);
+    if (dp.down[static_cast<std::size_t>(trigger_pos)] <=
+        config_.recovery_bound + kEps) {
+      break;
+    }
+    ++result.rounds;
+
+    // Violating nodes: on some root->trigger path longer than the bound.
+    std::vector<int> violating;  // positions in g
+    std::unordered_map<int, int> flow_index;  // position -> violating idx
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+      if (dp.up[i] < 0.0) continue;  // cannot reach trigger
+      if (dp.down[i] + dp.up[i] - delay[i] >
+          config_.recovery_bound + kEps) {
+        flow_index.emplace(static_cast<int>(i),
+                           static_cast<int>(violating.size()));
+        violating.push_back(static_cast<int>(i));
+      }
+    }
+    if (violating.empty()) break;  // numerically impossible, but be safe
+
+    // Flow network: s=0, t=1, node k -> in 2+2k, out 3+2k.
+    const int s = 0;
+    const int t = 1;
+    flow::Dinic dinic(2 + 2 * static_cast<int>(violating.size()));
+    const auto in_node = [](int k) { return 2 + 2 * k; };
+    const auto out_node = [](int k) { return 3 + 2 * k; };
+    std::unordered_map<int, int> split_edge_to_pos;  // edge id -> g position
+    for (std::size_t k = 0; k < violating.size(); ++k) {
+      const int pos = violating[k];
+      const int eid =
+          dinic.add_edge(in_node(static_cast<int>(k)),
+                         out_node(static_cast<int>(k)),
+                         cost_(*g.nodes[static_cast<std::size_t>(pos)]));
+      split_edge_to_pos.emplace(eid, pos);
+      bool has_violating_parent = false;
+      for (int p : g.parents[static_cast<std::size_t>(pos)]) {
+        const auto it = flow_index.find(p);
+        if (it != flow_index.end()) {
+          has_violating_parent = true;
+          dinic.add_edge(out_node(it->second), in_node(static_cast<int>(k)),
+                         flow::kInfCapacity);
+        }
+      }
+      if (!has_violating_parent) {
+        dinic.add_edge(s, in_node(static_cast<int>(k)), flow::kInfCapacity);
+      }
+      if (pos == trigger_pos) {
+        dinic.add_edge(out_node(static_cast<int>(k)), t, flow::kInfCapacity);
+      }
+    }
+    dinic.max_flow(s, t);
+
+    // Cut extraction: walk back from the sink; accept the first split edge
+    // whose residual is within (relax_factor - 1) x its flow.
+    std::vector<int> selected_pos;
+    {
+      std::vector<bool> visited(static_cast<std::size_t>(dinic.num_nodes()),
+                                false);
+      std::unordered_set<int> selected_edges;
+      std::queue<int> q;
+      q.push(t);
+      visited[static_cast<std::size_t>(t)] = true;
+      while (!q.empty()) {
+        const int u = q.front();
+        q.pop();
+        for (const auto& e : dinic.in_edges(u)) {
+          const auto it = split_edge_to_pos.find(e.id);
+          if (it != split_edge_to_pos.end()) {
+            const double fl = dinic.flow(e.id);
+            const double res = dinic.residual(e.id);
+            if (fl > kEps &&
+                res <= (config_.relax_factor - 1.0) * fl + kEps) {
+              selected_edges.insert(e.id);
+              continue;  // cut here; do not walk past
+            }
+          }
+          if (!visited[static_cast<std::size_t>(e.from)]) {
+            visited[static_cast<std::size_t>(e.from)] = true;
+            q.push(e.from);
+          }
+        }
+      }
+      // Validate: removing the selected edges must disconnect s from t.
+      std::vector<bool> reach(static_cast<std::size_t>(dinic.num_nodes()),
+                              false);
+      std::queue<int> fq;
+      fq.push(s);
+      reach[static_cast<std::size_t>(s)] = true;
+      while (!fq.empty()) {
+        const int u = fq.front();
+        fq.pop();
+        for (const auto& e : dinic.out_edges(u)) {
+          if (selected_edges.contains(e.id)) continue;
+          if (!reach[static_cast<std::size_t>(e.to)]) {
+            reach[static_cast<std::size_t>(e.to)] = true;
+            fq.push(e.to);
+          }
+        }
+      }
+      if (reach[static_cast<std::size_t>(t)]) {
+        // Relaxed walk failed to form a cut; fall back to the exact min cut.
+        selected_edges.clear();
+        for (const auto& e : dinic.min_cut_edges(s)) {
+          if (split_edge_to_pos.contains(e.id)) selected_edges.insert(e.id);
+        }
+      }
+      for (int eid : selected_edges) {
+        selected_pos.push_back(split_edge_to_pos.at(eid));
+      }
+    }
+    if (selected_pos.empty()) {
+      // Degenerate (e.g. all costs zero flows); checkpoint the trigger.
+      selected_pos.push_back(trigger_pos);
+    }
+    std::sort(selected_pos.begin(), selected_pos.end());
+    for (int pos : selected_pos) {
+      const DatasetPtr& ds = g.nodes[static_cast<std::size_t>(pos)];
+      if (extra.insert(ds->id()).second) {
+        result.to_checkpoint.push_back(ds);
+        result.total_cost += cost_(*ds);
+      }
+    }
+  }
+  return result;
+}
+
+EdgeCheckpointer::EdgeCheckpointer(double recovery_bound,
+                                   CheckpointOptimizer::BrokenFn broken,
+                                   CheckpointOptimizer::DelayFn delay)
+    : broken_(broken),
+      inner_({recovery_bound, 1.0}, std::move(broken), std::move(delay),
+             [](const Dataset&) { return 1.0; }) {}
+
+bool EdgeCheckpointer::violated(const DatasetPtr& trigger) const {
+  return inner_.violated(trigger);
+}
+
+std::vector<DatasetPtr> EdgeCheckpointer::plan(
+    const DatasetPtr& trigger,
+    const std::vector<DatasetPtr>& current_leaves) const {
+  if (!violated(trigger)) return {};
+  std::vector<DatasetPtr> out;
+  for (const auto& leaf : current_leaves) {
+    if (leaf != nullptr && !broken_(*leaf)) out.push_back(leaf);
+  }
+  return out;
+}
+
+}  // namespace stark

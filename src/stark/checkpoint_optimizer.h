@@ -1,0 +1,99 @@
+// CheckpointOptimizer (paper §III-D).
+//
+// Every dataset carries a recovery delay d (transform recompute time, max
+// across tasks) and a checkpoint cost c (bytes written to persistent
+// storage). An *uncheckpointed path* is a lineage path containing no
+// checkpointed RDD and no ShuffledRDD (shuffle map outputs are already
+// persisted and anchor recovery). When any uncheckpointed path ending at a
+// newly materialized RDD grows longer than the user's recovery bound r, the
+// optimizer checkpoints a minimum-cost set of RDDs that breaks every
+// violating path.
+//
+// The reduction: split each node v into v_in -> v_out with capacity c(v);
+// lineage edges get infinite capacity; a virtual source feeds the violating
+// subgraph's roots and the triggering RDD drains into a virtual sink. The
+// min s-t cut (Dinic) is exactly the cheapest checkpoint set.
+//
+// Relaxation (paper §III-D2): an exact cut can sit far from the newest
+// RDDs, leaving a long uncheckpointed suffix that re-triggers soon. With
+// relax_factor f > 1, the extraction walks back from the sink and accepts
+// the first edge whose residual capacity is within (f-1)x of its flow —
+// trading up to fx the optimal cost for cuts closer to the lineage tip.
+//
+// EdgeCheckpointer is the revised Tachyon "Edge" baseline the paper
+// compares against: on violation, checkpoint all current leaf RDDs.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "rdd/dataset.h"
+
+namespace stark {
+
+class CheckpointOptimizer {
+ public:
+  struct Config {
+    double recovery_bound = 10.0;  // r, seconds
+    double relax_factor = 1.0;     // f >= 1; 1 = exact min cut
+  };
+
+  // True if the dataset anchors recovery: checkpointed, or a ShuffledRDD.
+  using BrokenFn = std::function<bool(const Dataset&)>;
+  using DelayFn = std::function<double(const Dataset&)>;
+  using CostFn = std::function<double(const Dataset&)>;
+
+  CheckpointOptimizer(Config config, BrokenFn broken, DelayFn delay,
+                      CostFn cost);
+
+  // Longest uncheckpointed path (sum of node delays) ending at `trigger`.
+  double longest_uncheckpointed_delay(const DatasetPtr& trigger) const;
+
+  // True if checkpointing should fire for this trigger.
+  bool violated(const DatasetPtr& trigger) const;
+
+  struct Plan {
+    std::vector<DatasetPtr> to_checkpoint;
+    double total_cost = 0.0;   // sum of CostFn over the selected set
+    int rounds = 0;            // min-cut rounds until the bound held
+  };
+
+  // Computes the checkpoint set for a violating trigger. `broken` is
+  // consulted as of now; the plan internally treats selected datasets as
+  // checkpointed and iterates until no violating path remains (a single cut
+  // can leave a violating suffix; see DESIGN.md §3). The caller is
+  // responsible for actually persisting the returned datasets.
+  Plan plan(const DatasetPtr& trigger) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  BrokenFn broken_;
+  DelayFn delay_;
+  CostFn cost_;
+};
+
+// Revised Edge algorithm (Tachyon [5], adapted by the paper to the same
+// proactive trigger): when any uncheckpointed path ending at the trigger
+// violates the bound, checkpoint every current leaf of the lineage.
+class EdgeCheckpointer {
+ public:
+  EdgeCheckpointer(double recovery_bound, CheckpointOptimizer::BrokenFn broken,
+                   CheckpointOptimizer::DelayFn delay);
+
+  bool violated(const DatasetPtr& trigger) const;
+
+  // Returns the non-broken datasets among `current_leaves` to checkpoint
+  // (all of them — that is the Edge policy), or empty if no violation.
+  std::vector<DatasetPtr> plan(
+      const DatasetPtr& trigger,
+      const std::vector<DatasetPtr>& current_leaves) const;
+
+ private:
+  CheckpointOptimizer::BrokenFn broken_;
+  CheckpointOptimizer inner_;
+};
+
+}  // namespace stark

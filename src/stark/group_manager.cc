@@ -1,0 +1,131 @@
+#include "stark/group_manager.h"
+
+#include <stdexcept>
+
+namespace stark {
+
+GroupManager::GroupManager(LocalityManager& locality) : locality_(&locality) {}
+
+void GroupManager::register_namespace(const std::string& ns, PartitionerPtr p,
+                                      const GroupConfig& config) {
+  if (p == nullptr) {
+    throw std::invalid_argument("GroupManager::register_namespace: null partitioner");
+  }
+  locality_->register_namespace(ns, p);
+  if (namespaces_.contains(ns)) return;  // idempotent re-registration
+  NamespaceState state;
+  state.config = config;
+  state.num_partitions = p->num_partitions();
+  if (config.grouped || config.extendable) {
+    const int groups =
+        config.initial_groups > 0 ? config.initial_groups : state.num_partitions;
+    state.tree = std::make_unique<GroupTree>(state.num_partitions, groups);
+  }
+  namespaces_.emplace(ns, std::move(state));
+}
+
+bool GroupManager::has(const std::string& ns) const noexcept {
+  return namespaces_.contains(ns);
+}
+
+bool GroupManager::extendable(const std::string& ns) const {
+  const auto it = namespaces_.find(ns);
+  return it != namespaces_.end() && it->second.tree != nullptr &&
+         it->second.config.extendable;
+}
+
+std::vector<GroupManager::TaskUnit> GroupManager::units_for_ns(
+    const std::string& ns, int num_partitions) const {
+  const auto it = ns.empty() ? namespaces_.end() : namespaces_.find(ns);
+  if (it == namespaces_.end() || it->second.tree == nullptr) {
+    std::vector<TaskUnit> out;
+    out.reserve(static_cast<std::size_t>(num_partitions));
+    for (int i = 0; i < num_partitions; ++i) out.push_back({i, i, i + 1});
+    return out;
+  }
+  std::vector<TaskUnit> out;
+  for (const auto& g : it->second.tree->active_groups()) {
+    out.push_back({g.id, g.lo, g.hi});
+  }
+  return out;
+}
+
+std::vector<GroupManager::TaskUnit> GroupManager::units_for(
+    const Dataset& ds) const {
+  return units_for_ns(ds.ns(), ds.num_partitions());
+}
+
+int GroupManager::unit_of(const std::string& ns, int partition) const {
+  const auto it = ns.empty() ? namespaces_.end() : namespaces_.find(ns);
+  if (it == namespaces_.end() || it->second.tree == nullptr) return partition;
+  return it->second.tree->group_of(partition);
+}
+
+std::pair<int, int> GroupManager::unit_range(const std::string& ns,
+                                             int unit) const {
+  const auto it = ns.empty() ? namespaces_.end() : namespaces_.find(ns);
+  if (it == namespaces_.end() || it->second.tree == nullptr) {
+    return {unit, unit + 1};
+  }
+  const auto g = it->second.tree->group(unit);
+  return {g.lo, g.hi};
+}
+
+std::vector<GroupTree::Change> GroupManager::report_dataset(
+    const Dataset& ds) {
+  note_dataset(ds);
+  if (ds.ns().empty()) return {};
+  const auto it = namespaces_.find(ds.ns());
+  if (it == namespaces_.end()) return {};
+  NamespaceState& state = it->second;
+  if (ds.num_partitions() != state.num_partitions) {
+    throw std::logic_error(
+        "GroupManager::report_dataset: partition count does not match "
+        "namespace partitioner");
+  }
+  state.recent_sizes.push_back(ds.partition_bytes());
+  while (static_cast<int>(state.recent_sizes.size()) > state.config.window) {
+    state.recent_sizes.pop_front();
+  }
+  // Static groupings (Stark-S) never rebalance.
+  if (state.tree == nullptr || !state.config.extendable) return {};
+
+  // Collection-partition size = sum over the recent window (paper: the user
+  // configures how many of the most recent RDDs are accounted).
+  std::vector<Bytes> sizes(static_cast<std::size_t>(state.num_partitions),
+                           0.0);
+  for (const auto& vec : state.recent_sizes) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) sizes[i] += vec[i];
+  }
+  const auto changes = state.tree->rebalance(
+      sizes, state.config.min_group_bytes, state.config.max_group_bytes);
+  for (const auto& ch : changes) {
+    if (ch.is_split) {
+      locality_->on_split(ds.ns(), ch.node, ch.child_a, ch.child_b);
+    } else {
+      // Keep the homes of the heavier child: its executors hold more of
+      // the merged group's cached data.
+      const double a = state.tree->group_bytes(ch.child_a, sizes);
+      const double b = state.tree->group_bytes(ch.child_b, sizes);
+      locality_->on_merge(ds.ns(), ch.child_a, ch.child_b, ch.node,
+                          a >= b ? ch.child_a : ch.child_b);
+    }
+  }
+  return changes;
+}
+
+const GroupTree* GroupManager::tree(const std::string& ns) const {
+  const auto it = namespaces_.find(ns);
+  return it == namespaces_.end() ? nullptr : it->second.tree.get();
+}
+
+void GroupManager::note_dataset(const Dataset& ds) {
+  if (!ds.ns().empty()) dataset_ns_[ds.id()] = ds.ns();
+}
+
+std::string GroupManager::ns_of_dataset(DatasetId id) const {
+  const auto it = dataset_ns_.find(id);
+  return it == dataset_ns_.end() ? std::string{} : it->second;
+}
+
+}  // namespace stark

@@ -1,0 +1,93 @@
+// GroupManager (paper §III-C).
+//
+// Owns the per-namespace GroupTree and the partition->group mapping the
+// scheduler uses to pack partitions into GroupResultTask /
+// GroupShuffleMapTask units. Applications report RDDs of a collection
+// (reportRDD); the manager recomputes collection-partition sizes over the
+// most recent RDDs and splits/merges groups against the configured bounds,
+// keeping the LocalityManager's home-executor sets in sync.
+//
+// A namespace registered without `extendable` (Stark-H / Stark-S) gets the
+// trivial grouping: one unit per partition.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "rdd/dataset.h"
+#include "stark/group_tree.h"
+#include "stark/locality_manager.h"
+
+namespace stark {
+
+struct GroupConfig {
+  // Pack partitions into groups (one task per group). Stark-S uses static
+  // groups; Stark-E additionally lets them split/merge.
+  bool grouped = false;
+  bool extendable = false;  // implies grouped
+  int initial_groups = 0;  // 0 => num_partitions (trivial), must be pow2
+  // Split a group above max, merge siblings whose union is below min.
+  Bytes min_group_bytes = 64.0 * kMiB;
+  Bytes max_group_bytes = 512.0 * kMiB;
+  // How many of the most recent RDDs count toward group sizes
+  // (spark.locality.max(min)GroupMemSize window in the paper's API).
+  int window = 3;
+};
+
+class GroupManager {
+ public:
+  explicit GroupManager(LocalityManager& locality);
+
+  // Registers `ns` in the LocalityManager and sets up grouping state.
+  void register_namespace(const std::string& ns, PartitionerPtr p,
+                          const GroupConfig& config);
+
+  bool has(const std::string& ns) const noexcept;
+  bool extendable(const std::string& ns) const;
+
+  // A contiguous run of partitions scheduled as one task.
+  struct TaskUnit {
+    int unit_id = 0;  // group id (tree node) or partition index
+    int lo = 0;       // first partition, inclusive
+    int hi = 0;       // last partition, exclusive
+  };
+
+  // Scheduling units for a dataset: active groups when its namespace is
+  // extendable, one unit per partition otherwise.
+  std::vector<TaskUnit> units_for(const Dataset& ds) const;
+  std::vector<TaskUnit> units_for_ns(const std::string& ns,
+                                     int num_partitions) const;
+  int unit_of(const std::string& ns, int partition) const;
+  // Partition range [lo, hi) of a unit (singleton when ungrouped).
+  std::pair<int, int> unit_range(const std::string& ns, int unit) const;
+
+  // reportRDD: accounts the dataset's partition sizes toward its
+  // namespace's group sizes and rebalances. Returns the split/merge events
+  // applied (empty when not extendable).
+  std::vector<GroupTree::Change> report_dataset(const Dataset& ds);
+
+  const GroupTree* tree(const std::string& ns) const;
+
+  // Dataset registry: lets block-level observers resolve a dataset's
+  // namespace (used by contention-aware scheduling).
+  void note_dataset(const Dataset& ds);
+  std::string ns_of_dataset(DatasetId id) const;
+
+ private:
+  struct NamespaceState {
+    GroupConfig config;
+    int num_partitions = 0;
+    std::unique_ptr<GroupTree> tree;  // null when not extendable
+    std::deque<std::vector<Bytes>> recent_sizes;
+  };
+
+  LocalityManager* locality_;
+  std::unordered_map<std::string, NamespaceState> namespaces_;
+  std::unordered_map<DatasetId, std::string> dataset_ns_;
+};
+
+}  // namespace stark

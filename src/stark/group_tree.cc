@@ -1,0 +1,154 @@
+#include "stark/group_tree.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace stark {
+
+namespace {
+bool is_pow2(int v) noexcept {
+  return v > 0 && std::has_single_bit(static_cast<unsigned>(v));
+}
+int ilog2(int v) noexcept {
+  return std::bit_width(static_cast<unsigned>(v)) - 1;
+}
+}  // namespace
+
+GroupTree::GroupTree(int num_partitions, int initial_groups)
+    : num_partitions_(num_partitions) {
+  if (!is_pow2(num_partitions) || !is_pow2(initial_groups) ||
+      initial_groups > num_partitions) {
+    throw std::invalid_argument(
+        "GroupTree: num_partitions and initial_groups must be powers of two "
+        "with initial_groups <= num_partitions");
+  }
+  max_depth_ = ilog2(num_partitions);
+  part_to_group_.resize(static_cast<std::size_t>(num_partitions));
+  const int depth = ilog2(initial_groups);
+  for (int k = 0; k < initial_groups; ++k) {
+    const int id = (1 << depth) + k;
+    active_.insert(id);
+    set_leaf(id);
+  }
+}
+
+GroupTree::Group GroupTree::group(int id) const {
+  if (id < 1 || id >= (2 << max_depth_)) {
+    throw std::out_of_range("GroupTree::group: bad node id");
+  }
+  const int depth = ilog2(id);
+  const int width = num_partitions_ >> depth;
+  const int offset = id - (1 << depth);
+  return {id, offset * width, (offset + 1) * width};
+}
+
+int GroupTree::group_of(int partition) const {
+  return part_to_group_.at(static_cast<std::size_t>(partition));
+}
+
+std::vector<GroupTree::Group> GroupTree::active_groups() const {
+  std::vector<Group> out;
+  out.reserve(active_.size());
+  for (int id : active_) out.push_back(group(id));
+  std::sort(out.begin(), out.end(),
+            [](const Group& a, const Group& b) { return a.lo < b.lo; });
+  return out;
+}
+
+bool GroupTree::can_split(int id) const noexcept {
+  return is_active(id) && group(id).width() > 1;
+}
+
+bool GroupTree::can_merge(int id) const noexcept {
+  return id > 1 && is_active(id) && is_active(sibling_of(id));
+}
+
+void GroupTree::set_leaf(int id) {
+  const Group g = group(id);
+  for (int p = g.lo; p < g.hi; ++p) {
+    part_to_group_[static_cast<std::size_t>(p)] = id;
+  }
+}
+
+std::pair<int, int> GroupTree::split(int id) {
+  if (!can_split(id)) throw std::logic_error("GroupTree::split: cannot split");
+  active_.erase(id);
+  const int l = left_child(id);
+  const int r = right_child(id);
+  active_.insert(l);
+  active_.insert(r);
+  set_leaf(l);
+  set_leaf(r);
+  return {l, r};
+}
+
+int GroupTree::merge(int id) {
+  if (!can_merge(id)) throw std::logic_error("GroupTree::merge: cannot merge");
+  const int sib = sibling_of(id);
+  const int par = parent_of(id);
+  active_.erase(id);
+  active_.erase(sib);
+  active_.insert(par);
+  set_leaf(par);
+  return par;
+}
+
+double GroupTree::group_bytes(
+    int id, const std::vector<double>& partition_bytes) const {
+  const Group g = group(id);
+  double total = 0.0;
+  for (int p = g.lo; p < g.hi; ++p) {
+    total += partition_bytes.at(static_cast<std::size_t>(p));
+  }
+  return total;
+}
+
+std::vector<GroupTree::Change> GroupTree::rebalance(
+    const std::vector<double>& partition_bytes, double min_group_bytes,
+    double max_group_bytes) {
+  if (static_cast<int>(partition_bytes.size()) != num_partitions_) {
+    throw std::invalid_argument("GroupTree::rebalance: size vector mismatch");
+  }
+  std::vector<Change> changes;
+
+  // Split pass: worklist of oversized leaves.
+  std::vector<int> work;
+  for (int id : active_) work.push_back(id);
+  while (!work.empty()) {
+    const int id = work.back();
+    work.pop_back();
+    if (!is_active(id)) continue;
+    if (group_bytes(id, partition_bytes) > max_group_bytes && can_split(id)) {
+      const auto [l, r] = split(id);
+      changes.push_back({true, id, l, r});
+      work.push_back(l);
+      work.push_back(r);
+    }
+  }
+
+  // Merge pass: sibling leaves whose union is small; cascade upward.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    // Snapshot: merging mutates active_.
+    std::vector<int> leaves(active_.begin(), active_.end());
+    std::sort(leaves.begin(), leaves.end());
+    for (int id : leaves) {
+      if (!is_active(id) || !can_merge(id)) continue;
+      const int sib = sibling_of(id);
+      const double combined = group_bytes(id, partition_bytes) +
+                              group_bytes(sib, partition_bytes);
+      if (combined < min_group_bytes) {
+        const int l = std::min(id, sib);
+        const int r = std::max(id, sib);
+        const int par = merge(id);
+        changes.push_back({false, par, l, r});
+        merged = true;
+      }
+    }
+  }
+  return changes;
+}
+
+}  // namespace stark

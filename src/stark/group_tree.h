@@ -1,0 +1,81 @@
+// GroupTree: the extendable-partition-group binary tree (paper §III-C2).
+//
+// Data is first hashed/ranged into many small partitions (getPartition is
+// never altered); partitions are then packed into non-overlapping groups —
+// the leaves of a binary tree over the partition index space. A leaf with
+// more than one partition may split into its two children; two sibling
+// leaves may merge into their parent. Splits and merges are O(partitions in
+// the group) and move no data by themselves: materialization is deferred to
+// the next action.
+//
+// Node ids use heap numbering: root = 1, children of i are 2i and 2i+1.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+namespace stark {
+
+class GroupTree {
+ public:
+  // Both arguments must be powers of two, 1 <= initial_groups <=
+  // num_partitions. Initially there are `initial_groups` leaves, each
+  // holding num_partitions / initial_groups consecutive partitions.
+  GroupTree(int num_partitions, int initial_groups);
+
+  struct Group {
+    int id = 0;
+    int lo = 0;  // first partition (inclusive)
+    int hi = 0;  // last partition (exclusive)
+    int width() const noexcept { return hi - lo; }
+  };
+
+  int num_partitions() const noexcept { return num_partitions_; }
+  int num_groups() const noexcept { return static_cast<int>(active_.size()); }
+
+  bool is_active(int id) const noexcept { return active_.contains(id); }
+  Group group(int id) const;                // node's partition range
+  int group_of(int partition) const;        // active leaf covering partition
+  std::vector<Group> active_groups() const; // ordered by lo
+
+  static int parent_of(int id) noexcept { return id / 2; }
+  static int sibling_of(int id) noexcept { return id ^ 1; }
+  static int left_child(int id) noexcept { return 2 * id; }
+  static int right_child(int id) noexcept { return 2 * id + 1; }
+
+  bool can_split(int id) const noexcept;
+  bool can_merge(int id) const noexcept;  // both id and its sibling active
+
+  // Splits an active leaf into its two children; returns (left, right).
+  std::pair<int, int> split(int id);
+  // Merges an active leaf with its sibling; returns the parent id.
+  int merge(int id);
+
+  // One split/merge event, in application order.
+  struct Change {
+    bool is_split = false;
+    int node = 0;       // split: the node that split; merge: resulting parent
+    int child_a = 0;    // split: left child;  merge: absorbed left child
+    int child_b = 0;    // split: right child; merge: absorbed right child
+  };
+
+  // Applies splits (group bytes > max_group_bytes, width > 1, recursively)
+  // then merges (sibling leaves whose combined bytes < min_group_bytes,
+  // cascading upward). `partition_bytes` has num_partitions entries.
+  std::vector<Change> rebalance(const std::vector<double>& partition_bytes,
+                                double min_group_bytes,
+                                double max_group_bytes);
+
+  // Sum of partition_bytes over the group's range.
+  double group_bytes(int id, const std::vector<double>& partition_bytes) const;
+
+ private:
+  void set_leaf(int id);  // maps the node's partitions to it
+
+  int num_partitions_;
+  int max_depth_;                   // depth of single-partition leaves
+  std::unordered_set<int> active_;
+  std::vector<int> part_to_group_;  // partition -> active leaf id
+};
+
+}  // namespace stark

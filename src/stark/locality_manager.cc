@@ -1,0 +1,187 @@
+#include "stark/locality_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stark {
+
+LocalityManager::LocalityManager(Cluster& cluster) : cluster_(&cluster) {}
+
+void LocalityManager::register_namespace(const std::string& ns,
+                                         PartitionerPtr p) {
+  if (ns.empty()) throw std::invalid_argument("register_namespace: empty ns");
+  if (p == nullptr) throw std::invalid_argument("register_namespace: null partitioner");
+  const auto it = namespaces_.find(ns);
+  if (it == namespaces_.end()) {
+    namespaces_.emplace(ns, NamespaceEntry{std::move(p), {}});
+    return;
+  }
+  if (!it->second.partitioner->equals(*p)) {
+    throw std::logic_error(
+        "LocalityManager: namespace '" + ns +
+        "' already registered with a different partitioner (" +
+        it->second.partitioner->describe() + " vs " + p->describe() + ")");
+  }
+}
+
+bool LocalityManager::has(const std::string& ns) const noexcept {
+  return namespaces_.find(ns) != namespaces_.end();
+}
+
+PartitionerPtr LocalityManager::partitioner(const std::string& ns) const {
+  const auto it = namespaces_.find(ns);
+  if (it == namespaces_.end()) {
+    throw std::out_of_range("LocalityManager: unknown namespace " + ns);
+  }
+  return it->second.partitioner;
+}
+
+ServerId LocalityManager::pick_least_loaded() const {
+  ServerId best = kInvalidId;
+  int best_load = 0;
+  for (ServerId s : cluster_->alive_servers()) {
+    const auto it = load_.find(s);
+    const int l = it == load_.end() ? 0 : it->second;
+    if (best == kInvalidId || l < best_load) {
+      best = s;
+      best_load = l;
+    }
+  }
+  if (best == kInvalidId) {
+    throw std::runtime_error("LocalityManager: no alive servers");
+  }
+  return best;
+}
+
+void LocalityManager::add_load(ServerId s, int delta) { load_[s] += delta; }
+
+const std::vector<ServerId>& LocalityManager::homes(const std::string& ns,
+                                                    int unit) {
+  auto it = namespaces_.find(ns);
+  if (it == namespaces_.end()) {
+    throw std::out_of_range("LocalityManager: unknown namespace " + ns);
+  }
+  auto& unit_homes = it->second.unit_homes;
+  auto uit = unit_homes.find(unit);
+  if (uit == unit_homes.end() || uit->second.empty()) {
+    const ServerId s = pick_least_loaded();
+    add_load(s, 1);
+    uit = unit_homes.insert_or_assign(unit, std::vector<ServerId>{s}).first;
+  }
+  return uit->second;
+}
+
+std::vector<ServerId> LocalityManager::homes_if_any(const std::string& ns,
+                                                    int unit) const {
+  const auto it = namespaces_.find(ns);
+  if (it == namespaces_.end()) return {};
+  const auto uit = it->second.unit_homes.find(unit);
+  return uit == it->second.unit_homes.end() ? std::vector<ServerId>{}
+                                            : uit->second;
+}
+
+void LocalityManager::set_homes(const std::string& ns, int unit,
+                                std::vector<ServerId> h) {
+  auto it = namespaces_.find(ns);
+  if (it == namespaces_.end()) {
+    throw std::out_of_range("LocalityManager: unknown namespace " + ns);
+  }
+  auto& slot = it->second.unit_homes[unit];
+  for (ServerId s : slot) add_load(s, -1);
+  for (ServerId s : h) add_load(s, 1);
+  slot = std::move(h);
+}
+
+void LocalityManager::add_home(const std::string& ns, int unit, ServerId s) {
+  auto it = namespaces_.find(ns);
+  if (it == namespaces_.end()) return;
+  auto& homes = it->second.unit_homes[unit];
+  if (std::find(homes.begin(), homes.end(), s) == homes.end()) {
+    homes.push_back(s);
+    add_load(s, 1);
+  }
+}
+
+void LocalityManager::remove_home(const std::string& ns, int unit,
+                                  ServerId s) {
+  auto it = namespaces_.find(ns);
+  if (it == namespaces_.end()) return;
+  const auto uit = it->second.unit_homes.find(unit);
+  if (uit == it->second.unit_homes.end() || uit->second.size() <= 1) return;
+  auto& homes = uit->second;
+  const auto pos = std::find(homes.begin(), homes.end(), s);
+  if (pos != homes.end()) {
+    homes.erase(pos);
+    add_load(s, -1);
+  }
+}
+
+void LocalityManager::on_split(const std::string& ns, int parent_unit,
+                               int child_keep, int child_new) {
+  auto it = namespaces_.find(ns);
+  if (it == namespaces_.end()) {
+    throw std::out_of_range("LocalityManager: unknown namespace " + ns);
+  }
+  auto& unit_homes = it->second.unit_homes;
+  std::vector<ServerId> parent_homes;
+  const auto pit = unit_homes.find(parent_unit);
+  if (pit != unit_homes.end()) {
+    parent_homes = pit->second;
+    for (ServerId s : parent_homes) add_load(s, -1);
+    unit_homes.erase(pit);
+  }
+  if (parent_homes.size() >= 2) {
+    // Split the executor set between the children.
+    const std::size_t half = parent_homes.size() / 2;
+    std::vector<ServerId> a(parent_homes.begin(),
+                            parent_homes.begin() + static_cast<long>(half));
+    std::vector<ServerId> b(parent_homes.begin() + static_cast<long>(half),
+                            parent_homes.end());
+    set_homes(ns, child_keep, std::move(a));
+    set_homes(ns, child_new, std::move(b));
+  } else {
+    if (!parent_homes.empty()) set_homes(ns, child_keep, parent_homes);
+    const ServerId fresh = pick_least_loaded();
+    set_homes(ns, child_new, {fresh});
+  }
+}
+
+void LocalityManager::on_merge(const std::string& ns, int child_a,
+                               int child_b, int parent_unit, int keep_child) {
+  auto it = namespaces_.find(ns);
+  if (it == namespaces_.end()) {
+    throw std::out_of_range("LocalityManager: unknown namespace " + ns);
+  }
+  auto& unit_homes = it->second.unit_homes;
+  std::vector<ServerId> keep;
+  const auto kit = unit_homes.find(keep_child);
+  if (kit != unit_homes.end()) keep = kit->second;
+  for (int child : {child_a, child_b}) {
+    const auto cit = unit_homes.find(child);
+    if (cit != unit_homes.end()) {
+      for (ServerId s : cit->second) add_load(s, -1);
+      unit_homes.erase(cit);
+    }
+  }
+  if (!keep.empty()) set_homes(ns, parent_unit, std::move(keep));
+}
+
+void LocalityManager::on_server_failure(ServerId s) {
+  for (auto& [ns, entry] : namespaces_) {
+    for (auto& [unit, homes] : entry.unit_homes) {
+      const auto before = homes.size();
+      homes.erase(std::remove(homes.begin(), homes.end(), s), homes.end());
+      if (homes.size() != before) {
+        add_load(s, -static_cast<int>(before - homes.size()));
+      }
+    }
+  }
+  load_.erase(s);
+}
+
+int LocalityManager::units_homed_on(ServerId s) const noexcept {
+  const auto it = load_.find(s);
+  return it == load_.end() ? 0 : it->second;
+}
+
+}  // namespace stark

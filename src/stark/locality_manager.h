@@ -1,0 +1,86 @@
+// LocalityManager (paper §III-B, §III-E).
+//
+// Tracks locality namespaces: each namespace binds one partitioner shared by
+// every RDD in a dataset collection, and remembers the mapping from each
+// scheduling unit (a collection partition, or a partition group under
+// Stark-E) to its home executors. The DAG scheduler consults these homes as
+// preferred locations, then falls back to delay scheduling — exactly the
+// flow the paper describes.
+//
+// Homes are assigned least-loaded-first and deterministically, kept stable
+// across RDDs of the collection (that is the co-locality property), and
+// updated on group splits/merges and server failures.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/types.h"
+#include "rdd/partitioner.h"
+
+namespace stark {
+
+class LocalityManager {
+ public:
+  explicit LocalityManager(Cluster& cluster);
+
+  // Registers `ns` with the given partitioner, or validates the partitioner
+  // against an existing registration. All RDDs under one namespace must use
+  // an equal partitioner (paper §III-E); a mismatch throws.
+  void register_namespace(const std::string& ns, PartitionerPtr p);
+
+  bool has(const std::string& ns) const noexcept;
+  PartitionerPtr partitioner(const std::string& ns) const;
+
+  // Home executors of a scheduling unit. Assigns one on first access
+  // (least-loaded alive server, deterministic tie-break).
+  const std::vector<ServerId>& homes(const std::string& ns, int unit);
+
+  // Present but unassigned-safe read-only variant (empty if unknown).
+  std::vector<ServerId> homes_if_any(const std::string& ns, int unit) const;
+
+  void set_homes(const std::string& ns, int unit, std::vector<ServerId> h);
+
+  // Records an additional home executor for a unit — a collection partition
+  // maps to a *set* of executors: whenever a task runs on a remote executor
+  // the partition data materializes there, making it local for subsequent
+  // tasks (paper §III-B). No-op if already present.
+  void add_home(const std::string& ns, int unit, ServerId s);
+
+  // Removes a replica home (replica decay after eviction). The last home
+  // is never removed — a unit always keeps a stable anchor.
+  void remove_home(const std::string& ns, int unit, ServerId s);
+
+  // Group split: child_keep inherits the parent's homes; child_new is homed
+  // on a fresh least-loaded server ("splitting a partition group also
+  // splits the corresponding local executors", §III-C2).
+  void on_split(const std::string& ns, int parent_unit, int child_keep,
+                int child_new);
+
+  // Group merge: the parent inherits the homes of `keep_child`.
+  void on_merge(const std::string& ns, int child_a, int child_b,
+                int parent_unit, int keep_child);
+
+  // Drops the failed server from every home set; units left homeless get
+  // re-assigned on next access.
+  void on_server_failure(ServerId s);
+
+  // Number of units currently homed on a server (placement load).
+  int units_homed_on(ServerId s) const noexcept;
+
+ private:
+  struct NamespaceEntry {
+    PartitionerPtr partitioner;
+    std::unordered_map<int, std::vector<ServerId>> unit_homes;
+  };
+  ServerId pick_least_loaded() const;
+  void add_load(ServerId s, int delta);
+
+  Cluster* cluster_;
+  std::unordered_map<std::string, NamespaceEntry> namespaces_;
+  std::unordered_map<ServerId, int> load_;
+};
+
+}  // namespace stark

@@ -1,0 +1,78 @@
+#include "streaming/query_workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stark {
+
+QueryWorkload::QueryWorkload(StreamContext& stream, DagScheduler& dag,
+                             Config config, QueryPartitionerFn partitioner_fn)
+    : stream_(&stream),
+      dag_(&dag),
+      config_(std::move(config)),
+      partitioner_fn_(std::move(partitioner_fn)),
+      rng_(config_.seed) {
+  if (!config_.rate) throw std::invalid_argument("QueryWorkload: missing rate");
+  if (!partitioner_fn_) {
+    throw std::invalid_argument("QueryWorkload: missing partitioner fn");
+  }
+}
+
+void QueryWorkload::start(SimTime start, SimTime end) {
+  schedule_next(start, end);
+}
+
+void QueryWorkload::schedule_next(SimTime at, SimTime end) {
+  auto& sim = dag_->sim();
+  const double lambda = std::max(1e-9, config_.rate(at));
+  const SimTime next = at + rng_.exponential(lambda);
+  if (next >= end) return;
+  sim.at(next, [this, next, end] {
+    issue_query();
+    schedule_next(next, end);
+  });
+}
+
+void QueryWorkload::issue_query() {
+  // Random time range among cached timesteps.
+  const int want = static_cast<int>(rng_.uniform_int(
+      config_.min_window_timesteps, config_.max_window_timesteps));
+  const auto all = stream_->latest_timesteps(config_.max_window_timesteps);
+  if (all.empty()) return;
+  const int n = std::min<int>(want, static_cast<int>(all.size()));
+  const int max_start = static_cast<int>(all.size()) - n;
+  const int start = static_cast<int>(rng_.uniform_int(0, max_start));
+  std::vector<DatasetPtr> inputs(all.begin() + start,
+                                 all.begin() + start + n);
+
+  PartitionerPtr part = partitioner_fn_(inputs);
+  auto grouped = Dataset::cogroup(inputs, part, "query.cogroup");
+
+  // Random square region on the taxi grid.
+  const std::uint32_t grid =
+      1u << static_cast<std::uint32_t>(config_.grid_bits);
+  const std::uint32_t edge = std::min<std::uint32_t>(
+      grid, static_cast<std::uint32_t>(std::max(1, config_.region_cells)));
+  const std::uint32_t x0 =
+      static_cast<std::uint32_t>(rng_.next_below(grid - edge + 1));
+  const std::uint32_t y0 =
+      static_cast<std::uint32_t>(rng_.next_below(grid - edge + 1));
+  const trace::CellRect rect{x0, y0, x0 + edge - 1, y0 + edge - 1};
+
+  FilterSpec spec;
+  if (config_.exact_region_filter) {
+    spec.key_pred = [rect](Key k) { return trace::z_in_rect(k, rect); };
+  }
+  spec.selectivity = static_cast<double>(edge) * edge /
+                     (static_cast<double>(grid) * grid);
+  auto region = grouped->filter(std::move(spec), "query.region");
+
+  ++issued_;
+  dag_->submit(region, ActionType::kCount, [this](const JobResult& r) {
+    ++completed_;
+    delays_.add(r.delay);
+    series_.add(r.submit_time, r.delay);
+  });
+}
+
+}  // namespace stark

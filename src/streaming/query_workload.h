@@ -1,0 +1,66 @@
+// QueryWorkload: the interactive query generator of the paper's §IV-E.
+//
+// Each job picks a random time range of recent timesteps and a random
+// geographic region, cogroups the matching timestep RDDs and counts the
+// records inside the region. Arrivals are Poisson at a configurable (and
+// optionally time-varying) rate; per-job delays are recorded as both a
+// distribution and a time series.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "streaming/stream_context.h"
+#include "trace/zcurve.h"
+
+namespace stark {
+
+class QueryWorkload {
+ public:
+  struct Config {
+    // Jobs per second at time t (constant lambda => steady throughput).
+    std::function<double(SimTime)> rate;
+    int max_window_timesteps = 36;  // up to 3 h of 5-min steps
+    int min_window_timesteps = 2;
+    int grid_bits = 6;              // taxi grid, for region selection
+    int region_cells = 12;          // region edge length, in cells
+    double cogroup_bytes_factor = 1.0;
+    std::uint64_t seed = 11;
+    // Exact region filtering via Z-key predicate; disable for large sweeps
+    // (selectivity is then approximated by the region's area fraction).
+    bool exact_region_filter = false;
+  };
+
+  // Supplies the partitioner for each query's cogroup (shared for
+  // Spark-H/Stark-*, a fresh RangePartitioner for Spark-R).
+  using QueryPartitionerFn =
+      std::function<PartitionerPtr(const std::vector<DatasetPtr>& inputs)>;
+
+  QueryWorkload(StreamContext& stream, DagScheduler& dag, Config config,
+                QueryPartitionerFn partitioner_fn);
+
+  // Schedules Poisson arrivals over [start, end) of simulated time.
+  void start(SimTime start, SimTime end);
+
+  int issued() const noexcept { return issued_; }
+  int completed() const noexcept { return completed_; }
+  const Distribution& delays() const noexcept { return delays_; }
+  const TimeSeries& delay_series() const noexcept { return series_; }
+
+ private:
+  void schedule_next(SimTime at, SimTime end);
+  void issue_query();
+
+  StreamContext* stream_;
+  DagScheduler* dag_;
+  Config config_;
+  QueryPartitionerFn partitioner_fn_;
+  Rng rng_;
+  int issued_ = 0;
+  int completed_ = 0;
+  Distribution delays_;
+  TimeSeries series_;
+};
+
+}  // namespace stark

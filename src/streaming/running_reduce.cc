@@ -1,0 +1,52 @@
+#include "streaming/running_reduce.h"
+
+#include <stdexcept>
+
+namespace stark {
+
+RunningReduce::RunningReduce(DagScheduler& dag, Config config)
+    : dag_(&dag), config_(std::move(config)) {
+  if (config_.partitioner == nullptr) {
+    throw std::invalid_argument("RunningReduce: null partitioner");
+  }
+}
+
+void RunningReduce::set_checkpoint_optimizer(CheckpointOptimizer optimizer) {
+  optimizer_.emplace(std::move(optimizer));
+}
+
+DatasetPtr RunningReduce::update(const DatasetPtr& step_data) {
+  if (step_data == nullptr) {
+    throw std::invalid_argument("RunningReduce::update: null step data");
+  }
+  const std::string tag = ".state" + std::to_string(steps_);
+  DatasetPtr next;
+  if (state_ == nullptr) {
+    next = step_data->reduce_by_key(config_.partitioner,
+                                    config_.reduce_bytes_factor,
+                                    "state" + std::to_string(steps_));
+  } else {
+    auto decayed = state_->map_values(config_.decay_bytes_factor,
+                                      "decay" + std::to_string(steps_));
+    auto merged = Dataset::cogroup({decayed, step_data}, config_.partitioner,
+                                   "merge" + tag);
+    next = merged->reduce_by_key(config_.partitioner,
+                                 config_.reduce_bytes_factor,
+                                 "state" + std::to_string(steps_));
+  }
+  if (config_.cache_state) next->cache();
+  state_ = std::move(next);
+  ++steps_;
+  if (config_.materialize_each_step) {
+    dag_->run_job(state_, ActionType::kCount);
+  }
+  if (optimizer_.has_value() && optimizer_->violated(state_)) {
+    for (const auto& ds : optimizer_->plan(state_).to_checkpoint) {
+      dag_->checkpoint_now(ds);
+      ++checkpoints_;
+    }
+  }
+  return state_;
+}
+
+}  // namespace stark

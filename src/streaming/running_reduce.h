@@ -1,0 +1,51 @@
+// RunningReduce: the updateStateByKey / runningReduce pattern of Spark
+// Streaming (paper §III-D's motivating iterative structure).
+//
+// Maintains a per-key state dataset folded with every new timestep:
+//   state_t = reduceByKey(cogroup(state_{t-1} * decay, step_t))
+// The state lineage grows one narrow link per step — exactly the
+// ever-growing chain the CheckpointOptimizer exists to bound. Pass an
+// optimizer to have the state checkpointed automatically whenever the
+// recovery bound breaks.
+#pragma once
+
+#include <optional>
+
+#include "sched/dag_scheduler.h"
+#include "stark/checkpoint_optimizer.h"
+
+namespace stark {
+
+class RunningReduce {
+ public:
+  struct Config {
+    PartitionerPtr partitioner;
+    std::string ns;                  // locality namespace for the state
+    double decay_bytes_factor = 1.0;  // state shrink per step (e.g. 0.9)
+    double reduce_bytes_factor = 1.0;  // combine output ratio
+    bool cache_state = true;
+    bool materialize_each_step = true;  // run a job per update
+  };
+
+  RunningReduce(DagScheduler& dag, Config config);
+
+  // Attaches a checkpoint policy; consulted after every update.
+  void set_checkpoint_optimizer(CheckpointOptimizer optimizer);
+
+  // Folds one timestep into the state and returns the new state dataset.
+  DatasetPtr update(const DatasetPtr& step_data);
+
+  const DatasetPtr& state() const noexcept { return state_; }
+  int steps() const noexcept { return steps_; }
+  int checkpoints_taken() const noexcept { return checkpoints_; }
+
+ private:
+  DagScheduler* dag_;
+  Config config_;
+  std::optional<CheckpointOptimizer> optimizer_;
+  DatasetPtr state_;
+  int steps_ = 0;
+  int checkpoints_ = 0;
+};
+
+}  // namespace stark

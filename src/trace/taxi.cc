@@ -1,0 +1,119 @@
+#include "trace/taxi.h"
+
+#include <cmath>
+
+namespace stark::trace {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+// Intensity of a hotspot at a given hour: cosine bump centered on its peak
+// hour, never negative.
+double hotspot_intensity(const TaxiTraceGen::Hotspot& h, double hour_of_day,
+                         int day_of_week) {
+  const double phase = 2.0 * kPi * (hour_of_day - h.peak_hour) / 24.0;
+  double v = 0.5 * (1.0 + std::cos(phase));
+  if (day_of_week >= 5) v *= h.day_of_week_boost;
+  return v * h.weight;
+}
+}  // namespace
+
+TaxiTraceGen::TaxiTraceGen(Config config) : config_(std::move(config)) {
+  if (config_.hotspots.empty()) {
+    const double g = static_cast<double>(grid_size());
+    // A Manhattan-flavoured default: midtown (Times-Square-like, strong
+    // weekend-evening boost), downtown financial (weekday morning), two
+    // residential areas, and an airport corridor.
+    config_.hotspots = {
+        {.cx = 0.50 * g, .cy = 0.55 * g, .sigma = 0.05 * g, .weight = 1.2,
+         .peak_hour = 20.0, .day_of_week_boost = 2.5},
+        {.cx = 0.42 * g, .cy = 0.25 * g, .sigma = 0.04 * g, .weight = 1.0,
+         .peak_hour = 9.0, .day_of_week_boost = 0.5},
+        {.cx = 0.60 * g, .cy = 0.75 * g, .sigma = 0.08 * g, .weight = 0.7,
+         .peak_hour = 7.5, .day_of_week_boost = 0.8},
+        {.cx = 0.30 * g, .cy = 0.65 * g, .sigma = 0.07 * g, .weight = 0.6,
+         .peak_hour = 18.0, .day_of_week_boost = 1.2},
+        {.cx = 0.80 * g, .cy = 0.40 * g, .sigma = 0.06 * g, .weight = 0.5,
+         .peak_hour = 15.0, .day_of_week_boost = 1.5},
+    };
+  }
+}
+
+double TaxiTraceGen::rate_factor(double hour_of_day,
+                                 int day_of_week) const noexcept {
+  const double phase =
+      2.0 * kPi * (hour_of_day - config_.rate_peak_hour) / 24.0;
+  double v = 1.0 + config_.diurnal_amplitude * std::cos(phase);
+  if (day_of_week >= 5) v *= 1.15;  // weekends run a little hotter
+  return v;
+}
+
+std::vector<double> TaxiTraceGen::cell_density(double hour_of_day,
+                                               int day_of_week) const {
+  const int g = grid_size();
+  std::vector<double> density(static_cast<std::size_t>(g) * g, 0.0);
+
+  double hotspot_total = 0.0;
+  for (const auto& h : config_.hotspots) {
+    hotspot_total += hotspot_intensity(h, hour_of_day, day_of_week);
+  }
+
+  const double bg = config_.background_share / (static_cast<double>(g) * g);
+  for (auto& d : density) d = bg;
+
+  const double hot_share = 1.0 - config_.background_share;
+  if (hotspot_total > 0.0) {
+    for (const auto& h : config_.hotspots) {
+      const double intensity =
+          hotspot_intensity(h, hour_of_day, day_of_week) / hotspot_total;
+      if (intensity <= 0.0) continue;
+      // Evaluate the (unnormalized) Gaussian over cells, then normalize.
+      double mass = 0.0;
+      std::vector<double> bump(static_cast<std::size_t>(g) * g, 0.0);
+      const double inv2s2 = 1.0 / (2.0 * h.sigma * h.sigma);
+      for (int y = 0; y < g; ++y) {
+        for (int x = 0; x < g; ++x) {
+          const double dx = static_cast<double>(x) + 0.5 - h.cx;
+          const double dy = static_cast<double>(y) + 0.5 - h.cy;
+          const double v = std::exp(-(dx * dx + dy * dy) * inv2s2);
+          bump[static_cast<std::size_t>(y) * g + x] = v;
+          mass += v;
+        }
+      }
+      if (mass <= 0.0) continue;
+      const double scale = hot_share * intensity / mass;
+      for (std::size_t i = 0; i < bump.size(); ++i) {
+        density[i] += bump[i] * scale;
+      }
+    }
+  }
+
+  // Normalize (background + hotspots should already sum to ~1).
+  double total = 0.0;
+  for (double d : density) total += d;
+  for (auto& d : density) d /= total;
+  return density;
+}
+
+KeyHistogram TaxiTraceGen::histogram(double hour_of_day, int day_of_week,
+                                     double duration_hours) const {
+  const int g = grid_size();
+  const auto density = cell_density(hour_of_day, day_of_week);
+  const double events = config_.events_per_hour * duration_hours *
+                        rate_factor(hour_of_day, day_of_week);
+  std::vector<KeyHistogram::Entry> entries;
+  entries.reserve(density.size());
+  for (int y = 0; y < g; ++y) {
+    for (int x = 0; x < g; ++x) {
+      const double records =
+          events * density[static_cast<std::size_t>(y) * g + x];
+      if (records <= 0.0) continue;
+      entries.push_back({z_encode(static_cast<std::uint32_t>(x),
+                                  static_cast<std::uint32_t>(y)),
+                         records, records * config_.bytes_per_event});
+    }
+  }
+  return KeyHistogram::from_entries(std::move(entries));
+}
+
+}  // namespace stark::trace

@@ -1,0 +1,63 @@
+// Synthetic NYC-taxi pick-up/drop-off trace generator.
+//
+// Substitutes the proprietary 2010-2013 NYC taxi trace [21][22]. Figure 6 of
+// the paper shows the spatial event distribution over Manhattan changing
+// drastically between time slots; we reproduce that with a time-varying
+// mixture of spatial hotspots (Gaussian bumps whose centers, spreads and
+// weights depend on the hour) over a 2^bits x 2^bits grid, plus a uniform
+// background. Cell coordinates are Z-encoded into 1-D keys (paper §IV-E).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/key_histogram.h"
+#include "common/types.h"
+#include "trace/zcurve.h"
+
+namespace stark::trace {
+
+class TaxiTraceGen {
+ public:
+  struct Hotspot {
+    double cx = 0.0, cy = 0.0;   // center, in grid units
+    double sigma = 4.0;          // spatial spread, grid units
+    double weight = 1.0;         // share of hotspot traffic
+    double peak_hour = 19.0;     // hour of maximum intensity
+    double day_of_week_boost = 1.0;  // weekend multiplier (Fig 6 (c))
+  };
+
+  struct Config {
+    int grid_bits = 6;                   // 64 x 64 grid
+    Bytes bytes_per_event = 200;         // one trip record
+    double events_per_hour = 1.5e6;      // mean citywide rate
+    double background_share = 0.35;      // uniform traffic fraction
+    double diurnal_amplitude = 0.45;     // rate swing over the day
+    double rate_peak_hour = 19.0;
+    std::vector<Hotspot> hotspots;       // empty => default Manhattan-ish set
+    std::uint64_t seed = 2;
+  };
+
+  explicit TaxiTraceGen(Config config);
+
+  int grid_size() const noexcept { return 1 << config_.grid_bits; }
+
+  // Citywide event-rate multiplier at absolute hour t (mean ~1.0).
+  double rate_factor(double hour_of_day, int day_of_week) const noexcept;
+
+  // Histogram of events in [t, t + duration_hours), keyed by Z-encoded cell.
+  // `hour_of_day` in [0, 24), `day_of_week` 0 = Monday.
+  KeyHistogram histogram(double hour_of_day, int day_of_week,
+                         double duration_hours) const;
+
+  // Density over cells (row-major, grid_size^2) at a given time; sums to 1.
+  std::vector<double> cell_density(double hour_of_day,
+                                   int day_of_week) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace stark::trace

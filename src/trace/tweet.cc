@@ -1,0 +1,24 @@
+#include "trace/tweet.h"
+
+#include <cmath>
+
+#include "common/zipf.h"
+
+namespace stark::trace {
+
+KeyHistogram TweetGen::merge_with_taxi(const KeyHistogram& taxi) const {
+  std::vector<KeyHistogram::Entry> entries;
+  entries.reserve(taxi.size());
+  for (const auto& e : taxi.entries()) {
+    entries.push_back(
+        {e.key, e.records, e.bytes + e.records * config_.bytes_per_tweet});
+  }
+  return KeyHistogram::from_entries(std::move(entries));
+}
+
+double TweetGen::keyword_selectivity(std::uint64_t rank) const {
+  const ZipfSampler zipf(config_.num_keywords, config_.keyword_zipf_exponent);
+  return zipf.pmf(rank);
+}
+
+}  // namespace stark::trace

@@ -1,0 +1,41 @@
+// Synthetic tweet generator, merged with the taxi trace.
+//
+// The paper (§IV-E) appends one tweet after every taxi pick-up/drop-off
+// event so every tweet carries a geographic coordinate and timestamp. We
+// reproduce that merge analytically: the merged histogram keeps the taxi
+// key space (Z-encoded cells) with per-event bytes grown by the tweet
+// payload. Keyword popularity (for filter-style queries) is Zipf.
+#pragma once
+
+#include <cstdint>
+
+#include "common/key_histogram.h"
+#include "common/types.h"
+
+namespace stark::trace {
+
+class TweetGen {
+ public:
+  struct Config {
+    Bytes bytes_per_tweet = 280;
+    std::uint64_t num_keywords = 512;
+    double keyword_zipf_exponent = 1.0;
+    std::uint64_t seed = 3;
+  };
+
+  explicit TweetGen(Config config) : config_(config) {}
+
+  // Appends one tweet per taxi event: same keys and record counts, bytes
+  // grown by bytes_per_tweet per record.
+  KeyHistogram merge_with_taxi(const KeyHistogram& taxi) const;
+
+  // Fraction of tweets containing keyword `rank` (0 = most popular).
+  double keyword_selectivity(std::uint64_t rank) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace stark::trace

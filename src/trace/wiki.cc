@@ -1,0 +1,80 @@
+#include "trace/wiki.h"
+
+#include <cmath>
+
+#include "common/zipf.h"
+
+namespace stark::trace {
+
+WikiTraceGen::WikiTraceGen(Config config) : config_(config) {}
+
+double WikiTraceGen::diurnal_factor(double hour) const noexcept {
+  const double phase =
+      2.0 * 3.14159265358979323846 * (hour - config_.peak_hour) / 24.0;
+  return 1.0 + config_.diurnal_amplitude * std::cos(phase);
+}
+
+KeyHistogram WikiTraceGen::hourly_histogram(int hour) const {
+  return histogram(config_.bytes_per_hour * diurnal_factor(hour),
+                   config_.zipf_exponent);
+}
+
+KeyHistogram WikiTraceGen::histogram_spatial(Bytes total_bytes,
+                                             double skew) const {
+  const auto n = static_cast<double>(config_.num_urls);
+  // Two hot article families (fixed prefixes) plus uniform background.
+  struct Bump {
+    double center;
+    double sigma;
+    double weight;
+  };
+  const Bump bumps[] = {{0.22 * n, 0.035 * n, 0.62},
+                        {0.71 * n, 0.05 * n, 0.38}};
+  const double hot_share = skew / (1.0 + skew);
+  std::vector<double> density(config_.num_urls,
+                              (1.0 - hot_share) / n);
+  if (hot_share > 0.0) {
+    for (const auto& b : bumps) {
+      double mass = 0.0;
+      std::vector<double> bump(config_.num_urls);
+      for (std::uint64_t k = 0; k < config_.num_urls; ++k) {
+        const double d = (static_cast<double>(k) - b.center) / b.sigma;
+        bump[k] = std::exp(-0.5 * d * d);
+        mass += bump[k];
+      }
+      for (std::uint64_t k = 0; k < config_.num_urls; ++k) {
+        density[k] += hot_share * b.weight * bump[k] / mass;
+      }
+    }
+  }
+  double total = 0.0;
+  for (double d : density) total += d;
+  const double total_records = total_bytes / config_.bytes_per_record;
+  std::vector<KeyHistogram::Entry> entries;
+  entries.reserve(config_.num_urls);
+  for (std::uint64_t k = 0; k < config_.num_urls; ++k) {
+    const double records = total_records * density[k] / total;
+    if (records <= 0.0) continue;
+    entries.push_back({static_cast<Key>(k), records,
+                       records * config_.bytes_per_record});
+  }
+  return KeyHistogram::from_entries(std::move(entries));
+}
+
+KeyHistogram WikiTraceGen::histogram(Bytes total_bytes,
+                                     double zipf_exponent) const {
+  const ZipfSampler zipf(config_.num_urls, zipf_exponent);
+  const double total_records = total_bytes / config_.bytes_per_record;
+  std::vector<KeyHistogram::Entry> entries;
+  entries.reserve(config_.num_urls);
+  const auto shares = zipf.shares();
+  for (std::uint64_t rank = 0; rank < config_.num_urls; ++rank) {
+    const double records = total_records * shares[rank];
+    if (records <= 0.0) continue;
+    entries.push_back({static_cast<Key>(rank), records,
+                       records * config_.bytes_per_record});
+  }
+  return KeyHistogram::from_entries(std::move(entries));
+}
+
+}  // namespace stark::trace

@@ -1,0 +1,67 @@
+#include "trace/zcurve.h"
+
+#include <algorithm>
+
+namespace stark::trace {
+
+namespace {
+// Spreads the low 32 bits of v so bit i moves to bit 2i.
+std::uint64_t spread_bits(std::uint64_t v) noexcept {
+  v &= 0xffffffffULL;
+  v = (v | (v << 16)) & 0x0000ffff0000ffffULL;
+  v = (v | (v << 8)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+std::uint32_t compact_bits(std::uint64_t v) noexcept {
+  v &= 0x5555555555555555ULL;
+  v = (v | (v >> 1)) & 0x3333333333333333ULL;
+  v = (v | (v >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v >> 4)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v >> 8)) & 0x0000ffff0000ffffULL;
+  v = (v | (v >> 16)) & 0x00000000ffffffffULL;
+  return static_cast<std::uint32_t>(v);
+}
+}  // namespace
+
+Key z_encode(std::uint32_t x, std::uint32_t y) noexcept {
+  return spread_bits(x) | (spread_bits(y) << 1);
+}
+
+std::pair<std::uint32_t, std::uint32_t> z_decode(Key z) noexcept {
+  return {compact_bits(z), compact_bits(z >> 1)};
+}
+
+bool z_in_rect(Key z, const CellRect& rect) noexcept {
+  const auto [x, y] = z_decode(z);
+  return rect.contains(x, y);
+}
+
+std::vector<std::pair<Key, Key>> z_ranges(const CellRect& rect) {
+  // Enumerate cell keys row by row, sort, and coalesce consecutive runs.
+  // Rect areas in this project are small (grid <= 128x128), so the direct
+  // method is both exact and fast enough.
+  std::vector<Key> keys;
+  keys.reserve(static_cast<std::size_t>(rect.x1 - rect.x0 + 1) *
+               static_cast<std::size_t>(rect.y1 - rect.y0 + 1));
+  for (std::uint32_t y = rect.y0; y <= rect.y1; ++y) {
+    for (std::uint32_t x = rect.x0; x <= rect.x1; ++x) {
+      keys.push_back(z_encode(x, y));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<std::pair<Key, Key>> out;
+  for (Key k : keys) {
+    if (!out.empty() && out.back().second + 1 == k) {
+      out.back().second = k;
+    } else {
+      out.emplace_back(k, k);
+    }
+  }
+  return out;
+}
+
+}  // namespace stark::trace

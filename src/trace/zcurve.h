@@ -1,0 +1,39 @@
+// Z-order (Morton) encoding of 2-D grid coordinates into 1-D keys.
+//
+// The paper encodes NYC taxi coordinates into an ordered one-dimensional
+// key space with the Z encoding algorithm [23] so that range partitioners
+// and spatial region queries compose. We do the same for the synthetic
+// taxi trace.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace stark::trace {
+
+// Interleaves the low 32 bits of x and y: bit i of x lands at 2i,
+// bit i of y at 2i+1.
+Key z_encode(std::uint32_t x, std::uint32_t y) noexcept;
+
+// Inverse of z_encode.
+std::pair<std::uint32_t, std::uint32_t> z_decode(Key z) noexcept;
+
+// Axis-aligned cell rectangle [x0, x1] x [y0, y1] (inclusive).
+struct CellRect {
+  std::uint32_t x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  bool contains(std::uint32_t x, std::uint32_t y) const noexcept {
+    return x >= x0 && x <= x1 && y >= y0 && y <= y1;
+  }
+};
+
+// True if the Z key decodes into the rectangle.
+bool z_in_rect(Key z, const CellRect& rect) noexcept;
+
+// Decomposes a rectangle into maximal contiguous Z-key ranges [lo, hi]
+// (inclusive). Exact; the number of ranges is O(perimeter) for grid rects.
+std::vector<std::pair<Key, Key>> z_ranges(const CellRect& rect);
+
+}  // namespace stark::trace

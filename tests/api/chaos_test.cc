@@ -1,0 +1,93 @@
+#include "api/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include "streaming/query_workload.h"
+#include "trace/wiki.h"
+
+namespace stark {
+namespace {
+
+ContextOptions opts() {
+  ContextOptions o;
+  o.config = ConfigKind::kStarkH;
+  o.cluster.num_servers = 6;
+  o.detail_task_metrics = false;
+  return o;
+}
+
+KeyHistogram hist() {
+  trace::WikiTraceGen::Config c;
+  c.num_urls = 256;
+  return trace::WikiTraceGen(c).histogram(64 * kMiB, 0.9);
+}
+
+TEST(Chaos, KillsAndRestartsServers) {
+  Context ctx(opts());
+  ChaosInjector chaos(ctx, {.failures_per_hour = 3600.0,  // one per second
+                            .mean_repair_seconds = 2.0,
+                            .min_alive = 2,
+                            .seed = 7});
+  chaos.start(0.0, 30.0);
+  ctx.sim().run(120.0);
+  EXPECT_GT(chaos.kills(), 5);
+  EXPECT_EQ(chaos.restarts(), chaos.kills());
+  // Everyone is eventually repaired.
+  EXPECT_EQ(ctx.cluster().alive_servers().size(), 6u);
+}
+
+TEST(Chaos, RespectsMinAlive) {
+  Context ctx(opts());
+  ChaosInjector chaos(ctx, {.failures_per_hour = 36000.0,
+                            .mean_repair_seconds = 1e6,  // never repaired
+                            .min_alive = 3,
+                            .seed = 9});
+  chaos.start(0.0, 60.0);
+  ctx.sim().run(60.0);
+  EXPECT_GE(ctx.cluster().alive_servers().size(), 3u);
+  EXPECT_EQ(chaos.kills(), 3);  // 6 - min_alive
+}
+
+TEST(Chaos, WorkloadSurvivesChurn) {
+  // Jobs keep completing while servers die and come back.
+  Context ctx(opts());
+  auto part = ctx.collection_partitioner(8, 256);
+  std::vector<DatasetPtr> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(
+        ctx.ingest("d" + std::to_string(i), hist(), part, "logs"));
+  }
+  ChaosInjector chaos(ctx, {.failures_per_hour = 1200.0,
+                            .mean_repair_seconds = 5.0,
+                            .min_alive = 2,
+                            .seed = 11});
+  const SimTime t0 = ctx.sim().now();
+  chaos.start(t0, t0 + 120.0);
+  int completed = 0;
+  int issued = 0;
+  for (int q = 0; q < 30; ++q) {
+    ctx.sim().at(t0 + 4.0 * q, [&] {
+      auto cg = Dataset::cogroup(inputs, part);
+      ctx.dag().submit(cg->filter({.selectivity = 0.05}), ActionType::kCount,
+                       [&completed](const JobResult& r) {
+                         EXPECT_TRUE(r.completed);
+                         ++completed;
+                       });
+      ++issued;
+    });
+  }
+  ctx.sim().run();
+  EXPECT_GT(chaos.kills(), 0);
+  EXPECT_EQ(completed, issued);
+}
+
+TEST(Chaos, ZeroRateInjectsNothing) {
+  Context ctx(opts());
+  ChaosInjector chaos(ctx, {.failures_per_hour = 0.0});
+  chaos.start(0.0, 100.0);
+  ctx.sim().run();
+  EXPECT_EQ(chaos.kills(), 0);
+}
+
+}  // namespace
+}  // namespace stark

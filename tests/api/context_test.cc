@@ -1,0 +1,168 @@
+#include "api/context.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/wiki.h"
+
+namespace stark {
+namespace {
+
+KeyHistogram hist(Bytes total = 64 * kMiB) {
+  trace::WikiTraceGen::Config c;
+  c.num_urls = 512;
+  return trace::WikiTraceGen(c).histogram(total, 0.9);
+}
+
+ContextOptions opts(ConfigKind kind) {
+  ContextOptions o;
+  o.config = kind;
+  o.cluster.num_servers = 4;
+  return o;
+}
+
+TEST(RunConfigs, FlagsMatchPaperTable) {
+  const auto spark_r = run_config(ConfigKind::kSparkR);
+  EXPECT_EQ(spark_r.partitioner_mode, PartitionerMode::kPerRddRange);
+  EXPECT_FALSE(spark_r.colocate);
+  EXPECT_FALSE(spark_r.grouped);
+
+  const auto spark_h = run_config(ConfigKind::kSparkH);
+  EXPECT_EQ(spark_h.partitioner_mode, PartitionerMode::kSharedHash);
+  EXPECT_FALSE(spark_h.colocate);
+
+  const auto stark_h = run_config(ConfigKind::kStarkH);
+  EXPECT_EQ(stark_h.partitioner_mode, PartitionerMode::kSharedHash);
+  EXPECT_TRUE(stark_h.colocate);
+  EXPECT_FALSE(stark_h.grouped);
+
+  const auto stark_s = run_config(ConfigKind::kStarkS);
+  EXPECT_EQ(stark_s.partitioner_mode, PartitionerMode::kSharedStaticRange);
+  EXPECT_TRUE(stark_s.colocate);
+  EXPECT_TRUE(stark_s.grouped);
+  EXPECT_FALSE(stark_s.extendable);
+
+  const auto stark_e = run_config(ConfigKind::kStarkE);
+  EXPECT_TRUE(stark_e.colocate);
+  EXPECT_TRUE(stark_e.grouped);
+  EXPECT_TRUE(stark_e.extendable);
+  EXPECT_TRUE(stark_e.mcf);
+}
+
+TEST(RunConfigs, Names) {
+  EXPECT_STREQ(config_name(ConfigKind::kSparkR), "Spark-R");
+  EXPECT_STREQ(config_name(ConfigKind::kStarkE), "Stark-E");
+}
+
+TEST(Context, SharedPartitionerIsStable) {
+  Context ctx(opts(ConfigKind::kStarkH));
+  auto p1 = ctx.collection_partitioner(8, 512);
+  auto p2 = ctx.collection_partitioner(8, 512);
+  EXPECT_EQ(p1, p2);  // same object, not merely equal
+}
+
+TEST(Context, SparkRHasNoSharedPartitioner) {
+  Context ctx(opts(ConfigKind::kSparkR));
+  EXPECT_THROW(ctx.collection_partitioner(8, 512), std::logic_error);
+}
+
+TEST(Context, PartitionerForSparkRNeverEqual) {
+  Context ctx(opts(ConfigKind::kSparkR));
+  const auto h = hist();
+  auto p1 = ctx.partitioner_for(h, 8, 512);
+  auto p2 = ctx.partitioner_for(h, 8, 512);
+  // Randomized sampling: even identical data gives different bounds.
+  EXPECT_FALSE(p1->equals(*p2));
+}
+
+TEST(Context, PartitionerForSharedModesReturnsShared) {
+  Context ctx(opts(ConfigKind::kStarkS));
+  const auto h = hist();
+  auto p1 = ctx.partitioner_for(h, 8, 512);
+  auto p2 = ctx.partitioner_for(h, 8, 512);
+  EXPECT_TRUE(p1->equals(*p2));
+}
+
+TEST(Context, IngestMaterializesAndCaches) {
+  Context ctx(opts(ConfigKind::kStarkH));
+  auto part = ctx.collection_partitioner(8, 512);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  EXPECT_TRUE(ds->cache_requested());
+  EXPECT_EQ(ds->ns(), "logs");
+  for (int p = 0; p < 8; ++p) {
+    EXPECT_TRUE(ctx.cluster().cached_anywhere({ds->id(), p}));
+  }
+  EXPECT_GT(ctx.sim().now(), 0.0);  // the ingestion job consumed time
+}
+
+TEST(Context, IngestLazyDoesNotRunJob) {
+  Context ctx(opts(ConfigKind::kStarkH));
+  auto part = ctx.collection_partitioner(8, 512);
+  auto ds = ctx.ingest("d", hist(), part, "logs", 4, /*materialize=*/false);
+  EXPECT_FALSE(ctx.cluster().cached_anywhere({ds->id(), 0}));
+  EXPECT_DOUBLE_EQ(ctx.sim().now(), 0.0);
+}
+
+TEST(Context, IngestUnderStockSparkDropsNamespace) {
+  Context ctx(opts(ConfigKind::kSparkH));
+  auto part = ctx.collection_partitioner(8, 512);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  EXPECT_TRUE(ds->ns().empty());  // no locality management in stock Spark
+  EXPECT_FALSE(ctx.locality().has("logs"));
+}
+
+TEST(Context, StarkERegistersExtendableNamespace) {
+  ContextOptions o = opts(ConfigKind::kStarkE);
+  o.groups.initial_groups = 4;
+  Context ctx(o);
+  auto part = ctx.collection_partitioner(16, 512);
+  ctx.ingest("d", hist(), part, "logs");
+  EXPECT_TRUE(ctx.groups().extendable("logs"));
+  ASSERT_NE(ctx.groups().tree("logs"), nullptr);
+}
+
+TEST(Context, StarkSRegistersStaticGroups) {
+  ContextOptions o = opts(ConfigKind::kStarkS);
+  o.groups.initial_groups = 4;
+  Context ctx(o);
+  auto part = ctx.collection_partitioner(16, 512);
+  ctx.ingest("d", hist(), part, "logs");
+  EXPECT_FALSE(ctx.groups().extendable("logs"));
+  ASSERT_NE(ctx.groups().tree("logs"), nullptr);  // grouped, just static
+  EXPECT_EQ(ctx.groups().tree("logs")->num_groups(), 4);
+}
+
+TEST(Context, KillServerKeepsClusterUsable) {
+  Context ctx(opts(ConfigKind::kStarkH));
+  auto part = ctx.collection_partitioner(8, 512);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  ctx.kill_server(1);
+  EXPECT_FALSE(ctx.cluster().server(1).alive());
+  const auto r = ctx.count(ds);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Context, CheckpointOptimizerFactoryWiresRegistry) {
+  Context ctx(opts(ConfigKind::kStarkH));
+  auto part = ctx.collection_partitioner(8, 512);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  auto opt = ctx.make_checkpoint_optimizer(100.0);
+  auto child = ds->map({});
+  EXPECT_GT(opt.longest_uncheckpointed_delay(child), 0.0);
+  ctx.dag().checkpoint_now(child);
+  EXPECT_DOUBLE_EQ(opt.longest_uncheckpointed_delay(child), 0.0);
+}
+
+TEST(Context, CountReturnsDelayAndMetrics) {
+  Context ctx(opts(ConfigKind::kStarkH));
+  auto part = ctx.collection_partitioner(8, 512);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  const auto r = ctx.count(ds);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.delay, 0.0);
+  EXPECT_EQ(r.num_tasks, 8);
+  // All from cache: the ingest already materialized the partitions.
+  EXPECT_GT(r.bytes_from_cache, 0.0);
+}
+
+}  // namespace
+}  // namespace stark

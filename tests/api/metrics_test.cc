@@ -1,0 +1,95 @@
+#include "api/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "api/context.h"
+#include "trace/wiki.h"
+
+namespace stark {
+namespace {
+
+KeyHistogram hist() {
+  trace::WikiTraceGen::Config c;
+  c.num_urls = 256;
+  return trace::WikiTraceGen(c).histogram(64 * kMiB, 0.9);
+}
+
+TEST(Metrics, AggregatesJobResults) {
+  ContextOptions o;
+  o.config = ConfigKind::kStarkH;
+  o.cluster.num_servers = 4;
+  Context ctx(o);
+  MetricsCollector metrics(ctx.cluster());
+  auto part = ctx.collection_partitioner(8, 256);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  for (int q = 0; q < 3; ++q) {
+    metrics.observe_job(ctx.count(ds));
+  }
+  EXPECT_EQ(metrics.jobs(), 3);
+  EXPECT_EQ(metrics.tasks(), 24);
+  EXPECT_EQ(metrics.node_local_fraction(), 1.0);
+  EXPECT_GT(metrics.bytes_from_cache(), 0.0);
+  EXPECT_EQ(metrics.bytes_from_net(), 0.0);
+  EXPECT_NEAR(metrics.cache_hit_ratio(), 1.0, 1e-9);
+  EXPECT_EQ(static_cast<int>(metrics.job_delays().count()), 3);
+}
+
+TEST(Metrics, CountsCacheEvents) {
+  ClusterConfig cc;
+  cc.num_servers = 1;
+  cc.server.ram = 1000.0;
+  cc.server.storage_fraction = 0.5;
+  Cluster cluster(cc);
+  MetricsCollector metrics(cluster);
+  cluster.insert_block(0, {1, 0}, 300.0);
+  cluster.insert_block(0, {2, 0}, 300.0);  // evicts {1,0}
+  EXPECT_EQ(metrics.cache_insertions(), 2);
+  EXPECT_EQ(metrics.cache_evictions(), 1);
+}
+
+TEST(Metrics, EmptyCollectorIsZero) {
+  ClusterConfig cc;
+  cc.num_servers = 1;
+  Cluster cluster(cc);
+  MetricsCollector metrics(cluster);
+  EXPECT_EQ(metrics.jobs(), 0);
+  EXPECT_EQ(metrics.node_local_fraction(), 0.0);
+  EXPECT_EQ(metrics.cache_hit_ratio(), 0.0);
+  EXPECT_EQ(metrics.gc_fraction(), 0.0);
+  EXPECT_FALSE(metrics.summary().empty());
+}
+
+TEST(Metrics, SummaryMentionsKeyNumbers) {
+  ContextOptions o;
+  o.config = ConfigKind::kStarkH;
+  o.cluster.num_servers = 4;
+  Context ctx(o);
+  MetricsCollector metrics(ctx.cluster());
+  auto part = ctx.collection_partitioner(8, 256);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  metrics.observe_job(ctx.count(ds));
+  const std::string s = metrics.summary();
+  EXPECT_NE(s.find("jobs: 1"), std::string::npos);
+  EXPECT_NE(s.find("node-local: 100%"), std::string::npos);
+  EXPECT_NE(s.find("cache hit 100%"), std::string::npos);
+}
+
+TEST(Metrics, ClusterUtilizationTracksBusyTime) {
+  ContextOptions o;
+  o.config = ConfigKind::kStarkH;
+  o.cluster.num_servers = 4;
+  Context ctx(o);
+  EXPECT_DOUBLE_EQ(
+      MetricsCollector::cluster_utilization(ctx.cluster(), ctx.sim().now()),
+      0.0);
+  auto part = ctx.collection_partitioner(8, 256);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  ctx.count(ds);
+  const double u =
+      MetricsCollector::cluster_utilization(ctx.cluster(), ctx.sim().now());
+  EXPECT_GT(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
+}  // namespace
+}  // namespace stark

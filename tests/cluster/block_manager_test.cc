@@ -1,0 +1,111 @@
+#include "cluster/block_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace stark {
+namespace {
+
+TEST(BlockManager, InsertAndContains) {
+  BlockManager bm(1000.0);
+  EXPECT_TRUE(bm.insert({1, 0}, 100.0).stored);
+  EXPECT_TRUE(bm.contains({1, 0}));
+  EXPECT_FALSE(bm.contains({1, 1}));
+  EXPECT_DOUBLE_EQ(bm.used(), 100.0);
+  EXPECT_DOUBLE_EQ(bm.block_bytes({1, 0}), 100.0);
+}
+
+TEST(BlockManager, EvictsLeastRecentlyUsed) {
+  BlockManager bm(300.0);
+  bm.insert({1, 0}, 100.0);
+  bm.insert({2, 0}, 100.0);
+  bm.insert({3, 0}, 100.0);
+  const auto result = bm.insert({4, 0}, 100.0);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0].id, (BlockId{1, 0}));
+  EXPECT_FALSE(bm.contains({1, 0}));
+  EXPECT_TRUE(bm.contains({4, 0}));
+}
+
+TEST(BlockManager, TouchProtectsFromEviction) {
+  BlockManager bm(300.0);
+  bm.insert({1, 0}, 100.0);
+  bm.insert({2, 0}, 100.0);
+  bm.insert({3, 0}, 100.0);
+  bm.touch({1, 0});  // now {2,0} is LRU
+  const auto result = bm.insert({4, 0}, 100.0);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0].id, (BlockId{2, 0}));
+  EXPECT_TRUE(bm.contains({1, 0}));
+}
+
+TEST(BlockManager, OversizedBlockNotStored) {
+  BlockManager bm(100.0);
+  bm.insert({1, 0}, 50.0);
+  const auto result = bm.insert({2, 0}, 500.0);
+  EXPECT_FALSE(result.stored);
+  EXPECT_TRUE(result.evicted.empty());  // did not evict the world for it
+  EXPECT_TRUE(bm.contains({1, 0}));
+}
+
+TEST(BlockManager, ReinsertResizes) {
+  BlockManager bm(1000.0);
+  bm.insert({1, 0}, 100.0);
+  bm.insert({1, 0}, 250.0);
+  EXPECT_DOUBLE_EQ(bm.used(), 250.0);
+  EXPECT_EQ(bm.num_blocks(), 1u);
+}
+
+TEST(BlockManager, MultiEviction) {
+  BlockManager bm(300.0);
+  bm.insert({1, 0}, 100.0);
+  bm.insert({2, 0}, 100.0);
+  bm.insert({3, 0}, 100.0);
+  const auto result = bm.insert({4, 0}, 250.0);
+  EXPECT_TRUE(result.stored);
+  // 100+250 still exceeds 300, so all three residents get evicted.
+  EXPECT_EQ(result.evicted.size(), 3u);
+  EXPECT_LE(bm.used(), 300.0);
+}
+
+TEST(BlockManager, RemoveFreesSpace) {
+  BlockManager bm(200.0);
+  bm.insert({1, 0}, 150.0);
+  EXPECT_TRUE(bm.remove({1, 0}));
+  EXPECT_FALSE(bm.remove({1, 0}));
+  EXPECT_DOUBLE_EQ(bm.used(), 0.0);
+}
+
+TEST(BlockManager, ClearReturnsAll) {
+  BlockManager bm(1000.0);
+  bm.insert({1, 0}, 10.0);
+  bm.insert({1, 1}, 10.0);
+  const auto all = bm.clear();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(bm.num_blocks(), 0u);
+  EXPECT_DOUBLE_EQ(bm.used(), 0.0);
+}
+
+TEST(BlockManager, MruOrder) {
+  BlockManager bm(1000.0);
+  bm.insert({1, 0}, 10.0);
+  bm.insert({2, 0}, 10.0);
+  bm.touch({1, 0});
+  const auto order = bm.blocks_mru_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], (BlockId{1, 0}));
+  EXPECT_EQ(order[1], (BlockId{2, 0}));
+}
+
+TEST(BlockManager, UtilizationAndCapacity) {
+  BlockManager bm(400.0);
+  bm.insert({1, 0}, 100.0);
+  EXPECT_DOUBLE_EQ(bm.utilization(), 0.25);
+  EXPECT_DOUBLE_EQ(bm.capacity(), 400.0);
+}
+
+TEST(BlockManager, NegativeCapacityThrows) {
+  EXPECT_THROW(BlockManager(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stark

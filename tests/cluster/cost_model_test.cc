@@ -1,0 +1,54 @@
+#include "cluster/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace stark {
+namespace {
+
+TEST(CostModel, CpuSecondsScalesLinearly) {
+  CostModel m;
+  const double t1 = m.cpu_seconds(OpKind::kMap, 100 * kMiB);
+  const double t2 = m.cpu_seconds(OpKind::kMap, 200 * kMiB);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+}
+
+TEST(CostModel, OpKindsHaveDistinctThroughputs) {
+  CostModel m;
+  const Bytes b = 100 * kMiB;
+  // Joins are heavier than filters; memory scans are far cheaper than both.
+  EXPECT_GT(m.cpu_seconds(OpKind::kJoin, b), m.cpu_seconds(OpKind::kFilter, b));
+  EXPECT_LT(m.cpu_seconds(OpKind::kMemScan, b),
+            0.2 * m.cpu_seconds(OpKind::kFilter, b));
+}
+
+TEST(CostModel, GcZeroBelowKnee) {
+  CostModel m;
+  EXPECT_DOUBLE_EQ(m.gc_factor(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.gc_factor(m.gc_knee), 0.0);
+  EXPECT_DOUBLE_EQ(m.gc_factor(m.gc_knee - 0.1), 0.0);
+}
+
+TEST(CostModel, GcGrowsSuperlinearlyAboveKnee) {
+  CostModel m;
+  const double g1 = m.gc_factor(m.gc_knee + 0.1);
+  const double g2 = m.gc_factor(m.gc_knee + 0.2);
+  EXPECT_GT(g1, 0.0);
+  EXPECT_NEAR(g2 / g1, 4.0, 1e-9);  // quadratic in the overshoot
+}
+
+TEST(CostModel, DefaultsCalibratedAgainstFig1) {
+  // A 700 MB two-stage count should land in the high single digits of
+  // seconds (paper Fig 1 shows ~9s); the pure disk+parse+shuffle lower
+  // bound must be above 4s so the simulated numbers stay in that regime.
+  CostModel m;
+  const Bytes b = 700 * kMiB;
+  const double read = b / m.disk_read_bw;
+  const double parse = m.cpu_seconds(OpKind::kSourceParse, b);
+  const double write = b / m.disk_write_bw;
+  const double fetch = b / std::min(m.net_bw, m.disk_read_bw);
+  EXPECT_GT(read + parse + write + fetch, 4.0);
+  EXPECT_LT(read + parse + write + fetch, 60.0);
+}
+
+}  // namespace
+}  // namespace stark

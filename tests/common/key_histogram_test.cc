@@ -1,0 +1,156 @@
+#include "common/key_histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace stark {
+namespace {
+
+KeyHistogram make_simple() {
+  return KeyHistogram::from_entries({
+      {10, 2.0, 200.0},
+      {20, 1.0, 100.0},
+      {30, 3.0, 300.0},
+  });
+}
+
+TEST(KeyHistogram, FromEntriesSortsAndMergesDuplicates) {
+  auto h = KeyHistogram::from_entries({
+      {5, 1.0, 10.0},
+      {1, 2.0, 20.0},
+      {5, 3.0, 30.0},
+  });
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.entries()[0].key, 1u);
+  EXPECT_EQ(h.entries()[1].key, 5u);
+  EXPECT_DOUBLE_EQ(h.entries()[1].records, 4.0);
+  EXPECT_DOUBLE_EQ(h.entries()[1].bytes, 40.0);
+}
+
+TEST(KeyHistogram, Totals) {
+  auto h = make_simple();
+  EXPECT_DOUBLE_EQ(h.total_records(), 6.0);
+  EXPECT_DOUBLE_EQ(h.total_bytes(), 600.0);
+}
+
+TEST(KeyHistogram, EmptyHistogram) {
+  KeyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total_bytes(), 0.0);
+  EXPECT_EQ(h.key_at_byte_quantile(0.5), 0u);
+}
+
+TEST(KeyHistogram, ScaledMultipliesBoth) {
+  auto h = make_simple().scaled(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(h.total_records(), 12.0);
+  EXPECT_DOUBLE_EQ(h.total_bytes(), 300.0);
+  EXPECT_EQ(h.size(), 3u);
+}
+
+TEST(KeyHistogram, FilteredKeepsMatchingKeys) {
+  auto h = make_simple().filtered([](Key k) { return k >= 20; });
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_DOUBLE_EQ(h.total_bytes(), 400.0);
+}
+
+TEST(KeyHistogram, RangeInclusive) {
+  auto h = make_simple();
+  auto r = h.range(10, 20);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.total_bytes(), 300.0);
+  EXPECT_EQ(h.range(11, 19).size(), 0u);  // no keys strictly inside
+  EXPECT_EQ(h.range(11, 25).size(), 1u);
+  EXPECT_EQ(h.range(31, 99).size(), 0u);
+}
+
+TEST(KeyHistogram, ReducedByKeyCollapsesRecords) {
+  auto h = make_simple().reduced_by_key(0.5);
+  EXPECT_DOUBLE_EQ(h.total_records(), 3.0);  // one record per key
+  EXPECT_DOUBLE_EQ(h.total_bytes(), 300.0);
+}
+
+TEST(KeyHistogram, Merge2SumsEqualKeys) {
+  auto a = make_simple();
+  auto b = KeyHistogram::from_entries({{20, 1.0, 50.0}, {40, 1.0, 10.0}});
+  auto m = KeyHistogram::merge2(a, b);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m.total_bytes(), 660.0);
+  // key 20 merged
+  EXPECT_DOUBLE_EQ(m.entries()[1].bytes, 150.0);
+}
+
+TEST(KeyHistogram, MergeManyPreservesTotal) {
+  std::vector<KeyHistogram> hs;
+  for (int i = 0; i < 5; ++i) {
+    hs.push_back(KeyHistogram::from_entries(
+        {{static_cast<Key>(i), 1.0, 100.0}, {99, 1.0, 1.0}}));
+  }
+  std::vector<const KeyHistogram*> ptrs;
+  for (auto& h : hs) ptrs.push_back(&h);
+  auto m = KeyHistogram::merge(ptrs);
+  EXPECT_DOUBLE_EQ(m.total_bytes(), 505.0);
+  EXPECT_EQ(m.size(), 6u);  // 5 distinct + shared key 99
+}
+
+TEST(KeyHistogram, MergeSortedOutput) {
+  auto a = KeyHistogram::from_entries({{3, 1, 1}, {1, 1, 1}});
+  auto b = KeyHistogram::from_entries({{2, 1, 1}, {4, 1, 1}});
+  auto m = KeyHistogram::merge2(a, b);
+  for (std::size_t i = 1; i < m.size(); ++i) {
+    EXPECT_LT(m.entries()[i - 1].key, m.entries()[i].key);
+  }
+}
+
+TEST(KeyHistogram, PartitionBytesSumsToTotal) {
+  auto h = make_simple();
+  auto pb = h.partition_bytes([](Key k) { return static_cast<int>(k % 2); }, 2);
+  ASSERT_EQ(pb.size(), 2u);
+  EXPECT_DOUBLE_EQ(pb[0] + pb[1], h.total_bytes());
+  EXPECT_DOUBLE_EQ(pb[0], 600.0);  // all keys are even
+  EXPECT_DOUBLE_EQ(pb[1], 0.0);
+}
+
+TEST(KeyHistogram, PartitionRecords) {
+  auto h = make_simple();
+  auto pr =
+      h.partition_records([](Key k) { return k < 25 ? 0 : 1; }, 2);
+  EXPECT_DOUBLE_EQ(pr[0], 3.0);
+  EXPECT_DOUBLE_EQ(pr[1], 3.0);
+}
+
+TEST(KeyHistogram, PartitionBytesRejectsBadMapping) {
+  auto h = make_simple();
+  EXPECT_THROW(h.partition_bytes([](Key) { return 5; }, 2), std::out_of_range);
+  EXPECT_THROW(h.partition_bytes([](Key) { return 0; }, 0),
+               std::invalid_argument);
+}
+
+TEST(KeyHistogram, ByteQuantile) {
+  auto h = make_simple();  // cumulative bytes: 200, 300, 600
+  EXPECT_EQ(h.key_at_byte_quantile(0.0), 10u);
+  EXPECT_EQ(h.key_at_byte_quantile(0.33), 10u);
+  EXPECT_EQ(h.key_at_byte_quantile(0.5), 20u);
+  EXPECT_EQ(h.key_at_byte_quantile(1.0), 30u);
+}
+
+class HistogramPartitionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramPartitionSweep, MassConservedAcrossPartitionCounts) {
+  const int parts = GetParam();
+  std::vector<KeyHistogram::Entry> entries;
+  for (Key k = 0; k < 1000; ++k) {
+    entries.push_back({k, 1.0, static_cast<double>(k % 17) + 1.0});
+  }
+  auto h = KeyHistogram::from_entries(std::move(entries));
+  auto pb = h.partition_bytes(
+      [parts](Key k) { return static_cast<int>(k % static_cast<Key>(parts)); },
+      parts);
+  double sum = 0.0;
+  for (double b : pb) sum += b;
+  EXPECT_NEAR(sum, h.total_bytes(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, HistogramPartitionSweep,
+                         ::testing::Values(1, 2, 8, 64, 512));
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,42 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace stark {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+}
+
+TEST(Table, PadsMissingCells) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NE(t.to_string().find('x'), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(10.0, 1), "10.0");
+}
+
+TEST(Table, HeaderOnly) {
+  Table t({"col"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("col"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,98 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace stark {
+namespace {
+
+TEST(Zipf, SharesSumToOne) {
+  for (double exp : {0.5, 0.9, 1.0, 1.5}) {
+    ZipfSampler z(1000, exp);
+    const auto shares = z.shares();
+    const double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "exponent " << exp;
+  }
+}
+
+TEST(Zipf, SharesMonotoneDecreasing) {
+  ZipfSampler z(500, 1.0);
+  const auto shares = z.shares();
+  for (std::size_t i = 1; i < shares.size(); ++i) {
+    EXPECT_LE(shares[i], shares[i - 1] + 1e-12);
+  }
+}
+
+TEST(Zipf, HigherExponentMoreSkew) {
+  ZipfSampler mild(100, 0.5);
+  ZipfSampler steep(100, 1.5);
+  EXPECT_GT(steep.pmf(0), mild.pmf(0));
+  EXPECT_LT(steep.pmf(99), mild.pmf(99));
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  ZipfSampler z(64, 0.0);
+  for (std::uint64_t r = 0; r < 64; ++r) {
+    EXPECT_NEAR(z.pmf(r), 1.0 / 64.0, 1e-12);
+  }
+}
+
+TEST(Zipf, PmfOutOfRangeIsZero) {
+  ZipfSampler z(10, 1.0);
+  EXPECT_EQ(z.pmf(10), 0.0);
+  EXPECT_EQ(z.pmf(1000), 0.0);
+}
+
+TEST(Zipf, SampleMatchesPmf) {
+  ZipfSampler z(50, 1.0);
+  Rng rng(99);
+  std::vector<int> counts(50, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  // Head frequencies should track the pmf closely.
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    const double freq = static_cast<double>(counts[r]) / n;
+    EXPECT_NEAR(freq, z.pmf(r), 0.01) << "rank " << r;
+  }
+}
+
+TEST(Zipf, SampleWithinRange) {
+  ZipfSampler z(7, 1.2);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.sample(rng), 7u);
+  }
+}
+
+TEST(Zipf, RejectsZeroSize) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, Top10ShareGrowsWithExponent) {
+  const double exp = GetParam();
+  ZipfSampler z(1000, exp);
+  const auto shares = z.shares();
+  double top10 = 0.0;
+  for (int i = 0; i < 10; ++i) top10 += shares[static_cast<std::size_t>(i)];
+  // The top-10 share must be at least the uniform baseline and grow in exp.
+  EXPECT_GE(top10, 10.0 / 1000.0 - 1e-12);
+  ZipfSampler z_less(1000, exp * 0.5);
+  const auto shares_less = z_less.shares();
+  double top10_less = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    top10_less += shares_less[static_cast<std::size_t>(i)];
+  }
+  if (exp > 0.0) {
+    EXPECT_GE(top10, top10_less);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         ::testing::Values(0.0, 0.3, 0.6, 0.9, 1.2, 1.8));
+
+}  // namespace
+}  // namespace stark

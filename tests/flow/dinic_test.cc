@@ -1,0 +1,153 @@
+#include "flow/dinic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stark::flow {
+namespace {
+
+TEST(Dinic, SingleEdge) {
+  Dinic d(2);
+  d.add_edge(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(d.max_flow(0, 1), 5.0);
+}
+
+TEST(Dinic, SeriesTakesMinimum) {
+  Dinic d(3);
+  d.add_edge(0, 1, 5.0);
+  d.add_edge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(d.max_flow(0, 2), 3.0);
+}
+
+TEST(Dinic, ParallelPathsSum) {
+  Dinic d(4);
+  d.add_edge(0, 1, 2.0);
+  d.add_edge(1, 3, 2.0);
+  d.add_edge(0, 2, 3.0);
+  d.add_edge(2, 3, 3.0);
+  EXPECT_DOUBLE_EQ(d.max_flow(0, 3), 5.0);
+}
+
+TEST(Dinic, ClassicTextbookNetwork) {
+  // A standard 6-node network with a known max flow of 23.
+  Dinic d(6);
+  d.add_edge(0, 1, 16);
+  d.add_edge(0, 2, 13);
+  d.add_edge(1, 2, 10);
+  d.add_edge(2, 1, 4);
+  d.add_edge(1, 3, 12);
+  d.add_edge(3, 2, 9);
+  d.add_edge(2, 4, 14);
+  d.add_edge(4, 3, 7);
+  d.add_edge(3, 5, 20);
+  d.add_edge(4, 5, 4);
+  EXPECT_DOUBLE_EQ(d.max_flow(0, 5), 23.0);
+}
+
+TEST(Dinic, DisconnectedIsZero) {
+  Dinic d(4);
+  d.add_edge(0, 1, 10.0);
+  d.add_edge(2, 3, 10.0);
+  EXPECT_DOUBLE_EQ(d.max_flow(0, 3), 0.0);
+}
+
+TEST(Dinic, MinCutEqualsMaxFlow) {
+  Dinic d(5);
+  d.add_edge(0, 1, 4.0);
+  d.add_edge(0, 2, 3.0);
+  d.add_edge(1, 3, 2.0);
+  d.add_edge(2, 3, 5.0);
+  d.add_edge(3, 4, 6.0);
+  const double flow = d.max_flow(0, 4);
+  const auto cut = d.min_cut_edges(0);
+  double cut_cap = 0.0;
+  for (const auto& e : cut) cut_cap += d.capacity(e.id);
+  EXPECT_DOUBLE_EQ(flow, cut_cap);
+}
+
+TEST(Dinic, ResidualAndFlowAccessors) {
+  Dinic d(2);
+  const int e = d.add_edge(0, 1, 10.0);
+  d.max_flow(0, 1);
+  EXPECT_DOUBLE_EQ(d.flow(e), 10.0);
+  EXPECT_DOUBLE_EQ(d.residual(e), 0.0);
+  EXPECT_DOUBLE_EQ(d.capacity(e), 10.0);
+}
+
+TEST(Dinic, InfCapacityEdgesNeverCut) {
+  Dinic d(4);
+  d.add_edge(0, 1, kInfCapacity);
+  const int mid = d.add_edge(1, 2, 1.5);
+  d.add_edge(2, 3, kInfCapacity);
+  EXPECT_DOUBLE_EQ(d.max_flow(0, 3), 1.5);
+  const auto cut = d.min_cut_edges(0);
+  ASSERT_EQ(cut.size(), 1u);
+  EXPECT_EQ(cut[0].id, mid);
+}
+
+TEST(Dinic, OutAndInEdges) {
+  Dinic d(3);
+  const int a = d.add_edge(0, 1, 1.0);
+  const int b = d.add_edge(1, 2, 1.0);
+  const auto outs = d.out_edges(1);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].id, b);
+  const auto ins = d.in_edges(1);
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_EQ(ins[0].id, a);
+  EXPECT_EQ(ins[0].from, 0);
+  EXPECT_EQ(ins[0].to, 1);
+}
+
+TEST(Dinic, RejectsBadArguments) {
+  EXPECT_THROW(Dinic(0), std::invalid_argument);
+  Dinic d(2);
+  EXPECT_THROW(d.add_edge(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(d.add_edge(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(d.max_flow(0, 0), std::invalid_argument);
+}
+
+// Property: on random layered DAGs, min cut capacity == max flow, and the
+// cut actually disconnects s from t.
+class DinicRandomDag : public ::testing::TestWithParam<int> {};
+
+TEST_P(DinicRandomDag, MaxFlowMinCutDuality) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int layers = 4;
+  const int width = 3;
+  const int n = 2 + layers * width;
+  Dinic d(n);
+  const auto node = [&](int layer, int i) { return 2 + layer * width + i; };
+  for (int i = 0; i < width; ++i) {
+    d.add_edge(0, node(0, i), rng.uniform(1.0, 10.0));
+    d.add_edge(node(layers - 1, i), 1, rng.uniform(1.0, 10.0));
+  }
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int i = 0; i < width; ++i) {
+      for (int j = 0; j < width; ++j) {
+        if (rng.next_double() < 0.7) {
+          d.add_edge(node(l, i), node(l + 1, j), rng.uniform(0.5, 8.0));
+        }
+      }
+    }
+  }
+  const double flow = d.max_flow(0, 1);
+  const auto cut = d.min_cut_edges(0);
+  double cap = 0.0;
+  for (const auto& e : cut) cap += d.capacity(e.id);
+  EXPECT_NEAR(flow, cap, 1e-6);
+  // Every cut edge is saturated.
+  for (const auto& e : cut) {
+    EXPECT_NEAR(d.residual(e.id), 0.0, 1e-9);
+  }
+  // Removing cut edges separates s from t: check via residual reachability
+  // (source side never contains t by construction).
+  const auto reach = d.residual_reachable(0);
+  EXPECT_FALSE(reach[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DinicRandomDag, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace stark::flow

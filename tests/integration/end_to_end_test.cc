@@ -1,0 +1,177 @@
+// Integration: end-to-end scenarios from the paper's motivation section
+// (Fig 1, Fig 7) and the streaming pipeline of §IV-E.
+#include <gtest/gtest.h>
+
+#include "api/context.h"
+#include "streaming/query_workload.h"
+#include "trace/taxi.h"
+#include "trace/tweet.h"
+#include "trace/wiki.h"
+
+namespace stark {
+namespace {
+
+KeyHistogram wiki_hist(Bytes total) {
+  trace::WikiTraceGen::Config c;
+  c.num_urls = 512;
+  return trace::WikiTraceGen(c).histogram(total, 0.9);
+}
+
+// The exact pipeline of Fig 1: textFile -> map -> partitionBy(hash 2) ->
+// filter(C) -> filter(D), C cached.
+struct Fig1 {
+  explicit Fig1(Context& ctx) {
+    auto hist = std::make_shared<const KeyHistogram>(wiki_hist(700 * kMiB));
+    A = Dataset::source("A", hist, 6)->map({}, "A.map");
+    B = A->partition_by(std::make_shared<HashPartitioner>(2), "", "B");
+    C = B->filter({.selectivity = 0.02}, "C");
+    C->cache();
+    D = C->filter({.selectivity = 0.5}, "D");
+    (void)ctx;
+  }
+  DatasetPtr A, B, C, D;
+};
+
+ContextOptions fig1_options() {
+  ContextOptions o;
+  o.config = ConfigKind::kSparkH;
+  o.cluster.num_servers = 8;
+  return o;
+}
+
+TEST(Fig1Scenario, CachedCountIsMillisecondsNotSeconds) {
+  Context ctx(fig1_options());
+  Fig1 f(ctx);
+  const double c_delay = ctx.count(f.C).delay;
+  const double d_delay = ctx.count(f.D).delay;
+  EXPECT_GT(c_delay, 5.0);   // two stages over 700 MB
+  EXPECT_LT(d_delay, 0.3);   // paper: ~0.2 s from cache
+}
+
+TEST(Fig1Scenario, LocalityViolationCostsSeconds) {
+  Context ctx(fig1_options());
+  Fig1 f(ctx);
+  const double c_delay = ctx.count(f.C).delay;
+  // D- variant: same lineage shape but never cached.
+  auto c2 = f.B->filter({.selectivity = 0.02}, "C2");
+  auto d2 = c2->filter({.selectivity = 0.5}, "D2");
+  const double dminus = ctx.count(d2).delay;
+  EXPECT_GT(dminus, 2.0);          // recompute from the reduce phase
+  EXPECT_LT(dminus, c_delay);      // but cheaper than the full job
+}
+
+TEST(Fig7Scenario, PartitionCountDelayIsUShaped) {
+  // Too few partitions: no parallelism. Too many: scheduling overheads
+  // dominate. The minimum sits in between.
+  auto delay_with_partitions = [](int parts) {
+    ContextOptions o;
+    o.config = ConfigKind::kSparkH;
+    o.cluster.num_servers = 8;
+    o.detail_task_metrics = false;
+    Context ctx(o);
+    auto hist = std::make_shared<const KeyHistogram>(wiki_hist(256 * kMiB));
+    auto src = Dataset::source("A", hist, 8);
+    auto b = src->partition_by(std::make_shared<HashPartitioner>(parts));
+    auto c = b->filter({.selectivity = 0.02});
+    return ctx.count(c).delay;
+  };
+  const double d1 = delay_with_partitions(1);
+  const double d64 = delay_with_partitions(64);
+  const double d100k = delay_with_partitions(100000);
+  EXPECT_LT(d64, d1);
+  EXPECT_LT(d64, d100k);
+}
+
+TEST(Streaming, TaxiTweetPipelineServesQueries) {
+  // Miniature §IV-E: merged taxi+tweet stream, 5-minute timesteps,
+  // random time-range x region cogroup queries under Stark-H.
+  ContextOptions o;
+  o.config = ConfigKind::kStarkH;
+  o.cluster.num_servers = 8;
+  o.detail_task_metrics = false;
+  Context ctx(o);
+  auto part = ctx.collection_partitioner(32, 64 * 64);
+
+  trace::TaxiTraceGen::Config tc;
+  tc.grid_bits = 6;
+  tc.events_per_hour = 3e5;
+  auto taxi = std::make_shared<trace::TaxiTraceGen>(tc);
+  auto tweets = std::make_shared<trace::TweetGen>(trace::TweetGen::Config{});
+
+  StreamConfig sc;
+  sc.batch_interval = 300.0;
+  sc.ns = "stream";
+  ctx.groups().register_namespace("stream", part, {});
+  StreamContext stream(
+      ctx.dag(), ctx.groups(), sc,
+      [taxi, tweets](int step, SimTime) {
+        const double hour = static_cast<double>(step) * 300.0 / 3600.0;
+        return tweets->merge_with_taxi(taxi->histogram(hour, 2, 300.0 / 3600.0));
+      },
+      [part](const KeyHistogram&, int) { return part; });
+  stream.start(12);
+
+  QueryWorkload::Config qc;
+  qc.rate = [](SimTime) { return 0.05; };
+  qc.max_window_timesteps = 6;
+  qc.grid_bits = 6;
+  qc.region_cells = 16;
+  QueryWorkload wl(stream, ctx.dag(), qc,
+                   [part](const std::vector<DatasetPtr>&) { return part; });
+  wl.start(1200.0, 3600.0);
+  ctx.sim().run();
+
+  EXPECT_EQ(stream.steps_created(), 12);
+  EXPECT_GT(wl.completed(), 50);
+  EXPECT_EQ(wl.completed(), wl.issued());
+  // Co-located, cached timesteps keep interactive queries sub-second.
+  EXPECT_LT(wl.delays().percentile(0.5), 1.0);
+}
+
+TEST(Streaming, StarkHandlesHigherLoadThanSpark) {
+  // Miniature Fig 19: at a load Stark absorbs, stock Spark's queue blows up.
+  auto mean_delay = [](ConfigKind kind) {
+    ContextOptions o;
+    o.config = kind;
+    o.cluster.num_servers = 8;
+    o.detail_task_metrics = false;
+    Context ctx(o);
+    auto part = ctx.collection_partitioner(32, 64 * 64);
+    trace::TaxiTraceGen::Config tc;
+    tc.grid_bits = 6;
+    // Heavy enough per timestep (~300 MB) that locality dominates delay.
+    tc.events_per_hour = 2e7;
+    auto taxi = std::make_shared<trace::TaxiTraceGen>(tc);
+    StreamConfig sc;
+    sc.batch_interval = 300.0;
+    if (kind != ConfigKind::kSparkH) {
+      sc.ns = "stream";
+      ctx.groups().register_namespace("stream", part, {});
+    }
+    StreamContext stream(
+        ctx.dag(), ctx.groups(), sc,
+        [taxi](int step, SimTime) {
+          return taxi->histogram(static_cast<double>(step) / 12.0, 2,
+                                 1.0 / 12.0);
+        },
+        [part](const KeyHistogram&, int) { return part; });
+    stream.start(8);
+    QueryWorkload::Config qc;
+    qc.rate = [](SimTime) { return 2.0; };
+    qc.max_window_timesteps = 4;
+    qc.grid_bits = 6;
+    qc.region_cells = 16;
+    qc.seed = 5;
+    QueryWorkload wl(stream, ctx.dag(), qc,
+                     [part](const std::vector<DatasetPtr>&) { return part; });
+    wl.start(1500.0, 2100.0);
+    ctx.sim().run();
+    return wl.delays().mean();
+  };
+  const double spark = mean_delay(ConfigKind::kSparkH);
+  const double stark = mean_delay(ConfigKind::kStarkH);
+  EXPECT_LT(stark, spark) << "stark=" << stark << " spark=" << spark;
+}
+
+}  // namespace
+}  // namespace stark

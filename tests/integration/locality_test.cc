@@ -1,0 +1,147 @@
+// Integration: data co-locality (paper §III-B, Fig 2/3, Fig 11).
+#include <gtest/gtest.h>
+
+#include "api/context.h"
+#include "trace/wiki.h"
+
+namespace stark {
+namespace {
+
+KeyHistogram wiki_hist(Bytes total, double exp = 0.9) {
+  trace::WikiTraceGen::Config c;
+  c.num_urls = 1024;
+  return trace::WikiTraceGen(c).histogram(total, exp);
+}
+
+ContextOptions base_options(ConfigKind kind, int servers = 8) {
+  ContextOptions o;
+  o.config = kind;
+  o.cluster.num_servers = servers;
+  return o;
+}
+
+// Cogroup job delay across K cached datasets for one config.
+double cogroup_delay(ConfigKind kind, int num_rdds, Bytes per_rdd) {
+  Context ctx(base_options(kind));
+  std::vector<DatasetPtr> inputs;
+  PartitionerPtr part;
+  for (int i = 0; i < num_rdds; ++i) {
+    auto hist = wiki_hist(per_rdd);
+    if (part == nullptr) part = ctx.partitioner_for(hist, 8, 1024);
+    inputs.push_back(
+        ctx.ingest("rdd" + std::to_string(i), std::move(hist), part, "logs"));
+  }
+  auto cg = Dataset::cogroup(inputs, part);
+  auto keyword = cg->filter({.selectivity = 0.01});
+  return ctx.count(keyword).delay;
+}
+
+TEST(Colocality, StarkBeatsSparkOnCoGroup) {
+  const double spark = cogroup_delay(ConfigKind::kSparkH, 4, 200 * kMiB);
+  const double stark = cogroup_delay(ConfigKind::kStarkH, 4, 200 * kMiB);
+  // Paper Fig 11: ~5x gap at 5 RDDs; we only require a clear win here.
+  EXPECT_LT(stark, 0.5 * spark) << "spark=" << spark << " stark=" << stark;
+}
+
+TEST(Colocality, GapGrowsWithNumberOfRdds) {
+  const double gap2 = cogroup_delay(ConfigKind::kSparkH, 2, 150 * kMiB) -
+                      cogroup_delay(ConfigKind::kStarkH, 2, 150 * kMiB);
+  const double gap5 = cogroup_delay(ConfigKind::kSparkH, 5, 150 * kMiB) -
+                      cogroup_delay(ConfigKind::kStarkH, 5, 150 * kMiB);
+  EXPECT_GT(gap5, gap2);
+}
+
+TEST(Colocality, StarkCoGroupRunsNodeLocal) {
+  Context ctx(base_options(ConfigKind::kStarkH));
+  std::vector<DatasetPtr> inputs;
+  auto part = ctx.collection_partitioner(8, 1024);
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(ctx.ingest("rdd" + std::to_string(i),
+                                wiki_hist(100 * kMiB), part, "logs"));
+  }
+  auto cg = Dataset::cogroup(inputs, part);
+  const auto r = ctx.count(cg);
+  EXPECT_EQ(r.node_local_tasks, r.num_tasks);
+  EXPECT_EQ(r.bytes_from_net, 0.0);
+}
+
+TEST(Colocality, CollectionPartitionsShareServers) {
+  // The LocalityManager arranges partition p of every RDD in the namespace
+  // onto the same executor.
+  Context ctx(base_options(ConfigKind::kStarkH, 4));
+  auto part = ctx.collection_partitioner(8, 1024);
+  std::vector<DatasetPtr> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(ctx.ingest("rdd" + std::to_string(i),
+                                wiki_hist(50 * kMiB), part, "logs"));
+  }
+  for (int p = 0; p < 8; ++p) {
+    const auto first = ctx.cluster().cache_locations({inputs[0]->id(), p});
+    ASSERT_FALSE(first.empty());
+    for (int i = 1; i < 3; ++i) {
+      const auto locs = ctx.cluster().cache_locations({inputs[i]->id(), p});
+      ASSERT_FALSE(locs.empty());
+      EXPECT_EQ(locs[0], first[0]) << "rdd " << i << " partition " << p;
+    }
+  }
+}
+
+TEST(Colocality, SparkScattersCollectionPartitions) {
+  // Stock Spark, by contrast, scatters at least some collection partitions
+  // across different servers (Fig 2's premise).
+  Context ctx(base_options(ConfigKind::kSparkH, 8));
+  auto part = ctx.collection_partitioner(8, 1024);
+  std::vector<DatasetPtr> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(ctx.ingest("rdd" + std::to_string(i),
+                                wiki_hist(200 * kMiB), part, "logs"));
+  }
+  int scattered = 0;
+  for (int p = 0; p < 8; ++p) {
+    const auto a = ctx.cluster().cache_locations({inputs[0]->id(), p});
+    const auto b = ctx.cluster().cache_locations({inputs[1]->id(), p});
+    if (a.empty() || b.empty() || a[0] != b[0]) ++scattered;
+  }
+  EXPECT_GT(scattered, 0);
+}
+
+TEST(Colocality, SparkRShufflesEveryQuery) {
+  // Spark-R: per-RDD range partitioners are never equal, so the cogroup
+  // shuffles all inputs even though they are cached.
+  Context ctx(base_options(ConfigKind::kSparkR));
+  std::vector<DatasetPtr> inputs;
+  for (int i = 0; i < 3; ++i) {
+    auto hist = wiki_hist(100 * kMiB, 0.6 + 0.2 * i);
+    auto part = ctx.partitioner_for(hist, 8, 1024);
+    inputs.push_back(
+        ctx.ingest("rdd" + std::to_string(i), std::move(hist), part, ""));
+  }
+  // Query-side sampling pass (randomized like Spark's): never equal to any
+  // input's partitioner.
+  auto qpart = RangePartitioner::sample(inputs[0]->histogram(), 8, 99);
+  auto cg = Dataset::cogroup(inputs, qpart);
+  for (const auto& dep : cg->deps()) EXPECT_TRUE(dep.wide);
+  const auto r = ctx.count(cg);
+  EXPECT_GT(r.bytes_from_net, 250 * kMiB);  // everything moved
+}
+
+TEST(Colocality, RepeatedQueriesStayFast) {
+  // Once co-located and cached, every subsequent cogroup job is served
+  // from RAM (paper: interactive applications on the same collection).
+  Context ctx(base_options(ConfigKind::kStarkH));
+  auto part = ctx.collection_partitioner(8, 1024);
+  std::vector<DatasetPtr> inputs;
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(ctx.ingest("rdd" + std::to_string(i),
+                                wiki_hist(100 * kMiB), part, "logs"));
+  }
+  double last = 0.0;
+  for (int q = 0; q < 5; ++q) {
+    auto cg = Dataset::cogroup(inputs, part);
+    last = ctx.count(cg->filter({.selectivity = 0.01})).delay;
+    EXPECT_LT(last, 1.0) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace stark

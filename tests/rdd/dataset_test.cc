@@ -1,0 +1,240 @@
+#include "rdd/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/wiki.h"
+
+namespace stark {
+namespace {
+
+KeyHistogramPtr small_hist(Bytes total = 100 * kMiB, double exp = 0.9) {
+  trace::WikiTraceGen::Config c;
+  c.num_urls = 512;
+  trace::WikiTraceGen wiki(c);
+  return std::make_shared<const KeyHistogram>(wiki.histogram(total, exp));
+}
+
+TEST(Dataset, SourceSplitsBytesEvenly) {
+  auto src = Dataset::source("s", small_hist(80 * kMiB), 4);
+  const auto& pb = src->partition_bytes();
+  ASSERT_EQ(pb.size(), 4u);
+  for (Bytes b : pb) EXPECT_NEAR(b, 20 * kMiB, 1.0);
+  EXPECT_EQ(src->op(), Op::kSource);
+  EXPECT_EQ(src->partitioner(), nullptr);
+}
+
+TEST(Dataset, SourceRejectsBadArgs) {
+  EXPECT_THROW(Dataset::source("s", nullptr, 4), std::invalid_argument);
+  EXPECT_THROW(Dataset::source("s", small_hist(), 0), std::invalid_argument);
+}
+
+TEST(Dataset, MapScalesBytes) {
+  auto src = Dataset::source("s", small_hist(100 * kMiB), 4);
+  auto mapped = src->map({.bytes_factor = 0.5});
+  EXPECT_NEAR(mapped->total_bytes(), 50 * kMiB, 1.0);
+  EXPECT_FALSE(mapped->deps()[0].wide);
+}
+
+TEST(Dataset, PartitionByIsWideFromSource) {
+  auto src = Dataset::source("s", small_hist(), 4);
+  auto part = std::make_shared<HashPartitioner>(8);
+  auto ds = src->partition_by(part);
+  ASSERT_EQ(ds->deps().size(), 1u);
+  EXPECT_TRUE(ds->deps()[0].wide);
+  EXPECT_EQ(ds->num_partitions(), 8);
+}
+
+TEST(Dataset, PartitionByWithEqualPartitionerIsNarrow) {
+  auto src = Dataset::source("s", small_hist(), 4);
+  auto part = std::make_shared<HashPartitioner>(8);
+  auto ds = src->partition_by(part);
+  auto again = ds->partition_by(std::make_shared<HashPartitioner>(8));
+  EXPECT_FALSE(again->deps()[0].wide);
+}
+
+TEST(Dataset, PartitionBytesConservedAcrossShuffle) {
+  auto src = Dataset::source("s", small_hist(64 * kMiB), 4);
+  auto ds = src->partition_by(std::make_shared<HashPartitioner>(8));
+  Bytes total = 0.0;
+  for (Bytes b : ds->partition_bytes()) total += b;
+  EXPECT_NEAR(total, 64 * kMiB, 1.0);
+}
+
+TEST(Dataset, RangePartitionSkewShowsInPartitionBytes) {
+  // Static uniform range bounds + Zipf keys => first partition is heavy.
+  auto src = Dataset::source("s", small_hist(64 * kMiB, 1.2), 4);
+  auto ds = src->partition_by(StaticRangePartitioner::uniform(512, 8));
+  const auto& pb = ds->partition_bytes();
+  EXPECT_GT(pb[0], 4.0 * pb[7]);
+}
+
+TEST(Dataset, FilterSelectivityScalesBytes) {
+  auto src = Dataset::source("s", small_hist(100 * kMiB), 4);
+  auto f = src->filter({.selectivity = 0.1});
+  EXPECT_NEAR(f->total_bytes(), 10 * kMiB, 1.0);
+}
+
+TEST(Dataset, FilterWithExactPredicate) {
+  auto src = Dataset::source("s", small_hist(), 4);
+  auto part = std::make_shared<HashPartitioner>(4);
+  auto ds = src->partition_by(part);
+  FilterSpec spec;
+  spec.key_pred = [](Key k) { return k < 10; };
+  auto f = ds->filter(std::move(spec));
+  EXPECT_EQ(f->histogram().size(), 10u);
+  Bytes total = 0.0;
+  for (Bytes b : f->partition_bytes()) total += b;
+  EXPECT_NEAR(total, f->histogram().total_bytes(), 1e-3);
+}
+
+TEST(Dataset, NamespacePropagatesThroughNarrowOps) {
+  auto src = Dataset::source("s", small_hist(), 4);
+  auto part = std::make_shared<HashPartitioner>(8);
+  auto ds = src->partition_by(part, "myns");
+  EXPECT_EQ(ds->ns(), "myns");
+  auto f = ds->filter({.selectivity = 0.5});
+  EXPECT_EQ(f->ns(), "myns");
+  auto m = f->map({});
+  EXPECT_EQ(m->ns(), "myns");
+  // A key-rewriting map drops partitioner and namespace.
+  auto m2 = f->map({.preserves_partitioning = false});
+  EXPECT_TRUE(m2->ns().empty());
+  EXPECT_EQ(m2->partitioner(), nullptr);
+}
+
+TEST(Dataset, CoGroupClassifiesDepsPerParent) {
+  auto part = std::make_shared<HashPartitioner>(4);
+  auto a = Dataset::source("a", small_hist(), 2)->partition_by(part);
+  auto b = Dataset::source("b", small_hist(), 2)->partition_by(part);
+  auto c = Dataset::source("c", small_hist(), 2);  // unpartitioned
+  auto cg = Dataset::cogroup({a, b, c}, part);
+  ASSERT_EQ(cg->deps().size(), 3u);
+  EXPECT_FALSE(cg->deps()[0].wide);
+  EXPECT_FALSE(cg->deps()[1].wide);
+  EXPECT_TRUE(cg->deps()[2].wide);
+}
+
+TEST(Dataset, CoGroupInheritsNamespaceFromNarrowParent) {
+  auto part = std::make_shared<HashPartitioner>(4);
+  auto a = Dataset::source("a", small_hist(), 2)->partition_by(part, "logs");
+  auto b = Dataset::source("b", small_hist(), 2)->partition_by(part, "logs");
+  auto cg = Dataset::cogroup({a, b}, part);
+  EXPECT_EQ(cg->ns(), "logs");
+}
+
+TEST(Dataset, CoGroupCoPartitionedSumsPartitionBytes) {
+  auto part = std::make_shared<HashPartitioner>(4);
+  auto a = Dataset::source("a", small_hist(40 * kMiB), 2)->partition_by(part);
+  auto b = Dataset::source("b", small_hist(60 * kMiB), 2)->partition_by(part);
+  auto cg = Dataset::cogroup({a, b}, part);
+  const auto& pa = a->partition_bytes();
+  const auto& pb = b->partition_bytes();
+  const auto& pc = cg->partition_bytes();
+  for (std::size_t i = 0; i < pc.size(); ++i) {
+    EXPECT_NEAR(pc[i], pa[i] + pb[i], 1e-3);
+  }
+}
+
+TEST(Dataset, CoGroupMixedDepsConservesBytes) {
+  auto part = std::make_shared<HashPartitioner>(4);
+  auto a = Dataset::source("a", small_hist(40 * kMiB), 2)->partition_by(part);
+  auto b = Dataset::source("b", small_hist(60 * kMiB), 2);  // wide parent
+  auto cg = Dataset::cogroup({a, b}, part);
+  Bytes total = 0.0;
+  for (Bytes x : cg->partition_bytes()) total += x;
+  EXPECT_NEAR(total, 100 * kMiB, 1.0);
+}
+
+TEST(Dataset, ReduceByKeyNarrowWhenCoPartitioned) {
+  auto part = std::make_shared<HashPartitioner>(4);
+  auto a = Dataset::source("a", small_hist(), 2)->partition_by(part);
+  auto r = a->reduce_by_key(0.5);
+  EXPECT_FALSE(r->deps()[0].wide);
+  // One record per key after reduction.
+  EXPECT_DOUBLE_EQ(r->histogram().total_records(),
+                   static_cast<double>(r->histogram().size()));
+}
+
+TEST(Dataset, ReduceByKeyWideOtherwise) {
+  auto a = Dataset::source("a", small_hist(), 2);
+  auto r = a->reduce_by_key(std::make_shared<HashPartitioner>(4), 1.0);
+  EXPECT_TRUE(r->deps()[0].wide);
+}
+
+TEST(Dataset, ReduceByKeyWithoutPartitionerThrows) {
+  auto a = Dataset::source("a", small_hist(), 2);
+  EXPECT_THROW(a->reduce_by_key(1.0), std::logic_error);
+}
+
+TEST(Dataset, JoinAppliesOutputFactor) {
+  auto part = std::make_shared<HashPartitioner>(4);
+  auto a = Dataset::source("a", small_hist(10 * kMiB), 2)->partition_by(part);
+  auto b = Dataset::source("b", small_hist(10 * kMiB), 2)->partition_by(part);
+  auto j = Dataset::join(a, b, part, 0.5);
+  EXPECT_NEAR(j->total_bytes(), 10 * kMiB, 1.0);
+}
+
+TEST(Dataset, UnionRequiresCoPartitioning) {
+  auto part = std::make_shared<HashPartitioner>(4);
+  auto a = Dataset::source("a", small_hist(), 2)->partition_by(part);
+  auto b = Dataset::source("b", small_hist(), 2)->partition_by(part);
+  auto u = Dataset::union_all({a, b});
+  EXPECT_EQ(u->num_partitions(), 4);
+  for (const auto& d : u->deps()) EXPECT_FALSE(d.wide);
+
+  auto c = Dataset::source("c", small_hist(), 2);
+  EXPECT_THROW(Dataset::union_all({a, c}), std::invalid_argument);
+}
+
+TEST(Dataset, ShuffleInputBytesMatchesChildLayout) {
+  auto src = Dataset::source("s", small_hist(64 * kMiB), 4);
+  auto part = std::make_shared<HashPartitioner>(8);
+  auto ds = src->partition_by(part);
+  const auto& sb = ds->shuffle_input_bytes(0);
+  ASSERT_EQ(sb.size(), 8u);
+  Bytes total = 0.0;
+  for (Bytes b : sb) total += b;
+  EXPECT_NEAR(total, 64 * kMiB, 1.0);
+  // Matches the dataset's own partition bytes for a pure partitionBy.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(sb[i], ds->partition_bytes()[i], 1e-3);
+  }
+}
+
+TEST(Dataset, ShuffleInputBytesOnNarrowDepThrows) {
+  auto part = std::make_shared<HashPartitioner>(4);
+  auto a = Dataset::source("a", small_hist(), 2)->partition_by(part);
+  auto f = a->filter({.selectivity = 0.5});
+  EXPECT_THROW(f->shuffle_input_bytes(0), std::logic_error);
+  EXPECT_THROW(f->shuffle_input_bytes(9), std::out_of_range);
+}
+
+TEST(Dataset, CacheFlagRoundTrip) {
+  auto a = Dataset::source("a", small_hist(), 2);
+  EXPECT_FALSE(a->cache_requested());
+  a->cache();
+  EXPECT_TRUE(a->cache_requested());
+  a->uncache();
+  EXPECT_FALSE(a->cache_requested());
+}
+
+TEST(Dataset, IdsAreUnique) {
+  auto a = Dataset::source("a", small_hist(), 2);
+  auto b = Dataset::source("b", small_hist(), 2);
+  auto c = a->map({});
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_NE(a->id(), c->id());
+  EXPECT_NE(b->id(), c->id());
+}
+
+TEST(Dataset, HistogramSharedAcrossPartitionBy) {
+  auto src = Dataset::source("s", small_hist(), 4);
+  auto ds = src->partition_by(std::make_shared<HashPartitioner>(4));
+  // Content identical; only layout changed.
+  EXPECT_DOUBLE_EQ(ds->histogram().total_bytes(),
+                   src->histogram().total_bytes());
+  EXPECT_EQ(&ds->histogram(), &src->histogram());
+}
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,106 @@
+#include "sched/stage.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "trace/wiki.h"
+
+namespace stark {
+namespace {
+
+KeyHistogramPtr hist() {
+  trace::WikiTraceGen::Config c;
+  c.num_urls = 128;
+  return std::make_shared<const KeyHistogram>(
+      trace::WikiTraceGen(c).histogram(16 * kMiB, 0.9));
+}
+
+std::function<bool(DatasetId)> none() {
+  return [](DatasetId) { return false; };
+}
+
+TEST(StageChain, NarrowOnlyChainHasNoShuffles) {
+  auto src = Dataset::source("s", hist(), 2);
+  auto a = src->map({});
+  auto b = a->filter({.selectivity = 0.5});
+  const auto chain = collect_stage_chain(b, none());
+  EXPECT_EQ(chain.datasets.size(), 3u);
+  EXPECT_TRUE(chain.shuffle_deps.empty());
+  EXPECT_EQ(chain.datasets.front()->id(), b->id());  // boundary first
+}
+
+TEST(StageChain, StopsAtWideDependency) {
+  auto src = Dataset::source("s", hist(), 2);
+  auto part = std::make_shared<HashPartitioner>(4);
+  auto shuffled = src->partition_by(part);
+  auto c = shuffled->filter({.selectivity = 0.1});
+  const auto chain = collect_stage_chain(c, none());
+  // Chain holds c and shuffled, not the source.
+  EXPECT_EQ(chain.datasets.size(), 2u);
+  ASSERT_EQ(chain.shuffle_deps.size(), 1u);
+  EXPECT_EQ(chain.shuffle_deps[0].child->id(), shuffled->id());
+  EXPECT_EQ(chain.shuffle_deps[0].map_side()->id(), src->id());
+  EXPECT_EQ(chain.shuffle_deps[0].key().child, shuffled->id());
+}
+
+TEST(StageChain, CheckpointCutsTraversal) {
+  auto src = Dataset::source("s", hist(), 2);
+  auto a = src->map({});
+  auto b = a->filter({.selectivity = 0.5});
+  std::unordered_set<DatasetId> ckpt{a->id()};
+  const auto chain = collect_stage_chain(
+      b, [&](DatasetId id) { return ckpt.contains(id); });
+  EXPECT_EQ(chain.datasets.size(), 2u);  // b and a; source excluded
+  EXPECT_TRUE(chain.shuffle_deps.empty());
+}
+
+TEST(StageChain, CoGroupCollectsPerParentShuffles) {
+  auto part = std::make_shared<HashPartitioner>(4);
+  auto a = Dataset::source("a", hist(), 2)->partition_by(part);
+  auto b = Dataset::source("b", hist(), 2)->partition_by(part);
+  auto c = Dataset::source("c", hist(), 2);  // stays wide in the cogroup
+  auto cg = Dataset::cogroup({a, b, c}, part);
+  const auto chain = collect_stage_chain(cg, none());
+  // cg + a + b in the chain (narrow); three shuffles: behind a, behind b,
+  // and c's direct wide dep into the cogroup.
+  EXPECT_EQ(chain.datasets.size(), 3u);
+  EXPECT_EQ(chain.shuffle_deps.size(), 3u);
+  int cogroup_deps = 0;
+  for (const auto& e : chain.shuffle_deps) {
+    if (e.child->id() == cg->id()) ++cogroup_deps;
+  }
+  EXPECT_EQ(cogroup_deps, 1);
+}
+
+TEST(StageChain, SharedAncestorVisitedOnce) {
+  auto src = Dataset::source("s", hist(), 2);
+  auto part = std::make_shared<HashPartitioner>(4);
+  auto base = src->partition_by(part);
+  auto l = base->filter({.selectivity = 0.4});
+  auto r = base->filter({.selectivity = 0.6});
+  auto cg = Dataset::cogroup({l, r}, part);
+  const auto chain = collect_stage_chain(cg, none());
+  // base appears once even though both branches reach it.
+  int base_count = 0;
+  for (const auto& ds : chain.datasets) {
+    if (ds->id() == base->id()) ++base_count;
+  }
+  EXPECT_EQ(base_count, 1);
+  // Only one shuffle (behind base), reached via both branches.
+  EXPECT_EQ(chain.shuffle_deps.size(), 1u);
+}
+
+TEST(ShuffleKey, HashAndEquality) {
+  ShuffleKey a{10, 0}, b{10, 0}, c{10, 1}, d{11, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  ShuffleKeyHash h;
+  EXPECT_EQ(h(a), h(b));
+  std::unordered_set<ShuffleKey, ShuffleKeyHash> set{a, b, c, d};
+  EXPECT_EQ(set.size(), 3u);
+}
+
+}  // namespace
+}  // namespace stark

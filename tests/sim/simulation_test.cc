@@ -1,0 +1,96 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stark::sim {
+namespace {
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.after(1.0, [&] { times.push_back(sim.now()); });
+  sim.after(2.5, [&] { times.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 5) sim.after(1.0, recur);
+  };
+  sim.after(1.0, recur);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulation, RunUntilTimeStopsBeforeLaterEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.after(1.0, [&] { ++fired; });
+  sim.after(10.0, [&] { ++fired; });
+  sim.run(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, RunUntilPredicate) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.after(static_cast<double>(i), [&] { ++count; });
+  }
+  const bool ok = sim.run_until([&] { return count >= 3; });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, RunUntilPredicateNeverTrue) {
+  Simulation sim;
+  sim.after(1.0, [] {});
+  EXPECT_FALSE(sim.run_until([] { return false; }));
+}
+
+TEST(Simulation, AtClampsPastToNow) {
+  Simulation sim;
+  sim.after(5.0, [&] {
+    // Scheduling in the past lands "now", not before.
+    sim.at(1.0, [&] { EXPECT_GE(sim.now(), 5.0); });
+  });
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, NegativeDelayThrows) {
+  Simulation sim;
+  EXPECT_THROW(sim.after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, CancelScheduledEvent) {
+  Simulation sim;
+  int fired = 0;
+  const auto id = sim.after(1.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulation, ExecutedEventCounter) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.after(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+}  // namespace
+}  // namespace stark::sim

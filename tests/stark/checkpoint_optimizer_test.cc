@@ -1,0 +1,259 @@
+#include "stark/checkpoint_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/wiki.h"
+
+namespace stark {
+namespace {
+
+// A fixture that builds narrow chains/DAGs with controllable per-node delay
+// and cost, independent of the engine.
+class CheckpointFixture : public ::testing::Test {
+ protected:
+  KeyHistogramPtr hist() {
+    trace::WikiTraceGen::Config c;
+    c.num_urls = 64;
+    return std::make_shared<const KeyHistogram>(
+        trace::WikiTraceGen(c).histogram(8 * kMiB, 0.9));
+  }
+
+  // Narrow chain node. A root (parent == nullptr) is a shuffled ingest
+  // (source -> partitionBy), which anchors the path below the source; the
+  // given delay/cost describe the root node itself. Children are filters,
+  // which keep the lineage narrow and co-partitioned.
+  DatasetPtr node(DatasetPtr parent, double delay, double cost,
+                  const std::string& name) {
+    DatasetPtr ds =
+        parent == nullptr
+            ? Dataset::source(name + ".src", hist(), 2)
+                  ->partition_by(shared_part_, "", name)
+            : parent->filter({.selectivity = 1.0}, name);
+    delays_[ds->id()] = delay;
+    costs_[ds->id()] = cost;
+    return ds;
+  }
+
+  // Narrow multi-parent merge: cogroup over co-partitioned parents.
+  DatasetPtr merge(std::vector<DatasetPtr> parents, double delay, double cost,
+                   const std::string& name) {
+    auto ds = Dataset::cogroup(std::move(parents), shared_part_, name);
+    delays_[ds->id()] = delay;
+    costs_[ds->id()] = cost;
+    return ds;
+  }
+
+  CheckpointOptimizer optimizer(double bound, double relax = 1.0) {
+    return CheckpointOptimizer(
+        {bound, relax},
+        [this](const Dataset& d) { return broken_.contains(d.id()); },
+        [this](const Dataset& d) { return delays_.at(d.id()); },
+        [this](const Dataset& d) { return costs_.at(d.id()); });
+  }
+
+  void mark_broken(const DatasetPtr& ds) { broken_.insert(ds->id()); }
+  void apply(const CheckpointOptimizer::Plan& plan) {
+    for (const auto& ds : plan.to_checkpoint) broken_.insert(ds->id());
+  }
+
+  std::unordered_map<DatasetId, double> delays_;
+  std::unordered_map<DatasetId, double> costs_;
+  std::unordered_set<DatasetId> broken_;
+  PartitionerPtr shared_part_ = std::make_shared<HashPartitioner>(2);
+};
+
+TEST_F(CheckpointFixture, NoViolationNoPlan) {
+  auto a = node(nullptr, 3.0, 10.0, "a");
+  auto b = node(a, 3.0, 10.0, "b");
+  auto opt = optimizer(10.0);
+  EXPECT_NEAR(opt.longest_uncheckpointed_delay(b), 6.0, 1e-9);
+  EXPECT_FALSE(opt.violated(b));
+  EXPECT_TRUE(opt.plan(b).to_checkpoint.empty());
+}
+
+TEST_F(CheckpointFixture, ChainPicksCheapestCut) {
+  // a(4,100) -> b(4,1) -> c(4,100): bound 10 violated (12); the min cut is
+  // b alone (cost 1).
+  auto a = node(nullptr, 4.0, 100.0, "a");
+  auto b = node(a, 4.0, 1.0, "b");
+  auto c = node(b, 4.0, 100.0, "c");
+  auto opt = optimizer(10.0);
+  EXPECT_TRUE(opt.violated(c));
+  const auto plan = opt.plan(c);
+  ASSERT_EQ(plan.to_checkpoint.size(), 1u);
+  EXPECT_EQ(plan.to_checkpoint[0]->id(), b->id());
+  EXPECT_DOUBLE_EQ(plan.total_cost, 1.0);
+  apply(plan);
+  EXPECT_FALSE(opt.violated(c));
+}
+
+TEST_F(CheckpointFixture, PlanEnforcesBoundAfterApplication) {
+  // Pre-built long chain, planned only from the tip: the plan iterates
+  // internally until the bound holds *for the trigger*.
+  DatasetPtr prev = node(nullptr, 2.0, 1.0, "n0");
+  for (int i = 1; i < 12; ++i) {
+    prev = node(prev, 2.0, static_cast<double>(1 + (i % 3)), "n");
+  }
+  auto opt = optimizer(6.0);  // 24s total, bound 6
+  EXPECT_TRUE(opt.violated(prev));
+  const auto plan = opt.plan(prev);
+  EXPECT_GE(plan.rounds, 1);
+  ASSERT_FALSE(plan.to_checkpoint.empty());
+  apply(plan);
+  EXPECT_FALSE(opt.violated(prev));
+}
+
+TEST_F(CheckpointFixture, PerStepTriggeringKeepsEveryNodeBounded) {
+  // Stark's runtime triggers on every newly materialized RDD, so the bound
+  // holds along the whole chain when checked incrementally.
+  auto opt = optimizer(6.0);
+  DatasetPtr prev = node(nullptr, 2.0, 1.0, "n0");
+  std::vector<DatasetPtr> chain{prev};
+  for (int i = 1; i < 12; ++i) {
+    prev = node(prev, 2.0, static_cast<double>(1 + (i % 3)), "n");
+    chain.push_back(prev);
+    if (opt.violated(prev)) apply(opt.plan(prev));
+  }
+  for (const auto& ds : chain) {
+    EXPECT_LE(opt.longest_uncheckpointed_delay(ds), 6.0 + 1e-9);
+  }
+}
+
+TEST_F(CheckpointFixture, DiamondRequiresCuttingBothBranches) {
+  auto a = node(nullptr, 5.0, 10.0, "a");
+  auto l = node(a, 5.0, 2.0, "l");
+  auto r = node(a, 5.0, 3.0, "r");
+  auto j = merge({l, r}, 5.0, 50.0, "j");
+  auto opt = optimizer(12.0);  // both 15s paths violate
+  ASSERT_TRUE(opt.violated(j));
+  const auto plan = opt.plan(j);
+  apply(plan);
+  EXPECT_FALSE(opt.violated(j));
+  // Cutting `a` alone (cost 10) loses to cutting l+r (cost 5)... but both
+  // choices break the paths; the optimizer must pick the cheaper: l+r.
+  EXPECT_NEAR(plan.total_cost, 5.0, 1e-9);
+}
+
+TEST_F(CheckpointFixture, SingleExpensiveAncestorBeatsManyLeaves) {
+  auto a = node(nullptr, 5.0, 1.0, "a");
+  auto l = node(a, 5.0, 40.0, "l");
+  auto r = node(a, 5.0, 40.0, "r");
+  auto j = merge({l, r}, 5.0, 400.0, "j");
+  auto opt = optimizer(12.0);
+  const auto plan = opt.plan(j);
+  apply(plan);
+  EXPECT_FALSE(opt.violated(j));
+  EXPECT_NEAR(plan.total_cost, 1.0, 1e-9);  // cuts `a`
+}
+
+TEST_F(CheckpointFixture, BrokenNodesAnchorPaths) {
+  auto a = node(nullptr, 100.0, 1.0, "a");
+  auto b = node(a, 3.0, 1.0, "b");
+  auto c = node(b, 3.0, 1.0, "c");
+  mark_broken(a);  // e.g. already checkpointed
+  auto opt = optimizer(10.0);
+  EXPECT_NEAR(opt.longest_uncheckpointed_delay(c), 6.0, 1e-9);
+  EXPECT_FALSE(opt.violated(c));
+}
+
+TEST_F(CheckpointFixture, ShuffleAnchorsPathsWithoutCheckpoint) {
+  // partitionBy creates a wide dep: the upstream 100s delay is invisible.
+  auto a = node(nullptr, 100.0, 1.0, "a");
+  auto shuffled = a->partition_by(std::make_shared<HashPartitioner>(4));
+  delays_[shuffled->id()] = 3.0;
+  costs_[shuffled->id()] = 1.0;
+  auto b = node(shuffled, 3.0, 1.0, "b");
+  auto opt = optimizer(10.0);
+  EXPECT_NEAR(opt.longest_uncheckpointed_delay(b), 6.0, 1e-9);
+}
+
+TEST_F(CheckpointFixture, RelaxedCutPrefersLaterNodes) {
+  // a(4,10) -> b(4,10) -> c(4,12): exact min cut picks a or b (cost 10);
+  // relaxed (f=2) may accept the slightly costlier cut closer to the tip,
+  // leaving a shorter uncheckpointed suffix.
+  auto a = node(nullptr, 4.0, 10.0, "a");
+  auto b = node(a, 4.0, 10.0, "b");
+  auto c = node(b, 4.0, 12.0, "c");
+  auto exact = optimizer(10.0, 1.0);
+  auto relaxed = optimizer(10.0, 3.0);
+  const auto pe = exact.plan(c);
+  const auto pr = relaxed.plan(c);
+  ASSERT_FALSE(pe.to_checkpoint.empty());
+  ASSERT_FALSE(pr.to_checkpoint.empty());
+  // Relaxed cost is bounded by f x optimal.
+  EXPECT_LE(pr.total_cost, 3.0 * pe.total_cost + 1e-9);
+  apply(pr);
+  EXPECT_FALSE(relaxed.violated(c));
+}
+
+TEST_F(CheckpointFixture, ZeroViolationOnBrokenTrigger) {
+  auto a = node(nullptr, 100.0, 1.0, "a");
+  mark_broken(a);
+  auto opt = optimizer(1.0);
+  EXPECT_DOUBLE_EQ(opt.longest_uncheckpointed_delay(a), 0.0);
+  EXPECT_TRUE(opt.plan(a).to_checkpoint.empty());
+}
+
+TEST_F(CheckpointFixture, ConfigValidation) {
+  EXPECT_THROW(optimizer(0.0), std::invalid_argument);
+  EXPECT_THROW(optimizer(5.0, 0.5), std::invalid_argument);
+}
+
+TEST_F(CheckpointFixture, EdgeBaselineCheckpointsAllLeaves) {
+  auto a = node(nullptr, 6.0, 1.0, "a");
+  auto l1 = node(a, 6.0, 100.0, "l1");
+  auto l2 = node(a, 6.0, 100.0, "l2");
+  EdgeCheckpointer edge(
+      10.0, [this](const Dataset& d) { return broken_.contains(d.id()); },
+      [this](const Dataset& d) { return delays_.at(d.id()); });
+  EXPECT_TRUE(edge.violated(l1));
+  const auto plan = edge.plan(l1, {l1, l2});
+  EXPECT_EQ(plan.size(), 2u);  // all leaves, regardless of cost
+  for (const auto& ds : plan) broken_.insert(ds->id());
+  EXPECT_FALSE(edge.violated(l1));
+  // Already-broken leaves are skipped on the next call.
+  auto l3 = node(a, 6.0, 1.0, "l3");
+  const auto plan2 = edge.plan(l3, {l1, l2, l3});
+  ASSERT_EQ(plan2.size(), 1u);
+  EXPECT_EQ(plan2[0]->id(), l3->id());
+}
+
+TEST_F(CheckpointFixture, EdgeNotTriggeredWithoutViolation) {
+  auto a = node(nullptr, 1.0, 1.0, "a");
+  EdgeCheckpointer edge(
+      10.0, [this](const Dataset& d) { return broken_.contains(d.id()); },
+      [this](const Dataset& d) { return delays_.at(d.id()); });
+  EXPECT_TRUE(edge.plan(a, {a}).empty());
+}
+
+// Property: on random chains with random costs, the plan always restores
+// the bound and never costs more than checkpointing everything.
+class CheckpointRandomChain : public CheckpointFixture,
+                              public ::testing::WithParamInterface<int> {};
+
+TEST_P(CheckpointRandomChain, BoundRestoredAtReasonableCost) {
+  unsigned state = static_cast<unsigned>(GetParam()) * 2654435761u;
+  auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<double>(state % 100) / 10.0 + 0.1;
+  };
+  DatasetPtr prev = node(nullptr, next(), next(), "r0");
+  double total_cost = costs_.at(prev->id());
+  for (int i = 1; i < 15; ++i) {
+    prev = node(prev, next(), next(), "r");
+    total_cost += costs_.at(prev->id());
+  }
+  auto opt = optimizer(8.0);
+  const auto plan = opt.plan(prev);
+  apply(plan);
+  EXPECT_FALSE(opt.violated(prev));
+  EXPECT_LE(plan.total_cost, total_cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointRandomChain, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,93 @@
+// Fuzz: random interleavings of split/merge keep the GroupTree a valid,
+// exact tiling of the partition space with consistent reverse lookups.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rdd/partitioner.h"
+#include "stark/group_tree.h"
+
+namespace stark {
+namespace {
+
+void check_invariants(const GroupTree& t) {
+  const auto groups = t.active_groups();
+  int expected_lo = 0;
+  for (const auto& g : groups) {
+    ASSERT_EQ(g.lo, expected_lo);
+    ASSERT_GT(g.hi, g.lo);
+    expected_lo = g.hi;
+    for (int p = g.lo; p < g.hi; ++p) {
+      ASSERT_EQ(t.group_of(p), g.id) << "partition " << p;
+    }
+    // Widths are powers of two (tree nodes only split in halves).
+    const int w = g.width();
+    ASSERT_EQ(w & (w - 1), 0) << "group width " << w;
+  }
+  ASSERT_EQ(expected_lo, t.num_partitions());
+  ASSERT_EQ(static_cast<int>(groups.size()), t.num_groups());
+}
+
+class GroupTreeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupTreeFuzz, RandomSplitMergeSequences) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  GroupTree t(128, 8);
+  for (int op = 0; op < 400; ++op) {
+    const auto groups = t.active_groups();
+    const auto& g =
+        groups[rng.next_below(static_cast<std::uint64_t>(groups.size()))];
+    if (rng.next_double() < 0.55) {
+      if (t.can_split(g.id)) {
+        const auto [l, r] = t.split(g.id);
+        EXPECT_TRUE(t.is_active(l));
+        EXPECT_TRUE(t.is_active(r));
+        EXPECT_FALSE(t.is_active(g.id));
+      }
+    } else {
+      if (t.can_merge(g.id)) {
+        const int parent = t.merge(g.id);
+        EXPECT_TRUE(t.is_active(parent));
+      }
+    }
+    if (op % 20 == 0) check_invariants(t);
+  }
+  check_invariants(t);
+  // Exercise group_bytes consistency: sums over groups == total.
+  std::vector<double> sizes(128);
+  for (auto& s : sizes) s = rng.uniform(0.0, 10.0);
+  double total_via_groups = 0.0;
+  for (const auto& g : t.active_groups()) {
+    total_via_groups += t.group_bytes(g.id, sizes);
+  }
+  double total = 0.0;
+  for (double s : sizes) total += s;
+  EXPECT_NEAR(total_via_groups, total, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupTreeFuzz, ::testing::Range(1, 17));
+
+TEST(PartitionerSeeding, SeededSamplesDifferButAreStable) {
+  std::vector<KeyHistogram::Entry> entries;
+  for (Key k = 0; k < 2048; ++k) {
+    entries.push_back({k, 1.0, 100.0 + static_cast<double>(k % 37)});
+  }
+  const auto hist = KeyHistogram::from_entries(std::move(entries));
+  const auto a1 = RangePartitioner::sample(hist, 16, 1);
+  const auto a2 = RangePartitioner::sample(hist, 16, 1);
+  const auto b = RangePartitioner::sample(hist, 16, 2);
+  const auto exact = RangePartitioner::sample(hist, 16, 0);
+  EXPECT_TRUE(a1->equals(*a2));    // same seed -> identical bounds
+  EXPECT_FALSE(a1->equals(*b));    // different seed -> different bounds
+  EXPECT_FALSE(a1->equals(*exact));
+  // Jitter stays bounded: seeded bounds remain reasonably balanced.
+  const auto pb = hist.partition_bytes(
+      [&a1](Key k) { return a1->get_partition(k); }, 16);
+  const double per = hist.total_bytes() / 16.0;
+  for (double v : pb) {
+    EXPECT_LT(v, 2.0 * per);
+    EXPECT_GT(v, 0.25 * per);
+  }
+}
+
+}  // namespace
+}  // namespace stark

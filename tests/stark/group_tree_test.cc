@@ -1,0 +1,209 @@
+#include "stark/group_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace stark {
+namespace {
+
+// Invariant: active groups exactly tile [0, num_partitions) without overlap.
+void expect_exact_cover(const GroupTree& t) {
+  const auto groups = t.active_groups();
+  int expected_lo = 0;
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.lo, expected_lo);
+    EXPECT_GT(g.hi, g.lo);
+    expected_lo = g.hi;
+  }
+  EXPECT_EQ(expected_lo, t.num_partitions());
+  // And group_of agrees with the ranges.
+  for (const auto& g : groups) {
+    for (int p = g.lo; p < g.hi; ++p) {
+      EXPECT_EQ(t.group_of(p), g.id);
+    }
+  }
+}
+
+TEST(GroupTree, InitialLayout) {
+  GroupTree t(16, 4);
+  EXPECT_EQ(t.num_groups(), 4);
+  const auto groups = t.active_groups();
+  EXPECT_EQ(groups[0].lo, 0);
+  EXPECT_EQ(groups[0].hi, 4);
+  EXPECT_EQ(groups[3].lo, 12);
+  expect_exact_cover(t);
+}
+
+TEST(GroupTree, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(GroupTree(10, 2), std::invalid_argument);
+  EXPECT_THROW(GroupTree(16, 3), std::invalid_argument);
+  EXPECT_THROW(GroupTree(4, 8), std::invalid_argument);
+}
+
+TEST(GroupTree, SingleGroupTree) {
+  GroupTree t(8, 1);
+  EXPECT_EQ(t.num_groups(), 1);
+  const auto g = t.active_groups()[0];
+  EXPECT_EQ(g.lo, 0);
+  EXPECT_EQ(g.hi, 8);
+}
+
+TEST(GroupTree, SplitCreatesTwoHalves) {
+  GroupTree t(16, 4);
+  const int gid = t.group_of(0);
+  const auto [l, r] = t.split(gid);
+  EXPECT_EQ(t.num_groups(), 5);
+  EXPECT_EQ(t.group(l).lo, 0);
+  EXPECT_EQ(t.group(l).hi, 2);
+  EXPECT_EQ(t.group(r).lo, 2);
+  EXPECT_EQ(t.group(r).hi, 4);
+  EXPECT_FALSE(t.is_active(gid));
+  expect_exact_cover(t);
+}
+
+TEST(GroupTree, SplitDownToSinglePartitions) {
+  GroupTree t(8, 1);
+  // Split everything repeatedly.
+  bool split_any = true;
+  while (split_any) {
+    split_any = false;
+    for (const auto& g : t.active_groups()) {
+      if (t.can_split(g.id)) {
+        t.split(g.id);
+        split_any = true;
+      }
+    }
+  }
+  EXPECT_EQ(t.num_groups(), 8);
+  for (const auto& g : t.active_groups()) EXPECT_EQ(g.width(), 1);
+  expect_exact_cover(t);
+}
+
+TEST(GroupTree, CannotSplitSinglePartitionLeaf) {
+  GroupTree t(4, 4);
+  EXPECT_FALSE(t.can_split(t.group_of(0)));
+  EXPECT_THROW(t.split(t.group_of(0)), std::logic_error);
+}
+
+TEST(GroupTree, MergeSiblings) {
+  GroupTree t(16, 4);
+  const int gid = t.group_of(0);
+  EXPECT_TRUE(t.can_merge(gid));
+  const int parent = t.merge(gid);
+  EXPECT_EQ(t.num_groups(), 3);
+  EXPECT_EQ(t.group(parent).lo, 0);
+  EXPECT_EQ(t.group(parent).hi, 8);
+  expect_exact_cover(t);
+}
+
+TEST(GroupTree, CannotMergeNonSiblings) {
+  GroupTree t(16, 4);
+  // Split group 0; its left child's sibling is its right child, but group
+  // covering [4,8) (a different subtree leaf) cannot merge with them.
+  const int gid = t.group_of(0);
+  const auto [l, r] = t.split(gid);
+  (void)r;
+  EXPECT_TRUE(t.can_merge(l));
+  // The leaf covering [4,8): its sibling is the node covering [0,4), which
+  // is no longer active (it split) => cannot merge.
+  const int g2 = t.group_of(4);
+  EXPECT_FALSE(t.can_merge(g2));
+  EXPECT_THROW(t.merge(g2), std::logic_error);
+}
+
+TEST(GroupTree, MergeToRoot) {
+  GroupTree t(8, 2);
+  const int parent = t.merge(t.group_of(0));
+  EXPECT_EQ(parent, 1);  // root
+  EXPECT_EQ(t.num_groups(), 1);
+  EXPECT_FALSE(t.can_merge(1));  // root has no sibling
+}
+
+TEST(GroupTree, GroupBytesSumsRange) {
+  GroupTree t(8, 2);
+  std::vector<double> sizes{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_DOUBLE_EQ(t.group_bytes(t.group_of(0), sizes), 10.0);
+  EXPECT_DOUBLE_EQ(t.group_bytes(t.group_of(4), sizes), 26.0);
+}
+
+TEST(GroupTree, RebalanceSplitsHotGroups) {
+  GroupTree t(16, 4);
+  // Partitions 0-3 are hot.
+  std::vector<double> sizes(16, 1.0);
+  for (int p = 0; p < 4; ++p) sizes[static_cast<std::size_t>(p)] = 100.0;
+  const auto changes = t.rebalance(sizes, 0.5, 150.0);
+  // Group [0,4) holds 400 > 150 => splits; children hold 200 > 150 =>
+  // split again into single-partition... widths: 4 -> 2 (200 each) -> 1
+  // (100 each, <= 150, stop).
+  EXPECT_GE(changes.size(), 3u);
+  for (const auto& ch : changes) EXPECT_TRUE(ch.is_split);
+  expect_exact_cover(t);
+  for (const auto& g : t.active_groups()) {
+    EXPECT_LE(t.group_bytes(g.id, sizes), 150.0);
+  }
+}
+
+TEST(GroupTree, RebalanceMergesColdSiblings) {
+  GroupTree t(16, 8);
+  std::vector<double> sizes(16, 1.0);  // every group holds 2 bytes
+  const auto changes = t.rebalance(sizes, 10.0, 100.0);
+  EXPECT_FALSE(changes.empty());
+  for (const auto& ch : changes) EXPECT_FALSE(ch.is_split);
+  expect_exact_cover(t);
+  // Merging cascades while combined size < 10: pairs of 2 -> 4 -> 8 stops
+  // (8 < 10 merges again to 16? 8+8=16 >= 10 stops).
+  for (const auto& g : t.active_groups()) {
+    const double b = t.group_bytes(g.id, sizes);
+    EXPECT_GE(b, 4.0);
+  }
+}
+
+TEST(GroupTree, RebalanceStableWhenBalanced) {
+  GroupTree t(16, 4);
+  std::vector<double> sizes(16, 10.0);  // each group: 40
+  const auto changes = t.rebalance(sizes, 20.0, 100.0);
+  EXPECT_TRUE(changes.empty());
+  EXPECT_EQ(t.num_groups(), 4);
+}
+
+TEST(GroupTree, RebalanceRejectsWrongSizeVector) {
+  GroupTree t(8, 2);
+  std::vector<double> sizes(4, 1.0);
+  EXPECT_THROW(t.rebalance(sizes, 1.0, 2.0), std::invalid_argument);
+}
+
+TEST(GroupTree, SingleHotPartitionCannotSplitBelowOne) {
+  GroupTree t(4, 4);
+  std::vector<double> sizes{1000.0, 1.0, 1.0, 1.0};
+  const auto changes = t.rebalance(sizes, 0.5, 10.0);
+  EXPECT_TRUE(changes.empty());  // width-1 groups cannot split
+  EXPECT_EQ(t.num_groups(), 4);
+}
+
+// Property sweep: random size vectors always leave the tree a valid tiling
+// with all splittable over-limit groups resolved.
+class GroupTreeRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupTreeRandom, RebalanceInvariants) {
+  GroupTree t(64, 8);
+  std::vector<double> sizes(64);
+  unsigned state = static_cast<unsigned>(GetParam());
+  for (auto& s : sizes) {
+    state = state * 1664525u + 1013904223u;
+    s = static_cast<double>(state % 1000);
+  }
+  t.rebalance(sizes, 500.0, 4000.0);
+  expect_exact_cover(t);
+  for (const auto& g : t.active_groups()) {
+    const double b = t.group_bytes(g.id, sizes);
+    if (g.width() > 1) {
+      EXPECT_LE(b, 4000.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupTreeRandom, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace stark

@@ -1,0 +1,177 @@
+#include "stark/locality_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace stark {
+namespace {
+
+ClusterConfig cfg(int servers = 4) {
+  ClusterConfig c;
+  c.num_servers = servers;
+  return c;
+}
+
+TEST(LocalityManager, RegisterAndLookup) {
+  Cluster cluster(cfg());
+  LocalityManager lm(cluster);
+  auto p = std::make_shared<HashPartitioner>(8);
+  lm.register_namespace("ns", p);
+  EXPECT_TRUE(lm.has("ns"));
+  EXPECT_FALSE(lm.has("other"));
+  EXPECT_TRUE(lm.partitioner("ns")->equals(*p));
+}
+
+TEST(LocalityManager, ReRegisterWithEqualPartitionerOk) {
+  Cluster cluster(cfg());
+  LocalityManager lm(cluster);
+  lm.register_namespace("ns", std::make_shared<HashPartitioner>(8));
+  EXPECT_NO_THROW(
+      lm.register_namespace("ns", std::make_shared<HashPartitioner>(8)));
+}
+
+TEST(LocalityManager, PartitionerConflictThrows) {
+  // The paper's contract: all RDDs in one namespace must share the
+  // partitioner; a mismatch is a programming error.
+  Cluster cluster(cfg());
+  LocalityManager lm(cluster);
+  lm.register_namespace("ns", std::make_shared<HashPartitioner>(8));
+  EXPECT_THROW(
+      lm.register_namespace("ns", std::make_shared<HashPartitioner>(16)),
+      std::logic_error);
+}
+
+TEST(LocalityManager, RejectsBadRegistrations) {
+  Cluster cluster(cfg());
+  LocalityManager lm(cluster);
+  EXPECT_THROW(lm.register_namespace("", std::make_shared<HashPartitioner>(2)),
+               std::invalid_argument);
+  EXPECT_THROW(lm.register_namespace("x", nullptr), std::invalid_argument);
+  EXPECT_THROW(lm.homes("unknown", 0), std::out_of_range);
+}
+
+TEST(LocalityManager, HomesAreStable) {
+  Cluster cluster(cfg());
+  LocalityManager lm(cluster);
+  lm.register_namespace("ns", std::make_shared<HashPartitioner>(8));
+  const auto h1 = lm.homes("ns", 3);
+  const auto h2 = lm.homes("ns", 3);
+  EXPECT_EQ(h1, h2);  // co-locality: same unit always maps to same homes
+  ASSERT_EQ(h1.size(), 1u);
+}
+
+TEST(LocalityManager, HomesSpreadAcrossServers) {
+  Cluster cluster(cfg(4));
+  LocalityManager lm(cluster);
+  lm.register_namespace("ns", std::make_shared<HashPartitioner>(8));
+  std::vector<int> load(4, 0);
+  for (int u = 0; u < 8; ++u) {
+    for (ServerId s : lm.homes("ns", u)) ++load[static_cast<std::size_t>(s)];
+  }
+  for (int l : load) EXPECT_EQ(l, 2);  // 8 units over 4 servers
+}
+
+TEST(LocalityManager, LoadBalancesAcrossNamespaces) {
+  Cluster cluster(cfg(4));
+  LocalityManager lm(cluster);
+  lm.register_namespace("a", std::make_shared<HashPartitioner>(4));
+  lm.register_namespace("b", std::make_shared<HashPartitioner>(4));
+  for (int u = 0; u < 4; ++u) {
+    lm.homes("a", u);
+    lm.homes("b", u);
+  }
+  for (ServerId s = 0; s < 4; ++s) {
+    EXPECT_EQ(lm.units_homed_on(s), 2);
+  }
+}
+
+TEST(LocalityManager, HomesIfAnyDoesNotAssign) {
+  Cluster cluster(cfg());
+  LocalityManager lm(cluster);
+  lm.register_namespace("ns", std::make_shared<HashPartitioner>(8));
+  EXPECT_TRUE(lm.homes_if_any("ns", 0).empty());
+  lm.homes("ns", 0);
+  EXPECT_EQ(lm.homes_if_any("ns", 0).size(), 1u);
+  EXPECT_TRUE(lm.homes_if_any("nope", 0).empty());
+}
+
+TEST(LocalityManager, SplitKeepsParentHomeAndAddsFresh) {
+  Cluster cluster(cfg(4));
+  LocalityManager lm(cluster);
+  lm.register_namespace("ns", std::make_shared<HashPartitioner>(8));
+  const auto parent_homes = lm.homes("ns", 10);
+  lm.on_split("ns", 10, 20, 21);
+  EXPECT_EQ(lm.homes("ns", 20), parent_homes);
+  const auto fresh = lm.homes("ns", 21);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_NE(fresh[0], parent_homes[0]);
+  EXPECT_TRUE(lm.homes_if_any("ns", 10).empty());  // parent released
+}
+
+TEST(LocalityManager, SplitDividesMultiHomeSets) {
+  Cluster cluster(cfg(4));
+  LocalityManager lm(cluster);
+  lm.register_namespace("ns", std::make_shared<HashPartitioner>(8));
+  lm.set_homes("ns", 10, {0, 1, 2, 3});
+  lm.on_split("ns", 10, 20, 21);
+  EXPECT_EQ(lm.homes("ns", 20), (std::vector<ServerId>{0, 1}));
+  EXPECT_EQ(lm.homes("ns", 21), (std::vector<ServerId>{2, 3}));
+}
+
+TEST(LocalityManager, MergeInheritsKeptChild) {
+  Cluster cluster(cfg(4));
+  LocalityManager lm(cluster);
+  lm.register_namespace("ns", std::make_shared<HashPartitioner>(8));
+  lm.set_homes("ns", 20, {1});
+  lm.set_homes("ns", 21, {3});
+  lm.on_merge("ns", 20, 21, 10, /*keep_child=*/21);
+  EXPECT_EQ(lm.homes("ns", 10), (std::vector<ServerId>{3}));
+  EXPECT_TRUE(lm.homes_if_any("ns", 20).empty());
+  EXPECT_TRUE(lm.homes_if_any("ns", 21).empty());
+}
+
+TEST(LocalityManager, ServerFailureVacatesHomes) {
+  Cluster cluster(cfg(2));
+  LocalityManager lm(cluster);
+  lm.register_namespace("ns", std::make_shared<HashPartitioner>(4));
+  lm.set_homes("ns", 0, {0, 1});
+  lm.on_server_failure(0);
+  EXPECT_EQ(lm.homes_if_any("ns", 0), (std::vector<ServerId>{1}));
+  // A unit homed only on the failed server gets re-assigned on access.
+  lm.set_homes("ns", 1, {0});
+  lm.on_server_failure(0);
+  cluster.kill_server(0);
+  const auto h = lm.homes("ns", 1);
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0], 1);
+}
+
+TEST(LocalityManager, AddHomeGrowsReplicaSet) {
+  Cluster cluster(cfg(4));
+  LocalityManager lm(cluster);
+  lm.register_namespace("ns", std::make_shared<HashPartitioner>(4));
+  lm.set_homes("ns", 0, {1});
+  lm.add_home("ns", 0, 3);
+  lm.add_home("ns", 0, 3);  // idempotent
+  EXPECT_EQ(lm.homes("ns", 0), (std::vector<ServerId>{1, 3}));
+  EXPECT_EQ(lm.units_homed_on(3), 1);
+  lm.add_home("unknown", 0, 2);  // unknown namespace is a no-op
+}
+
+TEST(LocalityManager, RemoveHomeKeepsLastAnchor) {
+  Cluster cluster(cfg(4));
+  LocalityManager lm(cluster);
+  lm.register_namespace("ns", std::make_shared<HashPartitioner>(4));
+  lm.set_homes("ns", 0, {1, 3});
+  lm.remove_home("ns", 0, 1);
+  EXPECT_EQ(lm.homes("ns", 0), (std::vector<ServerId>{3}));
+  // The last home never decays.
+  lm.remove_home("ns", 0, 3);
+  EXPECT_EQ(lm.homes("ns", 0), (std::vector<ServerId>{3}));
+  // Removing a non-home is a no-op.
+  lm.set_homes("ns", 1, {0, 2});
+  lm.remove_home("ns", 1, 3);
+  EXPECT_EQ(lm.homes("ns", 1), (std::vector<ServerId>{0, 2}));
+}
+
+}  // namespace
+}  // namespace stark

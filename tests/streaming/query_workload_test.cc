@@ -1,0 +1,130 @@
+#include "streaming/query_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/taxi.h"
+
+namespace stark {
+namespace {
+
+class QueryWorkloadTest : public ::testing::Test {
+ protected:
+  QueryWorkloadTest() {
+    ClusterConfig cc;
+    cc.num_servers = 4;
+    sim_ = std::make_unique<sim::Simulation>();
+    cluster_ = std::make_unique<Cluster>(cc);
+    locality_ = std::make_unique<LocalityManager>(*cluster_);
+    groups_ = std::make_unique<GroupManager>(*locality_);
+    dag_ = std::make_unique<DagScheduler>(*sim_, *cluster_, CostModel{},
+                                          *locality_, *groups_, DagOptions{});
+    part_ = std::make_shared<HashPartitioner>(8);
+
+    trace::TaxiTraceGen::Config tc;
+    tc.grid_bits = 5;
+    tc.events_per_hour = 1e5;
+    auto gen = std::make_shared<trace::TaxiTraceGen>(tc);
+    StreamConfig sc;
+    sc.batch_interval = 10.0;
+    stream_ = std::make_unique<StreamContext>(
+        *dag_, *groups_, sc,
+        [gen](int step, SimTime) {
+          return gen->histogram(static_cast<double>(step) / 12.0, 2,
+                                1.0 / 12.0);
+        },
+        [this](const KeyHistogram&, int) { return part_; });
+  }
+
+  QueryWorkload make_workload(double rate, int grid_bits = 5) {
+    QueryWorkload::Config qc;
+    qc.rate = [rate](SimTime) { return rate; };
+    qc.max_window_timesteps = 4;
+    qc.min_window_timesteps = 1;
+    qc.grid_bits = grid_bits;
+    qc.region_cells = 8;
+    return QueryWorkload(*stream_, *dag_, qc,
+                         [this](const std::vector<DatasetPtr>&) {
+                           return part_;
+                         });
+  }
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<LocalityManager> locality_;
+  std::unique_ptr<GroupManager> groups_;
+  std::unique_ptr<DagScheduler> dag_;
+  std::unique_ptr<StreamContext> stream_;
+  PartitionerPtr part_;
+};
+
+TEST_F(QueryWorkloadTest, IssuesAndCompletesQueries) {
+  stream_->start(6);
+  auto wl = make_workload(0.5);
+  wl.start(15.0, 60.0);
+  sim_->run();
+  EXPECT_GT(wl.issued(), 5);
+  EXPECT_EQ(wl.completed(), wl.issued());
+  EXPECT_EQ(static_cast<int>(wl.delays().count()), wl.completed());
+}
+
+TEST_F(QueryWorkloadTest, ArrivalCountTracksRate) {
+  stream_->start(6);
+  auto wl = make_workload(2.0);
+  wl.start(10.0, 110.0);  // 100s at 2/s => ~200 queries
+  sim_->run();
+  EXPECT_GT(wl.issued(), 150);
+  EXPECT_LT(wl.issued(), 250);
+}
+
+TEST_F(QueryWorkloadTest, DelaysRecordedAsTimeSeries) {
+  stream_->start(6);
+  auto wl = make_workload(0.5);
+  wl.start(15.0, 55.0);
+  sim_->run();
+  ASSERT_GT(wl.delay_series().count(), 0u);
+  for (const auto& [t, d] : wl.delay_series().points()) {
+    EXPECT_GE(t, 15.0);
+    EXPECT_LT(t, 55.0);
+    EXPECT_GT(d, 0.0);
+  }
+}
+
+TEST_F(QueryWorkloadTest, QueriesBeforeAnyTimestepAreSkipped) {
+  // No stream started: issue_query finds no cached timesteps and no job.
+  auto wl = make_workload(1.0);
+  wl.start(0.0, 5.0);
+  sim_->run();
+  EXPECT_EQ(wl.issued(), 0);
+  EXPECT_EQ(wl.completed(), 0);
+}
+
+TEST_F(QueryWorkloadTest, ExactRegionFilterProducesExactCounts) {
+  stream_->start(3);
+  QueryWorkload::Config qc;
+  qc.rate = [](SimTime) { return 0.2; };
+  qc.max_window_timesteps = 2;
+  qc.min_window_timesteps = 1;
+  qc.grid_bits = 5;
+  qc.region_cells = 4;
+  qc.exact_region_filter = true;
+  QueryWorkload wl(*stream_, *dag_, qc,
+                   [this](const std::vector<DatasetPtr>&) { return part_; });
+  wl.start(25.0, 50.0);
+  sim_->run();
+  EXPECT_GT(wl.completed(), 0);
+}
+
+TEST_F(QueryWorkloadTest, RejectsMissingCallbacks) {
+  QueryWorkload::Config qc;  // no rate
+  EXPECT_THROW(QueryWorkload(*stream_, *dag_, qc,
+                             [this](const std::vector<DatasetPtr>&) {
+                               return part_;
+                             }),
+               std::invalid_argument);
+  qc.rate = [](SimTime) { return 1.0; };
+  EXPECT_THROW(QueryWorkload(*stream_, *dag_, qc, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stark

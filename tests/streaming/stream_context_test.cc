@@ -1,0 +1,185 @@
+#include "streaming/stream_context.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/taxi.h"
+
+namespace stark {
+namespace {
+
+class StreamContextTest : public ::testing::Test {
+ protected:
+  StreamContextTest() {
+    ClusterConfig cc;
+    cc.num_servers = 4;
+    sim_ = std::make_unique<sim::Simulation>();
+    cluster_ = std::make_unique<Cluster>(cc);
+    locality_ = std::make_unique<LocalityManager>(*cluster_);
+    groups_ = std::make_unique<GroupManager>(*locality_);
+    dag_ = std::make_unique<DagScheduler>(*sim_, *cluster_, CostModel{},
+                                          *locality_, *groups_, DagOptions{});
+    part_ = std::make_shared<HashPartitioner>(8);
+  }
+
+  StreamContext make_stream(StreamConfig cfg) {
+    trace::TaxiTraceGen::Config tc;
+    tc.grid_bits = 5;
+    tc.events_per_hour = 1e5;
+    auto gen = std::make_shared<trace::TaxiTraceGen>(tc);
+    return StreamContext(
+        *dag_, *groups_, cfg,
+        [gen](int step, SimTime) {
+          return gen->histogram(static_cast<double>(step % 288) / 12.0, 2,
+                                1.0 / 12.0);
+        },
+        [this](const KeyHistogram&, int) { return part_; });
+  }
+
+  void SetUpSecondStack() {
+    ClusterConfig cc;
+    cc.num_servers = 4;
+    sim2_ = std::make_unique<sim::Simulation>();
+    cluster2_ = std::make_unique<Cluster>(cc);
+    locality2_ = std::make_unique<LocalityManager>(*cluster2_);
+    groups2_ = std::make_unique<GroupManager>(*locality2_);
+    dag2_ = std::make_unique<DagScheduler>(*sim2_, *cluster2_, CostModel{},
+                                           *locality2_, *groups2_,
+                                           DagOptions{});
+  }
+
+  StreamContext make_stream2(StreamConfig cfg) {
+    trace::TaxiTraceGen::Config tc;
+    tc.grid_bits = 5;
+    tc.events_per_hour = 1e5;
+    auto gen = std::make_shared<trace::TaxiTraceGen>(tc);
+    return StreamContext(
+        *dag2_, *groups2_, cfg,
+        [gen](int step, SimTime) {
+          return gen->histogram(static_cast<double>(step % 288) / 12.0, 2,
+                                1.0 / 12.0);
+        },
+        [this](const KeyHistogram&, int) { return part_; });
+  }
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<LocalityManager> locality_;
+  std::unique_ptr<GroupManager> groups_;
+  std::unique_ptr<DagScheduler> dag_;
+  std::unique_ptr<sim::Simulation> sim2_;
+  std::unique_ptr<Cluster> cluster2_;
+  std::unique_ptr<LocalityManager> locality2_;
+  std::unique_ptr<GroupManager> groups2_;
+  std::unique_ptr<DagScheduler> dag2_;
+  PartitionerPtr part_;
+};
+
+TEST_F(StreamContextTest, CreatesTimestepsAtBatchBoundaries) {
+  StreamConfig cfg;
+  cfg.batch_interval = 10.0;
+  cfg.materialize_eagerly = false;
+  auto stream = make_stream(cfg);
+  stream.start(5);
+  sim_->run();
+  EXPECT_EQ(stream.steps_created(), 5);
+  ASSERT_EQ(stream.live_timesteps().size(), 5u);
+  EXPECT_DOUBLE_EQ(stream.live_timesteps()[0].created_at, 0.0);
+  EXPECT_DOUBLE_EQ(stream.live_timesteps()[4].created_at, 40.0);
+}
+
+TEST_F(StreamContextTest, EagerMaterializationCachesPartitions) {
+  StreamConfig cfg;
+  cfg.batch_interval = 30.0;
+  auto stream = make_stream(cfg);
+  stream.start(2);
+  sim_->run();
+  for (const auto& ts : stream.live_timesteps()) {
+    for (int p = 0; p < ts.data->num_partitions(); ++p) {
+      EXPECT_TRUE(cluster_->cached_anywhere({ts.data->id(), p}))
+          << "step " << ts.step << " partition " << p;
+    }
+  }
+}
+
+TEST_F(StreamContextTest, RetentionEvictsOldTimesteps) {
+  StreamConfig cfg;
+  cfg.batch_interval = 10.0;
+  cfg.retention = 25.0;  // keeps ~3 steps
+  auto stream = make_stream(cfg);
+  stream.start(6);
+  sim_->run();
+  EXPECT_EQ(stream.steps_created(), 6);
+  EXPECT_LE(stream.live_timesteps().size(), 3u);
+  // Evicted steps' blocks are gone from every cache.
+  // (The oldest created step was step 0 at t=0.)
+  EXPECT_GE(stream.live_timesteps().front().step, 3);
+}
+
+TEST_F(StreamContextTest, TimestepsBetweenFiltersByCreation) {
+  StreamConfig cfg;
+  cfg.batch_interval = 10.0;
+  cfg.materialize_eagerly = false;
+  auto stream = make_stream(cfg);
+  stream.start(5);
+  sim_->run();
+  EXPECT_EQ(stream.timesteps_between(10.0, 30.0).size(), 3u);
+  EXPECT_EQ(stream.timesteps_between(100.0, 200.0).size(), 0u);
+}
+
+TEST_F(StreamContextTest, LatestTimesteps) {
+  StreamConfig cfg;
+  cfg.batch_interval = 10.0;
+  cfg.materialize_eagerly = false;
+  auto stream = make_stream(cfg);
+  stream.start(5);
+  sim_->run();
+  const auto latest = stream.latest_timesteps(2);
+  ASSERT_EQ(latest.size(), 2u);
+  EXPECT_EQ(latest[1], stream.live_timesteps().back().data);
+  EXPECT_EQ(stream.latest_timesteps(100).size(), 5u);
+  EXPECT_TRUE(stream.latest_timesteps(0).empty());
+}
+
+TEST_F(StreamContextTest, NamespaceAppliedToTimesteps) {
+  StreamConfig cfg;
+  cfg.batch_interval = 10.0;
+  cfg.ns = "stream";
+  cfg.materialize_eagerly = false;
+  groups_->register_namespace("stream", part_, {});
+  auto stream = make_stream(cfg);
+  stream.start(2);
+  sim_->run();
+  for (const auto& ts : stream.live_timesteps()) {
+    EXPECT_EQ(ts.data->ns(), "stream");
+  }
+}
+
+TEST_F(StreamContextTest, MissingCallbacksRejected) {
+  EXPECT_THROW(StreamContext(*dag_, *groups_, {}, nullptr,
+                             [this](const KeyHistogram&, int) { return part_; }),
+               std::invalid_argument);
+}
+
+TEST_F(StreamContextTest, SerializedStorageShrinksFootprint) {
+  StreamConfig plain;
+  plain.batch_interval = 30.0;
+  auto s1 = make_stream(plain);
+  s1.start(2);
+  sim_->run();
+  const Bytes deser = cluster_->total_cached_bytes();
+
+  // Fresh engine stack for the serialized variant.
+  SetUpSecondStack();
+  StreamConfig ser;
+  ser.batch_interval = 30.0;
+  ser.storage_level = Dataset::StorageLevel::kMemorySerialized;
+  auto s2 = make_stream2(ser);
+  s2.start(2);
+  sim2_->run();
+  const Bytes serialized = cluster2_->total_cached_bytes();
+  EXPECT_NEAR(serialized / deser,
+              dag_->cost_model().serialization_ratio, 1e-6);
+}
+
+}  // namespace
+}  // namespace stark

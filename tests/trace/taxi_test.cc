@@ -1,0 +1,112 @@
+#include "trace/taxi.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace stark::trace {
+namespace {
+
+TEST(TaxiTrace, DensitySumsToOne) {
+  TaxiTraceGen gen({});
+  for (double hour : {3.0, 9.0, 15.0, 21.0}) {
+    const auto d = gen.cell_density(hour, 2);
+    const double sum = std::accumulate(d.begin(), d.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "hour " << hour;
+  }
+}
+
+TEST(TaxiTrace, GridSizeMatchesBits) {
+  TaxiTraceGen::Config c;
+  c.grid_bits = 5;
+  TaxiTraceGen gen(c);
+  EXPECT_EQ(gen.grid_size(), 32);
+  EXPECT_EQ(gen.cell_density(12.0, 0).size(), 1024u);
+}
+
+// Fig 6's point: the spatial distribution changes drastically over time.
+TEST(TaxiTrace, DistributionShiftsOverTime) {
+  TaxiTraceGen gen({});
+  const auto morning = gen.cell_density(9.0, 1);   // weekday morning
+  const auto evening = gen.cell_density(20.0, 5);  // weekend evening
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < morning.size(); ++i) {
+    l1 += std::abs(morning[i] - evening[i]);
+  }
+  EXPECT_GT(l1, 0.2);  // substantial total-variation distance
+}
+
+TEST(TaxiTrace, WeekendBoostChangesHotspots) {
+  TaxiTraceGen gen({});
+  const auto weekday = gen.cell_density(20.0, 2);
+  const auto weekend = gen.cell_density(20.0, 6);
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < weekday.size(); ++i) {
+    l1 += std::abs(weekday[i] - weekend[i]);
+  }
+  EXPECT_GT(l1, 0.05);
+}
+
+TEST(TaxiTrace, HistogramUsesZKeys) {
+  TaxiTraceGen::Config c;
+  c.grid_bits = 4;
+  TaxiTraceGen gen(c);
+  const auto hist = gen.histogram(12.0, 2, 1.0);
+  for (const auto& e : hist.entries()) {
+    EXPECT_LT(e.key, 256u);  // 16x16 grid
+  }
+  EXPECT_GT(hist.size(), 200u);  // background covers almost every cell
+}
+
+TEST(TaxiTrace, HistogramVolumeScalesWithDuration) {
+  TaxiTraceGen gen({});
+  const auto one = gen.histogram(12.0, 2, 1.0);
+  const auto two = gen.histogram(12.0, 2, 2.0);
+  EXPECT_NEAR(two.total_bytes() / one.total_bytes(), 2.0, 1e-6);
+}
+
+TEST(TaxiTrace, RateFactorDiurnal) {
+  TaxiTraceGen gen({});
+  EXPECT_GT(gen.rate_factor(19.0, 2), gen.rate_factor(7.0, 2));
+  EXPECT_GT(gen.rate_factor(19.0, 6), gen.rate_factor(19.0, 2));  // weekend
+}
+
+TEST(TaxiTrace, HotspotConcentration) {
+  // The configured hotspot peak hour concentrates mass near its center.
+  TaxiTraceGen::Config c;
+  c.grid_bits = 6;
+  c.background_share = 0.2;
+  c.hotspots = {{32.0, 32.0, 3.0, 1.0, 12.0, 1.0}};
+  TaxiTraceGen gen(c);
+  const auto d = gen.cell_density(12.0, 2);
+  const int g = gen.grid_size();
+  // Mass within +-6 cells of the center vs a far corner patch of same size.
+  double near = 0.0, far = 0.0;
+  for (int y = 0; y < g; ++y) {
+    for (int x = 0; x < g; ++x) {
+      const double v = d[static_cast<std::size_t>(y) * g + x];
+      if (std::abs(x - 32) <= 6 && std::abs(y - 32) <= 6) near += v;
+      if (x <= 12 && y <= 12) far += v;
+    }
+  }
+  EXPECT_GT(near, 5.0 * far);
+}
+
+class TaxiHourSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaxiHourSweep, EveryHourProducesValidHistogram) {
+  TaxiTraceGen gen({});
+  const int hour = GetParam();
+  const auto hist = gen.histogram(hour, hour % 7, 1.0 / 12.0);  // 5 min
+  EXPECT_GT(hist.total_bytes(), 0.0);
+  EXPECT_GT(hist.total_records(), 0.0);
+  // Bytes per record constant.
+  EXPECT_NEAR(hist.total_bytes() / hist.total_records(),
+              gen.config().bytes_per_event, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hours, TaxiHourSweep, ::testing::Range(0, 24, 3));
+
+}  // namespace
+}  // namespace stark::trace

@@ -1,0 +1,50 @@
+#include "trace/tweet.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/taxi.h"
+
+namespace stark::trace {
+namespace {
+
+TEST(TweetGen, MergeAppendsOneTweetPerEvent) {
+  TaxiTraceGen taxi({});
+  TweetGen::Config c;
+  c.bytes_per_tweet = 300.0;
+  TweetGen tweets(c);
+  const auto base = taxi.histogram(12.0, 2, 1.0);
+  const auto merged = tweets.merge_with_taxi(base);
+  EXPECT_EQ(merged.size(), base.size());
+  EXPECT_DOUBLE_EQ(merged.total_records(), base.total_records());
+  EXPECT_NEAR(merged.total_bytes(),
+              base.total_bytes() + base.total_records() * 300.0, 1e-3);
+}
+
+TEST(TweetGen, MergePreservesKeys) {
+  TaxiTraceGen taxi({});
+  TweetGen tweets({});
+  const auto base = taxi.histogram(9.0, 1, 0.5);
+  const auto merged = tweets.merge_with_taxi(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(merged.entries()[i].key, base.entries()[i].key);
+  }
+}
+
+TEST(TweetGen, KeywordSelectivityIsZipf) {
+  TweetGen gen({});
+  EXPECT_GT(gen.keyword_selectivity(0), gen.keyword_selectivity(1));
+  EXPECT_GT(gen.keyword_selectivity(1), gen.keyword_selectivity(100));
+  double total = 0.0;
+  for (std::uint64_t r = 0; r < gen.config().num_keywords; ++r) {
+    total += gen.keyword_selectivity(r);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TweetGen, OutOfRangeKeywordIsZero) {
+  TweetGen gen({});
+  EXPECT_EQ(gen.keyword_selectivity(gen.config().num_keywords), 0.0);
+}
+
+}  // namespace
+}  // namespace stark::trace

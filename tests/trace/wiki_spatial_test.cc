@@ -1,0 +1,83 @@
+// Tests for the spatial (hot-prefix) Wikipedia histogram mode.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "trace/wiki.h"
+
+namespace stark::trace {
+namespace {
+
+WikiTraceGen gen(std::uint64_t urls = 4096) {
+  WikiTraceGen::Config c;
+  c.num_urls = urls;
+  return WikiTraceGen(c);
+}
+
+TEST(WikiSpatial, ZeroSkewIsUniform) {
+  const auto h = gen(1024).histogram_spatial(10 * kMiB, 0.0);
+  ASSERT_EQ(h.size(), 1024u);
+  const double per_key = h.total_bytes() / 1024.0;
+  for (const auto& e : h.entries()) {
+    EXPECT_NEAR(e.bytes, per_key, per_key * 1e-6);
+  }
+}
+
+TEST(WikiSpatial, VolumeIsPreserved) {
+  for (double skew : {0.0, 1.0, 3.0, 8.0}) {
+    const auto h = gen().histogram_spatial(64 * kMiB, skew);
+    EXPECT_NEAR(h.total_bytes(), 64 * kMiB, 1.0) << "skew " << skew;
+  }
+}
+
+TEST(WikiSpatial, SkewConcentratesHotPrefixes) {
+  const auto uniform = gen().histogram_spatial(64 * kMiB, 0.0);
+  const auto skewed = gen().histogram_spatial(64 * kMiB, 4.0);
+  // Mass in the first hot prefix region (around 22% of the domain).
+  const auto range_bytes = [](const KeyHistogram& h, Key lo, Key hi) {
+    return h.range(lo, hi).total_bytes();
+  };
+  const Key lo = static_cast<Key>(0.18 * 4096), hi = static_cast<Key>(0.26 * 4096);
+  EXPECT_GT(range_bytes(skewed, lo, hi), 3.0 * range_bytes(uniform, lo, hi));
+}
+
+TEST(WikiSpatial, NoSingleKeyDominates) {
+  // The point of the spatial model: partitions covering hot prefixes are
+  // heavy, but no individual key is (unlike rank-keyed Zipf).
+  const auto h = gen().histogram_spatial(64 * kMiB, 6.0);
+  double max_key = 0.0;
+  for (const auto& e : h.entries()) max_key = std::max(max_key, e.bytes);
+  EXPECT_LT(max_key / h.total_bytes(), 0.02);
+}
+
+TEST(WikiSpatial, MoreSkewMoreImbalanceUnderRangePartitioning) {
+  const int parts = 32;
+  const auto imbalance = [&](double skew) {
+    const auto h = gen().histogram_spatial(64 * kMiB, skew);
+    const auto pb = h.partition_bytes(
+        [parts](Key k) {
+          return static_cast<int>(k / (4096 / static_cast<Key>(parts)));
+        },
+        parts);
+    double mx = 0.0;
+    for (double b : pb) mx = std::max(mx, b);
+    return mx / (h.total_bytes() / parts);
+  };
+  EXPECT_LT(imbalance(0.0), 1.01);
+  EXPECT_LT(imbalance(1.0), imbalance(4.0));
+  EXPECT_GT(imbalance(4.0), 2.0);
+}
+
+TEST(WikiSpatial, HashPartitioningFlattensTheSkew) {
+  // Hash spreads the hot prefixes across partitions: the same data that is
+  // heavily imbalanced under ranges is nearly flat under hashing.
+  const auto h = gen().histogram_spatial(64 * kMiB, 6.0);
+  const int parts = 32;
+  const auto pb = h.partition_bytes(
+      [](Key k) { return static_cast<int>(splitmix64(k) % 32); }, parts);
+  double mx = 0.0;
+  for (double b : pb) mx = std::max(mx, b);
+  EXPECT_LT(mx / (h.total_bytes() / parts), 1.6);
+}
+
+}  // namespace
+}  // namespace stark::trace

@@ -1,0 +1,75 @@
+#include "trace/wiki.h"
+
+#include <gtest/gtest.h>
+
+namespace stark::trace {
+namespace {
+
+TEST(WikiTrace, PeakToNadirRatioIsTwo) {
+  WikiTraceGen gen({});
+  double peak = 0.0, nadir = 1e18;
+  for (int h = 0; h < 24; ++h) {
+    const double f = gen.diurnal_factor(h);
+    peak = std::max(peak, f);
+    nadir = std::min(nadir, f);
+  }
+  EXPECT_NEAR(peak / nadir, 2.0, 0.01);
+}
+
+TEST(WikiTrace, DiurnalMeanIsOne) {
+  WikiTraceGen gen({});
+  double sum = 0.0;
+  for (int h = 0; h < 24; ++h) sum += gen.diurnal_factor(h);
+  EXPECT_NEAR(sum / 24.0, 1.0, 1e-6);
+}
+
+TEST(WikiTrace, PeakAtConfiguredHour) {
+  WikiTraceGen::Config c;
+  c.peak_hour = 12.0;
+  WikiTraceGen gen(c);
+  EXPECT_GT(gen.diurnal_factor(12.0), gen.diurnal_factor(0.0));
+  EXPECT_NEAR(gen.diurnal_factor(12.0), 1.0 + c.diurnal_amplitude, 1e-9);
+}
+
+TEST(WikiTrace, HourlyHistogramVolumeTracksDiurnal) {
+  WikiTraceGen::Config c;
+  c.bytes_per_hour = 100.0 * kMiB;
+  WikiTraceGen gen(c);
+  for (int h : {0, 6, 12, 20}) {
+    const auto hist = gen.hourly_histogram(h);
+    EXPECT_NEAR(hist.total_bytes(), c.bytes_per_hour * gen.diurnal_factor(h),
+                1.0);
+  }
+}
+
+TEST(WikiTrace, HistogramKeysAreRanks) {
+  WikiTraceGen::Config c;
+  c.num_urls = 100;
+  WikiTraceGen gen(c);
+  const auto hist = gen.histogram(10 * kMiB, 1.0);
+  EXPECT_EQ(hist.size(), 100u);
+  EXPECT_EQ(hist.entries().front().key, 0u);
+  EXPECT_EQ(hist.entries().back().key, 99u);
+}
+
+TEST(WikiTrace, ZipfSkewInHistogram) {
+  WikiTraceGen::Config c;
+  c.num_urls = 1000;
+  WikiTraceGen gen(c);
+  const auto skewed = gen.histogram(10 * kMiB, 1.2);
+  const auto uniform = gen.histogram(10 * kMiB, 0.0);
+  // Top key dominates in the skewed case, not the uniform one.
+  EXPECT_GT(skewed.entries()[0].bytes, 20 * uniform.entries()[0].bytes);
+  EXPECT_NEAR(uniform.entries()[0].bytes, uniform.entries()[999].bytes, 1.0);
+}
+
+TEST(WikiTrace, RecordSizeConsistent) {
+  WikiTraceGen::Config c;
+  c.bytes_per_record = 200.0;
+  WikiTraceGen gen(c);
+  const auto hist = gen.histogram(50 * kMiB, 0.9);
+  EXPECT_NEAR(hist.total_bytes() / hist.total_records(), 200.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace stark::trace

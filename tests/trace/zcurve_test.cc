@@ -1,0 +1,114 @@
+#include "trace/zcurve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stark::trace {
+namespace {
+
+TEST(ZCurve, KnownEncodings) {
+  EXPECT_EQ(z_encode(0, 0), 0u);
+  EXPECT_EQ(z_encode(1, 0), 1u);
+  EXPECT_EQ(z_encode(0, 1), 2u);
+  EXPECT_EQ(z_encode(1, 1), 3u);
+  EXPECT_EQ(z_encode(2, 0), 4u);
+  EXPECT_EQ(z_encode(7, 7), 63u);
+}
+
+TEST(ZCurve, RoundTripSmall) {
+  for (std::uint32_t x = 0; x < 32; ++x) {
+    for (std::uint32_t y = 0; y < 32; ++y) {
+      const auto [dx, dy] = z_decode(z_encode(x, y));
+      EXPECT_EQ(dx, x);
+      EXPECT_EQ(dy, y);
+    }
+  }
+}
+
+TEST(ZCurve, RoundTripRandom32Bit) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next_u64());
+    const auto y = static_cast<std::uint32_t>(rng.next_u64());
+    const auto [dx, dy] = z_decode(z_encode(x, y));
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+  }
+}
+
+TEST(ZCurve, QuadrantOrdering) {
+  // In a 2^k grid, all keys of the lower-left quadrant precede the keys of
+  // the upper-right quadrant.
+  const std::uint32_t g = 8;
+  Key max_ll = 0, min_ur = ~0ULL;
+  for (std::uint32_t x = 0; x < g / 2; ++x) {
+    for (std::uint32_t y = 0; y < g / 2; ++y) {
+      max_ll = std::max(max_ll, z_encode(x, y));
+      min_ur = std::min(min_ur, z_encode(x + g / 2, y + g / 2));
+    }
+  }
+  EXPECT_LT(max_ll, min_ur);
+}
+
+TEST(ZCurve, InRect) {
+  const CellRect r{2, 2, 5, 5};
+  EXPECT_TRUE(z_in_rect(z_encode(2, 2), r));
+  EXPECT_TRUE(z_in_rect(z_encode(5, 5), r));
+  EXPECT_TRUE(z_in_rect(z_encode(3, 4), r));
+  EXPECT_FALSE(z_in_rect(z_encode(1, 3), r));
+  EXPECT_FALSE(z_in_rect(z_encode(6, 2), r));
+}
+
+TEST(ZCurve, RangesCoverRectExactly) {
+  const CellRect r{1, 2, 6, 5};
+  const auto ranges = z_ranges(r);
+  // Count keys covered by the ranges and verify each is inside the rect.
+  std::size_t covered = 0;
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_LE(lo, hi);
+    for (Key k = lo; k <= hi; ++k) {
+      EXPECT_TRUE(z_in_rect(k, r)) << "key " << k;
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, (6u - 1u + 1u) * (5u - 2u + 1u));
+}
+
+TEST(ZCurve, AlignedSquareIsOneRange) {
+  // A Z-aligned power-of-two square maps to a single contiguous range.
+  const CellRect r{4, 4, 7, 7};
+  const auto ranges = z_ranges(r);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].second - ranges[0].first + 1, 16u);
+}
+
+TEST(ZCurve, SingleCellRange) {
+  const CellRect r{3, 5, 3, 5};
+  const auto ranges = z_ranges(r);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, z_encode(3, 5));
+  EXPECT_EQ(ranges[0].second, z_encode(3, 5));
+}
+
+class ZCurveGridSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ZCurveGridSweep, KeysAreDenseInFullGrid) {
+  // A full 2^k x 2^k grid maps exactly onto [0, 4^k).
+  const std::uint32_t g = GetParam();
+  std::vector<bool> seen(static_cast<std::size_t>(g) * g, false);
+  for (std::uint32_t x = 0; x < g; ++x) {
+    for (std::uint32_t y = 0; y < g; ++y) {
+      const Key z = z_encode(x, y);
+      ASSERT_LT(z, static_cast<Key>(g) * g);
+      EXPECT_FALSE(seen[z]);
+      seen[z] = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, ZCurveGridSweep,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace stark::trace
