@@ -1,0 +1,123 @@
+// Chaos resilience: makespan degradation under gray failure for Spark-H vs
+// Stark-H.
+//
+// A fixed batch of cogroup-filter-count queries over cached collections is
+// run twice per configuration: once on a healthy cluster and once under a
+// seeded chaos schedule (crashes with repair, a flaky-task window, slow
+// nodes). The interesting output is the degradation ratio — how much of the
+// healthy makespan each scheduler gives back when executors die mid-wave —
+// plus the failure counters behind it. Emits a single JSON object so the
+// results are machine-comparable across commits.
+#include <cstdio>
+
+#include "api/chaos.h"
+#include "bench_util.h"
+
+using namespace stark;
+
+namespace {
+
+constexpr int kServers = 12;
+constexpr int kPartitions = 24;
+constexpr int kJobs = 20;
+constexpr double kJobSpacing = 1.5;
+
+struct RunResult {
+  double makespan = 0.0;
+  int completed = 0;
+  int aborted = 0;
+  FailureStats stats;
+  int kills = 0;
+  int slow_episodes = 0;
+};
+
+RunResult run(ConfigKind kind, bool with_chaos) {
+  ContextOptions o = bench::paper_cluster(kind, kServers);
+  o.detail_task_metrics = false;
+  Context ctx(o);
+  auto part = ctx.collection_partitioner(kPartitions, 4096);
+  std::vector<DatasetPtr> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(ctx.ingest("logs" + std::to_string(i),
+                                bench::wiki_hourly(i, 200 * kMiB), part,
+                                "logs"));
+  }
+
+  const SimTime t0 = ctx.sim().now();
+  ChaosInjector chaos(ctx, {.failures_per_hour = 360.0,  // one kill / 10 s
+                            .mean_repair_seconds = 5.0,
+                            .min_alive = kServers / 2,
+                            .flaky_task_probability = 0.05,
+                            .slow_nodes_per_hour = 120.0,
+                            .mean_slow_seconds = 8.0,
+                            .seed = 97});
+  if (with_chaos) chaos.start(t0, t0 + kJobs * kJobSpacing + 30.0);
+
+  RunResult res;
+  SimTime last_finish = t0;
+  for (int q = 0; q < kJobs; ++q) {
+    ctx.sim().at(t0 + kJobSpacing * q, [&] {
+      auto cg = Dataset::cogroup(inputs, part, "bench.cogroup");
+      auto filtered = cg->filter({.selectivity = 0.1}, "bench.region");
+      ctx.dag().submit(filtered, ActionType::kCount, [&](const JobResult& r) {
+        if (r.completed) {
+          ++res.completed;
+        } else {
+          ++res.aborted;
+        }
+        if (r.finish_time > last_finish) last_finish = r.finish_time;
+      });
+    });
+  }
+  ctx.sim().run();
+
+  res.makespan = last_finish - t0;
+  res.stats = ctx.dag().failure_stats();
+  res.kills = chaos.kills();
+  res.slow_episodes = chaos.slow_episodes();
+  return res;
+}
+
+void emit_config(const char* name, const RunResult& healthy,
+                 const RunResult& chaotic, bool last) {
+  std::printf(
+      "    {\"config\": \"%s\",\n"
+      "     \"no_chaos_makespan_s\": %.6f,\n"
+      "     \"chaos_makespan_s\": %.6f,\n"
+      "     \"degradation\": %.4f,\n"
+      "     \"jobs_completed\": %d, \"jobs_aborted\": %d,\n"
+      "     \"chaos\": {\"kills\": %d, \"slow_episodes\": %d,\n"
+      "               \"heartbeat_detections\": %d,\n"
+      "               \"mean_detection_latency_s\": %.6f,\n"
+      "               \"task_failures\": %d, \"task_retries\": %d,\n"
+      "               \"fetch_failures\": %d, \"stage_resubmissions\": %d,\n"
+      "               \"executor_exclusions\": %d}}%s\n",
+      name, healthy.makespan, chaotic.makespan,
+      healthy.makespan > 0.0 ? chaotic.makespan / healthy.makespan : 0.0,
+      chaotic.completed, chaotic.aborted, chaotic.kills,
+      chaotic.slow_episodes, chaotic.stats.heartbeat_detections,
+      chaotic.stats.mean_detection_latency(), chaotic.stats.task_failures,
+      chaotic.stats.task_retries, chaotic.stats.fetch_failures,
+      chaotic.stats.stage_resubmissions, chaotic.stats.executor_exclusions,
+      last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  std::fprintf(stderr,
+               "[chaos_resilience] %d jobs on %d servers, healthy vs seeded "
+               "chaos, Spark-H and Stark-H...\n",
+               kJobs, kServers);
+  std::printf("{\n  \"bench\": \"chaos_resilience\",\n"
+              "  \"servers\": %d, \"jobs\": %d,\n  \"configs\": [\n",
+              kServers, kJobs);
+  const ConfigKind kinds[] = {ConfigKind::kSparkH, ConfigKind::kStarkH};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const RunResult healthy = run(kinds[i], /*with_chaos=*/false);
+    const RunResult chaotic = run(kinds[i], /*with_chaos=*/true);
+    emit_config(config_name(kinds[i]), healthy, chaotic, i + 1 == 2);
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -1,36 +1,114 @@
 #include "api/chaos.h"
 
+#include <vector>
+
 namespace stark {
 
 ChaosInjector::ChaosInjector(Context& ctx, Config config)
-    : ctx_(&ctx), config_(config), rng_(config.seed) {}
+    : ctx_(&ctx),
+      config_(config),
+      kill_rng_(config.seed),
+      slow_rng_(splitmix64(config.seed ^ 0x534c4f57ULL)),
+      partition_rng_(splitmix64(config.seed ^ 0x50415254ULL)) {}
 
-void ChaosInjector::start(SimTime t0, SimTime t1) { schedule_next(t0, t1); }
+void ChaosInjector::start(SimTime t0, SimTime t1) {
+  if (t1 <= t0) return;  // empty or inverted window: nothing to schedule
+  schedule_next(kill_rng_, config_.failures_per_hour, t0, t1,
+                [this] { inject_kill(); });
+  schedule_next(slow_rng_, config_.slow_nodes_per_hour, t0, t1,
+                [this] { inject_slow(); });
+  schedule_next(partition_rng_, config_.partitions_per_hour, t0, t1,
+                [this] { inject_partition(); });
+  if (config_.flaky_task_probability > 0.0) {
+    // Flakiness is a window, not a process: tasks launched in [t0, t1)
+    // crash with the configured probability. With overlapping start()
+    // calls, the last boundary to fire wins.
+    ctx_->sim().at(t0, [this] {
+      ctx_->dag().tasks().set_flaky_task_probability(
+          config_.flaky_task_probability);
+    });
+    ctx_->sim().at(t1, [this] {
+      ctx_->dag().tasks().set_flaky_task_probability(0.0);
+    });
+  }
+}
 
-void ChaosInjector::schedule_next(SimTime at, SimTime end) {
-  const double rate = config_.failures_per_hour / 3600.0;
+void ChaosInjector::schedule_next(Rng& rng, double per_hour, SimTime at,
+                                  SimTime end,
+                                  const std::function<void()>& fire) {
+  const double rate = per_hour / 3600.0;
   if (rate <= 0.0) return;
-  const SimTime next = at + rng_.exponential(rate);
+  const SimTime next = at + rng.exponential(rate);
   if (next >= end) return;
-  ctx_->sim().at(next, [this, next, end] {
-    inject();
-    schedule_next(next, end);
+  ctx_->sim().at(next, [this, &rng, per_hour, next, end, fire] {
+    fire();
+    schedule_next(rng, per_hour, next, end, fire);
   });
 }
 
-void ChaosInjector::inject() {
-  const auto alive = ctx_->cluster().alive_servers();
-  if (static_cast<int>(alive.size()) <= config_.min_alive) return;
-  const ServerId victim =
-      alive[rng_.next_below(alive.size())];
-  ctx_->kill_server(victim);
+int ChaosInjector::usable_servers() const {
+  return static_cast<int>(ctx_->cluster().reachable_servers().size());
+}
+
+void ChaosInjector::inject_kill() {
+  // Decide against the usable count at this instant: repairs that landed
+  // since the last injection raise it, concurrent partitions lower it.
+  const auto usable = ctx_->cluster().reachable_servers();
+  if (static_cast<int>(usable.size()) <= config_.min_alive) return;
+  const ServerId victim = usable[kill_rng_.next_below(usable.size())];
+  if (!ctx_->kill_server(victim)) return;
   ++kills_;
-  const SimTime repair = rng_.exponential(1.0 / config_.mean_repair_seconds);
+  const SimTime repair = kill_rng_.exponential(1.0 / config_.mean_repair_seconds);
   ctx_->sim().after(repair, [this, victim] {
-    ctx_->cluster().restart_server(victim);
-    ++restarts_;
-    // The revived server's cores become schedulable immediately.
-    ctx_->dag().tasks().schedule();
+    if (ctx_->restart_server(victim)) ++restarts_;
+  });
+}
+
+void ChaosInjector::inject_slow() {
+  const auto usable = ctx_->cluster().reachable_servers();
+  std::vector<ServerId> healthy;
+  for (ServerId s : usable) {
+    if (!ctx_->cluster().server(s).degradation().degraded()) {
+      healthy.push_back(s);
+    }
+  }
+  if (healthy.empty()) return;
+  const ServerId victim = healthy[slow_rng_.next_below(healthy.size())];
+  Server& srv = ctx_->cluster().server(victim);
+  srv.set_degradation({config_.slow_cpu_factor, config_.slow_disk_factor,
+                       config_.slow_net_factor});
+  ++slow_episodes_;
+  const int gen = srv.generation();
+  const SimTime dur = slow_rng_.exponential(1.0 / config_.mean_slow_seconds);
+  ctx_->sim().after(dur, [this, victim, gen] {
+    Server& s = ctx_->cluster().server(victim);
+    // A restart in between already reset the degradation of the new
+    // incarnation; don't touch it.
+    if (s.alive() && s.generation() == gen) s.clear_degradation();
+  });
+}
+
+void ChaosInjector::inject_partition() {
+  Cluster& cluster = ctx_->cluster();
+  const int rack = static_cast<int>(
+      partition_rng_.next_below(static_cast<std::uint64_t>(cluster.num_racks())));
+  std::vector<ServerId> targets;
+  for (ServerId s : cluster.rack_members(rack)) {
+    const Server& srv = cluster.server(s);
+    if (srv.alive() && srv.reachable()) targets.push_back(s);
+  }
+  if (targets.empty()) return;
+  if (usable_servers() - static_cast<int>(targets.size()) < config_.min_alive) {
+    return;  // partitioning this rack would starve the cluster
+  }
+  ++partitions_;
+  for (ServerId s : targets) ctx_->partition_server(s);
+  const SimTime dur =
+      partition_rng_.exponential(1.0 / config_.mean_partition_seconds);
+  ctx_->sim().after(dur, [this, targets] {
+    // Servers that died (and maybe restarted) during the partition come
+    // back reachable on their own; heal_server no-ops for them.
+    for (ServerId s : targets) ctx_->heal_server(s);
   });
 }
 

@@ -1,10 +1,23 @@
-// ChaosInjector: randomized failure injection for recovery experiments.
+// ChaosInjector: randomized fault injection for recovery experiments.
 //
-// Kills random alive servers at a Poisson rate and restarts them after an
-// exponentially distributed repair time, driving the failure-recovery paths
-// (block loss, task requeue, home re-assignment, lineage recompute) under
-// a live workload. Always leaves at least `min_alive` servers running.
+// Three independent Poisson processes drive the failure machinery under a
+// live workload:
+//  * crash-stop kills with exponential repair (block loss, heartbeat
+//    detection, task requeue, home re-assignment, lineage recompute);
+//  * gray failures — slow nodes whose cpu/disk/net stretch by configurable
+//    factors for a while (what speculation is supposed to absorb), plus a
+//    flaky-task probability window where launched tasks crash mid-run
+//    (retries + exclusion);
+//  * rack-level network partitions: every server of a random rack becomes
+//    unreachable, then heals together (fetch failures, deferred results).
+//
+// Every mode always leaves at least `min_alive` servers alive AND
+// reachable, even when repairs race with kills: the decision is taken
+// against the usable-server count at injection time, and injections that
+// would dip below the floor are skipped (not deferred).
 #pragma once
+
+#include <functional>
 
 #include "api/context.h"
 #include "common/rng.h"
@@ -14,29 +27,65 @@ namespace stark {
 class ChaosInjector {
  public:
   struct Config {
+    // Crash-stop kills.
     double failures_per_hour = 6.0;
     double mean_repair_seconds = 120.0;
+    // Floor on alive-and-reachable servers; kills and partitions that would
+    // go below it are skipped.
     int min_alive = 2;
+    // Gray failures: probability that a launched task crashes partway
+    // through (active during the chaos window only).
+    double flaky_task_probability = 0.0;
+    // Slow-node episodes: a healthy server degrades for an exponential
+    // duration, stretching its resource times by the given factors.
+    double slow_nodes_per_hour = 0.0;
+    double mean_slow_seconds = 60.0;
+    double slow_cpu_factor = 2.0;
+    double slow_disk_factor = 4.0;
+    double slow_net_factor = 4.0;
+    // Rack-level partitions (requires ClusterConfig::servers_per_rack > 0
+    // for multi-rack topologies; with a single rack the whole cluster would
+    // partition, so min_alive usually suppresses it).
+    double partitions_per_hour = 0.0;
+    double mean_partition_seconds = 30.0;
     std::uint64_t seed = 31;
   };
 
   ChaosInjector(Context& ctx, Config config);
 
-  // Schedules failure events over [t0, t1) of simulated time.
+  // Schedules fault events over [t0, t1) of simulated time. An empty or
+  // inverted window (t1 <= t0) schedules nothing. Calling start() again —
+  // even with an overlapping window — COMPOUNDS the processes: each call
+  // adds an independent set of Poisson chains, doubling the effective
+  // rates where the windows overlap. Repair/heal events may complete after
+  // t1; no new fault starts at or after t1.
   void start(SimTime t0, SimTime t1);
 
   int kills() const noexcept { return kills_; }
   int restarts() const noexcept { return restarts_; }
+  int slow_episodes() const noexcept { return slow_episodes_; }
+  int partitions() const noexcept { return partitions_; }
 
  private:
-  void schedule_next(SimTime at, SimTime end);
-  void inject();
+  // One Poisson arrival chain: schedules `fire` at exponential intervals
+  // over (at, end).
+  void schedule_next(Rng& rng, double per_hour, SimTime at, SimTime end,
+                     const std::function<void()>& fire);
+  void inject_kill();
+  void inject_slow();
+  void inject_partition();
+  // Alive-and-reachable servers the workload can still use.
+  int usable_servers() const;
 
   Context* ctx_;
   Config config_;
-  Rng rng_;
+  Rng kill_rng_;
+  Rng slow_rng_;
+  Rng partition_rng_;
   int kills_ = 0;
   int restarts_ = 0;
+  int slow_episodes_ = 0;
+  int partitions_ = 0;
 };
 
 }  // namespace stark

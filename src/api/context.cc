@@ -17,8 +17,22 @@ Context::Context(ContextOptions options)
   dag_opts.speculation = options_.speculation;
   dag_opts.replicate_on_recompute = run_config_.replicate_on_recompute;
   dag_opts.detail_task_metrics = options_.detail_task_metrics;
+  dag_opts.faults = options_.faults;
   dag_ = std::make_unique<DagScheduler>(sim_, cluster_, options_.cost,
                                         locality_, groups_, dag_opts);
+  detector_ = std::make_unique<FailureDetector>(
+      sim_, cluster_,
+      FailureDetector::Config{options_.faults.heartbeat_interval,
+                              options_.faults.heartbeat_timeout});
+  detector_->set_on_executor_lost(
+      [this](ServerId s, double latency) { dag_->on_executor_lost(s, latency); });
+  // Task offers go only to executors the driver believes are alive.
+  dag_->tasks().set_admission_fn(
+      [this](ServerId s) { return detector_->believed_alive(s); });
+  // A launch RPC aimed at a crashed executor fails on the spot and
+  // short-circuits the heartbeat timeout.
+  dag_->tasks().set_launch_failed_fn(
+      [this](ServerId s) { detector_->report_launch_failure(s); });
   // Contention tracking (MCF) follows cache contents, and so do the
   // LocalityManager homes: a collection partition maps to a *set* of
   // executors — whenever a remote task materializes a namespaced block,
@@ -106,7 +120,36 @@ JobResult Context::run_action(const DatasetPtr& ds, ActionType action) {
   return dag_->run_job(ds, action);
 }
 
-void Context::kill_server(ServerId s) { dag_->handle_server_failure(s); }
+bool Context::kill_server(ServerId s) {
+  if (!cluster_.kill_server(s)) return false;  // already dead: no-op
+  detector_->on_server_dead(s);
+  return true;
+}
+
+bool Context::restart_server(ServerId s) {
+  if (!cluster_.restart_server(s)) return false;  // already alive: no-op
+  detector_->on_server_restarted(s);
+  dag_->tasks().schedule();
+  return true;
+}
+
+bool Context::partition_server(ServerId s) {
+  Server& srv = cluster_.server(s);
+  if (!srv.alive() || !srv.reachable()) return false;
+  srv.set_reachable(false);
+  detector_->on_server_dead(s);
+  return true;
+}
+
+bool Context::heal_server(ServerId s) {
+  Server& srv = cluster_.server(s);
+  if (!srv.alive() || srv.reachable()) return false;
+  srv.set_reachable(true);
+  detector_->on_server_healed(s);
+  dag_->tasks().on_server_healed(s);
+  dag_->tasks().schedule();
+  return true;
+}
 
 CheckpointOptimizer Context::make_checkpoint_optimizer(double recovery_bound,
                                                        double relax_factor) {

@@ -20,6 +20,7 @@
 #include "api/configs.h"
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
+#include "cluster/failure_detector.h"
 #include "sched/dag_scheduler.h"
 #include "sim/simulation.h"
 #include "stark/checkpoint_optimizer.h"
@@ -36,6 +37,9 @@ struct ContextOptions {
   bool speculation = false;  // straggler task copies (spark.speculation)
   GroupConfig groups;  // bounds/window for extendable namespaces
   bool detail_task_metrics = true;
+  // Heartbeat detection, task retries, stage resubmission and exclusion
+  // knobs (see sched/task.h and docs/FAULT_MODEL.md).
+  FaultOptions faults;
   std::uint64_t seed = 7;
 };
 
@@ -72,9 +76,27 @@ class Context {
   JobResult count(const DatasetPtr& ds);
   JobResult run_action(const DatasetPtr& ds, ActionType action);
 
-  // Failure injection (drops the server's cache, requeues its tasks,
-  // removes it from locality homes).
-  void kill_server(ServerId s);
+  // --- failure injection ---------------------------------------------------
+  // All four calls are idempotent (repeating one is a no-op, returning
+  // false) and go through the heartbeat FailureDetector: the driver reacts
+  // only once the loss is *detected*, not at the instant of the physical
+  // event. The return value says whether the cluster state changed.
+  //
+  // Crash-stop: the server dies, its cache and map outputs are gone.
+  bool kill_server(ServerId s);
+  // Brings a dead server back as a fresh incarnation (empty cache, full
+  // cores). The registration declares the old incarnation lost immediately
+  // if the heartbeat timeout had not already.
+  bool restart_server(ServerId s);
+  // Network partition: the server keeps computing but can't exchange
+  // heartbeats, results or shuffle data; its blocks survive.
+  bool partition_server(ServerId s);
+  // Heals a partition. If it heals before the heartbeat timeout, the driver
+  // never noticed; task results that finished behind the partition are
+  // delivered now.
+  bool heal_server(ServerId s);
+
+  FailureDetector& detector() noexcept { return *detector_; }
 
   // A checkpoint optimizer wired to this context's cost model and
   // checkpoint registry.
@@ -90,6 +112,7 @@ class Context {
   LocalityManager locality_;
   GroupManager groups_;
   std::unique_ptr<DagScheduler> dag_;
+  std::unique_ptr<FailureDetector> detector_;
   PartitionerPtr shared_partitioner_;
   std::uint64_t sample_counter_ = 0;
 };

@@ -17,6 +17,7 @@ MetricsCollector::MetricsCollector(Cluster& cluster) {
 
 void MetricsCollector::observe_job(const JobResult& r) {
   ++jobs_;
+  if (!r.completed) ++aborted_jobs_;
   tasks_ += r.num_tasks;
   node_local_tasks_ += r.node_local_tasks;
   delays_.add(r.delay);
@@ -25,6 +26,22 @@ void MetricsCollector::observe_job(const JobResult& r) {
   bytes_disk_ += r.bytes_from_disk;
   cpu_ += r.total_cpu;
   gc_ += r.total_gc;
+}
+
+void MetricsCollector::reset() noexcept {
+  jobs_ = 0;
+  aborted_jobs_ = 0;
+  tasks_ = 0;
+  node_local_tasks_ = 0;
+  delays_ = Distribution{};
+  bytes_cache_ = 0.0;
+  bytes_net_ = 0.0;
+  bytes_disk_ = 0.0;
+  cpu_ = 0.0;
+  gc_ = 0.0;
+  inserts_ = 0;
+  evictions_ = 0;
+  failures_.reset();
 }
 
 double MetricsCollector::node_local_fraction() const noexcept {
@@ -58,17 +75,24 @@ std::string MetricsCollector::summary() const {
   char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
-      "jobs: %d  tasks: %d  node-local: %.0f%%\n"
+      "jobs: %d (%d aborted)  tasks: %d  node-local: %.0f%%\n"
       "delay: mean %s  p50 %s  p99 %s\n"
       "input: %s cache / %s net / %s disk  (cache hit %.0f%%)\n"
-      "cpu: %.1f s  gc: %.1f s (%.0f%%)  cache inserts/evictions: %lld/%lld\n",
-      jobs_, tasks_, node_local_fraction() * 100.0,
+      "cpu: %.1f s  gc: %.1f s (%.0f%%)  cache inserts/evictions: %lld/%lld\n"
+      "failures: %d (retries %d, fetch %d)  detections: %d (mean latency "
+      "%s)  resubmitted stages: %d  exclusions: %d/%d\n",
+      jobs_, aborted_jobs_, tasks_, node_local_fraction() * 100.0,
       format_seconds(delays_.mean()).c_str(),
       format_seconds(delays_.count() ? delays_.percentile(0.5) : 0.0).c_str(),
       format_seconds(delays_.count() ? delays_.percentile(0.99) : 0.0).c_str(),
       format_bytes(bytes_cache_).c_str(), format_bytes(bytes_net_).c_str(),
       format_bytes(bytes_disk_).c_str(), cache_hit_ratio() * 100.0, cpu_,
-      gc_, gc_fraction() * 100.0, inserts_, evictions_);
+      gc_, gc_fraction() * 100.0, inserts_, evictions_,
+      failures_.task_failures, failures_.task_retries,
+      failures_.fetch_failures, failures_.heartbeat_detections,
+      format_seconds(failures_.mean_detection_latency()).c_str(),
+      failures_.stage_resubmissions, failures_.executor_exclusions,
+      failures_.executor_readmissions);
   return buf;
 }
 

@@ -22,6 +22,10 @@ class MetricsCollector {
 
   void observe_job(const JobResult& r);
 
+  // Snapshot the failure-machinery counters (typically
+  // DagScheduler::failure_stats(), taken at the end of a run).
+  void observe_failures(const FailureStats& stats) { failures_ = stats; }
+
   // Aggregates.
   int jobs() const noexcept { return jobs_; }
   int tasks() const noexcept { return tasks_; }
@@ -36,6 +40,30 @@ class MetricsCollector {
   long long cache_insertions() const noexcept { return inserts_; }
   long long cache_evictions() const noexcept { return evictions_; }
 
+  // Failure machinery (from the last observe_failures snapshot).
+  int aborted_jobs() const noexcept { return aborted_jobs_; }
+  int heartbeat_detections() const noexcept {
+    return failures_.heartbeat_detections;
+  }
+  double mean_detection_latency() const noexcept {
+    return failures_.mean_detection_latency();
+  }
+  int task_failures() const noexcept { return failures_.task_failures; }
+  int task_retries() const noexcept { return failures_.task_retries; }
+  int fetch_failures() const noexcept { return failures_.fetch_failures; }
+  int stage_resubmissions() const noexcept {
+    return failures_.stage_resubmissions;
+  }
+  int executor_exclusions() const noexcept {
+    return failures_.executor_exclusions;
+  }
+  int executor_readmissions() const noexcept {
+    return failures_.executor_readmissions;
+  }
+
+  // Zeroes every aggregate, including the failure snapshot.
+  void reset() noexcept;
+
   // Fraction of task input served from local RAM.
   double cache_hit_ratio() const noexcept;
 
@@ -47,6 +75,7 @@ class MetricsCollector {
 
  private:
   int jobs_ = 0;
+  int aborted_jobs_ = 0;
   int tasks_ = 0;
   int node_local_tasks_ = 0;
   Distribution delays_;
@@ -57,6 +86,7 @@ class MetricsCollector {
   double gc_ = 0.0;
   long long inserts_ = 0;
   long long evictions_ = 0;
+  FailureStats failures_;
 };
 
 }  // namespace stark

@@ -93,18 +93,42 @@ void Cluster::touch_block(ServerId s, const BlockId& id) {
   server(s).storage().touch(id);
 }
 
-void Cluster::kill_server(ServerId s) {
+bool Cluster::kill_server(ServerId s) {
   Server& srv = server(s);
-  if (!srv.alive()) return;
+  if (!srv.alive()) return false;  // killing a dead server is a no-op
   disk_store_[static_cast<std::size_t>(s)].clear();
   for (const BlockId& id : srv.storage().clear()) {
     index_remove(s, id);
     notify(s, id, /*inserted=*/false);
   }
   srv.kill();
+  return true;
 }
 
-void Cluster::restart_server(ServerId s) { server(s).restart(); }
+bool Cluster::restart_server(ServerId s) {
+  Server& srv = server(s);
+  if (srv.alive()) return false;  // restarting a live server is a no-op
+  srv.restart();
+  return true;
+}
+
+int Cluster::rack_of(ServerId s) const noexcept {
+  return config_.servers_per_rack > 0 ? s / config_.servers_per_rack : 0;
+}
+
+int Cluster::num_racks() const noexcept {
+  if (config_.servers_per_rack <= 0) return 1;
+  return (config_.num_servers + config_.servers_per_rack - 1) /
+         config_.servers_per_rack;
+}
+
+std::vector<ServerId> Cluster::rack_members(int rack) const {
+  std::vector<ServerId> out;
+  for (const auto& srv : servers_) {
+    if (rack_of(srv->id()) == rack) out.push_back(srv->id());
+  }
+  return out;
+}
 
 int Cluster::total_free_cores() const noexcept {
   int n = 0;
@@ -119,6 +143,15 @@ std::vector<ServerId> Cluster::alive_servers() const {
   out.reserve(servers_.size());
   for (const auto& srv : servers_) {
     if (srv->alive()) out.push_back(srv->id());
+  }
+  return out;
+}
+
+std::vector<ServerId> Cluster::reachable_servers() const {
+  std::vector<ServerId> out;
+  out.reserve(servers_.size());
+  for (const auto& srv : servers_) {
+    if (srv->alive() && srv->reachable()) out.push_back(srv->id());
   }
   return out;
 }

@@ -19,6 +19,9 @@ namespace stark {
 struct ClusterConfig {
   int num_servers = 40;
   ServerConfig server;
+  // Rack topology for rack-level fault injection: servers [k*r, k*(r+1))
+  // share rack r. 0 means a single rack spanning the whole cluster.
+  int servers_per_rack = 0;
 };
 
 class Cluster {
@@ -55,12 +58,20 @@ class Cluster {
 
   void touch_block(ServerId s, const BlockId& id);
 
-  // Failure injection: kills the server and forgets its blocks.
-  void kill_server(ServerId s);
-  void restart_server(ServerId s);
+  // Failure injection: kills the server and forgets its blocks. Both calls
+  // are idempotent; the return value says whether the state changed.
+  bool kill_server(ServerId s);
+  bool restart_server(ServerId s);
+
+  // Rack of a server under the configured topology (0 if single-rack).
+  int rack_of(ServerId s) const noexcept;
+  int num_racks() const noexcept;
+  std::vector<ServerId> rack_members(int rack) const;
 
   int total_free_cores() const noexcept;
   std::vector<ServerId> alive_servers() const;
+  // Servers the driver can actually use: alive and not partitioned away.
+  std::vector<ServerId> reachable_servers() const;
 
   Bytes total_cached_bytes() const noexcept;
 

@@ -1,0 +1,85 @@
+#include "cluster/failure_detector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stark {
+
+FailureDetector::FailureDetector(sim::Simulation& sim, Cluster& cluster,
+                                 Config config)
+    : sim_(&sim), cluster_(&cluster), config_(config) {
+  if (config_.heartbeat_interval <= 0.0 || config_.heartbeat_timeout <= 0.0) {
+    throw std::invalid_argument(
+        "FailureDetector: heartbeat interval/timeout must be > 0");
+  }
+}
+
+void FailureDetector::on_server_dead(ServerId s) {
+  State& st = state(s);
+  if (st.pending || !st.believed_alive) return;  // already tracked as down
+  st.pending = true;
+  st.dead_at = sim_->now();
+  const std::uint64_t gen = ++st.generation;
+  // Last heartbeat the driver saw: the latest grid point at or before the
+  // death. First declaration opportunity: the first grid point strictly
+  // after last_hb + timeout.
+  const double i = config_.heartbeat_interval;
+  const double last_hb = std::floor(st.dead_at / i) * i;
+  double detect_at = std::ceil((last_hb + config_.heartbeat_timeout) / i) * i;
+  if (detect_at <= last_hb + config_.heartbeat_timeout) detect_at += i;
+  sim_->at(detect_at, [this, s, gen] {
+    State& cur = state(s);
+    if (!cur.pending || cur.generation != gen) return;  // healed/restarted
+    declare_lost(s, cur);
+  });
+}
+
+void FailureDetector::declare_lost(ServerId s, State& st) {
+  st.pending = false;
+  st.believed_alive = false;
+  ++detections_;
+  const double latency = sim_->now() - st.dead_at;
+  latency_sum_ += latency;
+  if (on_lost_) on_lost_(s, latency);
+}
+
+void FailureDetector::report_launch_failure(ServerId s) {
+  State& st = state(s);
+  if (!st.pending) return;  // already declared, or nothing wrong
+  if (cluster_->server(s).alive()) return;  // partitioned: RPC hangs instead
+  ++st.generation;  // cancel the scheduled grid detection
+  declare_lost(s, st);
+}
+
+void FailureDetector::on_server_restarted(ServerId s) {
+  State& st = state(s);
+  ++st.generation;  // cancel any scheduled detection
+  if (st.pending) {
+    // The new incarnation's registration proves the old one is gone; the
+    // driver declares the loss now rather than waiting out the timeout.
+    declare_lost(s, st);
+  }
+  st.pending = false;
+  st.believed_alive = true;
+}
+
+void FailureDetector::on_server_healed(ServerId s) {
+  State& st = state(s);
+  ++st.generation;
+  if (st.pending) {
+    // Heartbeats resumed before the timeout expired: the driver never
+    // noticed. Running tasks simply report late.
+    st.pending = false;
+    return;
+  }
+  // Already declared lost: the executor re-registers (same incarnation,
+  // but the driver treats re-registration as a fresh executor).
+  st.believed_alive = true;
+}
+
+bool FailureDetector::believed_alive(ServerId s) const {
+  const auto it = states_.find(s);
+  return it == states_.end() ? true : it->second.believed_alive;
+}
+
+}  // namespace stark

@@ -1,0 +1,83 @@
+// FailureDetector: the driver's heartbeat-based view of executor liveness.
+//
+// Real Spark drivers learn about dead or partitioned executors only when
+// heartbeats stop arriving (spark.executor.heartbeatInterval) and the
+// network timeout expires (spark.network.timeout). Until then, tasks on the
+// lost executor keep "running" from the driver's perspective and its cached
+// blocks keep being planned against — the detection latency that dominates
+// real recovery timelines.
+//
+// The simulator does not enqueue one event per heartbeat (that would keep
+// the event queue busy forever); instead it computes, at the moment a
+// server physically dies or partitions away, the exact simulated time the
+// driver's check grid would declare it lost, and schedules that single
+// event. Heartbeats are phase-aligned at t = k * interval, and the driver
+// checks on the same grid, so detection fires at the first grid point
+// strictly later than (last heartbeat + timeout). An executor restart is a
+// new registration and declares the old incarnation lost immediately,
+// whichever comes first.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "cluster/cluster.h"
+#include "sim/simulation.h"
+
+namespace stark {
+
+class FailureDetector {
+ public:
+  struct Config {
+    double heartbeat_interval = 1.0;
+    double heartbeat_timeout = 5.0;
+  };
+
+  // Fired once per lost incarnation; `latency` is declaration time minus
+  // the actual physical death/partition time.
+  using LostFn = std::function<void(ServerId, double latency)>;
+
+  FailureDetector(sim::Simulation& sim, Cluster& cluster, Config config);
+
+  void set_on_executor_lost(LostFn fn) { on_lost_ = std::move(fn); }
+
+  // Physical events, reported by the entity that injects them (Context).
+  void on_server_dead(ServerId s);       // crash or partition onset
+  void on_server_restarted(ServerId s);  // new incarnation registers
+  void on_server_healed(ServerId s);     // same incarnation, network back
+
+  // The driver tried to place a task on the executor and the launch RPC
+  // failed outright — the TCP channel to a crashed process drops at once,
+  // and Spark's scheduler backend treats the disconnect as an executor
+  // loss without waiting out the heartbeat timeout. Network partitions do
+  // not take this shortcut: the connection merely times out slowly, so
+  // detection stays on the heartbeat grid.
+  void report_launch_failure(ServerId s);
+
+  // The driver's belief. Schedulers consult this before making offers.
+  bool believed_alive(ServerId s) const;
+
+  int detections() const noexcept { return detections_; }
+  double total_detection_latency() const noexcept { return latency_sum_; }
+
+ private:
+  struct State {
+    bool believed_alive = true;
+    bool pending = false;  // dead/partitioned but not yet declared
+    SimTime dead_at = 0.0;
+    std::uint64_t generation = 0;  // invalidates stale detection events
+  };
+
+  State& state(ServerId s) { return states_[s]; }
+  void declare_lost(ServerId s, State& st);
+
+  sim::Simulation* sim_;
+  Cluster* cluster_;
+  Config config_;
+  LostFn on_lost_;
+  std::unordered_map<ServerId, State> states_;
+  int detections_ = 0;
+  double latency_sum_ = 0.0;
+};
+
+}  // namespace stark

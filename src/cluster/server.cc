@@ -43,6 +43,9 @@ void Server::kill() noexcept {
 void Server::restart() noexcept {
   alive_ = true;
   free_cores_ = config_.cores;
+  reachable_ = true;
+  degradation_ = ServerDegradation{};
+  ++generation_;  // a fresh incarnation: old task results are zombies
 }
 
 }  // namespace stark

@@ -15,6 +15,17 @@ struct ServerConfig {
   double storage_fraction = 0.6;
 };
 
+// Gray-failure mode: multipliers on the simulated time a task spends on
+// each resource while running on this server. 1.0 everywhere = healthy.
+struct ServerDegradation {
+  double cpu = 1.0;
+  double disk = 1.0;
+  double net = 1.0;
+  bool degraded() const noexcept {
+    return cpu != 1.0 || disk != 1.0 || net != 1.0;
+  }
+};
+
 class Server {
  public:
   Server(ServerId id, const ServerConfig& config);
@@ -23,6 +34,24 @@ class Server {
   int cores() const noexcept { return config_.cores; }
   Bytes ram() const noexcept { return config_.ram; }
   bool alive() const noexcept { return alive_; }
+
+  // Incarnation counter: bumped on restart. Driver-side bookkeeping uses it
+  // to tell a restarted executor from the incarnation a task was sent to
+  // (a result arriving from a dead incarnation is dropped as a zombie).
+  int generation() const noexcept { return generation_; }
+
+  // Network partition: the server keeps running (tasks execute, blocks
+  // stay) but cannot exchange heartbeats, task results or shuffle data.
+  bool reachable() const noexcept { return reachable_; }
+  void set_reachable(bool r) noexcept { reachable_ = r; }
+
+  const ServerDegradation& degradation() const noexcept {
+    return degradation_;
+  }
+  void set_degradation(const ServerDegradation& d) noexcept {
+    degradation_ = d;
+  }
+  void clear_degradation() noexcept { degradation_ = ServerDegradation{}; }
 
   int free_cores() const noexcept { return free_cores_; }
   bool has_free_core() const noexcept { return alive_ && free_cores_ > 0; }
@@ -61,6 +90,9 @@ class Server {
   ServerConfig config_;
   int free_cores_;
   bool alive_ = true;
+  bool reachable_ = true;
+  int generation_ = 0;
+  ServerDegradation degradation_;
   Bytes active_working_set_ = 0.0;
   double busy_seconds_ = 0.0;
   std::unique_ptr<BlockManager> storage_;

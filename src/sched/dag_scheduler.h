@@ -11,10 +11,21 @@
 //  * Datasets marked cache() materialize on whichever executor computed
 //    them, which is how delay scheduling grows replicas of hot collection
 //    partitions.
+//
+// Failure semantics (MapOutputTracker + DAGScheduler resubmission):
+//  * Map-output locations are tracked per shuffle. Losing an executor
+//    invalidates the map outputs it hosted; reduce tasks that try to fetch
+//    them raise FetchFailed, the reduce task parks, and the map stage is
+//    resubmitted for just the lost units (bounded by max_stage_attempts).
+//  * Exhausted task retries or stage attempts abort the job cleanly:
+//    JobResult.completed=false with a failure_reason, callbacks still fire,
+//    and any map stage another job was waiting on is re-homed so the other
+//    job does not hang.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -47,6 +58,8 @@ struct DagOptions {
   bool replicate_on_recompute = true;
   // Keep per-task metrics inside JobResult (disable for huge sweeps).
   bool detail_task_metrics = true;
+  // Retry / exclusion / resubmission knobs, shared with the TaskScheduler.
+  FaultOptions faults;
 };
 
 class DagScheduler {
@@ -64,6 +77,8 @@ class DagScheduler {
   bool job_done(JobId id) const;
   const JobResult& result(JobId id) const;
   int jobs_completed() const noexcept { return jobs_completed_; }
+  // Jobs submitted but not yet finished or aborted (0 once a run drains).
+  int active_jobs() const noexcept { return static_cast<int>(jobs_.size()); }
 
   // --- checkpointing -------------------------------------------------------
   // Persists the dataset now (forceCheckpoint, paper §III-E): records the
@@ -85,7 +100,20 @@ class DagScheduler {
   // Total bytes written as shuffle map outputs so far.
   Bytes total_shuffle_bytes_written() const noexcept { return shuffle_bytes_; }
 
+  // Failure oracle used by tests: kill the server physically AND tell the
+  // driver immediately (zero detection latency). The production path goes
+  // through the FailureDetector, which calls on_executor_lost() only after
+  // the heartbeat timeout.
   void handle_server_failure(ServerId s);
+
+  // The driver declared this executor lost (heartbeat timeout, or a new
+  // incarnation registered). Requeues its tasks, drops its locality homes
+  // and invalidates the shuffle map outputs it hosted.
+  void on_executor_lost(ServerId s, double detection_latency);
+
+  // Cumulative failure-machinery counters (feed MetricsCollector).
+  const FailureStats& failure_stats() const noexcept { return stats_; }
+  void reset_failure_stats() noexcept { stats_.reset(); }
 
   TaskScheduler& tasks() noexcept { return task_scheduler_; }
   sim::Simulation& sim() noexcept { return *sim_; }
@@ -102,6 +130,13 @@ class DagScheduler {
     std::optional<ShuffleEdge> output;  // set for shuffle-map stages
     int waiting_parents = 0;
     bool launched = false;
+    // Consecutive attempts (spark.stage.maxConsecutiveAttempts): bumped on
+    // fetch-failure rounds (reduce side) and on relaunches for lost map
+    // outputs (map side).
+    int attempts = 0;
+    // Task index in the current task set -> unit position in the shuffle's
+    // map-output vector (partial resubmissions launch a subset of units).
+    std::vector<int> task_unit_pos;
   };
   struct Job {
     JobId id = kInvalidId;
@@ -119,6 +154,19 @@ class DagScheduler {
   void maybe_launch(StageRun& stage);
   void on_stage_complete(StageRun& stage);
   void finish_job(Job& job);
+  // Terminates the job with completed=false; cancels its task sets, purges
+  // its waiter registrations, and re-homes any map stage other jobs were
+  // waiting on.
+  void abort_job(Job& job, const std::string& reason);
+  TaskFailureAction on_task_failed(StageRun& stage, const TaskSpec& task,
+                                   const TaskFailure& failure);
+  // Builds (or rebuilds) the map stage for `key` under `owner` and launches
+  // whatever became ready.
+  void rebuild_shuffle(const ShuffleKey& key, Job& owner);
+  // The map-output host is usable for fetches right now.
+  bool output_host_healthy(ServerId s) const;
+  // Every registered output of the shuffle sits on a live, reachable host.
+  bool shuffle_healthy(const ShuffleKey& key) const;
   std::vector<ServerId> preferred_servers(const StageRun& stage, int unit_id,
                                           int lo, int hi);
   TaskPlan plan_task(const StageRun& stage, const TaskSpec& task,
@@ -143,6 +191,17 @@ class DagScheduler {
   std::unordered_map<ShuffleKey, std::vector<StageRun*>, ShuffleKeyHash>
       shuffle_waiters_;
   std::unordered_set<ShuffleKey, ShuffleKeyHash> shuffle_building_;
+  // MapOutputTracker: which executor hosts each map unit's output
+  // (kInvalidId = lost / never built). Sized per shuffle at map launch.
+  std::unordered_map<ShuffleKey, std::vector<ServerId>, ShuffleKeyHash>
+      map_outputs_;
+  // Producer edge for each shuffle ever built, for resubmission.
+  std::unordered_map<ShuffleKey, ShuffleEdge, ShuffleKeyHash> shuffle_edges_;
+  // Launched reduce stages parked on a FetchFailed shuffle; unparked when
+  // the resubmitted map stage completes.
+  std::unordered_map<ShuffleKey, std::vector<StageRun*>, ShuffleKeyHash>
+      fetch_waiters_;
+  FailureStats stats_;
   std::unordered_map<DatasetId, Bytes> checkpointed_;
   Bytes checkpoint_bytes_ = 0.0;
   Bytes shuffle_bytes_ = 0.0;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -10,6 +11,62 @@ namespace stark {
 
 // How a task's placement related to its preferred executors.
 enum class LocalityLevel { kNodeLocal, kAny };
+
+// Why a task run did not produce a result.
+enum class TaskFailureKind {
+  kExecutorLost,  // the executor died / was declared lost mid-run
+  kTaskError,     // the task itself crashed (flaky task, OOM, bad record)
+  kFetchFailed,   // a shuffle fetch from a map-output host failed
+};
+
+// Fault-tolerance knobs shared by the failure detector and both schedulers.
+// Defaults mirror Spark's (spark.task.maxFailures=4, excludeOnFailure
+// thresholds, stage.maxConsecutiveAttempts=4), with heartbeat times scaled
+// to the simulator's sub-second task durations.
+struct FaultOptions {
+  // Heartbeat-based failure detection (spark.executor.heartbeatInterval /
+  // spark.network.timeout). The driver only learns of a crash or partition
+  // once the timeout expires on its check grid.
+  double heartbeat_interval = 1.0;
+  double heartbeat_timeout = 5.0;
+  // Task-level retries with exponential backoff; exhausting them aborts the
+  // job cleanly instead of hanging.
+  int max_task_failures = 4;
+  double retry_backoff = 0.25;     // base delay; doubles per prior failure
+  double retry_backoff_max = 8.0;  // cap on the backoff delay
+  // Fetch-failure handling: a reduce task burns this long discovering that
+  // a map-output host is gone (connection retries), then raises FetchFailed
+  // and the map stage is resubmitted, at most max_stage_attempts times.
+  int max_stage_attempts = 4;
+  double fetch_fail_seconds = 0.5;
+  // Executor exclusion (spark.excludeOnFailure.*): per-task, per-stage and
+  // application-wide failure counters with timed re-admission.
+  bool exclude_on_failure = true;
+  int max_task_attempts_per_executor = 1;
+  int max_failures_per_executor_stage = 2;
+  int max_failures_per_executor = 2;
+  double exclude_timeout = 60.0;
+};
+
+// Cluster-wide failure machinery counters, surfaced via MetricsCollector.
+struct FailureStats {
+  int heartbeat_detections = 0;      // executor losses declared by timeout
+  double detection_latency_sum = 0;  // actual death -> driver declaration
+  int task_failures = 0;             // failed task runs, all causes
+  int task_retries = 0;              // failed tasks requeued for another try
+  int fetch_failures = 0;            // FetchFailed raised by reduce tasks
+  int stage_resubmissions = 0;       // map stages resubmitted for lost output
+  int executor_exclusions = 0;       // app-level timed exclusions
+  int executor_readmissions = 0;     // exclusions expired
+  int jobs_aborted = 0;              // jobs finished with completed=false
+
+  double mean_detection_latency() const noexcept {
+    return heartbeat_detections > 0
+               ? detection_latency_sum / heartbeat_detections
+               : 0.0;
+  }
+  void reset() noexcept { *this = FailureStats{}; }
+};
 
 struct TaskSpec {
   JobId job = kInvalidId;
@@ -50,6 +107,9 @@ enum class ActionType { kCount, kCollect };
 struct JobResult {
   JobId id = kInvalidId;
   bool completed = false;
+  // Why the job finished with completed=false (task retries exhausted,
+  // stage resubmission limit, unschedulable task). Empty on success.
+  std::string failure_reason;
   SimTime submit_time = 0.0;
   SimTime finish_time = 0.0;
   double delay = 0.0;  // finish - submit

@@ -1,6 +1,8 @@
 #include "sched/task_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
+#include <set>
 #include <stdexcept>
 
 #include "common/log.h"
@@ -16,7 +18,8 @@ TaskScheduler::TaskScheduler(sim::Simulation& sim, Cluster& cluster,
       cost_(cost),
       options_(options),
       ns_of_dataset_(std::move(ns_of_dataset)),
-      placement_rng_(options.seed) {}
+      placement_rng_(options.seed),
+      flaky_rng_(splitmix64(options.seed ^ 0x464c414bULL)) {}
 
 void TaskScheduler::submit(TaskSetPtr ts) {
   if (ts == nullptr || ts->tasks.empty()) {
@@ -26,6 +29,7 @@ void TaskScheduler::submit(TaskSetPtr ts) {
   set->ts = std::move(ts);
   set->task_done_flags.assign(set->ts->tasks.size(), 0);
   set->task_speculated.assign(set->ts->tasks.size(), 0);
+  set->attempts.assign(set->ts->tasks.size(), 0);
   for (int i = 0; i < static_cast<int>(set->ts->tasks.size()); ++i) {
     set->pending.push_back(i);
     if (!set->ts->tasks[static_cast<std::size_t>(i)].preferred.empty()) {
@@ -66,15 +70,59 @@ int TaskScheduler::unique_collection_partitions(ServerId s) const {
   return it == contention_.end() ? 0 : static_cast<int>(it->second.size());
 }
 
-ServerId TaskScheduler::pick_remote_server() {
+bool TaskScheduler::app_excluded(ServerId s) const {
+  const auto it = app_excluded_until_.find(s);
+  return it != app_excluded_until_.end() && sim_->now() + 1e-12 < it->second;
+}
+
+void TaskScheduler::expire_exclusions() {
+  if (app_excluded_until_.empty()) return;
+  for (auto it = app_excluded_until_.begin();
+       it != app_excluded_until_.end();) {
+    if (sim_->now() + 1e-12 >= it->second) {
+      // Timed exclusion over: the executor rejoins with a clean slate.
+      app_failures_.erase(it->first);
+      if (stats_) ++stats_->executor_readmissions;
+      it = app_excluded_until_.erase(it);
+    } else {
+      arm_timer(it->second);
+      ++it;
+    }
+  }
+}
+
+bool TaskScheduler::offerable(ServerId s, const ActiveSet& set,
+                              int index) const {
+  const Server& srv = cluster_->server(s);
+  // A partitioned executor is skipped too: the launch RPC fails fast, so
+  // the driver moves on even before declaring the executor lost.
+  if (!srv.alive() || !srv.reachable() || srv.free_cores() <= 0) return false;
+  if (admission_ && !admission_(s)) return false;
+  if (options_.faults.exclude_on_failure) {
+    if (app_excluded_until_.count(s) != 0) return false;
+    if (set.stage_excluded.count(s) != 0) return false;
+    const auto fit = set.failed_on.find(index);
+    if (fit != set.failed_on.end()) {
+      const auto sit = fit->second.find(s);
+      if (sit != fit->second.end() &&
+          sit->second >= options_.faults.max_task_attempts_per_executor) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+ServerId TaskScheduler::pick_remote_server(const ActiveSet& set, int index,
+                                           ServerId exclude) {
   if (options_.mcf) {
     // Algorithm 1: ascending by unique collection partitions cached.
     ServerId best = kInvalidId;
     int best_contention = 0;
     int best_free = -1;
     for (ServerId s : cluster_->alive_servers()) {
+      if (s == exclude || !offerable(s, set, index)) continue;
       const Server& srv = cluster_->server(s);
-      if (srv.free_cores() <= 0) continue;
       const int c = unique_collection_partitions(s);
       if (best == kInvalidId || c < best_contention ||
           (c == best_contention && srv.free_cores() > best_free)) {
@@ -89,7 +137,7 @@ ServerId TaskScheduler::pick_remote_server() {
   // effectively scatters tasks (and hence cached partitions) randomly.
   std::vector<ServerId> candidates;
   for (ServerId s : cluster_->alive_servers()) {
-    if (cluster_->server(s).free_cores() > 0) candidates.push_back(s);
+    if (s != exclude && offerable(s, set, index)) candidates.push_back(s);
   }
   if (candidates.empty()) return kInvalidId;
   return candidates[placement_rng_.next_below(candidates.size())];
@@ -108,6 +156,15 @@ void TaskScheduler::arm_timer(SimTime at) {
 void TaskScheduler::schedule() {
   if (in_schedule_) return;  // guard against re-entrant launches
   in_schedule_ = true;
+  expire_exclusions();
+  bool sweep_again = true;
+  while (sweep_again) {
+    sweep_again = false;
+    // Executors the driver believes alive whose process is gone: the pass
+    // below "sends" them launch RPCs that fail, which is how a real driver
+    // discovers a crash ahead of the heartbeat timeout. Reported after the
+    // sweep (the callback tears into scheduler state), then re-swept.
+    std::set<ServerId> launch_failures;
   bool progress = true;
   while (progress) {
     progress = false;
@@ -138,8 +195,11 @@ void TaskScheduler::schedule() {
         const TaskSpec& task = set->ts->tasks[static_cast<std::size_t>(idx)];
         ServerId local = kInvalidId;
         for (ServerId s : task.preferred) {
-          const Server& srv = cluster_->server(s);
-          if (srv.alive() && srv.free_cores() > 0) {
+          if (launch_failed_ && !cluster_->server(s).alive() &&
+              (!admission_ || admission_(s))) {
+            launch_failures.insert(s);
+          }
+          if (offerable(s, *set, idx)) {
             local = s;
             break;
           }
@@ -156,25 +216,41 @@ void TaskScheduler::schedule() {
       }
       if (free_cores == 0) break;
       if (set->pending.empty()) continue;
-      // ANY pass, gated by delay scheduling.
+      // ANY pass, gated by delay scheduling. Tasks with no preferred
+      // executor at all sit at the ANY locality level from the start
+      // (Spark's pendingTasksWithNoPrefs) and skip the gate.
       const SimTime allowed_at = set->locality_anchor + options_.locality_wait;
       const bool any_allowed =
           !set->has_preferences || sim_->now() + 1e-12 >= allowed_at;
-      if (!any_allowed) {
-        arm_timer(allowed_at);
-        continue;
-      }
-      while (!set->pending.empty() && free_cores > 0) {
-        const ServerId s = pick_remote_server();
-        if (s == kInvalidId) break;  // no free cores anywhere
+      if (!any_allowed) arm_timer(allowed_at);
+      for (std::size_t scan = set->pending.size();
+           scan-- > 0 && free_cores > 0;) {
         const int idx = set->pending.front();
         set->pending.pop_front();
+        if (!any_allowed &&
+            !set->ts->tasks[static_cast<std::size_t>(idx)].preferred.empty()) {
+          set->pending.push_back(idx);  // still inside its locality wait
+          continue;
+        }
+        const ServerId s = pick_remote_server(*set, idx);
+        if (s == kInvalidId) {
+          // No executor the driver is willing to use for this task has a
+          // free core right now (exclusions shrink the candidate set
+          // per-task, so a sibling may still be placeable).
+          set->pending.push_back(idx);
+          continue;
+        }
         launch(set, idx, s, /*node_local=*/false);
         progress = true;
         fruitless = 0;
         --free_cores;
       }
     }
+  }
+  if (!launch_failures.empty()) {
+    for (const ServerId s : launch_failures) launch_failed_(s);
+    sweep_again = true;  // losses changed the placement picture
+  }
   }
   in_schedule_ = false;
 }
@@ -198,14 +274,32 @@ void TaskScheduler::launch(const std::shared_ptr<ActiveSet>& set, int index,
   if (plan.bytes_net > 0.0) ++active_net_flows_;
   if (plan.bytes_disk > 0.0 || plan.bytes_written > 0.0) ++active_disk_flows_;
   const double overhead = cost_.task_launch_overhead;
-  const SimTime finish = launch_time + overhead + plan.work_seconds();
 
   RunningTask run;
   run.set = set;
   run.index = index;
   run.server = server;
+  run.server_generation = srv.generation();
   run.speculative = speculative;
   if (speculative) ++speculative_launches_;
+  run.fetch_failure = plan.fetch_failure;
+
+  // Work out whether (and when) this run dies instead of finishing.
+  SimTime finish;
+  if (run.fetch_failure.has_value()) {
+    // The reduce task burns its connection-retry budget against the lost
+    // map-output host, then raises FetchFailed.
+    finish = launch_time + overhead + options_.faults.fetch_fail_seconds;
+  } else if (flaky_probability_ > 0.0 &&
+             flaky_rng_.next_double() < flaky_probability_) {
+    // Gray failure: the task crashes partway through its work.
+    run.flaky_failure = true;
+    finish = launch_time + overhead +
+             flaky_rng_.next_double() * plan.work_seconds();
+  } else {
+    finish = launch_time + overhead + plan.work_seconds();
+  }
+
   run.plan = std::move(plan);
   run.metrics.server = server;
   run.metrics.node_local = node_local;
@@ -223,21 +317,26 @@ void TaskScheduler::launch(const std::shared_ptr<ActiveSet>& set, int index,
   run.metrics.bytes_written = run.plan.bytes_written;
 
   const std::uint64_t run_id = next_run_id_++;
-  run.event = sim_->at(finish, [this, run_id] { complete(run_id); });
+  if (run.fetch_failure.has_value()) {
+    run.event = sim_->at(
+        finish, [this, run_id] { fail(run_id, TaskFailureKind::kFetchFailed); });
+  } else if (run.flaky_failure) {
+    run.event = sim_->at(
+        finish, [this, run_id] { fail(run_id, TaskFailureKind::kTaskError); });
+  } else {
+    run.event = sim_->at(finish, [this, run_id] { complete(run_id); });
+  }
   by_server_[server].insert(run_id);
   set->runs_by_index[index].push_back(run_id);
   running_.emplace(run_id, std::move(run));
 }
 
-void TaskScheduler::discard_run(std::uint64_t run_id) {
-  const auto it = running_.find(run_id);
-  if (it == running_.end()) return;
-  RunningTask run = std::move(it->second);
-  running_.erase(it);
-  by_server_[run.server].erase(run_id);
-  sim_->cancel(run.event);
+void TaskScheduler::release_run_resources(const RunningTask& run,
+                                          std::uint64_t run_id) {
   Server& srv = cluster_->server(run.server);
-  if (srv.alive()) {
+  // Only the incarnation the task was launched on holds the core; a dead
+  // or restarted server already reset its slots.
+  if (srv.alive() && srv.generation() == run.server_generation) {
     srv.release_core();
     srv.remove_working_set(run.plan.working_set);
   }
@@ -248,6 +347,16 @@ void TaskScheduler::discard_run(std::uint64_t run_id) {
   --run.set->running;
   auto& runs = run.set->runs_by_index[run.index];
   std::erase(runs, run_id);
+}
+
+void TaskScheduler::discard_run(std::uint64_t run_id) {
+  const auto it = running_.find(run_id);
+  if (it == running_.end()) return;
+  RunningTask run = std::move(it->second);
+  running_.erase(it);
+  by_server_[run.server].erase(run_id);
+  sim_->cancel(run.event);
+  release_run_resources(run, run_id);
 }
 
 void TaskScheduler::maybe_speculate(const std::shared_ptr<ActiveSet>& set) {
@@ -279,35 +388,51 @@ void TaskScheduler::maybe_speculate(const std::shared_ptr<ActiveSet>& set) {
     const auto& m = rit->second.metrics;
     if (m.finish_time - m.launch_time <= threshold) continue;
     if (m.finish_time - sim_->now() <= 0.0) continue;  // about to finish
-    const ServerId s = pick_remote_server();
-    if (s == kInvalidId || s == rit->second.server) continue;
+    const ServerId s =
+        pick_remote_server(*set, index, /*exclude=*/rit->second.server);
+    if (s == kInvalidId) continue;
     set->task_speculated[static_cast<std::size_t>(index)] = 1;
     launch(set, index, s, /*node_local=*/false, /*speculative=*/true);
+  }
+}
+
+void TaskScheduler::finish_set_if_done(const std::shared_ptr<ActiveSet>& set) {
+  if (set->aborted) return;
+  if (set->pending.empty() && set->parked.empty() &&
+      set->backoff_pending == 0 && set->running == 0 &&
+      set->finished == static_cast<int>(set->ts->tasks.size())) {
+    task_sets_.remove(set);
+    if (set->ts->all_done) set->ts->all_done();
   }
 }
 
 void TaskScheduler::complete(std::uint64_t run_id) {
   const auto it = running_.find(run_id);
   if (it == running_.end()) return;
+  {
+    const RunningTask& r = it->second;
+    const Server& srv = cluster_->server(r.server);
+    if (!srv.alive() || srv.generation() != r.server_generation) {
+      // Zombie: the incarnation that ran this task is gone but the driver
+      // has not detected it yet. handle_server_failure() will clean up.
+      return;
+    }
+    if (!srv.reachable()) {
+      // The task finished, but the result cannot reach the driver. Deliver
+      // it if the partition heals; requeue it if detection fires first.
+      deferred_[r.server].push_back(run_id);
+      return;
+    }
+  }
   RunningTask run = std::move(it->second);
   running_.erase(it);
   by_server_[run.server].erase(run_id);
 
   Server& srv = cluster_->server(run.server);
-  if (srv.alive()) {
-    srv.release_core();
-    srv.remove_working_set(run.plan.working_set);
-    srv.add_busy_seconds(run.metrics.duration());
-  }
-  if (run.plan.bytes_net > 0.0) --active_net_flows_;
-  if (run.plan.bytes_disk > 0.0 || run.plan.bytes_written > 0.0) {
-    --active_disk_flows_;
-  }
+  srv.add_busy_seconds(run.metrics.duration());
+  release_run_resources(run, run_id);
 
   auto& set = run.set;
-  --set->running;
-  auto& runs = set->runs_by_index[run.index];
-  std::erase(runs, run_id);
   if (set->task_done_flags[static_cast<std::size_t>(run.index)]) {
     // A copy that lost the race but whose cancellation raced the event.
     schedule();
@@ -316,9 +441,8 @@ void TaskScheduler::complete(std::uint64_t run_id) {
   // This copy wins; kill any sibling still running.
   set->task_done_flags[static_cast<std::size_t>(run.index)] = 1;
   if (run.speculative) ++speculative_wins_;
-  for (const std::uint64_t sibling : std::vector<std::uint64_t>(runs)) {
-    discard_run(sibling);
-  }
+  const auto runs_snapshot = set->runs_by_index[run.index];
+  for (const std::uint64_t sibling : runs_snapshot) discard_run(sibling);
   set->runs_by_index.erase(run.index);
 
   for (const auto& block : run.plan.blocks_to_cache) {
@@ -330,12 +454,189 @@ void TaskScheduler::complete(std::uint64_t run_id) {
   set->finished_durations.push_back(run.metrics.duration());
   const TaskSpec& task = set->ts->tasks[static_cast<std::size_t>(run.index)];
   if (set->ts->task_done) set->ts->task_done(task, run.metrics);
-  if (set->pending.empty() && set->running == 0 &&
-      set->finished == static_cast<int>(set->ts->tasks.size())) {
-    task_sets_.remove(set);
-    if (set->ts->all_done) set->ts->all_done();
-  } else {
+  finish_set_if_done(set);
+  if (!set->aborted && set->finished < static_cast<int>(set->ts->tasks.size())) {
     maybe_speculate(set);
+  }
+  schedule();
+}
+
+void TaskScheduler::record_task_error(const std::shared_ptr<ActiveSet>& set,
+                                      int index, ServerId server) {
+  if (!options_.faults.exclude_on_failure) return;
+  // Per-task: never retry this task on an executor it failed on (once
+  // max_task_attempts_per_executor is used up).
+  ++set->failed_on[index][server];
+  // Per-stage: enough failures within one task set exclude the executor
+  // for the rest of the stage.
+  if (++set->stage_failures[server] >=
+      options_.faults.max_failures_per_executor_stage) {
+    set->stage_excluded.insert(server);
+  }
+  // Application-wide: repeated failures across stages exclude the executor
+  // cluster-wide for exclude_timeout seconds.
+  if (++app_failures_[server] >= options_.faults.max_failures_per_executor &&
+      app_excluded_until_.count(server) == 0) {
+    app_excluded_until_[server] =
+        sim_->now() + options_.faults.exclude_timeout;
+    ++app_exclusions_;
+    if (stats_) ++stats_->executor_exclusions;
+    arm_timer(app_excluded_until_[server]);
+    STARK_LOG_DEBUG("excluded executor %d until %.3f", server,
+                    app_excluded_until_[server]);
+  }
+}
+
+void TaskScheduler::requeue_with_backoff(const std::shared_ptr<ActiveSet>& set,
+                                         int index) {
+  const int attempts = set->attempts[static_cast<std::size_t>(index)];
+  const double delay =
+      std::min(options_.faults.retry_backoff *
+                   std::pow(2.0, std::max(0, attempts - 1)),
+               options_.faults.retry_backoff_max);
+  if (stats_) ++stats_->task_retries;
+  ++set->backoff_pending;
+  sim_->after(delay, [this, set, index] {
+    --set->backoff_pending;
+    if (set->aborted ||
+        set->task_done_flags[static_cast<std::size_t>(index)]) {
+      return;
+    }
+    set->task_speculated[static_cast<std::size_t>(index)] = 0;
+    set->pending.push_back(index);
+    schedule();
+  });
+}
+
+void TaskScheduler::abort_set(const std::shared_ptr<ActiveSet>& set,
+                              const std::string& reason) {
+  if (set->aborted) return;
+  set->aborted = true;
+  task_sets_.remove(set);
+  // Discard every copy still in flight.
+  std::vector<std::uint64_t> run_ids;
+  for (const auto& [index, runs] : set->runs_by_index) {
+    run_ids.insert(run_ids.end(), runs.begin(), runs.end());
+  }
+  for (const std::uint64_t id : run_ids) discard_run(id);
+  set->pending.clear();
+  set->parked.clear();
+  STARK_LOG_INFO("aborting task set (job %d stage %d): %s", set->ts->job,
+                 set->ts->stage, reason.c_str());
+  if (set->ts->on_abort) set->ts->on_abort(reason);
+}
+
+void TaskScheduler::fail(std::uint64_t run_id, TaskFailureKind kind) {
+  const auto it = running_.find(run_id);
+  if (it == running_.end()) return;
+  {
+    const RunningTask& r = it->second;
+    const Server& srv = cluster_->server(r.server);
+    if (kind != TaskFailureKind::kExecutorLost &&
+        (!srv.alive() || srv.generation() != r.server_generation)) {
+      // The executor died before the task could even fail; the loss path
+      // owns the cleanup.
+      return;
+    }
+  }
+  RunningTask run = std::move(it->second);
+  running_.erase(it);
+  by_server_[run.server].erase(run_id);
+  sim_->cancel(run.event);
+  release_run_resources(run, run_id);
+
+  auto& set = run.set;
+  if (set->aborted ||
+      set->task_done_flags[static_cast<std::size_t>(run.index)]) {
+    schedule();
+    return;
+  }
+  if (stats_) ++stats_->task_failures;
+  // Fetch failures count against the *stage* (resubmission attempts), not
+  // the task's own retry budget — mirroring Spark's TaskSetManager.
+  if (kind != TaskFailureKind::kFetchFailed) {
+    ++set->attempts[static_cast<std::size_t>(run.index)];
+  }
+  if (kind == TaskFailureKind::kTaskError) {
+    record_task_error(set, run.index, run.server);
+  }
+
+  TaskFailureAction action = TaskFailureAction::kRetry;
+  if (set->ts->task_failed) {
+    TaskFailure failure;
+    failure.kind = kind;
+    failure.server = run.server;
+    failure.attempts = set->attempts[static_cast<std::size_t>(run.index)];
+    if (run.fetch_failure.has_value()) {
+      failure.shuffle = run.fetch_failure->shuffle;
+      failure.fetch_source = run.fetch_failure->source;
+    }
+    const TaskSpec& task =
+        set->ts->tasks[static_cast<std::size_t>(run.index)];
+    action = set->ts->task_failed(task, failure);
+  }
+  if (set->aborted) {  // the callback may have aborted the whole job
+    schedule();
+    return;
+  }
+  const auto& siblings = set->runs_by_index[run.index];
+  if (!siblings.empty()) {
+    // A speculative copy is still running; let it race.
+    schedule();
+    return;
+  }
+  set->runs_by_index.erase(run.index);
+  if (action == TaskFailureAction::kPark) {
+    // Zombie the whole set, like Spark does on FetchFailed: launching the
+    // siblings now would only replay the same doomed fetch. Everything not
+    // yet finished waits for the unpark.
+    set->parked.insert(run.index);
+    for (const int idx : set->pending) set->parked.insert(idx);
+    set->pending.clear();
+    schedule();
+    return;
+  }
+  const int attempts = set->attempts[static_cast<std::size_t>(run.index)];
+  if (attempts >= options_.faults.max_task_failures) {
+    abort_set(set, "task " + std::to_string(run.index) + " failed " +
+                       std::to_string(attempts) + " times (max " +
+                       std::to_string(options_.faults.max_task_failures) +
+                       ")");
+    schedule();
+    return;
+  }
+  // Unschedulable task: it already failed on every live executor it is
+  // still allowed to run on. Spark aborts rather than spin forever.
+  if (options_.faults.exclude_on_failure) {
+    bool placeable = false;
+    for (ServerId s : cluster_->alive_servers()) {
+      if (set->stage_excluded.count(s) != 0) continue;
+      const auto fit = set->failed_on.find(run.index);
+      if (fit != set->failed_on.end()) {
+        const auto sit = fit->second.find(s);
+        if (sit != fit->second.end() &&
+            sit->second >= options_.faults.max_task_attempts_per_executor) {
+          continue;
+        }
+      }
+      placeable = true;
+      break;
+    }
+    if (!placeable) {
+      abort_set(set, "task " + std::to_string(run.index) +
+                         " cannot be scheduled on any live executor "
+                         "(excludeOnFailure)");
+      schedule();
+      return;
+    }
+  }
+  if (kind == TaskFailureKind::kExecutorLost) {
+    // Executor loss requeues immediately: the task did nothing wrong.
+    set->task_speculated[static_cast<std::size_t>(run.index)] = 0;
+    set->pending.push_back(run.index);
+    if (stats_) ++stats_->task_retries;
+  } else {
+    requeue_with_backoff(set, run.index);
   }
   schedule();
 }
@@ -343,33 +644,68 @@ void TaskScheduler::complete(std::uint64_t run_id) {
 void TaskScheduler::handle_server_failure(ServerId s) {
   const auto it = by_server_.find(s);
   if (it != by_server_.end()) {
-    // Requeue every task that was running there.
+    // Fail every run the driver believed was on s — including results that
+    // finished behind a partition but were never delivered.
     const auto run_ids = it->second;
-    for (std::uint64_t run_id : run_ids) {
-      auto rit = running_.find(run_id);
-      if (rit == running_.end()) continue;
-      sim_->cancel(rit->second.event);
-      const TaskPlan& plan = rit->second.plan;
-      if (plan.bytes_net > 0.0) --active_net_flows_;
-      if (plan.bytes_disk > 0.0 || plan.bytes_written > 0.0) {
-        --active_disk_flows_;
-      }
-      auto set = rit->second.set;
-      const int index = rit->second.index;
-      --set->running;
-      auto& runs = set->runs_by_index[index];
-      std::erase(runs, run_id);
-      // Requeue only if no surviving copy exists and it never finished.
-      if (runs.empty() &&
-          !set->task_done_flags[static_cast<std::size_t>(index)]) {
-        set->task_speculated[static_cast<std::size_t>(index)] = 0;
-        set->pending.push_back(index);
-      }
-      running_.erase(rit);
+    std::vector<std::uint64_t> ordered(run_ids.begin(), run_ids.end());
+    std::sort(ordered.begin(), ordered.end());
+    for (std::uint64_t run_id : ordered) {
+      fail(run_id, TaskFailureKind::kExecutorLost);
     }
     by_server_.erase(s);
   }
+  deferred_.erase(s);
   contention_.erase(s);
+  schedule();
+}
+
+void TaskScheduler::on_server_healed(ServerId s) {
+  const auto it = deferred_.find(s);
+  if (it == deferred_.end()) {
+    schedule();
+    return;
+  }
+  std::vector<std::uint64_t> run_ids = std::move(it->second);
+  deferred_.erase(it);
+  for (std::uint64_t run_id : run_ids) {
+    const auto rit = running_.find(run_id);
+    if (rit == running_.end()) continue;
+    // The result reaches the driver only now.
+    rit->second.metrics.finish_time = sim_->now();
+    complete(run_id);
+  }
+  schedule();
+}
+
+void TaskScheduler::unpark(JobId job, StageId stage) {
+  for (auto& set : task_sets_) {
+    if (set->ts->job != job || set->ts->stage != stage) continue;
+    if (set->parked.empty()) continue;
+    std::vector<int> indices(set->parked.begin(), set->parked.end());
+    std::sort(indices.begin(), indices.end());
+    set->parked.clear();
+    for (int idx : indices) set->pending.push_back(idx);
+  }
+  schedule();
+}
+
+void TaskScheduler::cancel_job(JobId job) {
+  std::vector<std::shared_ptr<ActiveSet>> doomed;
+  for (auto& set : task_sets_) {
+    if (set->ts->job == job) doomed.push_back(set);
+  }
+  for (auto& set : doomed) {
+    set->aborted = true;
+    task_sets_.remove(set);
+    std::vector<std::uint64_t> run_ids;
+    for (const auto& [index, runs] : set->runs_by_index) {
+      run_ids.insert(run_ids.end(), runs.begin(), runs.end());
+    }
+    std::sort(run_ids.begin(), run_ids.end());
+    for (const std::uint64_t id : run_ids) discard_run(id);
+    set->pending.clear();
+    set->parked.clear();
+  }
   schedule();
 }
 

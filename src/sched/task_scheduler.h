@@ -1,5 +1,6 @@
 // TaskScheduler: delay scheduling with Stark's Minimum-Contention-First
-// remote placement (paper Algorithm 1).
+// remote placement (paper Algorithm 1), plus Spark-faithful failure
+// machinery.
 //
 // Task sets are served FIFO. Each set first tries NODE_LOCAL placement on
 // its tasks' preferred executors; once `locality_wait` elapses without a
@@ -7,6 +8,25 @@
 // the remote offers are sorted ascending by the number of unique collection
 // partitions the executor caches, so tasks spill onto the least-contended
 // executors — Stark's contention-aware replication signal.
+//
+// Failure semantics (mirroring Spark's TaskSetManager / HealthTracker):
+//  * A failed task retries with exponential backoff up to
+//    `max_task_failures` times (spark.task.maxFailures); exhausting the
+//    budget aborts the whole set, which the DagScheduler turns into a clean
+//    job abort — never a hang.
+//  * Fetch failures do not count against the task's retry budget; they are
+//    reported to the DagScheduler, which parks the task until the lost map
+//    outputs are regenerated (stage resubmission).
+//  * excludeOnFailure: a task never retries on an executor it already
+//    failed on; an executor accumulating failures within one stage is
+//    excluded for that stage; an executor accumulating failures across the
+//    app is excluded cluster-wide for `exclude_timeout` seconds, then
+//    re-admitted.
+//  * Results arriving from a dead or restarted incarnation are dropped as
+//    zombies; results from a partitioned (unreachable) executor are
+//    deferred until the partition heals. Cleanup of a lost executor's runs
+//    happens when the driver *detects* the loss (handle_server_failure),
+//    not when the server physically dies.
 //
 // The driver dispatches tasks serially (`driver_dispatch_per_task`), which
 // is what makes very high partition counts and very high job rates
@@ -18,12 +38,15 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
 #include "common/rng.h"
+#include "sched/stage.h"
 #include "sched/task.h"
 #include "sim/simulation.h"
 
@@ -54,9 +77,34 @@ struct TaskPlan {
   };
   std::vector<CachedBlock> blocks_to_cache;
 
+  // Set by the planner when a shuffle fetch cannot succeed (map output
+  // missing, or its host dead/partitioned): the task occupies its slot for
+  // `fetch_fail_seconds`, then fails with kFetchFailed instead of
+  // completing.
+  struct FetchFailure {
+    ShuffleKey shuffle;
+    ServerId source = kInvalidId;  // kInvalidId: output not registered
+  };
+  std::optional<FetchFailure> fetch_failure;
+
   double work_seconds() const noexcept {
     return cpu + gc + shuffle_read + disk;
   }
+};
+
+// Details handed to the DagScheduler when a task run fails.
+struct TaskFailure {
+  TaskFailureKind kind = TaskFailureKind::kTaskError;
+  ServerId server = kInvalidId;     // where the run was placed
+  ShuffleKey shuffle;               // kFetchFailed: which shuffle
+  ServerId fetch_source = kInvalidId;  // kFetchFailed: failing host
+  int attempts = 0;                 // failures of this task so far
+};
+
+// How the DagScheduler wants a failed task handled.
+enum class TaskFailureAction {
+  kRetry,  // requeue with backoff (bounded by max_task_failures)
+  kPark,   // hold until unpark() — used while a map stage is resubmitted
 };
 
 class TaskScheduler {
@@ -75,11 +123,16 @@ class TaskScheduler {
     // Seed for stock Spark's random remote placement (ignored under MCF,
     // which orders offers by contention instead).
     std::uint64_t seed = 0x5041524bULL;
+    // Retry / exclusion knobs (see FaultOptions in sched/task.h).
+    FaultOptions faults;
   };
 
   using PlanFn = std::function<TaskPlan(const TaskSpec&, ServerId)>;
   using TaskDoneFn = std::function<void(const TaskSpec&, const TaskMetrics&)>;
   using AllDoneFn = std::function<void()>;
+  using TaskFailedFn =
+      std::function<TaskFailureAction(const TaskSpec&, const TaskFailure&)>;
+  using AbortFn = std::function<void(const std::string& reason)>;
   // Resolves a dataset to its locality namespace ('' if none).
   using NsOfDatasetFn = std::function<std::string(DatasetId)>;
 
@@ -90,6 +143,8 @@ class TaskScheduler {
     PlanFn plan;
     TaskDoneFn task_done;
     AllDoneFn all_done;
+    TaskFailedFn task_failed;  // optional; default action is kRetry
+    AbortFn on_abort;          // optional; fired when retries are exhausted
   };
   using TaskSetPtr = std::shared_ptr<TaskSet>;
 
@@ -108,14 +163,55 @@ class TaskScheduler {
   // Wire this to Cluster::add_block_observer (done by the api::Context).
   void on_block_event(ServerId s, const BlockId& id, bool inserted);
 
-  // Cancels tasks running on a failed server and requeues them.
+  // Driver-side executor-lost handling: fails (and normally requeues) every
+  // task the driver believes is running on s. Called when the loss is
+  // *detected* (heartbeat timeout / re-registration), or directly by tests
+  // that keep the old oracle semantics.
   void handle_server_failure(ServerId s);
+
+  // A partitioned executor came back without restarting: task results that
+  // finished during the partition are delivered now.
+  void on_server_healed(ServerId s);
+
+  // Moves every parked task of the (job, stage) set back to pending (the
+  // shuffle outputs it was waiting for are available again).
+  void unpark(JobId job, StageId stage);
+
+  // Discards every task set of the job (pending, parked and running runs).
+  // Used by job aborts; no further callbacks fire for those sets.
+  void cancel_job(JobId job);
+
+  // The driver's belief about executor liveness (wired to the
+  // FailureDetector by api::Context). Unset = trust Server::alive().
+  void set_admission_fn(std::function<bool(ServerId)> fn) {
+    admission_ = std::move(fn);
+  }
+
+  // Fired when a scheduling pass tries to place a task on an executor the
+  // driver believes alive but whose process is gone: the launch RPC fails
+  // and the disconnect reveals the loss (wired to
+  // FailureDetector::report_launch_failure by api::Context).
+  void set_launch_failed_fn(std::function<void(ServerId)> fn) {
+    launch_failed_ = std::move(fn);
+  }
+
+  // Gray-failure injection: every launched run fails partway through with
+  // this probability (deterministic, seeded stream). 0 disables.
+  void set_flaky_task_probability(double p) { flaky_probability_ = p; }
+  double flaky_task_probability() const noexcept { return flaky_probability_; }
+
+  // Failure counters shared with the DagScheduler (optional).
+  void set_failure_stats(FailureStats* stats) { stats_ = stats; }
 
   std::size_t running_tasks() const noexcept { return running_.size(); }
   std::size_t pending_task_sets() const noexcept { return task_sets_.size(); }
   int speculative_launches() const noexcept { return speculative_launches_; }
   int speculative_wins() const noexcept { return speculative_wins_; }
   SimTime driver_free_at() const noexcept { return driver_free_at_; }
+
+  // Exclusion introspection.
+  bool app_excluded(ServerId s) const;
+  int app_exclusions() const noexcept { return app_exclusions_; }
 
   // Congestion signals: running tasks currently using the network (shuffle
   // fetches) / the disks. The planner divides per-flow bandwidth by the
@@ -127,10 +223,18 @@ class TaskScheduler {
   struct ActiveSet {
     TaskSetPtr ts;
     std::deque<int> pending;
+    std::unordered_set<int> parked;  // waiting on stage resubmission
     int running = 0;
     int finished = 0;
+    int backoff_pending = 0;  // failed tasks waiting out their backoff
+    bool aborted = false;
     SimTime locality_anchor = 0.0;  // max(submit time, last local launch)
     bool has_preferences = false;
+    // Retry / exclusion bookkeeping.
+    std::vector<int> attempts;  // failed runs per task index
+    std::unordered_map<int, std::unordered_map<ServerId, int>> failed_on;
+    std::unordered_map<ServerId, int> stage_failures;
+    std::unordered_set<ServerId> stage_excluded;
     // Speculation bookkeeping.
     std::vector<char> task_done_flags;
     std::vector<char> task_speculated;
@@ -141,19 +245,37 @@ class TaskScheduler {
     std::shared_ptr<ActiveSet> set;
     int index;
     ServerId server;
+    int server_generation = 0;
     sim::EventId event;
     TaskMetrics metrics;
     TaskPlan plan;
     bool speculative = false;
+    std::optional<TaskPlan::FetchFailure> fetch_failure;
+    bool flaky_failure = false;
   };
 
   void launch(const std::shared_ptr<ActiveSet>& set, int index, ServerId s,
               bool node_local, bool speculative = false);
   void complete(std::uint64_t run_id);
+  void fail(std::uint64_t run_id, TaskFailureKind kind);
+  void finish_set_if_done(const std::shared_ptr<ActiveSet>& set);
+  void requeue_with_backoff(const std::shared_ptr<ActiveSet>& set, int index);
+  void abort_set(const std::shared_ptr<ActiveSet>& set,
+                 const std::string& reason);
+  void record_task_error(const std::shared_ptr<ActiveSet>& set, int index,
+                         ServerId server);
   void maybe_speculate(const std::shared_ptr<ActiveSet>& set);
   void discard_run(std::uint64_t run_id);  // cancel + release resources
+  // Releases the run's driver-side accounting and, when the incarnation it
+  // ran on is still alive, its physical core/working set.
+  void release_run_resources(const RunningTask& run, std::uint64_t run_id);
+  // Drops expired app-level exclusions (re-admission).
+  void expire_exclusions();
   void arm_timer(SimTime at);
-  ServerId pick_remote_server();
+  // Driver is willing to offer this server's slots to this task.
+  bool offerable(ServerId s, const ActiveSet& set, int index) const;
+  ServerId pick_remote_server(const ActiveSet& set, int index,
+                              ServerId exclude = kInvalidId);
   std::uint64_t collection_key(const BlockId& id) const;
 
   sim::Simulation* sim_;
@@ -161,17 +283,30 @@ class TaskScheduler {
   CostModel cost_;
   Options options_;
   NsOfDatasetFn ns_of_dataset_;
+  std::function<bool(ServerId)> admission_;
+  std::function<void(ServerId)> launch_failed_;
+  FailureStats* stats_ = nullptr;
 
   std::list<std::shared_ptr<ActiveSet>> task_sets_;  // FIFO
   std::unordered_map<std::uint64_t, RunningTask> running_;
   std::unordered_map<ServerId, std::unordered_set<std::uint64_t>> by_server_;
+  // Results that finished on an unreachable (partitioned) executor; they
+  // are delivered when the partition heals, unless the loss is detected
+  // first.
+  std::unordered_map<ServerId, std::vector<std::uint64_t>> deferred_;
+  // App-level exclusion (spark.excludeOnFailure.application.*).
+  std::unordered_map<ServerId, int> app_failures_;
+  std::unordered_map<ServerId, SimTime> app_excluded_until_;
   std::unordered_map<ServerId, std::unordered_map<std::uint64_t, int>>
       contention_;
   Rng placement_rng_;
+  Rng flaky_rng_;
+  double flaky_probability_ = 0.0;
   int active_net_flows_ = 0;
   int active_disk_flows_ = 0;
   int speculative_launches_ = 0;
   int speculative_wins_ = 0;
+  int app_exclusions_ = 0;
   std::uint64_t next_run_id_ = 0;
   SimTime driver_free_at_ = 0.0;
   bool timer_armed_ = false;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "streaming/query_workload.h"
 #include "trace/wiki.h"
 
@@ -49,7 +51,11 @@ TEST(Chaos, RespectsMinAlive) {
 }
 
 TEST(Chaos, WorkloadSurvivesChurn) {
-  // Jobs keep completing while servers die and come back.
+  // Jobs keep making progress while servers die and come back. With
+  // faithful failure semantics a job can still abort (Spark gives a stage
+  // spark.stage.maxConsecutiveAttempts resubmissions before giving up), so
+  // the contract is: every job finishes one way or the other, aborts carry
+  // a reason, and the vast majority complete.
   Context ctx(opts());
   auto part = ctx.collection_partitioner(8, 256);
   std::vector<DatasetPtr> inputs;
@@ -64,21 +70,28 @@ TEST(Chaos, WorkloadSurvivesChurn) {
   const SimTime t0 = ctx.sim().now();
   chaos.start(t0, t0 + 120.0);
   int completed = 0;
+  int aborted = 0;
   int issued = 0;
   for (int q = 0; q < 30; ++q) {
     ctx.sim().at(t0 + 4.0 * q, [&] {
       auto cg = Dataset::cogroup(inputs, part);
       ctx.dag().submit(cg->filter({.selectivity = 0.05}), ActionType::kCount,
-                       [&completed](const JobResult& r) {
-                         EXPECT_TRUE(r.completed);
-                         ++completed;
+                       [&](const JobResult& r) {
+                         if (r.completed) {
+                           ++completed;
+                         } else {
+                           EXPECT_FALSE(r.failure_reason.empty());
+                           ++aborted;
+                         }
                        });
       ++issued;
     });
   }
   ctx.sim().run();
   EXPECT_GT(chaos.kills(), 0);
-  EXPECT_EQ(completed, issued);
+  EXPECT_EQ(completed + aborted, issued);  // nothing hangs or goes missing
+  EXPECT_GE(completed, issued * 9 / 10);
+  EXPECT_EQ(ctx.dag().active_jobs(), 0);
 }
 
 TEST(Chaos, ZeroRateInjectsNothing) {
@@ -87,6 +100,92 @@ TEST(Chaos, ZeroRateInjectsNothing) {
   chaos.start(0.0, 100.0);
   ctx.sim().run();
   EXPECT_EQ(chaos.kills(), 0);
+}
+
+TEST(Chaos, EmptyOrInvertedWindowSchedulesNothing) {
+  Context ctx(opts());
+  ChaosInjector chaos(ctx, {.failures_per_hour = 36000.0,
+                            .flaky_task_probability = 1.0,
+                            .slow_nodes_per_hour = 36000.0,
+                            .partitions_per_hour = 36000.0});
+  chaos.start(10.0, 10.0);  // empty
+  chaos.start(10.0, 5.0);   // inverted
+  EXPECT_EQ(ctx.sim().pending_events(), 0u);
+  ctx.sim().run();
+  EXPECT_EQ(chaos.kills(), 0);
+  EXPECT_EQ(chaos.slow_episodes(), 0);
+  EXPECT_EQ(chaos.partitions(), 0);
+  EXPECT_EQ(ctx.dag().tasks().flaky_task_probability(), 0.0);
+}
+
+TEST(Chaos, MinAliveHoldsWhenRepairsRaceKills) {
+  // Fast kills and fast repairs interleave; the usable-server floor must
+  // hold at every instant, judged against the usable count at injection
+  // time (a repair landing just before a kill re-arms the budget).
+  Context ctx(opts());
+  ChaosInjector chaos(ctx, {.failures_per_hour = 72000.0,  // ~20/s offered
+                            .mean_repair_seconds = 0.5,
+                            .min_alive = 3,
+                            .seed = 5});
+  chaos.start(0.0, 30.0);
+  std::size_t min_usable = 6;
+  for (int i = 0; i < 300; ++i) {
+    ctx.sim().at(0.1 * i, [&] {
+      min_usable =
+          std::min(min_usable, ctx.cluster().reachable_servers().size());
+    });
+  }
+  ctx.sim().run();
+  EXPECT_GT(chaos.kills(), 10);
+  EXPECT_GE(min_usable, 3u);
+  EXPECT_EQ(chaos.restarts(), chaos.kills());
+}
+
+TEST(Chaos, KillAndRestartAreIdempotent) {
+  Context ctx(opts());
+  EXPECT_TRUE(ctx.kill_server(1));
+  EXPECT_FALSE(ctx.kill_server(1));     // already dead
+  EXPECT_TRUE(ctx.restart_server(1));
+  EXPECT_FALSE(ctx.restart_server(1));  // already alive
+  EXPECT_FALSE(ctx.restart_server(2));  // never died
+  EXPECT_EQ(ctx.cluster().alive_servers().size(), 6u);
+  // Partition/heal behave the same way.
+  EXPECT_TRUE(ctx.partition_server(3));
+  EXPECT_FALSE(ctx.partition_server(3));
+  EXPECT_TRUE(ctx.heal_server(3));
+  EXPECT_FALSE(ctx.heal_server(3));
+  // Double-kill must not double-count detections once the timeout lapses.
+  ctx.sim().run();
+  EXPECT_LE(ctx.detector().detections(), 2);
+}
+
+TEST(Chaos, GrayFailureModesFire) {
+  ContextOptions o = opts();
+  o.cluster.servers_per_rack = 3;  // two racks: partitions can spare one
+  Context ctx(o);
+  ChaosInjector chaos(ctx, {.failures_per_hour = 0.0,
+                            .min_alive = 2,
+                            .flaky_task_probability = 0.5,
+                            .slow_nodes_per_hour = 600.0,
+                            .mean_slow_seconds = 5.0,
+                            .partitions_per_hour = 300.0,
+                            .mean_partition_seconds = 2.0,
+                            .seed = 13});
+  chaos.start(0.0, 60.0);
+  bool window_seen = false;
+  ctx.sim().at(0.5, [&] {
+    window_seen = ctx.dag().tasks().flaky_task_probability() == 0.5;
+  });
+  ctx.sim().run();
+  EXPECT_TRUE(window_seen);
+  EXPECT_EQ(ctx.dag().tasks().flaky_task_probability(), 0.0);  // cleared
+  EXPECT_GT(chaos.slow_episodes(), 0);
+  EXPECT_GT(chaos.partitions(), 0);
+  // All slow episodes and partitions healed once the window drained.
+  for (ServerId s : ctx.cluster().alive_servers()) {
+    EXPECT_FALSE(ctx.cluster().server(s).degradation().degraded());
+    EXPECT_TRUE(ctx.cluster().server(s).reachable());
+  }
 }
 
 }  // namespace

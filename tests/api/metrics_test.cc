@@ -91,5 +91,70 @@ TEST(Metrics, ClusterUtilizationTracksBusyTime) {
   EXPECT_LE(u, 1.0);
 }
 
+TEST(Metrics, SurfacesFailureCounters) {
+  ContextOptions o;
+  o.config = ConfigKind::kStarkH;
+  o.cluster.num_servers = 4;
+  Context ctx(o);
+  MetricsCollector metrics(ctx.cluster());
+  auto part = ctx.collection_partitioner(8, 256);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  ctx.kill_server(1);
+  metrics.observe_job(ctx.count(ds));
+  ctx.sim().run();  // let the heartbeat grid detection fire
+  metrics.observe_failures(ctx.dag().failure_stats());
+  EXPECT_GE(metrics.heartbeat_detections(), 1);
+  EXPECT_GE(metrics.mean_detection_latency(), 0.0);
+  EXPECT_GE(metrics.task_failures() + metrics.fetch_failures() +
+                metrics.stage_resubmissions(),
+            0);
+  EXPECT_EQ(metrics.aborted_jobs(), 0);
+  const std::string s = metrics.summary();
+  EXPECT_NE(s.find("detections: 1"), std::string::npos);
+}
+
+TEST(Metrics, CountsAbortedJobs) {
+  ContextOptions o;
+  o.config = ConfigKind::kStarkH;
+  o.cluster.num_servers = 4;
+  Context ctx(o);
+  MetricsCollector metrics(ctx.cluster());
+  auto part = ctx.collection_partitioner(8, 256);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  ctx.dag().tasks().set_flaky_task_probability(1.0);
+  metrics.observe_job(ctx.count(ds));
+  metrics.observe_failures(ctx.dag().failure_stats());
+  EXPECT_EQ(metrics.aborted_jobs(), 1);
+  EXPECT_GT(metrics.task_failures(), 0);
+  EXPECT_NE(metrics.summary().find("(1 aborted)"), std::string::npos);
+}
+
+TEST(Metrics, ResetClearsFailureSnapshotToo) {
+  ContextOptions o;
+  o.config = ConfigKind::kStarkH;
+  o.cluster.num_servers = 4;
+  Context ctx(o);
+  MetricsCollector metrics(ctx.cluster());
+  auto part = ctx.collection_partitioner(8, 256);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  ctx.kill_server(1);
+  metrics.observe_job(ctx.count(ds));
+  ctx.sim().run();  // let the heartbeat grid detection fire
+  metrics.observe_failures(ctx.dag().failure_stats());
+  ASSERT_GE(metrics.heartbeat_detections(), 1);
+  metrics.reset();
+  EXPECT_EQ(metrics.jobs(), 0);
+  EXPECT_EQ(metrics.aborted_jobs(), 0);
+  EXPECT_EQ(metrics.heartbeat_detections(), 0);
+  EXPECT_EQ(metrics.task_failures(), 0);
+  EXPECT_EQ(metrics.task_retries(), 0);
+  EXPECT_EQ(metrics.fetch_failures(), 0);
+  EXPECT_EQ(metrics.stage_resubmissions(), 0);
+  EXPECT_EQ(metrics.executor_exclusions(), 0);
+  EXPECT_EQ(metrics.executor_readmissions(), 0);
+  EXPECT_EQ(metrics.mean_detection_latency(), 0.0);
+  EXPECT_EQ(metrics.cache_insertions(), 0);
+}
+
 }  // namespace
 }  // namespace stark

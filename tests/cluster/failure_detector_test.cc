@@ -1,0 +1,143 @@
+// Unit tests for the heartbeat failure detector: closed-form detection
+// times on the check grid, heal/restart races, and the launch-RPC
+// shortcut.
+#include "cluster/failure_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace stark {
+namespace {
+
+struct Harness {
+  sim::Simulation sim;
+  Cluster cluster;
+  FailureDetector detector;
+  std::vector<std::pair<ServerId, double>> losses;
+
+  explicit Harness(FailureDetector::Config cfg = {})
+      : cluster([] {
+          ClusterConfig c;
+          c.num_servers = 4;
+          return c;
+        }()),
+        detector(sim, cluster, cfg) {
+    detector.set_on_executor_lost([this](ServerId s, double latency) {
+      losses.emplace_back(s, latency);
+    });
+  }
+};
+
+TEST(FailureDetector, DetectsOnTheCheckGrid) {
+  // interval 1, timeout 5: death at t=2.3 -> last heartbeat at 2.0 ->
+  // deadline 7.0 -> first grid point strictly after it is 8.0.
+  Harness h;
+  h.sim.at(2.3, [&] {
+    h.cluster.kill_server(1);
+    h.detector.on_server_dead(1);
+  });
+  h.sim.run();
+  ASSERT_EQ(h.losses.size(), 1u);
+  EXPECT_EQ(h.losses[0].first, 1);
+  EXPECT_NEAR(h.sim.now(), 8.0, 1e-9);
+  EXPECT_NEAR(h.losses[0].second, 8.0 - 2.3, 1e-9);
+  EXPECT_FALSE(h.detector.believed_alive(1));
+  EXPECT_EQ(h.detector.detections(), 1);
+  EXPECT_GT(h.detector.total_detection_latency(), 0.0);
+}
+
+TEST(FailureDetector, DeathOnGridPointStillWaitsAFullTimeout) {
+  // Death exactly at t=3.0 (a heartbeat instant): the driver saw that
+  // beat, so the deadline is 8.0 and detection lands strictly after, at 9.
+  Harness h;
+  h.sim.at(3.0, [&] {
+    h.cluster.kill_server(2);
+    h.detector.on_server_dead(2);
+  });
+  h.sim.run();
+  ASSERT_EQ(h.losses.size(), 1u);
+  EXPECT_NEAR(h.sim.now(), 9.0, 1e-9);
+}
+
+TEST(FailureDetector, HealBeforeTimeoutGoesUnnoticed) {
+  Harness h;
+  h.sim.at(2.0, [&] { h.detector.on_server_dead(1); });  // partition onset
+  h.sim.at(4.0, [&] { h.detector.on_server_healed(1); });
+  h.sim.run();
+  EXPECT_TRUE(h.losses.empty());
+  EXPECT_TRUE(h.detector.believed_alive(1));
+  EXPECT_EQ(h.detector.detections(), 0);
+}
+
+TEST(FailureDetector, RestartDeclaresOldIncarnationImmediately) {
+  Harness h;
+  h.sim.at(1.5, [&] {
+    h.cluster.kill_server(3);
+    h.detector.on_server_dead(3);
+  });
+  h.sim.at(3.0, [&] {
+    h.cluster.restart_server(3);
+    h.detector.on_server_restarted(3);
+  });
+  h.sim.run();
+  ASSERT_EQ(h.losses.size(), 1u);
+  EXPECT_NEAR(h.losses[0].second, 1.5, 1e-9);  // declared at the restart
+  EXPECT_TRUE(h.detector.believed_alive(3));   // new incarnation registered
+  // The originally scheduled grid detection must not fire a second time.
+  EXPECT_EQ(h.detector.detections(), 1);
+}
+
+TEST(FailureDetector, LaunchFailureShortCircuitsTheTimeout) {
+  Harness h;
+  h.sim.at(2.25, [&] {
+    h.cluster.kill_server(1);
+    h.detector.on_server_dead(1);
+  });
+  h.sim.at(2.5, [&] { h.detector.report_launch_failure(1); });
+  h.sim.run();
+  ASSERT_EQ(h.losses.size(), 1u);
+  EXPECT_NEAR(h.losses[0].second, 0.25, 1e-9);
+  EXPECT_EQ(h.detector.detections(), 1);  // grid event was invalidated
+}
+
+TEST(FailureDetector, LaunchFailureIgnoredForPartitions) {
+  // A partitioned server's process is alive: connection attempts hang
+  // rather than fail fast, so detection stays on the heartbeat grid.
+  Harness h;
+  h.sim.at(2.25, [&] {
+    h.cluster.server(1).set_reachable(false);
+    h.detector.on_server_dead(1);
+  });
+  h.sim.at(2.5, [&] { h.detector.report_launch_failure(1); });
+  h.sim.run();
+  ASSERT_EQ(h.losses.size(), 1u);
+  EXPECT_NEAR(h.sim.now(), 8.0, 1e-9);
+}
+
+TEST(FailureDetector, RejectsNonPositiveConfig) {
+  sim::Simulation sim;
+  ClusterConfig cc;
+  cc.num_servers = 1;
+  Cluster cluster(cc);
+  EXPECT_THROW(FailureDetector(sim, cluster, {0.0, 5.0}),
+               std::invalid_argument);
+  EXPECT_THROW(FailureDetector(sim, cluster, {1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(FailureDetector, CoarserGridDelaysDetection) {
+  // interval 4, timeout 5: death at 2.3 -> last beat 0.0 -> deadline 5.0
+  // -> first strictly-later grid point is 8.0.
+  Harness h({.heartbeat_interval = 4.0, .heartbeat_timeout = 5.0});
+  h.sim.at(2.3, [&] {
+    h.cluster.kill_server(1);
+    h.detector.on_server_dead(1);
+  });
+  h.sim.run();
+  ASSERT_EQ(h.losses.size(), 1u);
+  EXPECT_NEAR(h.sim.now(), 8.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace stark
