@@ -7,10 +7,7 @@
 // the churn cost.
 #include <cstdio>
 
-#include "api/chaos.h"
-#include "api/context.h"
-#include "api/metrics.h"
-#include "common/stats.h"
+#include "api/stark.h"
 #include "streaming/running_reduce.h"
 #include "trace/wiki.h"
 

@@ -7,8 +7,7 @@
 #include <cstdio>
 #include <deque>
 
-#include "api/context.h"
-#include "common/stats.h"
+#include "api/stark.h"
 #include "common/rng.h"
 #include "trace/wiki.h"
 

@@ -5,53 +5,87 @@
 // the same under stock Spark placement.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build &&
-//               ./build/examples/quickstart
+//               ./build/examples/quickstart [trace.json]
+//
+// With a path argument, the Stark-H run writes a chrome://tracing /
+// Perfetto timeline there (one "task" span per executed task; see
+// docs/OBSERVABILITY.md).
 #include <cstdio>
 
-#include "api/context.h"
-#include "common/stats.h"
+#include "api/stark.h"
 #include "trace/wiki.h"
 
 using namespace stark;
 
 namespace {
 
-JobResult run_once(ConfigKind kind) {
+struct RunOutcome {
+  JobResult result;     // the cogroup+filter job
+  int total_tasks = 0;  // every task the context ran, ingests included
+};
+
+RunOutcome run_once(ConfigKind kind, const char* trace_path) {
   // 1. A simulated 8-server cluster wired for the chosen configuration.
   ContextOptions opts;
   opts.config = kind;
   opts.cluster.num_servers = 8;
+  if (trace_path != nullptr) opts.trace.chrome_path = trace_path;
   Context ctx(opts);
 
-  // 2. Two hours of synthetic Wikipedia request logs.
+  // 2. Two hours of synthetic Wikipedia request logs. Ingest lazily so
+  // every job — including the materialization counts — is explicit and the
+  // task totals below cover everything the context ran.
   trace::WikiTraceGen wiki({});
   auto part = ctx.collection_partitioner(/*num_partitions=*/8,
                                          /*domain_size=*/4096);
-
-  // ingest = source -> localityPartitionBy(part, "logs") -> cache, plus the
-  // ingestion job that materializes the partitions in RAM.
-  auto hour0 = ctx.ingest("hour0", wiki.hourly_histogram(0), part, "logs");
-  auto hour1 = ctx.ingest("hour1", wiki.hourly_histogram(1), part, "logs");
+  auto hour0 = ctx.ingest("hour0", wiki.hourly_histogram(0), part, "logs",
+                          {.materialize = false});
+  auto hour1 = ctx.ingest("hour1", wiki.hourly_histogram(1), part, "logs",
+                          {.materialize = false});
+  RunOutcome out;
+  out.total_tasks += ctx.count(hour0).num_tasks;
+  out.total_tasks += ctx.count(hour1).num_tasks;
 
   // 3. A job across the collection: cogroup the two hours and count the
   // records matching a keyword (~1% selectivity).
   auto grouped = Dataset::cogroup({hour0, hour1}, part);
   auto matches = grouped->filter({.selectivity = 0.01}, "matches");
-  return ctx.count(matches);
+  out.result = ctx.count(matches);
+  out.total_tasks += out.result.num_tasks;
+
+  if (trace_path != nullptr) {
+    ctx.tracer().flush();  // write the Chrome JSON now
+    const auto* chrome = ctx.tracer().sink<obs::ChromeTraceSink>();
+    std::printf("wrote %s: %d task spans for %d executed tasks\n\n",
+                trace_path, static_cast<int>(chrome->task_span_count()),
+                out.total_tasks);
+  }
+  return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = argc > 1 ? argv[1] : nullptr;
   std::printf("Stark quickstart: cogroup two cached datasets\n\n");
   for (ConfigKind kind : {ConfigKind::kSparkH, ConfigKind::kStarkH}) {
-    const JobResult r = run_once(kind);
+    // Trace only the Stark-H run (one timeline per file).
+    const RunOutcome out =
+        run_once(kind, kind == ConfigKind::kStarkH ? trace_path : nullptr);
+    const JobResult& r = out.result;
     std::printf(
         "%-8s  job delay %7.3f s | %d tasks (%d node-local) | "
         "read %s from cache, %s over network\n",
         config_name(kind), r.delay, r.num_tasks, r.node_local_tasks,
         format_bytes(r.bytes_from_cache).c_str(),
         format_bytes(r.bytes_from_net).c_str());
+    for (const StageBreakdown& s : r.stages) {
+      std::printf(
+          "          stage %-3d %s: %d tasks | compute %6.3f s | "
+          "deserialize %6.3f s | shuffle read %6.3f s | sched delay %6.3f s\n",
+          s.stage, s.shuffle_map ? "map   " : "result", s.num_tasks,
+          s.compute, s.deserialize, s.shuffle_read, s.sched_delay);
+    }
   }
   std::printf(
       "\nStark-H serves every task from local RAM (co-locality); Spark-H\n"

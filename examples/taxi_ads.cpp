@@ -8,7 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "api/context.h"
+#include "api/stark.h"
 #include "streaming/query_workload.h"
 #include "trace/taxi.h"
 #include "trace/zcurve.h"

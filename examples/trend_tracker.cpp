@@ -7,8 +7,7 @@
 // keeps the failure-recovery delay under a user bound at minimum I/O cost.
 #include <cstdio>
 
-#include "api/context.h"
-#include "common/stats.h"
+#include "api/stark.h"
 #include "trace/wiki.h"
 
 using namespace stark;

@@ -1,15 +1,53 @@
 #include "api/chaos.h"
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace stark {
+
+namespace {
+
+// Rejects configurations that could never inject anything meaningful (or
+// would silently suppress every event) before any process is scheduled.
+void validate(const ChaosInjector::Config& c, const Context& ctx) {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("ChaosInjector: " + what);
+  };
+  if (c.min_alive < 0) bad("min_alive must be >= 0");
+  if (c.min_alive > ctx.options().cluster.num_servers) {
+    bad("min_alive (" + std::to_string(c.min_alive) +
+        ") exceeds the cluster size (" +
+        std::to_string(ctx.options().cluster.num_servers) +
+        "); every kill and partition would be skipped");
+  }
+  if (c.failures_per_hour < 0.0) bad("failures_per_hour must be >= 0");
+  if (c.slow_nodes_per_hour < 0.0) bad("slow_nodes_per_hour must be >= 0");
+  if (c.partitions_per_hour < 0.0) bad("partitions_per_hour must be >= 0");
+  if (c.mean_repair_seconds <= 0.0) bad("mean_repair_seconds must be > 0");
+  if (c.mean_slow_seconds <= 0.0) bad("mean_slow_seconds must be > 0");
+  if (c.mean_partition_seconds <= 0.0) {
+    bad("mean_partition_seconds must be > 0");
+  }
+  if (c.flaky_task_probability < 0.0 || c.flaky_task_probability > 1.0) {
+    bad("flaky_task_probability must be in [0, 1]");
+  }
+  if (c.slow_cpu_factor < 1.0 || c.slow_disk_factor < 1.0 ||
+      c.slow_net_factor < 1.0) {
+    bad("slow factors must be >= 1 (a factor below 1 would speed nodes up)");
+  }
+}
+
+}  // namespace
 
 ChaosInjector::ChaosInjector(Context& ctx, Config config)
     : ctx_(&ctx),
       config_(config),
       kill_rng_(config.seed),
       slow_rng_(splitmix64(config.seed ^ 0x534c4f57ULL)),
-      partition_rng_(splitmix64(config.seed ^ 0x50415254ULL)) {}
+      partition_rng_(splitmix64(config.seed ^ 0x50415254ULL)) {
+  validate(config_, ctx);
+}
 
 void ChaosInjector::start(SimTime t0, SimTime t1) {
   if (t1 <= t0) return;  // empty or inverted window: nothing to schedule

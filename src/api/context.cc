@@ -2,14 +2,116 @@
 
 #include <stdexcept>
 
+#include "obs/chrome_sink.h"
+#include "obs/ring_sink.h"
+#include "obs/stage_agg_sink.h"
+
 namespace stark {
 
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw std::invalid_argument("ContextOptions: " + what);
+}
+
+// Validation happens before any subsystem is constructed, so a bad knob
+// fails fast with a message naming the field instead of silently warping
+// the simulation (negative waits disable delay scheduling, a zero-server
+// cluster hangs the first job, inverted heartbeat times never detect).
+ContextOptions validated(ContextOptions o) {
+  o.validate();
+  return o;
+}
+
+}  // namespace
+
+void ContextOptions::validate() const {
+  if (cluster.num_servers <= 0) {
+    reject("cluster.num_servers must be positive (got " +
+           std::to_string(cluster.num_servers) + ")");
+  }
+  if (cluster.server.cores <= 0) {
+    reject("cluster.server.cores must be positive (got " +
+           std::to_string(cluster.server.cores) + ")");
+  }
+  if (cluster.server.ram <= 0.0) reject("cluster.server.ram must be positive");
+  if (cluster.server.storage_fraction < 0.0 ||
+      cluster.server.storage_fraction > 1.0) {
+    reject("cluster.server.storage_fraction must be in [0, 1]");
+  }
+  if (cluster.servers_per_rack < 0) {
+    reject("cluster.servers_per_rack must be >= 0 (0 = single rack)");
+  }
+  if (locality_wait < 0.0) {
+    reject("locality_wait must be >= 0 (got " + std::to_string(locality_wait) +
+           ")");
+  }
+  if (faults.heartbeat_interval <= 0.0) {
+    reject("faults.heartbeat_interval must be positive");
+  }
+  if (faults.heartbeat_timeout < faults.heartbeat_interval) {
+    reject("faults.heartbeat_timeout must be >= heartbeat_interval (" +
+           std::to_string(faults.heartbeat_timeout) + " < " +
+           std::to_string(faults.heartbeat_interval) + ")");
+  }
+  if (faults.max_task_failures < 1) {
+    reject("faults.max_task_failures must be >= 1");
+  }
+  if (faults.max_stage_attempts < 1) {
+    reject("faults.max_stage_attempts must be >= 1");
+  }
+  if (faults.retry_backoff < 0.0) reject("faults.retry_backoff must be >= 0");
+  if (faults.retry_backoff_max < faults.retry_backoff) {
+    reject("faults.retry_backoff_max must be >= retry_backoff");
+  }
+  if (faults.fetch_fail_seconds < 0.0) {
+    reject("faults.fetch_fail_seconds must be >= 0");
+  }
+  if (faults.exclude_on_failure) {
+    if (faults.max_task_attempts_per_executor < 1) {
+      reject("faults.max_task_attempts_per_executor must be >= 1");
+    }
+    if (faults.max_failures_per_executor_stage < 1) {
+      reject("faults.max_failures_per_executor_stage must be >= 1");
+    }
+    if (faults.max_failures_per_executor < 1) {
+      reject("faults.max_failures_per_executor must be >= 1");
+    }
+    if (faults.exclude_timeout < 0.0) {
+      reject("faults.exclude_timeout must be >= 0");
+    }
+  }
+  if (trace.effective_enabled() && trace.ring_capacity == 0 &&
+      !trace.aggregate && trace.chrome_path.empty()) {
+    reject("trace enabled but no sink configured (ring_capacity = 0, "
+           "aggregate = false, chrome_path empty)");
+  }
+}
+
 Context::Context(ContextOptions options)
-    : options_(std::move(options)),
+    : options_(validated(std::move(options))),
       run_config_(::stark::run_config(options_.config)),
       cluster_(options_.cluster),
       locality_(cluster_),
       groups_(locality_) {
+  // Tracing front end: sinks per TraceOptions, enabled only on request —
+  // the disabled path costs the engine one pointer test per choke point.
+  tracer_ = std::make_unique<obs::Tracer>();
+  if (options_.trace.effective_enabled()) {
+    if (options_.trace.ring_capacity > 0) {
+      tracer_->add_sink(
+          std::make_shared<obs::RingBufferSink>(options_.trace.ring_capacity));
+    }
+    if (options_.trace.aggregate) {
+      tracer_->add_sink(std::make_shared<obs::StageAggregationSink>());
+    }
+    if (!options_.trace.chrome_path.empty()) {
+      tracer_->add_sink(
+          std::make_shared<obs::ChromeTraceSink>(options_.trace.chrome_path));
+    }
+    tracer_->set_enabled(true);
+  }
+
   DagOptions dag_opts;
   dag_opts.use_locality_homes = run_config_.colocate;
   dag_opts.mcf = run_config_.mcf;
@@ -20,10 +122,12 @@ Context::Context(ContextOptions options)
   dag_opts.faults = options_.faults;
   dag_ = std::make_unique<DagScheduler>(sim_, cluster_, options_.cost,
                                         locality_, groups_, dag_opts);
+  dag_->set_tracer(tracer_.get());
   detector_ = std::make_unique<FailureDetector>(
       sim_, cluster_,
       FailureDetector::Config{options_.faults.heartbeat_interval,
                               options_.faults.heartbeat_timeout});
+  detector_->set_tracer(tracer_.get());
   detector_->set_on_executor_lost(
       [this](ServerId s, double latency) { dag_->on_executor_lost(s, latency); });
   // Task offers go only to executors the driver believes are alive.
@@ -40,6 +144,19 @@ Context::Context(ContextOptions options)
   // when the last block of the unit leaves a server, the home decays.
   cluster_.add_block_observer(
       [this](ServerId s, const BlockId& id, bool inserted) {
+        if (obs::Tracer::active(tracer_.get())) {
+          obs::TraceEvent e;
+          e.kind = inserted ? obs::TraceKind::kBlockInsert
+                            : obs::TraceKind::kBlockEvict;
+          e.t0 = e.t1 = sim_.now();
+          e.server = s;
+          e.dataset = id.dataset;
+          e.partition = id.partition;
+          if (inserted) {
+            e.bytes = cluster_.server(s).storage().block_bytes(id);
+          }
+          tracer_->emit(e);
+        }
         dag_->tasks().on_block_event(s, id, inserted);
         if (!run_config_.colocate) return;
         const std::string ns = groups_.ns_of_dataset(id.dataset);
@@ -93,9 +210,14 @@ PartitionerPtr Context::partitioner_for(const KeyHistogram& hist,
 
 DatasetPtr Context::ingest(const std::string& name, KeyHistogram hist,
                            const PartitionerPtr& part, const std::string& ns,
-                           int source_splits, bool materialize) {
+                           IngestOptions opts) {
+  if (opts.source_splits < 1) {
+    throw std::invalid_argument(
+        "ingest: IngestOptions.source_splits must be >= 1 (got " +
+        std::to_string(opts.source_splits) + ")");
+  }
   auto hist_ptr = std::make_shared<const KeyHistogram>(std::move(hist));
-  auto raw = Dataset::source(name + ".raw", hist_ptr, source_splits);
+  auto raw = Dataset::source(name + ".raw", hist_ptr, opts.source_splits);
   const std::string effective_ns = run_config_.colocate ? ns : std::string{};
   if (!effective_ns.empty()) {
     GroupConfig gc = options_.groups;
@@ -106,10 +228,17 @@ DatasetPtr Context::ingest(const std::string& name, KeyHistogram hist,
   auto data = raw->partition_by(part, effective_ns, name);
   data->cache();
   groups_.report_dataset(*data);
-  if (materialize) {
+  if (opts.materialize) {
     dag_->run_job(data, ActionType::kCount);
   }
   return data;
+}
+
+DatasetPtr Context::ingest(const std::string& name, KeyHistogram hist,
+                           const PartitionerPtr& part, const std::string& ns,
+                           int source_splits, bool materialize) {
+  return ingest(name, std::move(hist), part, ns,
+                IngestOptions{source_splits, materialize});
 }
 
 JobResult Context::count(const DatasetPtr& ds) {

@@ -1,8 +1,8 @@
 // stark::Context — the umbrella entry point of the library.
 //
-// Owns the simulation clock, the cluster, the Stark managers and the DAG
-// scheduler, pre-wired for one of the paper's five evaluation
-// configurations. Typical use (see examples/quickstart.cpp):
+// Owns the simulation clock, the cluster, the Stark managers, the DAG
+// scheduler and the tracing subsystem, pre-wired for one of the paper's
+// five evaluation configurations. Typical use (see examples/quickstart.cpp):
 //
 //   stark::ContextOptions opts;
 //   opts.config = stark::ConfigKind::kStarkH;
@@ -21,6 +21,7 @@
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
 #include "cluster/failure_detector.h"
+#include "obs/tracer.h"
 #include "sched/dag_scheduler.h"
 #include "sim/simulation.h"
 #include "stark/checkpoint_optimizer.h"
@@ -40,7 +41,26 @@ struct ContextOptions {
   // Heartbeat detection, task retries, stage resubmission and exclusion
   // knobs (see sched/task.h and docs/FAULT_MODEL.md).
   FaultOptions faults;
+  // Structured tracing (see obs/tracer.h and docs/OBSERVABILITY.md).
+  // Disabled by default: the engine pays one pointer test per choke point
+  // and simulated timelines are bit-identical either way.
+  obs::TraceOptions trace;
   std::uint64_t seed = 7;
+
+  // Rejects inconsistent options (negative waits, empty clusters, fault
+  // knobs that could never fire) with std::invalid_argument. Context's
+  // constructor calls this before touching any subsystem.
+  void validate() const;
+};
+
+// Named knobs for Context::ingest (replaces the old trailing
+// `int source_splits, bool materialize` positional flags).
+struct IngestOptions {
+  // Splits of the raw source the ingestion reads from.
+  int source_splits = 4;
+  // Run the ingestion job now so the partitions are materialized in RAM;
+  // false builds the lineage lazily (first action pays the load).
+  bool materialize = true;
 };
 
 class Context {
@@ -57,6 +77,12 @@ class Context {
   const RunConfig& run_config() const noexcept { return run_config_; }
   const ContextOptions& options() const noexcept { return options_; }
 
+  // The tracing front end. Always constructed; enabled per
+  // ContextOptions::trace (or set_enabled at runtime). Sinks configured
+  // from TraceOptions are reachable via tracer().sink<T>().
+  obs::Tracer& tracer() noexcept { return *tracer_; }
+  const obs::Tracer& tracer() const noexcept { return *tracer_; }
+
   // The partitioner shared across the dataset collection (hash or static
   // range depending on the configuration). For Spark-R this returns a fresh
   // per-call RangePartitioner instead — pass the dataset's histogram.
@@ -70,7 +96,15 @@ class Context {
   // the partitions are materialized in RAM.
   DatasetPtr ingest(const std::string& name, KeyHistogram hist,
                     const PartitionerPtr& part, const std::string& ns,
-                    int source_splits = 4, bool materialize = true);
+                    IngestOptions opts = {});
+
+  // Deprecated positional-flag shim; one release of grace, then it goes.
+  [[deprecated(
+      "pass IngestOptions{.source_splits = ..., .materialize = ...} "
+      "instead of positional flags")]]
+  DatasetPtr ingest(const std::string& name, KeyHistogram hist,
+                    const PartitionerPtr& part, const std::string& ns,
+                    int source_splits, bool materialize = true);
 
   // Runs an action to completion and returns the job result.
   JobResult count(const DatasetPtr& ds);
@@ -111,6 +145,7 @@ class Context {
   Cluster cluster_;
   LocalityManager locality_;
   GroupManager groups_;
+  std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<DagScheduler> dag_;
   std::unique_ptr<FailureDetector> detector_;
   PartitionerPtr shared_partitioner_;

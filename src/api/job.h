@@ -1,0 +1,106 @@
+// Public job-facing types: what a caller submits and what it gets back.
+//
+// These used to live in sched/task.h; they are the *user* half of the
+// scheduler contract (actions, results, per-task and per-stage metrics) and
+// are re-exported through the api/stark.h umbrella so programs never need
+// to include scheduler internals.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace stark {
+
+// What running a job computes over the final dataset.
+enum class ActionType {
+  kCount,    // count records (no result shipping)
+  kCollect,  // materialize results at the driver
+};
+
+// Per-task execution record, kept in JobResult::tasks when
+// ContextOptions::detail_task_metrics is on.
+struct TaskMetrics {
+  ServerId server = kInvalidId;
+  bool node_local = false;
+  SimTime submit_time = 0.0;
+  SimTime launch_time = 0.0;
+  SimTime finish_time = 0.0;
+
+  // Duration breakdown (seconds).
+  double cpu = 0.0;           // transformation compute (incl. cached scans)
+  double deserialize = 0.0;   // share of cpu spent deserializing input
+  double gc = 0.0;            // garbage collection overhead
+  double shuffle_read = 0.0;  // network + remote disk for shuffle fetches
+  double disk = 0.0;          // local input/checkpoint reads, map-output writes
+  double overhead = 0.0;      // launch + dispatch
+
+  // Data volume breakdown (bytes).
+  Bytes bytes_from_cache = 0.0;
+  Bytes bytes_from_net = 0.0;
+  Bytes bytes_from_disk = 0.0;
+  Bytes bytes_written = 0.0;
+
+  double duration() const noexcept { return finish_time - launch_time; }
+  double queue_delay() const noexcept { return launch_time - submit_time; }
+};
+
+// Where one stage of a job spent its simulated time, aggregated across the
+// stage's tasks. Always filled (the accumulation is a handful of scalar
+// adds per task), independent of whether tracing is enabled.
+struct StageBreakdown {
+  StageId stage = kInvalidId;
+  bool shuffle_map = false;  // produced shuffle map output
+  int attempts = 0;          // resubmissions forced by lost map outputs
+  int num_tasks = 0;
+  int node_local_tasks = 0;
+
+  // Phase totals (seconds, summed across tasks).
+  double sched_delay = 0.0;   // task submit -> launch
+  double deserialize = 0.0;   // deserialization share of compute
+  double compute = 0.0;       // transformation CPU minus deserialize
+  double gc = 0.0;
+  double shuffle_read = 0.0;
+  double disk = 0.0;
+  double overhead = 0.0;
+  double max_task_duration = 0.0;  // the stage's critical task
+
+  Bytes bytes_from_cache = 0.0;
+  Bytes bytes_from_net = 0.0;
+  Bytes bytes_from_disk = 0.0;
+
+  SimTime first_launch = 0.0;
+  SimTime last_finish = 0.0;
+};
+
+// The result of one job, delivered synchronously by Context::count /
+// run_action or through the JobCallback of DagScheduler::submit.
+struct JobResult {
+  JobId id = kInvalidId;
+  bool completed = false;
+  // Why the job finished with completed=false (task retries exhausted,
+  // stage resubmission limit, unschedulable task). Empty on success.
+  std::string failure_reason;
+  SimTime submit_time = 0.0;
+  SimTime finish_time = 0.0;
+  double delay = 0.0;  // finish - submit
+  int num_stages = 0;
+  int num_tasks = 0;
+  int node_local_tasks = 0;
+  double total_cpu = 0.0;
+  double total_gc = 0.0;
+  double total_shuffle_read = 0.0;
+  Bytes bytes_from_cache = 0.0;
+  Bytes bytes_from_net = 0.0;
+  Bytes bytes_from_disk = 0.0;
+  // Per-stage phase breakdown, ordered by stage id. Always present.
+  std::vector<StageBreakdown> stages;
+  // Per-task detail (ContextOptions::detail_task_metrics).
+  std::vector<TaskMetrics> tasks;
+};
+
+using JobCallback = std::function<void(const JobResult&)>;
+
+}  // namespace stark

@@ -1,0 +1,30 @@
+// stark.h — the single public umbrella header.
+//
+// User programs include this and nothing else from the engine:
+//
+//   #include "api/stark.h"
+//
+//   stark::ContextOptions opts;
+//   opts.config = stark::ConfigKind::kStarkH;
+//   opts.trace.chrome_path = "trace.json";   // optional: Perfetto timeline
+//   stark::Context ctx(opts);
+//   auto part = ctx.collection_partitioner(8, 4096);
+//   auto a = ctx.ingest("hour0", hist0, part, "logs");
+//   auto r = ctx.count(a);                   // r.stages: phase breakdown
+//
+// Trace generators (trace/wiki.h, trace/taxi.h, ...) are input synthesizers
+// rather than engine API and stay separate includes.
+#pragma once
+
+#include "api/chaos.h"      // ChaosInjector: randomized fault injection
+#include "api/configs.h"    // the paper's five evaluation configurations
+#include "api/context.h"    // Context / ContextOptions / IngestOptions
+#include "api/job.h"        // ActionType, JobResult, StageBreakdown, ...
+#include "api/metrics.h"    // MetricsCollector: run-level aggregates
+#include "common/stats.h"   // Distribution, format_bytes/format_seconds
+#include "common/types.h"   // SimTime, Bytes, id aliases
+#include "obs/chrome_sink.h"     // chrome://tracing JSON exporter
+#include "obs/ring_sink.h"       // bounded in-memory event capture
+#include "obs/stage_agg_sink.h"  // percentile profiles + critical paths
+#include "obs/tracer.h"          // Tracer / TraceOptions
+#include "rdd/dataset.h"    // Dataset combinators (cogroup, filter, ...)

@@ -40,6 +40,14 @@ void FailureDetector::declare_lost(ServerId s, State& st) {
   ++detections_;
   const double latency = sim_->now() - st.dead_at;
   latency_sum_ += latency;
+  if (obs::Tracer::active(tracer_)) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceKind::kExecutorLost;
+    e.t0 = st.dead_at;
+    e.t1 = sim_->now();
+    e.server = s;
+    tracer_->emit(e);
+  }
   if (on_lost_) on_lost_(s, latency);
 }
 

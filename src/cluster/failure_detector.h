@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "cluster/cluster.h"
+#include "obs/tracer.h"
 #include "sim/simulation.h"
 
 namespace stark {
@@ -60,6 +61,10 @@ class FailureDetector {
   int detections() const noexcept { return detections_; }
   double total_detection_latency() const noexcept { return latency_sum_; }
 
+  // Structured tracing: every declaration emits a kExecutorLost span
+  // [physical death, declaration] whose duration is the detection latency.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   struct State {
     bool believed_alive = true;
@@ -75,6 +80,7 @@ class FailureDetector {
   Cluster* cluster_;
   Config config_;
   LostFn on_lost_;
+  obs::Tracer* tracer_ = nullptr;
   std::unordered_map<ServerId, State> states_;
   int detections_ = 0;
   double latency_sum_ = 0.0;

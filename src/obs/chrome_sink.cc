@@ -1,0 +1,352 @@
+#include "obs/chrome_sink.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace stark::obs {
+
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+// Fixed per-server thread ids for non-core lanes (task lanes are 0..cores).
+constexpr int kStorageTid = 100;
+constexpr int kEventsTid = 101;
+// Driver (pid 0) thread layout.
+constexpr int kJobsTid = 0;
+constexpr int kDetectorTid = 1;
+constexpr int kStageLaneBase = 2;
+
+struct Span {
+  SimTime t0 = 0.0;
+  SimTime t1 = 0.0;
+  std::string name;
+  std::string args;  // pre-rendered JSON object body, may be empty
+  int lane = 0;
+};
+
+// Greedy interval-graph coloring: each span takes the lowest lane that is
+// free at its start. Returns the number of lanes used.
+int assign_lanes(std::vector<Span>& spans) {
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    return a.t0 != b.t0 ? a.t0 < b.t0 : a.t1 < b.t1;
+  });
+  std::vector<SimTime> free_at;
+  for (Span& s : spans) {
+    int lane = -1;
+    for (std::size_t i = 0; i < free_at.size(); ++i) {
+      if (free_at[i] <= s.t0 + 1e-12) {
+        lane = static_cast<int>(i);
+        break;
+      }
+    }
+    if (lane < 0) {
+      lane = static_cast<int>(free_at.size());
+      free_at.push_back(0.0);
+    }
+    free_at[static_cast<std::size_t>(lane)] = s.t1;
+    s.lane = lane;
+  }
+  return static_cast<int>(free_at.size());
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {
+    os_ << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  }
+  ~EventWriter() { os_ << "\n]}\n"; }
+
+  void meta(const char* what, int pid, int tid, const std::string& name,
+            bool process) {
+    sep();
+    os_ << "{\"ph\": \"M\", \"name\": \"" << what << "\", \"pid\": " << pid;
+    if (!process) os_ << ", \"tid\": " << tid;
+    os_ << ", \"args\": {\"name\": \"" << escape(name) << "\"}}";
+  }
+
+  void complete(const std::string& name, const char* cat, SimTime t0,
+                SimTime t1, int pid, int tid, const std::string& args) {
+    sep();
+    os_ << "{\"ph\": \"X\", \"name\": \"" << escape(name) << "\", \"cat\": \""
+        << cat << "\", \"ts\": " << num(t0 * kUsPerSecond)
+        << ", \"dur\": " << num((t1 - t0) * kUsPerSecond)
+        << ", \"pid\": " << pid << ", \"tid\": " << tid;
+    if (!args.empty()) os_ << ", \"args\": {" << args << "}";
+    os_ << "}";
+  }
+
+  void instant(const std::string& name, const char* cat, SimTime t, int pid,
+               int tid, const std::string& args) {
+    sep();
+    os_ << "{\"ph\": \"i\", \"s\": \"t\", \"name\": \"" << escape(name)
+        << "\", \"cat\": \"" << cat
+        << "\", \"ts\": " << num(t * kUsPerSecond) << ", \"pid\": " << pid
+        << ", \"tid\": " << tid;
+    if (!args.empty()) os_ << ", \"args\": {" << args << "}";
+    os_ << "}";
+  }
+
+ private:
+  void sep() {
+    if (!first_) os_ << ",";
+    first_ = false;
+    os_ << "\n";
+  }
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+std::string task_args(const TraceEvent& e) {
+  std::ostringstream os;
+  os << "\"job\": " << e.job << ", \"stage\": " << e.stage
+     << ", \"index\": " << e.task_index << ", \"unit\": " << e.unit
+     << ", \"node_local\": " << ((e.flags & kFlagNodeLocal) ? "true" : "false")
+     << ", \"speculative\": "
+     << ((e.flags & kFlagSpeculative) ? "true" : "false")
+     << ", \"sched_delay_s\": " << e.phases.sched_delay
+     << ", \"deserialize_s\": " << e.phases.deserialize
+     << ", \"compute_s\": " << e.phases.compute
+     << ", \"gc_s\": " << e.phases.gc
+     << ", \"shuffle_read_s\": " << e.phases.shuffle_read
+     << ", \"disk_s\": " << e.phases.disk
+     << ", \"overhead_s\": " << e.phases.overhead;
+  return os.str();
+}
+
+std::string block_name(const TraceEvent& e) {
+  return std::string(trace_kind_name(e.kind)) + " d" +
+         std::to_string(e.dataset) + "/p" + std::to_string(e.partition);
+}
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::string path) : path_(std::move(path)) {}
+
+void ChromeTraceSink::on_event(const TraceEvent& event) {
+  events_.push_back(event);
+  if (event.kind == TraceKind::kTaskFinish) ++task_spans_;
+  dirty_ = true;
+}
+
+void ChromeTraceSink::flush() {
+  if (path_.empty() || !dirty_) return;
+  std::ofstream out(path_);
+  if (!out) {
+    throw std::runtime_error("ChromeTraceSink: cannot open " + path_);
+  }
+  write(out);
+  dirty_ = false;
+}
+
+std::string ChromeTraceSink::to_json() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void ChromeTraceSink::write(std::ostream& os) const {
+  SimTime end = 0.0;
+  for (const TraceEvent& e : events_) end = std::max(end, e.t1);
+
+  // Group spans by their lane domain.
+  std::unordered_map<int, std::vector<Span>> task_spans;  // by server
+  std::vector<Span> stage_spans;
+  std::vector<Span> job_spans;
+  std::vector<Span> detector_spans;
+  // Open stage/job spans: (job, stage) -> submit time.
+  std::map<std::pair<JobId, StageId>, SimTime> open_stages;
+  std::map<JobId, SimTime> open_jobs;
+
+  const auto stage_label = [](const TraceEvent& e, const char* suffix) {
+    return "stage " + std::to_string(e.stage) + " (job " +
+           std::to_string(e.job) + ")" + suffix;
+  };
+
+  for (const TraceEvent& e : events_) {
+    switch (e.kind) {
+      case TraceKind::kTaskFinish: {
+        Span s;
+        s.t0 = e.t0;
+        s.t1 = e.t1;
+        s.name = "task j" + std::to_string(e.job) + "/s" +
+                 std::to_string(e.stage) + " #" + std::to_string(e.task_index);
+        s.args = task_args(e);
+        task_spans[e.server].push_back(std::move(s));
+        break;
+      }
+      case TraceKind::kJobSubmit:
+        open_jobs.emplace(e.job, e.t0);
+        break;
+      case TraceKind::kJobFinish: {
+        const auto it = open_jobs.find(e.job);
+        const SimTime t0 = it != open_jobs.end() ? it->second : e.t0;
+        if (it != open_jobs.end()) open_jobs.erase(it);
+        Span s;
+        s.t0 = t0;
+        s.t1 = e.t1;
+        s.name = "job " + std::to_string(e.job) +
+                 ((e.flags & kFlagCompleted) ? "" : " (aborted)");
+        job_spans.push_back(std::move(s));
+        break;
+      }
+      case TraceKind::kStageSubmit:
+        // A resubmission reuses the original open span.
+        open_stages.emplace(std::make_pair(e.job, e.stage), e.t0);
+        break;
+      case TraceKind::kStageComplete: {
+        const auto key = std::make_pair(e.job, e.stage);
+        const auto it = open_stages.find(key);
+        const SimTime t0 = it != open_stages.end() ? it->second : e.t0;
+        if (it != open_stages.end()) open_stages.erase(it);
+        Span s;
+        s.t0 = t0;
+        s.t1 = e.t1;
+        s.name = stage_label(e, e.attempt > 0 ? " [resubmitted]" : "");
+        stage_spans.push_back(std::move(s));
+        break;
+      }
+      case TraceKind::kExecutorLost: {
+        Span s;
+        s.t0 = e.t0;
+        s.t1 = e.t1;
+        s.name = "executor " + std::to_string(e.server) + " lost";
+        s.args = "\"detection_latency_s\": " + num(e.t1 - e.t0);
+        detector_spans.push_back(std::move(s));
+        break;
+      }
+      default:
+        break;  // instants are rendered directly below
+    }
+  }
+  // Spans still open when the trace ends (aborted jobs, mid-run flush).
+  for (const auto& [key, t0] : open_stages) {
+    Span s;
+    s.t0 = t0;
+    s.t1 = std::max(end, t0);
+    s.name = "stage " + std::to_string(key.second) + " (job " +
+             std::to_string(key.first) + ") [unfinished]";
+    stage_spans.push_back(std::move(s));
+  }
+  for (const auto& [job, t0] : open_jobs) {
+    Span s;
+    s.t0 = t0;
+    s.t1 = std::max(end, t0);
+    s.name = "job " + std::to_string(job) + " [unfinished]";
+    job_spans.push_back(std::move(s));
+  }
+
+  assign_lanes(job_spans);
+  assign_lanes(detector_spans);
+  const int stage_lanes = assign_lanes(stage_spans);
+  std::map<int, int> server_lanes;  // ordered for stable output
+  for (auto& [server, spans] : task_spans) {
+    server_lanes[server] = assign_lanes(spans);
+  }
+
+  EventWriter w(os);
+  // Metadata: driver process and threads.
+  w.meta("process_name", 0, 0, "driver", /*process=*/true);
+  w.meta("thread_name", 0, kJobsTid, "jobs", /*process=*/false);
+  w.meta("thread_name", 0, kDetectorTid, "failure detector", false);
+  for (int l = 0; l < stage_lanes; ++l) {
+    w.meta("thread_name", 0, kStageLaneBase + l,
+           "stages (lane " + std::to_string(l) + ")", false);
+  }
+  // Metadata: one process per server, one thread per task lane ("core").
+  std::map<int, bool> servers_seen;  // servers with any event at all
+  for (const TraceEvent& e : events_) {
+    if (e.server != kInvalidId) servers_seen[e.server] = true;
+  }
+  for (const auto& [server, seen] : servers_seen) {
+    (void)seen;
+    const int pid = server + 1;
+    w.meta("process_name", pid, 0, "server " + std::to_string(server), true);
+    const auto it = server_lanes.find(server);
+    const int lanes = it != server_lanes.end() ? it->second : 0;
+    for (int l = 0; l < lanes; ++l) {
+      w.meta("thread_name", pid, l, "core " + std::to_string(l), false);
+    }
+    w.meta("thread_name", pid, kStorageTid, "storage", false);
+    w.meta("thread_name", pid, kEventsTid, "events", false);
+  }
+
+  for (const Span& s : job_spans) {
+    w.complete(s.name, "job", s.t0, s.t1, 0, kJobsTid, s.args);
+  }
+  for (const Span& s : stage_spans) {
+    w.complete(s.name, "stage", s.t0, s.t1, 0, kStageLaneBase + s.lane,
+               s.args);
+  }
+  for (const Span& s : detector_spans) {
+    w.complete(s.name, "failure", s.t0, s.t1, 0, kDetectorTid, s.args);
+  }
+  for (const auto& [server, spans] : task_spans) {
+    for (const Span& s : spans) {
+      w.complete(s.name, "task", s.t0, s.t1, server + 1, s.lane, s.args);
+    }
+  }
+  // Instant events.
+  for (const TraceEvent& e : events_) {
+    switch (e.kind) {
+      case TraceKind::kBlockInsert:
+      case TraceKind::kBlockEvict:
+      case TraceKind::kBlockHit:
+      case TraceKind::kBlockMiss:
+        w.instant(block_name(e), "block", e.t0, e.server + 1, kStorageTid,
+                  "\"bytes\": " + num(e.bytes));
+        break;
+      case TraceKind::kTaskRetry:
+      case TraceKind::kTaskFail:
+        w.instant(std::string(trace_kind_name(e.kind)) + " j" +
+                      std::to_string(e.job) + "/s" + std::to_string(e.stage) +
+                      " #" + std::to_string(e.task_index),
+                  "task", e.t0,
+                  e.server == kInvalidId ? 0 : e.server + 1,
+                  e.server == kInvalidId ? kDetectorTid : kEventsTid,
+                  "\"attempt\": " + std::to_string(e.attempt) +
+                      ", \"code\": " + std::to_string(e.code));
+        break;
+      case TraceKind::kStageResubmit:
+        w.instant(stage_label(e, " resubmit"), "stage", e.t0, 0,
+                  kStageLaneBase, "\"attempt\": " + std::to_string(e.attempt));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace stark::obs

@@ -1,0 +1,53 @@
+// ChromeTraceSink: exports the event stream as Chrome trace-event JSON.
+//
+// The output opens directly in chrome://tracing or https://ui.perfetto.dev:
+//  * every simulated server is a *process* (pid = server id + 1, named
+//    "server N"), the driver is pid 0;
+//  * task spans are laid out on per-server *threads* ("core 0..k"), one
+//    lane per concurrently running task, assigned by interval sweep — with
+//    c cores a server never needs more than c lanes, so the lane picture
+//    matches physical core occupancy;
+//  * stage and job spans live on driver threads, failure-detection spans on
+//    the driver's "detector" thread, block events as instants on each
+//    server's "storage" thread.
+//
+// Simulated seconds map to trace microseconds. Exactly one "X" (complete)
+// event with category "task" is emitted per finished task run, so the task
+// span count of a trace equals the run's task count.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.h"
+
+namespace stark::obs {
+
+class ChromeTraceSink final : public TraceSink {
+ public:
+  // With a non-empty path, flush() (and the owning Tracer's teardown)
+  // writes the JSON file there.
+  explicit ChromeTraceSink(std::string path = {});
+
+  void on_event(const TraceEvent& event) override;
+  void flush() override;
+
+  // Serializes the trace collected so far.
+  void write(std::ostream& os) const;
+  std::string to_json() const;
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t event_count() const noexcept { return events_.size(); }
+  // Finished-task spans recorded (== "X" cat:"task" entries in the JSON).
+  std::size_t task_span_count() const noexcept { return task_spans_; }
+
+ private:
+  std::string path_;
+  std::vector<TraceEvent> events_;
+  std::size_t task_spans_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace stark::obs

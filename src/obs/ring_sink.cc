@@ -1,0 +1,64 @@
+#include "obs/ring_sink.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stark::obs {
+
+RingBufferSink::RingBufferSink(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RingBufferSink: capacity must be positive");
+  }
+  buffer_.resize(capacity);
+}
+
+void RingBufferSink::on_event(const TraceEvent& event) {
+  buffer_[next_] = event;
+  next_ = (next_ + 1) % buffer_.size();
+  ++total_;
+}
+
+std::size_t RingBufferSink::size() const noexcept {
+  return std::min(total_, buffer_.size());
+}
+
+std::size_t RingBufferSink::dropped() const noexcept {
+  return total_ > buffer_.size() ? total_ - buffer_.size() : 0;
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Oldest event: slot `next_` once wrapped, slot 0 before that.
+  const std::size_t start = total_ > buffer_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> RingBufferSink::events(TraceKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events()) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t RingBufferSink::count(TraceKind kind) const {
+  const std::size_t n = size();
+  const std::size_t start = total_ > buffer_.size() ? next_ : 0;
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (buffer_[(start + i) % buffer_.size()].kind == kind) ++c;
+  }
+  return c;
+}
+
+void RingBufferSink::clear() {
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace stark::obs

@@ -1,0 +1,45 @@
+// RingBufferSink: bounded in-memory event capture.
+//
+// Keeps the most recent `capacity` events in a fixed circular buffer —
+// allocation-free after construction, so tests and long soaks can leave it
+// attached without growing memory. When the buffer wraps, the oldest events
+// are overwritten and `dropped()` counts how many were lost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/trace_sink.h"
+
+namespace stark::obs {
+
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity);
+
+  void on_event(const TraceEvent& event) override;
+
+  std::size_t capacity() const noexcept { return buffer_.size(); }
+  // Events currently held (<= capacity).
+  std::size_t size() const noexcept;
+  // Total events ever observed, including overwritten ones.
+  std::size_t total() const noexcept { return total_; }
+  // Events lost to wrap-around.
+  std::size_t dropped() const noexcept;
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> events() const;
+  // Retained events of one kind, oldest first.
+  std::vector<TraceEvent> events(TraceKind kind) const;
+  // Retained events of one kind (count without copying).
+  std::size_t count(TraceKind kind) const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  std::size_t next_ = 0;   // slot the next event lands in
+  std::size_t total_ = 0;  // lifetime event count
+};
+
+}  // namespace stark::obs

@@ -1,0 +1,142 @@
+#include "obs/stage_agg_sink.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace stark::obs {
+
+void StageAggregationSink::on_event(const TraceEvent& e) {
+  switch (e.kind) {
+    case TraceKind::kJobSubmit: {
+      JobProfile& j = jobs_[e.job];
+      j.job = e.job;
+      j.submit_time = e.t0;
+      break;
+    }
+    case TraceKind::kJobFinish: {
+      JobProfile& j = jobs_[e.job];
+      j.job = e.job;
+      j.finish_time = e.t1;
+      j.finished = true;
+      j.completed = (e.flags & kFlagCompleted) != 0;
+      break;
+    }
+    case TraceKind::kStageSubmit: {
+      StageProfile& s = stages_[{e.job, e.stage}];
+      if (s.tasks == 0 && !s.completed) s.submit_time = e.t0;
+      s.job = e.job;
+      s.stage = e.stage;
+      break;
+    }
+    case TraceKind::kStageResubmit: {
+      StageProfile& s = stages_[{e.job, e.stage}];
+      s.job = e.job;
+      s.stage = e.stage;
+      ++s.resubmissions;
+      break;
+    }
+    case TraceKind::kStageComplete: {
+      StageProfile& s = stages_[{e.job, e.stage}];
+      s.job = e.job;
+      s.stage = e.stage;
+      s.complete_time = e.t1;
+      s.completed = true;
+      break;
+    }
+    case TraceKind::kTaskFinish: {
+      StageProfile& s = stages_[{e.job, e.stage}];
+      s.job = e.job;
+      s.stage = e.stage;
+      ++s.tasks;
+      ++total_tasks_;
+      if (e.flags & kFlagNodeLocal) ++s.node_local_tasks;
+      const double d = e.duration();
+      s.durations.add(d);
+      const double prev_max = s.max_task_duration;
+      s.max_task_duration = std::max(s.max_task_duration, d);
+      s.totals.sched_delay += e.phases.sched_delay;
+      s.totals.deserialize += e.phases.deserialize;
+      s.totals.compute += e.phases.compute;
+      s.totals.gc += e.phases.gc;
+      s.totals.shuffle_read += e.phases.shuffle_read;
+      s.totals.disk += e.phases.disk;
+      s.totals.overhead += e.phases.overhead;
+      // Keep the job's critical-path estimate incrementally consistent:
+      // it is the sum of per-stage maxima.
+      JobProfile& j = jobs_[e.job];
+      j.job = e.job;
+      if (s.tasks == 1) ++j.stages;
+      ++j.tasks;
+      j.critical_path += s.max_task_duration - prev_max;
+      break;
+    }
+    case TraceKind::kTaskRetry: {
+      StageProfile& s = stages_[{e.job, e.stage}];
+      s.job = e.job;
+      s.stage = e.stage;
+      ++s.retries;
+      break;
+    }
+    default:
+      break;  // block / failure events are out of scope for this sink
+  }
+}
+
+const StageProfile* StageAggregationSink::stage(JobId job,
+                                                StageId stage) const {
+  const auto it = stages_.find({job, stage});
+  return it == stages_.end() ? nullptr : &it->second;
+}
+
+const JobProfile* StageAggregationSink::job(JobId job) const {
+  const auto it = jobs_.find(job);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+std::vector<const StageProfile*> StageAggregationSink::stages_of(
+    JobId job) const {
+  std::vector<const StageProfile*> out;
+  for (auto it = stages_.lower_bound({job, kInvalidId});
+       it != stages_.end() && it->first.first == job; ++it) {
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+std::string StageAggregationSink::report() const {
+  std::string out;
+  char buf[256];
+  out += "stage profiles (task duration seconds)\n";
+  out +=
+      "  job stage  tasks local retry   p50     p90     p99     max     "
+      "compute    gc  shuffle\n";
+  for (const auto& [key, s] : stages_) {
+    (void)key;
+    const auto& d = s.durations;
+    std::snprintf(buf, sizeof(buf),
+                  "  %3d %5d  %5d %5d %5d %7.3f %7.3f %7.3f %7.3f %9.2f "
+                  "%5.2f %8.2f\n",
+                  s.job, s.stage, s.tasks, s.node_local_tasks, s.retries,
+                  d.empty() ? 0.0 : d.percentile(0.5),
+                  d.empty() ? 0.0 : d.percentile(0.9),
+                  d.empty() ? 0.0 : d.percentile(0.99),
+                  s.max_task_duration, s.totals.compute, s.totals.gc,
+                  s.totals.shuffle_read);
+    out += buf;
+  }
+  out += "job critical paths\n";
+  for (const auto& [id, j] : jobs_) {
+    (void)id;
+    std::snprintf(buf, sizeof(buf),
+                  "  job %3d: %d stages / %d tasks, makespan %.3f s, "
+                  "critical path %.3f s (sched overhead %.0f%%)%s\n",
+                  j.job, j.stages, j.tasks, j.makespan(), j.critical_path,
+                  j.scheduling_overhead() * 100.0,
+                  j.finished ? (j.completed ? "" : " [aborted]")
+                             : " [running]");
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace stark::obs

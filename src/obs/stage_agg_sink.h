@@ -1,0 +1,79 @@
+// StageAggregationSink: per-stage profiles and per-job critical-path
+// estimates, computed online from the event stream.
+//
+// For every (job, stage) it keeps the full task-duration distribution (so
+// percentiles are exact) plus the phase totals; for every job it derives a
+// *critical-path estimate* — the sum over the job's stages of the slowest
+// task duration in each stage. With stages separated by shuffle barriers
+// this is the minimum makespan any scheduler could reach on infinitely many
+// cores, so `makespan - critical_path` bounds the time attributable to
+// queueing, locality waits, retries and driver dispatch.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/trace_sink.h"
+
+namespace stark::obs {
+
+struct StageProfile {
+  JobId job = kInvalidId;
+  StageId stage = kInvalidId;
+  int tasks = 0;
+  int node_local_tasks = 0;
+  int retries = 0;
+  int resubmissions = 0;
+  Distribution durations;  // per-task launch->finish seconds
+  TaskPhases totals;       // summed across tasks
+  double max_task_duration = 0.0;
+  SimTime submit_time = 0.0;
+  SimTime complete_time = 0.0;
+  bool completed = false;
+};
+
+struct JobProfile {
+  JobId job = kInvalidId;
+  SimTime submit_time = 0.0;
+  SimTime finish_time = 0.0;
+  bool finished = false;
+  bool completed = false;  // finished with success
+  int stages = 0;
+  int tasks = 0;
+  // Sum over stages of the slowest task duration (see header comment).
+  double critical_path = 0.0;
+  double makespan() const noexcept { return finish_time - submit_time; }
+  // Share of the makespan not explained by the critical path: scheduling
+  // delay, retries, barrier stalls. In [0, 1] for completed jobs whose
+  // stages ran serially; can be negative when stages overlap (shared
+  // shuffles already materialized by earlier jobs).
+  double scheduling_overhead() const noexcept {
+    const double m = makespan();
+    return m > 0.0 ? (m - critical_path) / m : 0.0;
+  }
+};
+
+class StageAggregationSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override;
+
+  const StageProfile* stage(JobId job, StageId stage) const;
+  const JobProfile* job(JobId job) const;
+  std::vector<const StageProfile*> stages_of(JobId job) const;
+
+  int total_tasks() const noexcept { return total_tasks_; }
+  std::size_t jobs_seen() const noexcept { return jobs_.size(); }
+
+  // Human-readable per-stage percentile table (p50/p90/p99 task durations,
+  // phase totals) and per-job critical-path summary.
+  std::string report() const;
+
+ private:
+  std::map<std::pair<JobId, StageId>, StageProfile> stages_;
+  std::map<JobId, JobProfile> jobs_;
+  int total_tasks_ = 0;
+};
+
+}  // namespace stark::obs

@@ -1,0 +1,106 @@
+// TraceEvent: the span/event model of the tracing subsystem.
+//
+// Every record is stamped with *simulated* time and identifies the engine
+// entity it describes (job, stage, task, block, executor). Span events
+// carry both endpoints [t0, t1]; instant events have t1 == t0. Task-finish
+// spans additionally carry the phase breakdown every Stark figure argues
+// about: where did the simulated seconds go — scheduler delay,
+// deserialization, compute, GC, shuffle read, disk?
+//
+// The struct is deliberately flat and heap-free (no strings, no vectors) so
+// a ring-buffer sink can hold hundreds of thousands of events without
+// allocation and sinks can copy events by value.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace stark::obs {
+
+enum class TraceKind : std::uint8_t {
+  // Job lifecycle (DagScheduler). kJobFinish carries kCompleted in flags.
+  kJobSubmit,
+  kJobFinish,
+  // Stage lifecycle (DagScheduler). kStageSubmit fires per launch attempt;
+  // kStageResubmit marks a relaunch forced by lost map outputs or fetch
+  // failures (attempt counts the consecutive attempts so far).
+  kStageSubmit,
+  kStageComplete,
+  kStageResubmit,
+  // Task lifecycle (TaskScheduler). kTaskFinish is the span
+  // [launch_time, finish_time] with a valid phase breakdown; kTaskLaunch /
+  // kTaskRetry / kTaskFail are instants.
+  kTaskLaunch,
+  kTaskFinish,
+  kTaskRetry,
+  kTaskFail,
+  // Block store (BlockManager via Cluster observers + task planner).
+  // Hit/miss are emitted when a task plan resolves a parent partition
+  // against the executor's cache; insert/evict mirror the cluster index.
+  kBlockInsert,
+  kBlockEvict,
+  kBlockHit,
+  kBlockMiss,
+  // Failure machinery (FailureDetector): span [physical death, driver
+  // declaration] — its duration is the detection latency.
+  kExecutorLost,
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+// Where a task's simulated seconds went. Only kTaskFinish events carry a
+// meaningful breakdown; `deserialize` is the part of compute spent turning
+// serialized bytes (serialized cache blocks, spilled/checkpoint reads,
+// source parsing) back into objects.
+struct TaskPhases {
+  double sched_delay = 0.0;   // submit -> launch (queue + locality wait)
+  double deserialize = 0.0;   // deserialization share of compute
+  double compute = 0.0;       // transformation CPU minus deserialize
+  double gc = 0.0;            // garbage-collection overhead
+  double shuffle_read = 0.0;  // network + remote disk for shuffle fetches
+  double disk = 0.0;          // local reads + map-output writes
+  double overhead = 0.0;      // driver dispatch + task launch
+
+  double busy() const noexcept {
+    return deserialize + compute + gc + shuffle_read + disk;
+  }
+};
+
+// Bit flags qualifying an event.
+enum : std::uint8_t {
+  kFlagNone = 0,
+  kFlagNodeLocal = 1 << 0,    // task ran NODE_LOCAL
+  kFlagSpeculative = 1 << 1,  // task run was a speculative copy
+  kFlagCompleted = 1 << 2,    // job finished with completed=true
+  kFlagShuffleMap = 1 << 3,   // stage produces shuffle map output
+};
+
+struct TraceEvent {
+  TraceKind kind = TraceKind::kJobSubmit;
+  std::uint8_t flags = kFlagNone;
+  // For kTaskFail: the TaskFailureKind as an int. Unused otherwise.
+  std::int16_t code = 0;
+  SimTime t0 = 0.0;  // span start (== event time for instants)
+  SimTime t1 = 0.0;  // span end (== t0 for instants)
+
+  JobId job = kInvalidId;
+  StageId stage = kInvalidId;
+  int task_index = -1;  // position within the stage's task set
+  int unit = -1;        // partition index / group id the task covers
+  int attempt = 0;      // retries of this task / attempts of this stage
+  ServerId server = kInvalidId;
+
+  // Block identity for kBlock* events (BlockId flattened so obs does not
+  // depend on the cluster layer).
+  DatasetId dataset = kInvalidId;
+  int partition = -1;
+  Bytes bytes = 0.0;
+
+  TaskPhases phases;
+
+  bool is_span() const noexcept { return t1 > t0; }
+  double duration() const noexcept { return t1 - t0; }
+};
+
+}  // namespace stark::obs

@@ -1,0 +1,25 @@
+// TraceSink: where TraceEvents go.
+//
+// A Tracer fans every event out to its attached sinks. Sinks are passive
+// consumers — they must not mutate engine state or observe anything but the
+// event stream, which is what keeps tracing side-effect-free on the
+// simulation (enabling a sink never changes a makespan).
+#pragma once
+
+#include "obs/trace_event.h"
+
+namespace stark::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // One event. Called only while the owning Tracer is enabled.
+  virtual void on_event(const TraceEvent& event) = 0;
+
+  // Finalize buffered output (write files, close resources). Called by
+  // Tracer::flush() and from the Tracer's destructor; must be idempotent.
+  virtual void flush() {}
+};
+
+}  // namespace stark::obs

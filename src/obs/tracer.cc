@@ -1,0 +1,52 @@
+#include "obs/tracer.h"
+
+#include <stdexcept>
+
+namespace stark::obs {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kJobSubmit: return "job-submit";
+    case TraceKind::kJobFinish: return "job-finish";
+    case TraceKind::kStageSubmit: return "stage-submit";
+    case TraceKind::kStageComplete: return "stage-complete";
+    case TraceKind::kStageResubmit: return "stage-resubmit";
+    case TraceKind::kTaskLaunch: return "task-launch";
+    case TraceKind::kTaskFinish: return "task-finish";
+    case TraceKind::kTaskRetry: return "task-retry";
+    case TraceKind::kTaskFail: return "task-fail";
+    case TraceKind::kBlockInsert: return "block-insert";
+    case TraceKind::kBlockEvict: return "block-evict";
+    case TraceKind::kBlockHit: return "block-hit";
+    case TraceKind::kBlockMiss: return "block-miss";
+    case TraceKind::kExecutorLost: return "executor-lost";
+  }
+  return "unknown";
+}
+
+Tracer::~Tracer() {
+  // Best-effort finalization; a failing sink must not terminate teardown.
+  try {
+    flush();
+  } catch (...) {
+  }
+}
+
+void Tracer::add_sink(std::shared_ptr<TraceSink> sink) {
+  if (sink == nullptr) {
+    throw std::invalid_argument("Tracer::add_sink: null sink");
+  }
+  sinks_.push_back(std::move(sink));
+}
+
+void Tracer::emit(const TraceEvent& event) {
+  if (!enabled_) return;
+  ++emitted_;
+  for (const auto& s : sinks_) s->on_event(event);
+}
+
+void Tracer::flush() {
+  for (const auto& s : sinks_) s->flush();
+}
+
+}  // namespace stark::obs

@@ -1,0 +1,82 @@
+// Tracer: the front door of the observability subsystem.
+//
+// Engine components hold a raw `Tracer*` (nullptr or disabled by default)
+// and guard every instrumentation point with `Tracer::active(t)` — a single
+// inlined pointer-and-bool test, so a build with tracing off pays one
+// predictable branch per choke point and allocates nothing. When enabled,
+// events fan out to the attached sinks (ring buffer, Chrome exporter,
+// per-stage aggregation — see obs/*_sink.h).
+//
+// Tracing is strictly read-only with respect to the simulation: sinks see
+// copies of events and cannot reach back into the engine, so enabling any
+// combination of sinks never changes a simulated timestamp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.h"
+
+namespace stark::obs {
+
+// User-facing knobs (ContextOptions.trace).
+struct TraceOptions {
+  // Master switch. A non-empty chrome_path implies enabled.
+  bool enabled = false;
+  // Capacity of the in-memory ring-buffer sink; 0 skips that sink.
+  std::size_t ring_capacity = 1 << 16;
+  // Attach the per-stage aggregation sink (percentiles, critical path).
+  bool aggregate = true;
+  // When non-empty: write a chrome://tracing / Perfetto JSON file here on
+  // Context teardown (or tracer().flush()).
+  std::string chrome_path;
+
+  bool effective_enabled() const noexcept {
+    return enabled || !chrome_path.empty();
+  }
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // The zero-overhead guard instrumentation points use.
+  static bool active(const Tracer* t) noexcept {
+    return t != nullptr && t->enabled_;
+  }
+
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+
+  void add_sink(std::shared_ptr<TraceSink> sink);
+  std::size_t num_sinks() const noexcept { return sinks_.size(); }
+
+  // First attached sink of the given concrete type, or nullptr.
+  template <typename T>
+  T* sink() const {
+    for (const auto& s : sinks_) {
+      if (auto* typed = dynamic_cast<T*>(s.get())) return typed;
+    }
+    return nullptr;
+  }
+
+  // Fan an event out to every sink. Callers are expected to have checked
+  // active() already; emit() re-checks so a stray call stays harmless.
+  void emit(const TraceEvent& event);
+
+  // Finalize buffered sink output (e.g. write the Chrome JSON file).
+  void flush();
+
+  std::size_t events_emitted() const noexcept { return emitted_; }
+
+ private:
+  bool enabled_ = false;
+  std::vector<std::shared_ptr<TraceSink>> sinks_;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace stark::obs

@@ -32,6 +32,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
+#include "obs/tracer.h"
 #include "sched/stage.h"
 #include "sched/task.h"
 #include "sched/task_scheduler.h"
@@ -120,6 +121,14 @@ class DagScheduler {
   Cluster& cluster() noexcept { return *cluster_; }
   const CostModel& cost_model() const noexcept { return cost_; }
 
+  // Structured tracing (stage submit/complete/resubmit, job lifecycle,
+  // cache hit/miss from the task planner). Propagates to the TaskScheduler.
+  // Null or disabled costs one pointer test per choke point.
+  void set_tracer(obs::Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    task_scheduler_.set_tracer(tracer);
+  }
+
  private:
   struct Job;
   struct StageRun {
@@ -137,6 +146,9 @@ class DagScheduler {
     // Task index in the current task set -> unit position in the shuffle's
     // map-output vector (partial resubmissions launch a subset of units).
     std::vector<int> task_unit_pos;
+    // Per-stage phase totals, accumulated as tasks finish and copied into
+    // JobResult::stages when the job ends.
+    StageBreakdown breakdown;
   };
   struct Job {
     JobId id = kInvalidId;
@@ -153,6 +165,7 @@ class DagScheduler {
                         std::optional<ShuffleEdge> output);
   void maybe_launch(StageRun& stage);
   void on_stage_complete(StageRun& stage);
+  void collect_stage_breakdowns(Job& job);
   void finish_job(Job& job);
   // Terminates the job with completed=false; cancels its task sets, purges
   // its waiter registrations, and re-homes any map stage other jobs were
@@ -182,6 +195,7 @@ class DagScheduler {
   GroupManager* groups_;
   DagOptions options_;
   TaskScheduler task_scheduler_;
+  obs::Tracer* tracer_ = nullptr;
 
   std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
   std::unordered_map<JobId, JobResult> results_;

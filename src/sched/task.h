@@ -1,10 +1,13 @@
-// Task and job records shared by the schedulers.
+// Scheduler-internal task records and fault-tolerance knobs.
+//
+// The user-facing half of the job contract (ActionType, TaskMetrics,
+// StageBreakdown, JobResult, JobCallback) lives in api/job.h.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "api/job.h"
 #include "common/types.h"
 
 namespace stark {
@@ -77,54 +80,5 @@ struct TaskSpec {
   int hi = 0;        // last partition (exclusive)
   std::vector<ServerId> preferred;  // NODE_LOCAL candidates
 };
-
-struct TaskMetrics {
-  ServerId server = kInvalidId;
-  bool node_local = false;
-  SimTime submit_time = 0.0;
-  SimTime launch_time = 0.0;
-  SimTime finish_time = 0.0;
-
-  // Duration breakdown (seconds).
-  double cpu = 0.0;           // transformation compute (incl. cached scans)
-  double gc = 0.0;            // garbage collection overhead
-  double shuffle_read = 0.0;  // network + remote disk for shuffle fetches
-  double disk = 0.0;          // local input/checkpoint reads, map-output writes
-  double overhead = 0.0;      // launch + dispatch
-
-  // Data volume breakdown (bytes).
-  Bytes bytes_from_cache = 0.0;
-  Bytes bytes_from_net = 0.0;
-  Bytes bytes_from_disk = 0.0;
-  Bytes bytes_written = 0.0;
-
-  double duration() const noexcept { return finish_time - launch_time; }
-  double queue_delay() const noexcept { return launch_time - submit_time; }
-};
-
-enum class ActionType { kCount, kCollect };
-
-struct JobResult {
-  JobId id = kInvalidId;
-  bool completed = false;
-  // Why the job finished with completed=false (task retries exhausted,
-  // stage resubmission limit, unschedulable task). Empty on success.
-  std::string failure_reason;
-  SimTime submit_time = 0.0;
-  SimTime finish_time = 0.0;
-  double delay = 0.0;  // finish - submit
-  int num_stages = 0;
-  int num_tasks = 0;
-  int node_local_tasks = 0;
-  double total_cpu = 0.0;
-  double total_gc = 0.0;
-  double total_shuffle_read = 0.0;
-  Bytes bytes_from_cache = 0.0;
-  Bytes bytes_from_net = 0.0;
-  Bytes bytes_from_disk = 0.0;
-  std::vector<TaskMetrics> tasks;  // per-task detail
-};
-
-using JobCallback = std::function<void(const JobResult&)>;
 
 }  // namespace stark

@@ -307,6 +307,7 @@ void TaskScheduler::launch(const std::shared_ptr<ActiveSet>& set, int index,
   run.metrics.launch_time = launch_time;
   run.metrics.finish_time = finish;
   run.metrics.cpu = run.plan.cpu;
+  run.metrics.deserialize = run.plan.deserialize;
   run.metrics.gc = run.plan.gc;
   run.metrics.shuffle_read = run.plan.shuffle_read;
   run.metrics.disk = run.plan.disk;
@@ -315,6 +316,21 @@ void TaskScheduler::launch(const std::shared_ptr<ActiveSet>& set, int index,
   run.metrics.bytes_from_net = run.plan.bytes_net;
   run.metrics.bytes_from_disk = run.plan.bytes_disk;
   run.metrics.bytes_written = run.plan.bytes_written;
+
+  if (obs::Tracer::active(tracer_)) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceKind::kTaskLaunch;
+    e.t0 = e.t1 = launch_time;
+    e.job = task.job;
+    e.stage = task.stage;
+    e.task_index = index;
+    e.unit = task.unit_id;
+    e.attempt = set->attempts[static_cast<std::size_t>(index)];
+    e.server = server;
+    if (node_local) e.flags |= obs::kFlagNodeLocal;
+    if (speculative) e.flags |= obs::kFlagSpeculative;
+    tracer_->emit(e);
+  }
 
   const std::uint64_t run_id = next_run_id_++;
   if (run.fetch_failure.has_value()) {
@@ -453,6 +469,32 @@ void TaskScheduler::complete(std::uint64_t run_id) {
   ++set->finished;
   set->finished_durations.push_back(run.metrics.duration());
   const TaskSpec& task = set->ts->tasks[static_cast<std::size_t>(run.index)];
+  if (obs::Tracer::active(tracer_)) {
+    // Exactly one finish span per logical task: the winning copy.
+    obs::TraceEvent e;
+    e.kind = obs::TraceKind::kTaskFinish;
+    e.t0 = run.metrics.launch_time;
+    e.t1 = run.metrics.finish_time;
+    e.job = task.job;
+    e.stage = task.stage;
+    e.task_index = run.index;
+    e.unit = task.unit_id;
+    e.attempt = set->attempts[static_cast<std::size_t>(run.index)];
+    e.server = run.server;
+    e.flags |= obs::kFlagCompleted;
+    if (run.metrics.node_local) e.flags |= obs::kFlagNodeLocal;
+    if (run.speculative) e.flags |= obs::kFlagSpeculative;
+    e.bytes = run.metrics.bytes_from_cache + run.metrics.bytes_from_net +
+              run.metrics.bytes_from_disk;
+    e.phases.sched_delay = run.metrics.queue_delay();
+    e.phases.deserialize = run.metrics.deserialize;
+    e.phases.compute = run.metrics.cpu - run.metrics.deserialize;
+    e.phases.gc = run.metrics.gc;
+    e.phases.shuffle_read = run.metrics.shuffle_read;
+    e.phases.disk = run.metrics.disk;
+    e.phases.overhead = run.metrics.overhead;
+    tracer_->emit(e);
+  }
   if (set->ts->task_done) set->ts->task_done(task, run.metrics);
   finish_set_if_done(set);
   if (!set->aborted && set->finished < static_cast<int>(set->ts->tasks.size())) {
@@ -487,6 +529,19 @@ void TaskScheduler::record_task_error(const std::shared_ptr<ActiveSet>& set,
   }
 }
 
+void TaskScheduler::emit_retry(const ActiveSet& set, int index) {
+  if (!obs::Tracer::active(tracer_)) return;
+  obs::TraceEvent e;
+  e.kind = obs::TraceKind::kTaskRetry;
+  e.t0 = e.t1 = sim_->now();
+  e.job = set.ts->job;
+  e.stage = set.ts->stage;
+  e.task_index = index;
+  e.unit = set.ts->tasks[static_cast<std::size_t>(index)].unit_id;
+  e.attempt = set.attempts[static_cast<std::size_t>(index)];
+  tracer_->emit(e);
+}
+
 void TaskScheduler::requeue_with_backoff(const std::shared_ptr<ActiveSet>& set,
                                          int index) {
   const int attempts = set->attempts[static_cast<std::size_t>(index)];
@@ -495,6 +550,7 @@ void TaskScheduler::requeue_with_backoff(const std::shared_ptr<ActiveSet>& set,
                    std::pow(2.0, std::max(0, attempts - 1)),
                options_.faults.retry_backoff_max);
   if (stats_) ++stats_->task_retries;
+  emit_retry(*set, index);
   ++set->backoff_pending;
   sim_->after(delay, [this, set, index] {
     --set->backoff_pending;
@@ -559,6 +615,20 @@ void TaskScheduler::fail(std::uint64_t run_id, TaskFailureKind kind) {
   }
   if (kind == TaskFailureKind::kTaskError) {
     record_task_error(set, run.index, run.server);
+  }
+  if (obs::Tracer::active(tracer_)) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceKind::kTaskFail;
+    e.code = static_cast<std::int16_t>(kind);
+    e.t0 = e.t1 = sim_->now();
+    e.job = set->ts->job;
+    e.stage = set->ts->stage;
+    e.task_index = run.index;
+    e.unit = set->ts->tasks[static_cast<std::size_t>(run.index)].unit_id;
+    e.attempt = set->attempts[static_cast<std::size_t>(run.index)];
+    e.server = run.server;
+    if (run.speculative) e.flags |= obs::kFlagSpeculative;
+    tracer_->emit(e);
   }
 
   TaskFailureAction action = TaskFailureAction::kRetry;
@@ -635,6 +705,7 @@ void TaskScheduler::fail(std::uint64_t run_id, TaskFailureKind kind) {
     set->task_speculated[static_cast<std::size_t>(run.index)] = 0;
     set->pending.push_back(run.index);
     if (stats_) ++stats_->task_retries;
+    emit_retry(*set, run.index);
   } else {
     requeue_with_backoff(set, run.index);
   }

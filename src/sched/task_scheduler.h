@@ -46,6 +46,7 @@
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
 #include "common/rng.h"
+#include "obs/tracer.h"
 #include "sched/stage.h"
 #include "sched/task.h"
 #include "sim/simulation.h"
@@ -56,6 +57,10 @@ namespace stark {
 // DagScheduler's planner at launch time from current cache state.
 struct TaskPlan {
   double cpu = 0.0;
+  // Informational split of `cpu`: time spent parsing serialized bytes
+  // (cache reads of serialized blocks, spill reads, checkpoint and source
+  // reads). Already included in cpu — never added on top.
+  double deserialize = 0.0;
   double gc = 0.0;
   double shuffle_read = 0.0;
   double disk = 0.0;
@@ -203,6 +208,10 @@ class TaskScheduler {
   // Failure counters shared with the DagScheduler (optional).
   void set_failure_stats(FailureStats* stats) { stats_ = stats; }
 
+  // Structured tracing of task launch/finish/retry/fail (see obs/tracer.h).
+  // Null or disabled costs one pointer test per choke point.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   std::size_t running_tasks() const noexcept { return running_.size(); }
   std::size_t pending_task_sets() const noexcept { return task_sets_.size(); }
   int speculative_launches() const noexcept { return speculative_launches_; }
@@ -264,6 +273,7 @@ class TaskScheduler {
                  const std::string& reason);
   void record_task_error(const std::shared_ptr<ActiveSet>& set, int index,
                          ServerId server);
+  void emit_retry(const ActiveSet& set, int index);
   void maybe_speculate(const std::shared_ptr<ActiveSet>& set);
   void discard_run(std::uint64_t run_id);  // cancel + release resources
   // Releases the run's driver-side accounting and, when the incarnation it
@@ -286,6 +296,7 @@ class TaskScheduler {
   std::function<bool(ServerId)> admission_;
   std::function<void(ServerId)> launch_failed_;
   FailureStats* stats_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 
   std::list<std::shared_ptr<ActiveSet>> task_sets_;  // FIFO
   std::unordered_map<std::uint64_t, RunningTask> running_;

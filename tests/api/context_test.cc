@@ -1,4 +1,4 @@
-#include "api/context.h"
+#include "api/stark.h"
 
 #include <gtest/gtest.h>
 
@@ -97,10 +97,31 @@ TEST(Context, IngestMaterializesAndCaches) {
 TEST(Context, IngestLazyDoesNotRunJob) {
   Context ctx(opts(ConfigKind::kStarkH));
   auto part = ctx.collection_partitioner(8, 512);
-  auto ds = ctx.ingest("d", hist(), part, "logs", 4, /*materialize=*/false);
+  auto ds = ctx.ingest("d", hist(), part, "logs", {.materialize = false});
   EXPECT_FALSE(ctx.cluster().cached_anywhere({ds->id(), 0}));
   EXPECT_DOUBLE_EQ(ctx.sim().now(), 0.0);
 }
+
+TEST(Context, IngestRejectsBadSourceSplits) {
+  Context ctx(opts(ConfigKind::kStarkH));
+  auto part = ctx.collection_partitioner(8, 512);
+  EXPECT_THROW(ctx.ingest("d", hist(), part, "logs", {.source_splits = 0}),
+               std::invalid_argument);
+}
+
+// The one intentional caller of the deprecated positional-flag overload:
+// it must keep behaving exactly like the IngestOptions form until removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Context, DeprecatedIngestShimMatchesIngestOptions) {
+  Context ctx(opts(ConfigKind::kStarkH));
+  auto part = ctx.collection_partitioner(8, 512);
+  auto ds = ctx.ingest("d", hist(), part, "logs", 2, /*materialize=*/false);
+  EXPECT_FALSE(ctx.cluster().cached_anywhere({ds->id(), 0}));
+  EXPECT_DOUBLE_EQ(ctx.sim().now(), 0.0);
+  EXPECT_EQ(ds->ns(), "logs");
+}
+#pragma GCC diagnostic pop
 
 TEST(Context, IngestUnderStockSparkDropsNamespace) {
   Context ctx(opts(ConfigKind::kSparkH));
@@ -162,6 +183,161 @@ TEST(Context, CountReturnsDelayAndMetrics) {
   EXPECT_EQ(r.num_tasks, 8);
   // All from cache: the ingest already materialized the partitions.
   EXPECT_GT(r.bytes_from_cache, 0.0);
+}
+
+TEST(Context, ResultCarriesStageBreakdown) {
+  Context ctx(opts(ConfigKind::kStarkH));
+  auto part = ctx.collection_partitioner(8, 512);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  const auto r = ctx.count(ds);
+  ASSERT_EQ(r.stages.size(), 1u);  // cached scan: one result stage
+  const StageBreakdown& s = r.stages.front();
+  EXPECT_FALSE(s.shuffle_map);
+  EXPECT_EQ(s.num_tasks, 8);
+  EXPECT_GT(s.compute, 0.0);
+  EXPECT_GE(s.sched_delay, 0.0);
+  EXPECT_GT(s.bytes_from_cache, 0.0);
+  EXPECT_GT(s.last_finish, s.first_launch);
+  EXPECT_GE(s.max_task_duration, 0.0);
+  // Phase totals are consistent with the job-level aggregates.
+  EXPECT_NEAR(s.compute + s.deserialize, r.total_cpu, 1e-9);
+}
+
+TEST(Context, MultiStageJobReportsEveryStage) {
+  Context ctx(opts(ConfigKind::kStarkH));
+  auto part = ctx.collection_partitioner(8, 512);
+  auto ds = ctx.ingest("d", hist(), part, "logs",
+                       IngestOptions{.materialize = false});
+  // A different partitioner forces a shuffle: map stage + result stage.
+  auto reduced = ds->reduce_by_key(std::make_shared<HashPartitioner>(4));
+  const auto r = ctx.count(reduced);
+  ASSERT_TRUE(r.completed);
+  // The lazy ingest repartitions the source into the collection layout, so
+  // the job runs source-scan map -> collection map -> result: every stage
+  // must be reported, ordered by stage id.
+  ASSERT_EQ(r.stages.size(), static_cast<std::size_t>(r.num_stages));
+  ASSERT_GE(r.stages.size(), 2u);
+  for (std::size_t i = 0; i + 1 < r.stages.size(); ++i) {
+    EXPECT_LT(r.stages[i].stage, r.stages[i + 1].stage);  // sorted, unique
+  }
+  // Exactly one result stage; it read its input over the shuffle.
+  int result_stages = 0;
+  for (const auto& s : r.stages) {
+    if (!s.shuffle_map) {
+      ++result_stages;
+      EXPECT_GT(s.shuffle_read, 0.0);
+    }
+  }
+  EXPECT_EQ(result_stages, 1);
+  int total = 0;
+  for (const auto& s : r.stages) total += s.num_tasks;
+  EXPECT_EQ(total, r.num_tasks);
+}
+
+// --- ContextOptions::validate ----------------------------------------------
+
+ContextOptions valid() { return opts(ConfigKind::kStarkH); }
+
+TEST(ContextOptionsValidate, AcceptsDefaults) {
+  EXPECT_NO_THROW(valid().validate());
+}
+
+TEST(ContextOptionsValidate, RejectsEmptyCluster) {
+  ContextOptions o = valid();
+  o.cluster.num_servers = 0;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+TEST(ContextOptionsValidate, RejectsZeroCores) {
+  ContextOptions o = valid();
+  o.cluster.server.cores = 0;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+TEST(ContextOptionsValidate, RejectsNegativeRam) {
+  ContextOptions o = valid();
+  o.cluster.server.ram = -1.0;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+TEST(ContextOptionsValidate, RejectsStorageFractionOutOfRange) {
+  ContextOptions o = valid();
+  o.cluster.server.storage_fraction = 1.5;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+TEST(ContextOptionsValidate, RejectsNegativeLocalityWait) {
+  ContextOptions o = valid();
+  o.locality_wait = -0.5;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+TEST(ContextOptionsValidate, RejectsInvertedHeartbeatTimes) {
+  ContextOptions o = valid();
+  o.faults.heartbeat_interval = 5.0;
+  o.faults.heartbeat_timeout = 1.0;  // would never detect on the grid
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+TEST(ContextOptionsValidate, RejectsZeroTaskFailureBudget) {
+  ContextOptions o = valid();
+  o.faults.max_task_failures = 0;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+TEST(ContextOptionsValidate, RejectsInvertedBackoffBounds) {
+  ContextOptions o = valid();
+  o.faults.retry_backoff = 4.0;
+  o.faults.retry_backoff_max = 1.0;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+TEST(ContextOptionsValidate, RejectsBadExclusionKnobsOnlyWhenEnabled) {
+  ContextOptions o = valid();
+  o.faults.max_failures_per_executor = 0;
+  o.faults.exclude_on_failure = true;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+  o.faults.exclude_on_failure = false;  // knob is dormant: accepted
+  EXPECT_NO_THROW(o.validate());
+}
+
+TEST(ContextOptionsValidate, RejectsTracingWithNoSink) {
+  ContextOptions o = valid();
+  o.trace.enabled = true;
+  o.trace.ring_capacity = 0;
+  o.trace.aggregate = false;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+TEST(ContextOptionsValidate, MessageNamesTheField) {
+  ContextOptions o = valid();
+  o.locality_wait = -1.0;
+  try {
+    o.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("locality_wait"), std::string::npos);
+  }
+}
+
+// --- ChaosInjector::Config validation --------------------------------------
+
+TEST(ChaosConfigValidate, RejectsMinAliveAboveClusterSize) {
+  Context ctx(opts(ConfigKind::kStarkH));  // 4 servers
+  EXPECT_THROW(ChaosInjector(ctx, {.min_alive = 5}), std::invalid_argument);
+  EXPECT_NO_THROW(ChaosInjector(ctx, {.min_alive = 4}));
+}
+
+TEST(ChaosConfigValidate, RejectsBadRatesAndProbabilities) {
+  Context ctx(opts(ConfigKind::kStarkH));
+  EXPECT_THROW(ChaosInjector(ctx, {.failures_per_hour = -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ChaosInjector(ctx, {.flaky_task_probability = 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(ChaosInjector(ctx, {.mean_repair_seconds = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ChaosInjector(ctx, {.slow_cpu_factor = 0.5}),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "api/chaos.h"
 #include "api/context.h"
 #include "trace/wiki.h"
 
@@ -127,6 +131,63 @@ TEST(Metrics, CountsAbortedJobs) {
   EXPECT_EQ(metrics.aborted_jobs(), 1);
   EXPECT_GT(metrics.task_failures(), 0);
   EXPECT_NE(metrics.summary().find("(1 aborted)"), std::string::npos);
+}
+
+TEST(Metrics, UtilizationAndSummaryUnderChaos) {
+  // A stream of cogroup jobs while servers die, slow down and come back:
+  // the collector must keep its invariants (bounded utilization, every
+  // issued job observed, a coherent summary) under real failure churn.
+  ContextOptions o;
+  o.config = ConfigKind::kStarkH;
+  o.cluster.num_servers = 6;
+  Context ctx(o);
+  MetricsCollector metrics(ctx.cluster());
+  auto part = ctx.collection_partitioner(8, 256);
+  std::vector<DatasetPtr> inputs;
+  for (int i = 0; i < 2; ++i) {
+    inputs.push_back(
+        ctx.ingest("d" + std::to_string(i), hist(), part, "logs"));
+  }
+  ChaosInjector chaos(ctx, {.failures_per_hour = 600.0,
+                            .mean_repair_seconds = 5.0,
+                            .min_alive = 2,
+                            .slow_nodes_per_hour = 600.0,
+                            .seed = 23});
+  const SimTime t0 = ctx.sim().now();
+  chaos.start(t0, t0 + 60.0);
+  int observed = 0;
+  for (int q = 0; q < 12; ++q) {
+    ctx.sim().at(t0 + 5.0 * q, [&] {
+      ctx.dag().submit(Dataset::cogroup(inputs, part), ActionType::kCount,
+                       [&](const JobResult& r) {
+                         metrics.observe_job(r);
+                         ++observed;
+                       });
+    });
+  }
+  ctx.sim().run();
+  metrics.observe_failures(ctx.dag().failure_stats());
+
+  EXPECT_EQ(observed, 12);
+  EXPECT_EQ(metrics.jobs(), 12);
+  // Busy time never exceeds (alive) capacity, and the run did real work.
+  const double u =
+      MetricsCollector::cluster_utilization(ctx.cluster(), ctx.sim().now());
+  EXPECT_GT(u, 0.0);
+  EXPECT_LE(u, 1.0);
+  // The chaos window produced observable failure machinery activity.
+  EXPECT_GE(chaos.kills(), 1);
+  EXPECT_GE(metrics.heartbeat_detections() + metrics.task_retries() +
+                metrics.fetch_failures(),
+            1);
+  // summary() reflects the same counters it prints.
+  const std::string s = metrics.summary();
+  EXPECT_NE(s.find("jobs: 12"), std::string::npos);
+  EXPECT_NE(
+      s.find("detections: " + std::to_string(metrics.heartbeat_detections())),
+      std::string::npos);
+  EXPECT_NE(s.find("retries " + std::to_string(metrics.task_retries())),
+            std::string::npos);
 }
 
 TEST(Metrics, ResetClearsFailureSnapshotToo) {
