@@ -8,7 +8,14 @@
 // healthy makespan each scheduler gives back when executors die mid-wave —
 // plus the failure counters behind it. Emits a single JSON object so the
 // results are machine-comparable across commits.
+//
+// With `--corruption`, an extra scenario runs Stark-H under corruption-only
+// chaos twice — verification off vs on — and appends a "corruption" section
+// (silent poisoned reads vs detected-and-recovered, plus the makespan
+// overhead of verifying every read). The default invocation emits exactly
+// the same bytes as before the flag existed.
 #include <cstdio>
+#include <cstring>
 
 #include "api/chaos.h"
 #include "bench_util.h"
@@ -31,9 +38,13 @@ struct RunResult {
   int slow_episodes = 0;
 };
 
-RunResult run(ConfigKind kind, bool with_chaos) {
+constexpr double kCorruptionsPerHour = 1800.0;  // one flip / 2 s
+
+RunResult run(ConfigKind kind, bool with_chaos, bool verify_reads = false,
+              double corruptions_per_hour = 0.0) {
   ContextOptions o = bench::paper_cluster(kind, kServers);
   o.detail_task_metrics = false;
+  o.faults.verify_reads = verify_reads;
   Context ctx(o);
   auto part = ctx.collection_partitioner(kPartitions, 4096);
   std::vector<DatasetPtr> inputs;
@@ -44,13 +55,24 @@ RunResult run(ConfigKind kind, bool with_chaos) {
   }
 
   const SimTime t0 = ctx.sim().now();
-  ChaosInjector chaos(ctx, {.failures_per_hour = 360.0,  // one kill / 10 s
-                            .mean_repair_seconds = 5.0,
-                            .min_alive = kServers / 2,
-                            .flaky_task_probability = 0.05,
-                            .slow_nodes_per_hour = 120.0,
-                            .mean_slow_seconds = 8.0,
-                            .seed = 97});
+  ChaosInjector::Config cc;
+  if (corruptions_per_hour > 0.0) {
+    // Corruption-only chaos: isolate the integrity fault domain so the
+    // verify-on/off comparison is not confounded by kills or slow nodes.
+    cc = {.failures_per_hour = 0.0,
+          .min_alive = kServers / 2,
+          .corruptions_per_hour = corruptions_per_hour,
+          .seed = 97};
+  } else {
+    cc = {.failures_per_hour = 360.0,  // one kill / 10 s
+          .mean_repair_seconds = 5.0,
+          .min_alive = kServers / 2,
+          .flaky_task_probability = 0.05,
+          .slow_nodes_per_hour = 120.0,
+          .mean_slow_seconds = 8.0,
+          .seed = 97};
+  }
+  ChaosInjector chaos(ctx, cc);
   if (with_chaos) chaos.start(t0, t0 + kJobs * kJobSpacing + 30.0);
 
   RunResult res;
@@ -102,9 +124,30 @@ void emit_config(const char* name, const RunResult& healthy,
       last ? "" : ",");
 }
 
+void emit_corruption_run(const char* name, const RunResult& r, bool last) {
+  std::printf(
+      "      \"%s\": {\"makespan_s\": %.6f,\n"
+      "        \"jobs_completed\": %d, \"jobs_aborted\": %d,\n"
+      "        \"corruptions_injected\": %d, \"corruptions_detected\": %d,\n"
+      "        \"corruptions_repaired\": %d,\n"
+      "        \"corrupt_reads_undetected\": %lld,\n"
+      "        \"bytes_reverified\": %.0f,\n"
+      "        \"fetch_failures\": %d, \"stage_resubmissions\": %d,\n"
+      "        \"executor_exclusions\": %d}%s\n",
+      name, r.makespan, r.completed, r.aborted, r.stats.corruptions_injected,
+      r.stats.corruptions_detected, r.stats.corruptions_repaired,
+      r.stats.corrupt_reads_undetected, r.stats.bytes_reverified,
+      r.stats.fetch_failures, r.stats.stage_resubmissions,
+      r.stats.executor_exclusions, last ? "" : ",");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool corruption = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--corruption") == 0) corruption = true;
+  }
   std::fprintf(stderr,
                "[chaos_resilience] %d jobs on %d servers, healthy vs seeded "
                "chaos, Spark-H and Stark-H...\n",
@@ -118,6 +161,24 @@ int main() {
     const RunResult chaotic = run(kinds[i], /*with_chaos=*/true);
     emit_config(config_name(kinds[i]), healthy, chaotic, i + 1 == 2);
   }
-  std::printf("  ]\n}\n");
+  if (!corruption) {
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+  std::fprintf(stderr,
+               "[chaos_resilience] corruption scenario: Stark-H, "
+               "verification off vs on...\n");
+  const RunResult off = run(ConfigKind::kStarkH, /*with_chaos=*/true,
+                            /*verify_reads=*/false, kCorruptionsPerHour);
+  const RunResult on = run(ConfigKind::kStarkH, /*with_chaos=*/true,
+                           /*verify_reads=*/true, kCorruptionsPerHour);
+  std::printf("  ],\n  \"corruption\": {\n"
+              "    \"config\": \"%s\", \"corruptions_per_hour\": %.0f,\n"
+              "    \"verify_overhead\": %.4f,\n    \"runs\": {\n",
+              config_name(ConfigKind::kStarkH), kCorruptionsPerHour,
+              off.makespan > 0.0 ? on.makespan / off.makespan : 0.0);
+  emit_corruption_run("unverified", off, /*last=*/false);
+  emit_corruption_run("verified", on, /*last=*/true);
+  std::printf("    }\n  }\n}\n");
   return 0;
 }

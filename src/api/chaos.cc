@@ -36,6 +36,12 @@ void validate(const ChaosInjector::Config& c, const Context& ctx) {
       c.slow_net_factor < 1.0) {
     bad("slow factors must be >= 1 (a factor below 1 would speed nodes up)");
   }
+  if (c.corruptions_per_hour < 0.0) bad("corruptions_per_hour must be >= 0");
+  if (c.corruptions_per_hour > 0.0 && !c.corrupt_cache && !c.corrupt_spill &&
+      !c.corrupt_shuffle) {
+    bad("corruptions_per_hour > 0 with every corruption class disabled; "
+        "every arrival would be skipped");
+  }
 }
 
 }  // namespace
@@ -45,29 +51,54 @@ ChaosInjector::ChaosInjector(Context& ctx, Config config)
       config_(config),
       kill_rng_(config.seed),
       slow_rng_(splitmix64(config.seed ^ 0x534c4f57ULL)),
-      partition_rng_(splitmix64(config.seed ^ 0x50415254ULL)) {
+      partition_rng_(splitmix64(config.seed ^ 0x50415254ULL)),
+      corrupt_rng_(splitmix64(config.seed ^ 0x434f5252ULL)) {
   validate(config_, ctx);
 }
 
 void ChaosInjector::start(SimTime t0, SimTime t1) {
   if (t1 <= t0) return;  // empty or inverted window: nothing to schedule
+  if (active_ && t0 < active_until_) {
+    // Overlapping windows would add a second independent set of Poisson
+    // chains, silently doubling the effective rates where they overlap.
+    throw std::logic_error(
+        "ChaosInjector::start: window [" + std::to_string(t0) + ", " +
+        std::to_string(t1) + ") overlaps the active window ending at " +
+        std::to_string(active_until_) + "; call stop() first or start at/"
+        "after the previous end");
+  }
+  active_ = true;
+  active_until_ = t1;
   schedule_next(kill_rng_, config_.failures_per_hour, t0, t1,
                 [this] { inject_kill(); });
   schedule_next(slow_rng_, config_.slow_nodes_per_hour, t0, t1,
                 [this] { inject_slow(); });
   schedule_next(partition_rng_, config_.partitions_per_hour, t0, t1,
                 [this] { inject_partition(); });
+  schedule_next(corrupt_rng_, config_.corruptions_per_hour, t0, t1,
+                [this] { inject_corruption(); });
   if (config_.flaky_task_probability > 0.0) {
     // Flakiness is a window, not a process: tasks launched in [t0, t1)
-    // crash with the configured probability. With overlapping start()
-    // calls, the last boundary to fire wins.
-    ctx_->sim().at(t0, [this] {
+    // crash with the configured probability. Boundaries from a stopped
+    // window must not clobber a later one, hence the epoch guard.
+    const int epoch = epoch_;
+    ctx_->sim().at(t0, [this, epoch] {
+      if (epoch != epoch_) return;
       ctx_->dag().tasks().set_flaky_task_probability(
           config_.flaky_task_probability);
     });
-    ctx_->sim().at(t1, [this] {
+    ctx_->sim().at(t1, [this, epoch] {
+      if (epoch != epoch_) return;
       ctx_->dag().tasks().set_flaky_task_probability(0.0);
     });
+  }
+}
+
+void ChaosInjector::stop() {
+  ++epoch_;  // orphans every scheduled chain link and window boundary
+  active_ = false;
+  if (config_.flaky_task_probability > 0.0) {
+    ctx_->dag().tasks().set_flaky_task_probability(0.0);
   }
 }
 
@@ -78,7 +109,9 @@ void ChaosInjector::schedule_next(Rng& rng, double per_hour, SimTime at,
   if (rate <= 0.0) return;
   const SimTime next = at + rng.exponential(rate);
   if (next >= end) return;
-  ctx_->sim().at(next, [this, &rng, per_hour, next, end, fire] {
+  const int epoch = epoch_;
+  ctx_->sim().at(next, [this, &rng, per_hour, next, end, fire, epoch] {
+    if (epoch != epoch_) return;  // stop() halted this chain
     fire();
     schedule_next(rng, per_hour, next, end, fire);
   });
@@ -124,6 +157,60 @@ void ChaosInjector::inject_slow() {
     // incarnation; don't touch it.
     if (s.alive() && s.generation() == gen) s.clear_degradation();
   });
+}
+
+void ChaosInjector::inject_corruption() {
+  // Enumerate every eligible stored copy in a deterministic order (server
+  // ascending; MRU order for cache, sorted ids for spill, sorted refs for
+  // shuffle), then corrupt one uniformly. Nothing eligible: the arrival is
+  // skipped without consuming a draw.
+  enum class Class { kCache, kSpill, kShuffle };
+  struct Target {
+    Class cls;
+    ServerId server = kInvalidId;
+    BlockId block;
+    DagScheduler::ShuffleOutputRef out;
+  };
+  std::vector<Target> targets;
+  Cluster& cluster = ctx_->cluster();
+  for (ServerId s = 0; s < cluster.size(); ++s) {
+    const Server& srv = cluster.server(s);
+    if (!srv.alive()) continue;
+    if (config_.corrupt_cache) {
+      for (const BlockId& id : srv.storage().blocks_mru_order()) {
+        if (!srv.storage().is_corrupt(id)) {
+          targets.push_back({Class::kCache, s, id, {}});
+        }
+      }
+    }
+    if (config_.corrupt_spill) {
+      for (const BlockId& id : cluster.spilled_blocks(s)) {
+        if (!cluster.spilled_block_corrupt(s, id)) {
+          targets.push_back({Class::kSpill, s, id, {}});
+        }
+      }
+    }
+  }
+  if (config_.corrupt_shuffle) {
+    for (const auto& ref : ctx_->dag().live_shuffle_outputs()) {
+      targets.push_back({Class::kShuffle, ref.host, {}, ref});
+    }
+  }
+  if (targets.empty()) return;
+  const Target& t = targets[corrupt_rng_.next_below(targets.size())];
+  bool ok = false;
+  switch (t.cls) {
+    case Class::kCache:
+      ok = ctx_->corrupt_cached_block(t.server, t.block);
+      break;
+    case Class::kSpill:
+      ok = ctx_->corrupt_spilled_block(t.server, t.block);
+      break;
+    case Class::kShuffle:
+      ok = ctx_->corrupt_shuffle_output(t.out.key, t.out.unit);
+      break;
+  }
+  if (ok) ++corruptions_;
 }
 
 void ChaosInjector::inject_partition() {

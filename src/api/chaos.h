@@ -9,7 +9,10 @@
 //    flaky-task probability window where launched tasks crash mid-run
 //    (retries + exclusion);
 //  * rack-level network partitions: every server of a random rack becomes
-//    unreachable, then heals together (fetch failures, deferred results).
+//    unreachable, then heals together (fetch failures, deferred results);
+//  * silent data corruption: a random stored copy — cached replica,
+//    spilled block or shuffle map-output unit — gets its checksum tag
+//    flipped (verified reads detect it, see docs/FAULT_MODEL.md).
 //
 // Every mode always leaves at least `min_alive` servers alive AND
 // reachable, even when repairs race with kills: the decision is taken
@@ -48,32 +51,49 @@ class ChaosInjector {
     // partition, so min_alive usually suppresses it).
     double partitions_per_hour = 0.0;
     double mean_partition_seconds = 30.0;
+    // Silent data corruption: each arrival flips the checksum tag on one
+    // random eligible stored copy, drawn uniformly over the enabled
+    // classes (cache / spill / shuffle). Arrivals with nothing eligible
+    // are skipped. Pair with ContextOptions::faults.verify_reads — without
+    // it the corruption is served silently.
+    double corruptions_per_hour = 0.0;
+    bool corrupt_cache = true;
+    bool corrupt_spill = true;
+    bool corrupt_shuffle = true;
     std::uint64_t seed = 31;
   };
 
   ChaosInjector(Context& ctx, Config config);
 
   // Schedules fault events over [t0, t1) of simulated time. An empty or
-  // inverted window (t1 <= t0) schedules nothing. Calling start() again —
-  // even with an overlapping window — COMPOUNDS the processes: each call
-  // adds an independent set of Poisson chains, doubling the effective
-  // rates where the windows overlap. Repair/heal events may complete after
+  // inverted window (t1 <= t0) schedules nothing. At most one window may
+  // be active at a time: calling start() again while a previous window is
+  // still open throws std::logic_error (overlapping chains would silently
+  // compound the Poisson rates). Call stop() first, or start the next
+  // window at/after the previous t1. Repair/heal events may complete after
   // t1; no new fault starts at or after t1.
   void start(SimTime t0, SimTime t1);
+
+  // Halts all pending injection chains and window boundaries immediately
+  // (in-flight repairs/heals still complete; a flaky-task window in force
+  // is reset). After stop() a fresh start() is legal at any time.
+  void stop();
 
   int kills() const noexcept { return kills_; }
   int restarts() const noexcept { return restarts_; }
   int slow_episodes() const noexcept { return slow_episodes_; }
   int partitions() const noexcept { return partitions_; }
+  int corruptions() const noexcept { return corruptions_; }
 
  private:
   // One Poisson arrival chain: schedules `fire` at exponential intervals
-  // over (at, end).
+  // over (at, end). The chain dies silently when stop() bumps the epoch.
   void schedule_next(Rng& rng, double per_hour, SimTime at, SimTime end,
                      const std::function<void()>& fire);
   void inject_kill();
   void inject_slow();
   void inject_partition();
+  void inject_corruption();
   // Alive-and-reachable servers the workload can still use.
   int usable_servers() const;
 
@@ -82,10 +102,17 @@ class ChaosInjector {
   Rng kill_rng_;
   Rng slow_rng_;
   Rng partition_rng_;
+  Rng corrupt_rng_;
+  // stop() invalidates every scheduled chain/boundary by bumping the epoch
+  // they captured at scheduling time.
+  int epoch_ = 0;
+  SimTime active_until_ = 0.0;  // end of the open window; none if <= t0
+  bool active_ = false;
   int kills_ = 0;
   int restarts_ = 0;
   int slow_episodes_ = 0;
   int partitions_ = 0;
+  int corruptions_ = 0;
 };
 
 }  // namespace stark

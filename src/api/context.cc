@@ -81,6 +81,10 @@ void ContextOptions::validate() const {
       reject("faults.exclude_timeout must be >= 0");
     }
   }
+  if (faults.verify_reads && cost.checksum_bw <= 0.0) {
+    reject("faults.verify_reads requires cost.checksum_bw > 0 (got " +
+           std::to_string(cost.checksum_bw) + ")");
+  }
   if (trace.effective_enabled() && trace.ring_capacity == 0 &&
       !trace.aggregate && trace.chrome_path.empty()) {
     reject("trace enabled but no sink configured (ring_capacity = 0, "
@@ -278,6 +282,18 @@ bool Context::heal_server(ServerId s) {
   dag_->tasks().on_server_healed(s);
   dag_->tasks().schedule();
   return true;
+}
+
+bool Context::corrupt_cached_block(ServerId s, const BlockId& id) {
+  return dag_->corrupt_cached_block(s, id);
+}
+
+bool Context::corrupt_spilled_block(ServerId s, const BlockId& id) {
+  return dag_->corrupt_spilled_block(s, id);
+}
+
+bool Context::corrupt_shuffle_output(const ShuffleKey& key, int unit) {
+  return dag_->corrupt_shuffle_output(key, unit);
 }
 
 CheckpointOptimizer Context::make_checkpoint_optimizer(double recovery_bound,

@@ -130,6 +130,18 @@ class Context {
   // delivered now.
   bool heal_server(ServerId s);
 
+  // --- integrity-fault injection -------------------------------------------
+  // Flip the checksum tag on one stored copy: a cached replica, a spilled
+  // (MEMORY_AND_DISK) copy, or a shuffle map-output unit. Returns false if
+  // no live copy exists. With ContextOptions::faults.verify_reads the next
+  // verified read detects the mismatch and recovers (drop + lineage
+  // recompute, or FetchFailed + map-stage resubmission); without it the
+  // corrupt copy is served silently and counted in
+  // FailureStats::corrupt_reads_undetected.
+  bool corrupt_cached_block(ServerId s, const BlockId& id);
+  bool corrupt_spilled_block(ServerId s, const BlockId& id);
+  bool corrupt_shuffle_output(const ShuffleKey& key, int unit);
+
   FailureDetector& detector() noexcept { return *detector_; }
 
   // A checkpoint optimizer wired to this context's cost model and

@@ -72,7 +72,7 @@ double MetricsCollector::cluster_utilization(const Cluster& cluster,
 }
 
 std::string MetricsCollector::summary() const {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "jobs: %d (%d aborted)  tasks: %d  node-local: %.0f%%\n"
@@ -80,7 +80,9 @@ std::string MetricsCollector::summary() const {
       "input: %s cache / %s net / %s disk  (cache hit %.0f%%)\n"
       "cpu: %.1f s  gc: %.1f s (%.0f%%)  cache inserts/evictions: %lld/%lld\n"
       "failures: %d (retries %d, fetch %d)  detections: %d (mean latency "
-      "%s)  resubmitted stages: %d  exclusions: %d/%d\n",
+      "%s)  resubmitted stages: %d  exclusions: %d/%d\n"
+      "integrity: injected %d  detected %d  repaired %d  undetected reads "
+      "%lld  reverified %s\n",
       jobs_, aborted_jobs_, tasks_, node_local_fraction() * 100.0,
       format_seconds(delays_.mean()).c_str(),
       format_seconds(delays_.count() ? delays_.percentile(0.5) : 0.0).c_str(),
@@ -92,7 +94,10 @@ std::string MetricsCollector::summary() const {
       failures_.fetch_failures, failures_.heartbeat_detections,
       format_seconds(failures_.mean_detection_latency()).c_str(),
       failures_.stage_resubmissions, failures_.executor_exclusions,
-      failures_.executor_readmissions);
+      failures_.executor_readmissions, failures_.corruptions_injected,
+      failures_.corruptions_detected, failures_.corruptions_repaired,
+      failures_.corrupt_reads_undetected,
+      format_bytes(failures_.bytes_reverified).c_str());
   return buf;
 }
 

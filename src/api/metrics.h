@@ -61,6 +61,23 @@ class MetricsCollector {
     return failures_.executor_readmissions;
   }
 
+  // Silent-data-corruption fault domain (see docs/FAULT_MODEL.md).
+  int corruptions_injected() const noexcept {
+    return failures_.corruptions_injected;
+  }
+  int corruptions_detected() const noexcept {
+    return failures_.corruptions_detected;
+  }
+  int corruptions_repaired() const noexcept {
+    return failures_.corruptions_repaired;
+  }
+  long long corrupt_reads_undetected() const noexcept {
+    return failures_.corrupt_reads_undetected;
+  }
+  Bytes bytes_reverified() const noexcept {
+    return failures_.bytes_reverified;
+  }
+
   // Zeroes every aggregate, including the failure snapshot.
   void reset() noexcept;
 

@@ -19,6 +19,18 @@ Bytes BlockManager::block_bytes(const BlockId& id) const {
   return it == blocks_.end() ? 0.0 : it->second.bytes;
 }
 
+bool BlockManager::mark_corrupt(const BlockId& id) {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return false;
+  it->second.corrupted = true;
+  return true;
+}
+
+bool BlockManager::is_corrupt(const BlockId& id) const noexcept {
+  const auto it = blocks_.find(id);
+  return it != blocks_.end() && it->second.corrupted;
+}
+
 void BlockManager::touch(const BlockId& id) {
   const auto it = blocks_.find(id);
   if (it == blocks_.end()) return;
@@ -42,12 +54,13 @@ BlockManager::InsertResult BlockManager::insert(const BlockId& id,
     lru_.pop_back();
     const auto it = blocks_.find(victim);
     used_ -= it->second.bytes;
-    result.evicted.push_back(
-        {victim, it->second.bytes, it->second.spill_on_evict});
+    result.evicted.push_back({victim, it->second.bytes,
+                              it->second.spill_on_evict,
+                              it->second.corrupted});
     blocks_.erase(it);
   }
   lru_.push_front(id);
-  blocks_.emplace(id, Entry{bytes, spill_on_evict, lru_.begin()});
+  blocks_.emplace(id, Entry{bytes, spill_on_evict, false, lru_.begin()});
   used_ += bytes;
   result.stored = true;
   return result;

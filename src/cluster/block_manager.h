@@ -2,7 +2,10 @@
 //
 // Mirrors Spark's BlockManager at the granularity the simulation needs:
 // which (dataset, partition) blocks live in this server's storage pool, how
-// big they are, and which get evicted when memory runs out.
+// big they are, and which get evicted when memory runs out. Every block
+// carries an integrity tag — a simulated checksum stamped at write time.
+// Corruption injection flips the tag; a verified read (the task planner's
+// cache probe) detects the mismatch instead of serving poisoned bytes.
 #pragma once
 
 #include <cstddef>
@@ -36,13 +39,23 @@ class BlockManager {
 
   Bytes capacity() const noexcept { return capacity_; }
   Bytes used() const noexcept { return used_; }
+  // An empty store is 0% utilized even at zero capacity; only a
+  // zero-capacity store actually holding (zero-byte) blocks reports full.
   double utilization() const noexcept {
-    return capacity_ > 0.0 ? used_ / capacity_ : 1.0;
+    if (capacity_ > 0.0) return used_ / capacity_;
+    return blocks_.empty() ? 0.0 : 1.0;
   }
   std::size_t num_blocks() const noexcept { return blocks_.size(); }
 
   bool contains(const BlockId& id) const noexcept;
   Bytes block_bytes(const BlockId& id) const;  // 0 if absent
+
+  // Integrity tag. A fresh insert always stores a valid checksum;
+  // mark_corrupt simulates a bit flip in the stored copy (returns false if
+  // the block is absent). The flag travels with the block on spill-eviction
+  // (EvictedBlock::corrupted) — corrupt bytes written to disk stay corrupt.
+  bool mark_corrupt(const BlockId& id);
+  bool is_corrupt(const BlockId& id) const noexcept;
 
   // Marks the block most-recently-used.
   void touch(const BlockId& id);
@@ -56,6 +69,7 @@ class BlockManager {
     BlockId id;
     Bytes bytes = 0.0;
     bool spill = false;
+    bool corrupted = false;  // the victim's integrity tag was already bad
   };
   struct InsertResult {
     bool stored = false;
@@ -77,6 +91,7 @@ class BlockManager {
   struct Entry {
     Bytes bytes;
     bool spill_on_evict;
+    bool corrupted = false;
     std::list<BlockId>::iterator lru_it;
   };
   Bytes capacity_;

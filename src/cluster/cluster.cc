@@ -58,7 +58,8 @@ bool Cluster::insert_block(ServerId s, const BlockId& id, Bytes bytes,
   const auto result = srv.storage().insert(id, bytes, spill_on_evict);
   for (const auto& victim : result.evicted) {
     if (victim.spill) {
-      disk_store_[static_cast<std::size_t>(s)][victim.id] = victim.bytes;
+      disk_store_[static_cast<std::size_t>(s)][victim.id] = {victim.bytes,
+                                                             victim.corrupted};
     }
     index_remove(s, victim.id);
     notify(s, victim.id, /*inserted=*/false);
@@ -165,15 +166,56 @@ Bytes Cluster::total_cached_bytes() const noexcept {
 Bytes Cluster::disk_block_bytes(ServerId s, const BlockId& id) const {
   const auto& store = disk_store_.at(static_cast<std::size_t>(s));
   const auto it = store.find(id);
-  return it == store.end() ? 0.0 : it->second;
+  return it == store.end() ? 0.0 : it->second.bytes;
 }
 
 Bytes Cluster::total_spilled_bytes() const noexcept {
   Bytes total = 0.0;
   for (const auto& store : disk_store_) {
-    for (const auto& [id, bytes] : store) total += bytes;
+    for (const auto& [id, block] : store) total += block.bytes;
   }
   return total;
+}
+
+std::vector<BlockId> Cluster::spilled_blocks(ServerId s) const {
+  const auto& store = disk_store_.at(static_cast<std::size_t>(s));
+  std::vector<BlockId> out;
+  out.reserve(store.size());
+  for (const auto& [id, block] : store) out.push_back(id);
+  std::sort(out.begin(), out.end(), [](const BlockId& a, const BlockId& b) {
+    return a.dataset != b.dataset ? a.dataset < b.dataset
+                                  : a.partition < b.partition;
+  });
+  return out;
+}
+
+bool Cluster::drop_spilled_block(ServerId s, const BlockId& id) {
+  return disk_store_.at(static_cast<std::size_t>(s)).erase(id) > 0;
+}
+
+bool Cluster::corrupt_cached_block(ServerId s, const BlockId& id) {
+  Server& srv = server(s);
+  if (!srv.alive()) return false;
+  return srv.storage().mark_corrupt(id);
+}
+
+bool Cluster::corrupt_spilled_block(ServerId s, const BlockId& id) {
+  if (!server(s).alive()) return false;
+  auto& store = disk_store_.at(static_cast<std::size_t>(s));
+  const auto it = store.find(id);
+  if (it == store.end()) return false;
+  it->second.corrupted = true;
+  return true;
+}
+
+bool Cluster::cached_block_corrupt(ServerId s, const BlockId& id) const {
+  return server(s).storage().is_corrupt(id);
+}
+
+bool Cluster::spilled_block_corrupt(ServerId s, const BlockId& id) const {
+  const auto& store = disk_store_.at(static_cast<std::size_t>(s));
+  const auto it = store.find(id);
+  return it != store.end() && it->second.corrupted;
 }
 
 void Cluster::add_block_observer(BlockObserver obs) {

@@ -51,6 +51,20 @@ class Cluster {
     return disk_block_bytes(s, id) > 0.0;
   }
   Bytes total_spilled_bytes() const noexcept;
+  // Spilled block ids on a server, sorted by (dataset, partition) so fault
+  // injectors enumerating them stay deterministic across runs.
+  std::vector<BlockId> spilled_blocks(ServerId s) const;
+  // Drops a spilled copy without touching the in-memory one; returns true
+  // if a spilled copy existed.
+  bool drop_spilled_block(ServerId s, const BlockId& id);
+
+  // Integrity faults: flip the checksum tag on one stored copy. Each
+  // returns false when no such copy exists (dead server, absent block).
+  // A corrupt in-memory victim that spills carries its bad tag to disk.
+  bool corrupt_cached_block(ServerId s, const BlockId& id);
+  bool corrupt_spilled_block(ServerId s, const BlockId& id);
+  bool cached_block_corrupt(ServerId s, const BlockId& id) const;
+  bool spilled_block_corrupt(ServerId s, const BlockId& id) const;
 
   // Drops one replica (or all replicas) of a block.
   void remove_block(ServerId s, const BlockId& id);
@@ -84,10 +98,16 @@ class Cluster {
   void notify(ServerId s, const BlockId& id, bool inserted);
   void index_remove(ServerId s, const BlockId& id);
 
+  struct SpilledBlock {
+    Bytes bytes = 0.0;
+    bool corrupted = false;
+  };
+
   ClusterConfig config_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::unordered_map<BlockId, std::vector<ServerId>, BlockIdHash> index_;
-  std::vector<std::unordered_map<BlockId, Bytes, BlockIdHash>> disk_store_;
+  std::vector<std::unordered_map<BlockId, SpilledBlock, BlockIdHash>>
+      disk_store_;
   std::vector<BlockObserver> observers_;
   std::vector<ServerId> empty_;
 };

@@ -21,6 +21,10 @@ double CostModel::cpu_seconds(OpKind op, Bytes bytes) const noexcept {
   return bytes / bw;
 }
 
+double CostModel::verify_seconds(Bytes bytes) const noexcept {
+  return checksum_bw > 0.0 ? bytes / checksum_bw : 0.0;
+}
+
 double CostModel::gc_factor(double heap_utilization) const noexcept {
   const double over = std::max(0.0, heap_utilization - gc_knee);
   return gc_coeff * over * over;

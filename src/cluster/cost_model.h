@@ -67,7 +67,15 @@ struct CostModel {
   // constant relationship between cache and checkpoint sizes).
   double serialization_ratio = 0.55;
 
+  // --- Integrity verification ---
+  // Checksum throughput per core for verified reads (CRC32C-class digest,
+  // memory-speed but not free). Only charged when
+  // FaultOptions::verify_reads is on.
+  double checksum_bw = 2.5 * kGiB;
+
   double cpu_seconds(OpKind op, Bytes bytes) const noexcept;
+  // Time to re-verify `bytes` of stored data against its checksum tag.
+  double verify_seconds(Bytes bytes) const noexcept;
   double gc_factor(double heap_utilization) const noexcept;
 };
 

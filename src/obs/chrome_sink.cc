@@ -325,6 +325,8 @@ void ChromeTraceSink::write(std::ostream& os) const {
       case TraceKind::kBlockEvict:
       case TraceKind::kBlockHit:
       case TraceKind::kBlockMiss:
+      case TraceKind::kBlockCorrupt:
+      case TraceKind::kCorruptionDetected:
         w.instant(block_name(e), "block", e.t0, e.server + 1, kStorageTid,
                   "\"bytes\": " + num(e.bytes));
         break;

@@ -45,6 +45,12 @@ enum class TraceKind : std::uint8_t {
   // Failure machinery (FailureDetector): span [physical death, driver
   // declaration] — its duration is the detection latency.
   kExecutorLost,
+  // Silent-data-corruption fault domain. kBlockCorrupt marks the injection
+  // (a checksum tag flipped on a stored copy); kCorruptionDetected marks a
+  // verified read catching the mismatch — always on the hosting server's
+  // storage lane, so injection and detection line up on the timeline.
+  kBlockCorrupt,
+  kCorruptionDetected,
 };
 
 const char* trace_kind_name(TraceKind kind);

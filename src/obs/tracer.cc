@@ -20,6 +20,8 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kBlockHit: return "block-hit";
     case TraceKind::kBlockMiss: return "block-miss";
     case TraceKind::kExecutorLost: return "executor-lost";
+    case TraceKind::kBlockCorrupt: return "block-corrupt";
+    case TraceKind::kCorruptionDetected: return "corruption-detected";
   }
   return "unknown";
 }

@@ -28,6 +28,14 @@ DagScheduler::DagScheduler(sim::Simulation& sim, Cluster& cluster,
           }(),
           [this](DatasetId id) { return groups_->ns_of_dataset(id); }) {
   task_scheduler_.set_failure_stats(&stats_);
+  // A fresh insert of a block whose corruption was detected earlier means
+  // lineage recompute rewrote it clean: the corruption is repaired.
+  cluster.add_block_observer(
+      [this](ServerId, const BlockId& id, bool inserted) {
+        if (inserted && pending_block_repair_.erase(id) > 0) {
+          ++stats_.corruptions_repaired;
+        }
+      });
 }
 
 JobId DagScheduler::submit(DatasetPtr final, ActionType action,
@@ -129,9 +137,11 @@ void DagScheduler::maybe_launch(StageRun& stage) {
     if (outs.size() != units.size()) {
       outs.assign(units.size(), kInvalidId);
     }
+    corrupt_flags(stage.output->key(), units.size());
     for (std::size_t i = 0; i < units.size(); ++i) {
       if (output_host_healthy(outs[i])) continue;
       outs[i] = kInvalidId;
+      clear_corrupt_flag(stage.output->key(), i);
       todo.push_back(i);
     }
     if (todo.empty()) {
@@ -187,10 +197,19 @@ void DagScheduler::maybe_launch(StageRun& stage) {
     // an additional home for its unit.
     if (stage_ptr->output.has_value()) {
       // MapOutputTracker registration.
-      auto& outs = map_outputs_[stage_ptr->output->key()];
+      const ShuffleKey key = stage_ptr->output->key();
+      auto& outs = map_outputs_[key];
       const int pos =
           stage_ptr->task_unit_pos[static_cast<std::size_t>(task.index)];
       outs[static_cast<std::size_t>(pos)] = m.server;
+      // A re-registered unit is a clean rewrite: its checksum tag is fresh,
+      // and if its corruption was detected earlier it now counts repaired.
+      clear_corrupt_flag(key, static_cast<std::size_t>(pos));
+      const auto rit = pending_shuffle_repair_.find(key);
+      if (rit != pending_shuffle_repair_.end() && rit->second.erase(pos) > 0) {
+        ++stats_.corruptions_repaired;
+        if (rit->second.empty()) pending_shuffle_repair_.erase(rit);
+      }
     }
     JobResult& r = stage_ptr->job->result;
     ++r.num_tasks;
@@ -452,8 +471,11 @@ TaskFailureAction DagScheduler::on_task_failed(StageRun& stage,
   // relaunch skips units that survived elsewhere.
   const auto oit = map_outputs_.find(key);
   if (oit != map_outputs_.end() && failure.fetch_source != kInvalidId) {
-    for (ServerId& h : oit->second) {
-      if (h == failure.fetch_source) h = kInvalidId;
+    for (std::size_t i = 0; i < oit->second.size(); ++i) {
+      if (oit->second[i] == failure.fetch_source) {
+        oit->second[i] = kInvalidId;
+        clear_corrupt_flag(key, i);
+      }
     }
   }
   shuffle_done_.erase(key);
@@ -487,15 +509,120 @@ void DagScheduler::on_executor_lost(ServerId s, double detection_latency) {
   // lose outputs are no longer complete and rebuild on demand.
   for (auto& [key, hosts] : map_outputs_) {
     bool lost = false;
-    for (ServerId& h : hosts) {
-      if (h == s) {
-        h = kInvalidId;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (hosts[i] == s) {
+        hosts[i] = kInvalidId;
+        clear_corrupt_flag(key, i);
         lost = true;
       }
     }
     if (lost) shuffle_done_.erase(key);
   }
   task_scheduler_.handle_server_failure(s);
+}
+
+// --- silent-data-corruption faults ------------------------------------------
+
+std::vector<char>& DagScheduler::corrupt_flags(const ShuffleKey& key,
+                                               std::size_t n) {
+  auto& v = map_output_corrupt_[key];
+  if (v.size() != n) v.assign(n, 0);
+  return v;
+}
+
+void DagScheduler::clear_corrupt_flag(const ShuffleKey& key,
+                                      std::size_t unit) {
+  const auto it = map_output_corrupt_.find(key);
+  if (it != map_output_corrupt_.end() && unit < it->second.size()) {
+    it->second[unit] = 0;
+  }
+}
+
+void DagScheduler::emit_corruption_event(obs::TraceKind kind, ServerId host,
+                                         DatasetId dataset, int partition,
+                                         Bytes bytes, bool shuffle) {
+  if (!obs::Tracer::active(tracer_)) return;
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.t0 = e.t1 = sim_->now();
+  e.server = host;
+  e.dataset = dataset;
+  e.partition = partition;
+  e.bytes = bytes;
+  if (shuffle) e.flags |= obs::kFlagShuffleMap;
+  tracer_->emit(e);
+}
+
+void DagScheduler::note_corruption_detected(ServerId host, DatasetId dataset,
+                                            int partition, Bytes bytes,
+                                            bool shuffle) {
+  ++stats_.corruptions_detected;
+  STARK_LOG_DEBUG("corruption detected on %d: dataset %d partition %d", host,
+                  dataset, partition);
+  task_scheduler_.record_integrity_failure(host);
+  emit_corruption_event(obs::TraceKind::kCorruptionDetected, host, dataset,
+                        partition, bytes, shuffle);
+}
+
+bool DagScheduler::corrupt_cached_block(ServerId s, const BlockId& id) {
+  if (!cluster_->corrupt_cached_block(s, id)) return false;
+  ++stats_.corruptions_injected;
+  emit_corruption_event(obs::TraceKind::kBlockCorrupt, s, id.dataset,
+                        id.partition,
+                        cluster_->server(s).storage().block_bytes(id),
+                        /*shuffle=*/false);
+  return true;
+}
+
+bool DagScheduler::corrupt_spilled_block(ServerId s, const BlockId& id) {
+  if (!cluster_->corrupt_spilled_block(s, id)) return false;
+  ++stats_.corruptions_injected;
+  emit_corruption_event(obs::TraceKind::kBlockCorrupt, s, id.dataset,
+                        id.partition, cluster_->disk_block_bytes(s, id),
+                        /*shuffle=*/false);
+  return true;
+}
+
+bool DagScheduler::corrupt_shuffle_output(const ShuffleKey& key, int unit) {
+  const auto oit = map_outputs_.find(key);
+  if (oit == map_outputs_.end()) return false;
+  if (unit < 0 || static_cast<std::size_t>(unit) >= oit->second.size()) {
+    return false;
+  }
+  const ServerId host = oit->second[static_cast<std::size_t>(unit)];
+  if (!output_host_healthy(host)) return false;
+  auto& corr = corrupt_flags(key, oit->second.size());
+  if (corr[static_cast<std::size_t>(unit)]) return false;  // already corrupt
+  corr[static_cast<std::size_t>(unit)] = 1;
+  ++stats_.corruptions_injected;
+  emit_corruption_event(obs::TraceKind::kBlockCorrupt, host, key.child, unit,
+                        /*bytes=*/0.0, /*shuffle=*/true);
+  return true;
+}
+
+std::vector<DagScheduler::ShuffleOutputRef>
+DagScheduler::live_shuffle_outputs() const {
+  std::vector<ShuffleOutputRef> out;
+  for (const auto& [key, hosts] : map_outputs_) {
+    const auto cit = map_output_corrupt_.find(key);
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (!output_host_healthy(hosts[i])) continue;
+      if (cit != map_output_corrupt_.end() && i < cit->second.size() &&
+          cit->second[i]) {
+        continue;
+      }
+      out.push_back({key, static_cast<int>(i), hosts[i]});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ShuffleOutputRef& a, const ShuffleOutputRef& b) {
+              if (a.key.child != b.key.child) return a.key.child < b.key.child;
+              if (a.key.dep_index != b.key.dep_index) {
+                return a.key.dep_index < b.key.dep_index;
+              }
+              return a.unit < b.unit;
+            });
+  return out;
 }
 
 JobResult DagScheduler::run_job(DatasetPtr final, ActionType action) {
@@ -593,34 +720,75 @@ void DagScheduler::plan_chain(const DatasetPtr& ds, int partition,
     tracer_->emit(e);
   };
   if (cluster_->cached_on(bid, server)) {
-    if (serialized) {
-      // MEMORY_ONLY_SER / MEMORY_AND_DISK: smaller footprint, but every
-      // read pays deserialization.
-      const Bytes stored = bytes * cost_.serialization_ratio;
-      const double deser = cost_.cpu_seconds(OpKind::kSourceParse, stored);
-      plan.cpu += deser;
-      plan.deserialize += deser;
-      plan.bytes_cache += stored;
-    } else {
-      plan.cpu += cost_.cpu_seconds(OpKind::kMemScan, bytes);
-      plan.bytes_cache += bytes;
+    const Bytes stored = serialized ? bytes * cost_.serialization_ratio : bytes;
+    const bool corrupt = cluster_->cached_block_corrupt(server, bid);
+    bool serve = true;
+    if (options_.faults.verify_reads) {
+      // Verified read: re-checksum the stored copy before trusting it.
+      plan.cpu += cost_.verify_seconds(stored);
+      stats_.bytes_reverified += stored;
+      if (corrupt) {
+        // Mismatch: drop the replica and fall through to lineage
+        // recompute. The probe downgrades to a miss — never serve
+        // poisoned bytes.
+        note_corruption_detected(server, ds->id(), partition, stored,
+                                 /*shuffle=*/false);
+        pending_block_repair_.insert(bid);
+        cluster_->remove_block(server, bid);
+        serve = false;
+      }
+    } else if (corrupt) {
+      ++stats_.corrupt_reads_undetected;
     }
-    emit_cache_probe(true, bytes);
-    cluster_->touch_block(server, bid);
-    return;
+    if (serve) {
+      if (serialized) {
+        // MEMORY_ONLY_SER / MEMORY_AND_DISK: smaller footprint, but every
+        // read pays deserialization.
+        const double deser = cost_.cpu_seconds(OpKind::kSourceParse, stored);
+        plan.cpu += deser;
+        plan.deserialize += deser;
+        plan.bytes_cache += stored;
+      } else {
+        plan.cpu += cost_.cpu_seconds(OpKind::kMemScan, bytes);
+        plan.bytes_cache += bytes;
+      }
+      emit_cache_probe(true, bytes);
+      cluster_->touch_block(server, bid);
+      return;
+    }
   }
   // A miss only means something for datasets the program asked to cache;
   // uncached intermediates are expected to recompute.
   if (ds->cache_requested()) emit_cache_probe(false, bytes);
   if (ds->storage_level() == Dataset::StorageLevel::kMemoryAndDisk &&
       cluster_->disk_cached_on(bid, server)) {
-    // Spilled copy on local disk: read + deserialize, no recompute.
     const Bytes stored = cluster_->disk_block_bytes(server, bid);
-    const double deser = cost_.cpu_seconds(OpKind::kSourceParse, stored);
-    plan.bytes_disk += stored;
-    plan.cpu += deser;
-    plan.deserialize += deser;
-    return;
+    const bool corrupt = cluster_->spilled_block_corrupt(server, bid);
+    bool serve = true;
+    if (options_.faults.verify_reads) {
+      plan.cpu += cost_.verify_seconds(stored);
+      stats_.bytes_reverified += stored;
+      if (corrupt) {
+        // The read happened before the checksum failed; charge it, drop
+        // the stale spilled copy and recompute from lineage instead.
+        plan.bytes_disk += stored;
+        note_corruption_detected(server, ds->id(), partition, stored,
+                                 /*shuffle=*/false);
+        pending_block_repair_.insert(bid);
+        cluster_->drop_spilled_block(server, bid);
+        serve = false;
+      }
+    } else if (corrupt) {
+      ++stats_.corrupt_reads_undetected;
+    }
+    if (serve) {
+      // Spilled copy on local disk: read + deserialize, no recompute.
+      const double deser = cost_.cpu_seconds(OpKind::kSourceParse, stored);
+      plan.bytes_disk += stored;
+      plan.cpu += deser;
+      plan.deserialize += deser;
+      return;
+    }
   }
   if (is_checkpointed(ds->id())) {
     const Bytes ck = bytes * cost_.serialization_ratio;
@@ -635,6 +803,12 @@ void DagScheduler::plan_chain(const DatasetPtr& ds, int partition,
       // using the cluster-wide congestion factors.
       ++plan.fetch_waves;
       plan.bytes_net += fetch;
+      if (options_.faults.verify_reads) {
+        // spark.shuffle.checksum.enabled: every fetched unit is
+        // re-checksummed on arrival.
+        plan.cpu += cost_.verify_seconds(fetch);
+        stats_.bytes_reverified += fetch;
+      }
     };
     switch (ds->op()) {
       case Op::kSource: {
@@ -733,6 +907,40 @@ TaskPlan DagScheduler::plan_task(const StageRun& stage, const TaskSpec& task,
       TaskPlan failed;
       failed.fetch_failure = TaskPlan::FetchFailure{key, h};
       return failed;
+    }
+    const auto cit = map_output_corrupt_.find(key);
+    if (cit == map_output_corrupt_.end()) continue;
+    if (options_.faults.verify_reads) {
+      // Verified fetch: a checksum mismatch surfaces as FetchFailed, the
+      // same path a lost host takes (corrupt-fetch-as-FetchFailed). Every
+      // corrupt unit of the shuffle is invalidated at once — a reduce task
+      // fetches them all anyway — so a single resubmission round
+      // regenerates them instead of burning one stage attempt per unit.
+      ServerId first_bad = kInvalidId;
+      for (std::size_t i = 0;
+           i < cit->second.size() && i < oit->second.size(); ++i) {
+        if (!cit->second[i]) continue;
+        const ServerId host = oit->second[i];
+        note_corruption_detected(host, key.child, static_cast<int>(i),
+                                 /*bytes=*/0.0, /*shuffle=*/true);
+        pending_shuffle_repair_[key].insert(static_cast<int>(i));
+        cit->second[i] = 0;
+        oit->second[i] = kInvalidId;
+        if (first_bad == kInvalidId) first_bad = host;
+      }
+      if (first_bad != kInvalidId) {
+        // The shuffle is no longer complete; on_task_failed's
+        // shuffle_healthy check must see that (stale-epoch filtering
+        // would otherwise swallow this failure — the host is alive).
+        shuffle_done_.erase(key);
+        TaskPlan failed;
+        failed.fetch_failure = TaskPlan::FetchFailure{key, first_bad};
+        return failed;
+      }
+    } else {
+      for (const char c : cit->second) {
+        if (c) ++stats_.corrupt_reads_undetected;
+      }
     }
   }
   TaskPlan plan;

@@ -116,6 +116,26 @@ class DagScheduler {
   const FailureStats& failure_stats() const noexcept { return stats_; }
   void reset_failure_stats() noexcept { stats_.reset(); }
 
+  // --- silent-data-corruption faults ---------------------------------------
+  // Flip the checksum tag on one stored copy (cached replica, spilled copy,
+  // or shuffle map-output unit). Returns false when no live copy exists.
+  // Detection happens later, on a verified read (faults.verify_reads); with
+  // verification off the corrupt copy is served silently and counted in
+  // FailureStats::corrupt_reads_undetected.
+  bool corrupt_cached_block(ServerId s, const BlockId& id);
+  bool corrupt_spilled_block(ServerId s, const BlockId& id);
+  bool corrupt_shuffle_output(const ShuffleKey& key, int unit);
+
+  // Healthy, not-yet-corrupted shuffle map-output units, sorted by
+  // (child, dep_index, unit) so fault injectors enumerating them stay
+  // deterministic across runs.
+  struct ShuffleOutputRef {
+    ShuffleKey key;
+    int unit = -1;
+    ServerId host = kInvalidId;
+  };
+  std::vector<ShuffleOutputRef> live_shuffle_outputs() const;
+
   TaskScheduler& tasks() noexcept { return task_scheduler_; }
   sim::Simulation& sim() noexcept { return *sim_; }
   Cluster& cluster() noexcept { return *cluster_; }
@@ -187,6 +207,16 @@ class DagScheduler {
   void plan_chain(const DatasetPtr& ds, int partition, ServerId server,
                   DatasetId boundary_id, TaskPlan& plan);
   double recovery_chain_delay(const DatasetPtr& ds, int partition) const;
+  // Corrupt-flag vector for a shuffle, resized to n units on demand.
+  std::vector<char>& corrupt_flags(const ShuffleKey& key, std::size_t n);
+  void clear_corrupt_flag(const ShuffleKey& key, std::size_t unit);
+  // Detection bookkeeping shared by the cache probe, spill read and fetch
+  // paths: counter, quarantine charge, trace event.
+  void note_corruption_detected(ServerId host, DatasetId dataset,
+                                int partition, Bytes bytes, bool shuffle);
+  void emit_corruption_event(obs::TraceKind kind, ServerId host,
+                             DatasetId dataset, int partition, Bytes bytes,
+                             bool shuffle);
 
   sim::Simulation* sim_;
   Cluster* cluster_;
@@ -215,6 +245,16 @@ class DagScheduler {
   // the resubmitted map stage completes.
   std::unordered_map<ShuffleKey, std::vector<StageRun*>, ShuffleKeyHash>
       fetch_waiters_;
+  // Integrity shadow of map_outputs_: nonzero means the unit's stored
+  // output has a bad checksum tag. Cleared whenever the unit is
+  // (re)registered or its host entry is invalidated.
+  std::unordered_map<ShuffleKey, std::vector<char>, ShuffleKeyHash>
+      map_output_corrupt_;
+  // Detected-corrupt identities awaiting a clean rewrite; a later block
+  // insert / map-output registration counts as corruptions_repaired.
+  std::unordered_set<BlockId, BlockIdHash> pending_block_repair_;
+  std::unordered_map<ShuffleKey, std::unordered_set<int>, ShuffleKeyHash>
+      pending_shuffle_repair_;
   FailureStats stats_;
   std::unordered_map<DatasetId, Bytes> checkpointed_;
   Bytes checkpoint_bytes_ = 0.0;

@@ -49,6 +49,18 @@ struct FaultOptions {
   int max_failures_per_executor_stage = 2;
   int max_failures_per_executor = 2;
   double exclude_timeout = 60.0;
+  // Integrity verification (spark.shuffle.checksum.enabled generalized to
+  // every stored copy). When on, the cache probe, the spill read and the
+  // reduce-side fetch re-verify block checksums, paying
+  // CostModel::checksum_bw per byte; a mismatch becomes a cache miss
+  // (lineage recompute) or a FetchFailed (map-stage resubmission) instead
+  // of a silent wrong result. Off by default: verification must be
+  // zero-cost and bit-identical to a build without it.
+  bool verify_reads = false;
+  // Charge detected corruptions to the hosting executor's app-level
+  // excludeOnFailure budget, so a bad-disk server is quarantined rather
+  // than re-poisoning every retry. Only meaningful with exclude_on_failure.
+  bool quarantine_on_corruption = true;
 };
 
 // Cluster-wide failure machinery counters, surfaced via MetricsCollector.
@@ -62,6 +74,15 @@ struct FailureStats {
   int executor_exclusions = 0;       // app-level timed exclusions
   int executor_readmissions = 0;     // exclusions expired
   int jobs_aborted = 0;              // jobs finished with completed=false
+  // Silent-data-corruption fault domain.
+  int corruptions_injected = 0;      // checksum tags flipped by injection
+  int corruptions_detected = 0;      // verified reads that caught a bad tag
+  int corruptions_repaired = 0;      // detected blocks later rewritten clean
+  // Omniscient-simulator view: reads that consumed a corrupt copy without
+  // noticing (only possible with verify_reads off). Nonzero means silent
+  // wrong results downstream.
+  long long corrupt_reads_undetected = 0;
+  Bytes bytes_reverified = 0.0;      // data volume checksummed on read
 
   double mean_detection_latency() const noexcept {
     return heartbeat_detections > 0

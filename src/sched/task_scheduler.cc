@@ -517,6 +517,10 @@ void TaskScheduler::record_task_error(const std::shared_ptr<ActiveSet>& set,
   }
   // Application-wide: repeated failures across stages exclude the executor
   // cluster-wide for exclude_timeout seconds.
+  charge_app_failure(server);
+}
+
+void TaskScheduler::charge_app_failure(ServerId server) {
   if (++app_failures_[server] >= options_.faults.max_failures_per_executor &&
       app_excluded_until_.count(server) == 0) {
     app_excluded_until_[server] =
@@ -527,6 +531,18 @@ void TaskScheduler::record_task_error(const std::shared_ptr<ActiveSet>& set,
     STARK_LOG_DEBUG("excluded executor %d until %.3f", server,
                     app_excluded_until_[server]);
   }
+}
+
+void TaskScheduler::record_integrity_failure(ServerId server) {
+  // Quarantine: a corruption detected on this executor's storage counts
+  // against its application-wide excludeOnFailure budget. There is no
+  // failed task to charge (the read was rescued at plan time), so the
+  // per-task and per-stage counters are left alone.
+  if (!options_.faults.exclude_on_failure ||
+      !options_.faults.quarantine_on_corruption) {
+    return;
+  }
+  charge_app_failure(server);
 }
 
 void TaskScheduler::emit_retry(const ActiveSet& set, int index) {

@@ -222,6 +222,12 @@ class TaskScheduler {
   bool app_excluded(ServerId s) const;
   int app_exclusions() const noexcept { return app_exclusions_; }
 
+  // Quarantine entry point for detected storage corruptions: charges the
+  // hosting executor's app-level exclusion budget (no per-task/per-stage
+  // charge — no task actually failed). Gated on exclude_on_failure and
+  // quarantine_on_corruption.
+  void record_integrity_failure(ServerId server);
+
   // Congestion signals: running tasks currently using the network (shuffle
   // fetches) / the disks. The planner divides per-flow bandwidth by the
   // average flows-per-server to approximate shared NICs and spindles.
@@ -273,6 +279,7 @@ class TaskScheduler {
                  const std::string& reason);
   void record_task_error(const std::shared_ptr<ActiveSet>& set, int index,
                          ServerId server);
+  void charge_app_failure(ServerId server);
   void emit_retry(const ActiveSet& set, int index);
   void maybe_speculate(const std::shared_ptr<ActiveSet>& set);
   void discard_run(std::uint64_t run_id);  // cancel + release resources

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
 
 #include "streaming/query_workload.h"
 #include "trace/wiki.h"
@@ -157,6 +160,90 @@ TEST(Chaos, KillAndRestartAreIdempotent) {
   // Double-kill must not double-count detections once the timeout lapses.
   ctx.sim().run();
   EXPECT_LE(ctx.detector().detections(), 2);
+}
+
+TEST(Chaos, OverlappingStartThrows) {
+  // A second start() inside the open window would stack a second set of
+  // Poisson chains and silently double the rates — refuse it loudly.
+  Context ctx(opts());
+  ChaosInjector chaos(ctx, {.failures_per_hour = 60.0, .seed = 3});
+  chaos.start(0.0, 50.0);
+  EXPECT_THROW(chaos.start(10.0, 60.0), std::logic_error);
+  EXPECT_THROW(chaos.start(0.0, 20.0), std::logic_error);
+  chaos.start(50.0, 60.0);  // abutting the previous end is legal
+  ctx.sim().run();
+  EXPECT_EQ(ctx.cluster().alive_servers().size(), 6u);
+}
+
+TEST(Chaos, StopHaltsChainsAndAllowsRestart) {
+  Context ctx(opts());
+  ChaosInjector chaos(ctx, {.failures_per_hour = 36000.0,  // ~10 kills / s
+                            .mean_repair_seconds = 0.5,
+                            .min_alive = 2,
+                            .flaky_task_probability = 0.7,
+                            .seed = 21});
+  chaos.start(0.0, 1000.0);
+  int kills_at_stop = -1;
+  ctx.sim().at(2.0, [&] {
+    chaos.stop();
+    kills_at_stop = chaos.kills();
+    // The flaky window in force is reset immediately, not at the orphaned
+    // t1 boundary.
+    EXPECT_EQ(ctx.dag().tasks().flaky_task_probability(), 0.0);
+  });
+  ctx.sim().run();
+  EXPECT_GT(kills_at_stop, 0);
+  EXPECT_EQ(chaos.kills(), kills_at_stop);  // chains died with the epoch
+  // In-flight repairs are deliberately not epoch-guarded: the cluster heals.
+  EXPECT_EQ(chaos.restarts(), chaos.kills());
+  EXPECT_EQ(ctx.cluster().alive_servers().size(), 6u);
+  // After stop() a fresh window is legal even though the old t1 is far out.
+  const SimTime t0 = ctx.sim().now();
+  chaos.start(t0, t0 + 5.0);
+  ctx.sim().run();
+  EXPECT_GT(chaos.kills(), kills_at_stop);
+}
+
+TEST(Chaos, CorruptionProcessIsSeededAndCounted) {
+  const auto soak = [](std::uint64_t seed) {
+    Context ctx(opts());
+    auto part = ctx.collection_partitioner(8, 256);
+    std::vector<DatasetPtr> inputs;
+    for (int i = 0; i < 2; ++i) {
+      inputs.push_back(
+          ctx.ingest("d" + std::to_string(i), hist(), part, "logs"));
+    }
+    // Materialize cached blocks and shuffle outputs, then corrupt an idle
+    // cluster so every arrival sees the same deterministic target list.
+    ctx.dag().submit(
+        Dataset::cogroup(inputs, part)->filter({.selectivity = 0.1}),
+        ActionType::kCount, [](const JobResult&) {});
+    ctx.sim().run();
+    ChaosInjector chaos(ctx, {.failures_per_hour = 0.0,
+                              .corruptions_per_hour = 36000.0,
+                              .seed = seed});
+    const SimTime t0 = ctx.sim().now();
+    chaos.start(t0, t0 + 5.0);
+    ctx.sim().run();
+    return std::pair<int, int>(chaos.corruptions(),
+                               ctx.dag().failure_stats().corruptions_injected);
+  };
+  const auto a = soak(17);
+  const auto b = soak(17);
+  EXPECT_GT(a.first, 0);
+  EXPECT_EQ(a.first, a.second);  // every successful injection counted once
+  EXPECT_EQ(a, b);               // same seed, same corruption schedule
+}
+
+TEST(Chaos, CorruptionRateRequiresAnEnabledClass) {
+  Context ctx(opts());
+  EXPECT_THROW(ChaosInjector(ctx, {.corruptions_per_hour = 60.0,
+                                   .corrupt_cache = false,
+                                   .corrupt_spill = false,
+                                   .corrupt_shuffle = false}),
+               std::invalid_argument);
+  EXPECT_THROW(ChaosInjector(ctx, {.corruptions_per_hour = -1.0}),
+               std::invalid_argument);
 }
 
 TEST(Chaos, GrayFailureModesFire) {

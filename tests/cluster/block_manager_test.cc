@@ -107,5 +107,62 @@ TEST(BlockManager, NegativeCapacityThrows) {
   EXPECT_THROW(BlockManager(-1.0), std::invalid_argument);
 }
 
+TEST(BlockManager, ZeroCapacityEmptyStoreIsNotFull) {
+  // Regression: 0/0 used to report 1.0 ("full") for a store that holds
+  // nothing. Empty means 0% regardless of capacity; only a zero-capacity
+  // store actually holding zero-byte blocks is full.
+  BlockManager bm(0.0);
+  EXPECT_DOUBLE_EQ(bm.utilization(), 0.0);
+  EXPECT_FALSE(bm.insert({1, 0}, 100.0).stored);  // oversized for 0 capacity
+  EXPECT_DOUBLE_EQ(bm.utilization(), 0.0);        // failed insert: still 0%
+  ASSERT_TRUE(bm.insert({1, 1}, 0.0).stored);     // zero-byte block fits
+  EXPECT_DOUBLE_EQ(bm.utilization(), 1.0);
+  bm.remove({1, 1});
+  EXPECT_DOUBLE_EQ(bm.utilization(), 0.0);
+}
+
+TEST(BlockManager, ResizeEvictsInLruOrderAndRefreshesRecency) {
+  // Growing a resident block must evict LRU victims (not the block being
+  // resized) and leave the grown block most-recently-used.
+  BlockManager bm(300.0);
+  bm.insert({1, 0}, 100.0);  // A — LRU after B and C arrive
+  bm.insert({2, 0}, 100.0);  // B
+  bm.insert({3, 0}, 100.0);  // C
+  const auto result = bm.insert({1, 0}, 150.0);  // grow A by 50
+  EXPECT_TRUE(result.stored);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0].id, (BlockId{2, 0}));  // B was LRU, not A
+  EXPECT_TRUE(bm.contains({1, 0}));
+  EXPECT_TRUE(bm.contains({3, 0}));
+  EXPECT_DOUBLE_EQ(bm.used(), 250.0);
+  const auto order = bm.blocks_mru_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], (BlockId{1, 0}));  // resize counts as a touch
+}
+
+TEST(BlockManager, CorruptionTagLifecycle) {
+  BlockManager bm(1000.0);
+  bm.insert({1, 0}, 100.0);
+  EXPECT_FALSE(bm.is_corrupt({1, 0}));      // fresh write: valid checksum
+  EXPECT_FALSE(bm.mark_corrupt({9, 9}));    // absent block
+  EXPECT_FALSE(bm.is_corrupt({9, 9}));
+  EXPECT_TRUE(bm.mark_corrupt({1, 0}));
+  EXPECT_TRUE(bm.is_corrupt({1, 0}));
+  bm.insert({1, 0}, 100.0);                 // rewrite restamps the checksum
+  EXPECT_FALSE(bm.is_corrupt({1, 0}));
+}
+
+TEST(BlockManager, EvictionCarriesCorruptionTag) {
+  BlockManager bm(200.0);
+  bm.insert({1, 0}, 100.0, /*spill_on_evict=*/true);
+  bm.insert({2, 0}, 100.0, /*spill_on_evict=*/true);
+  bm.mark_corrupt({1, 0});
+  const auto result = bm.insert({3, 0}, 100.0);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0].id, (BlockId{1, 0}));
+  EXPECT_TRUE(result.evicted[0].spill);
+  EXPECT_TRUE(result.evicted[0].corrupted);  // rot follows the bytes to disk
+}
+
 }  // namespace
 }  // namespace stark
