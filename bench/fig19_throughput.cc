@@ -6,6 +6,8 @@
 // report the mean delay, then the throughput = highest offered rate whose
 // mean delay stays below 800 ms.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench_util.h"
 #include "streaming/query_workload.h"
@@ -113,9 +115,38 @@ double delay_at_rate(ConfigKind kind, double rate) {
   return wl.delays().mean();
 }
 
+// --slice <config> <rate>: one (configuration, rate) point with the exact
+// same workload as the sweep, printed as full-precision JSON. Used by
+// scripts/bit_identity.sh to pin simulated-time outputs byte-for-byte
+// across engine changes (see docs/PERFORMANCE.md).
+int run_slice(const char* config, double rate) {
+  ConfigKind kind;
+  if (std::strcmp(config, "spark-r") == 0) {
+    kind = ConfigKind::kSparkR;
+  } else if (std::strcmp(config, "spark-h") == 0) {
+    kind = ConfigKind::kSparkH;
+  } else if (std::strcmp(config, "stark-e") == 0) {
+    kind = ConfigKind::kStarkE;
+  } else if (std::strcmp(config, "stark-h") == 0) {
+    kind = ConfigKind::kStarkH;
+  } else {
+    std::fprintf(stderr, "unknown config '%s' (want spark-r|spark-h|stark-e|stark-h)\n",
+                 config);
+    return 1;
+  }
+  const double d = delay_at_rate(kind, rate);
+  std::printf("{\"bench\": \"fig19_slice\", \"config\": \"%s\", "
+              "\"rate\": %.6f, \"mean_delay_s\": %.12f}\n",
+              config, rate, d);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc == 4 && std::strcmp(argv[1], "--slice") == 0) {
+    return run_slice(argv[2], std::atof(argv[3]));
+  }
   bench::print_header(
       "Fig 19 — System Delay vs Offered Load",
       "Merged taxi+tweet stream at constant rate; mean query delay while\n"

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Gate BENCH_PR4.json against the committed perf baseline.
+
+Usage: check_perf_regression.py CURRENT.json BASELINE.json [--threshold 0.25]
+
+Two kinds of check, reflecting what is and is not deterministic:
+
+* Simulated-time counters (sim_seconds, events_executed, tasks_completed,
+  jobs_completed, jobs_aborted) are bit-deterministic for a given scale, so
+  they must match the baseline *exactly*. A mismatch means the engine's
+  behaviour changed, not that the machine was slow.
+* Wall-clock is machine- and load-dependent, so it is gated with a relative
+  threshold (default +25%) on the total and on every scenario slow enough
+  to measure reliably (baseline wall >= 0.5s). Override the threshold with
+  --threshold or the CHECK_PERF_THRESHOLD env var when a CI runner class
+  changes.
+* rss_growth_mib guards the event-queue memory bound: each scenario may not
+  grow more than 1.5x baseline + 32 MiB of slack.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+EXACT_KEYS = (
+    "sim_seconds",
+    "events_executed",
+    "tasks_completed",
+    "jobs_completed",
+    "jobs_aborted",
+)
+MIN_GATED_WALL = 0.5  # seconds; faster scenarios are too noisy to gate alone
+RSS_FACTOR = 1.5
+RSS_SLACK_MIB = 32.0
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("bench") != "perf_regression":
+        sys.exit(f"{path}: not a perf_regression report")
+    return data
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("CHECK_PERF_THRESHOLD", "0.25")),
+        help="allowed relative wall-clock regression (0.25 = +25%%)",
+    )
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+    if cur.get("scale") != base.get("scale"):
+        sys.exit(
+            f"scale mismatch: current {cur.get('scale')} vs "
+            f"baseline {base.get('scale')} — rerun with the baseline's scale"
+        )
+
+    cur_by_name = {s["name"]: s for s in cur["scenarios"]}
+    base_by_name = {s["name"]: s for s in base["scenarios"]}
+    missing = sorted(set(base_by_name) - set(cur_by_name))
+    if missing:
+        sys.exit(f"scenarios missing from current run: {', '.join(missing)}")
+
+    failures = []
+    for name, b in sorted(base_by_name.items()):
+        c = cur_by_name[name]
+        for key in EXACT_KEYS:
+            if c.get(key) != b.get(key):
+                failures.append(
+                    f"{name}: {key} changed {b.get(key)} -> {c.get(key)} "
+                    "(simulated-time output must be deterministic)"
+                )
+        ratio = c["wall_seconds"] / b["wall_seconds"] if b["wall_seconds"] else 1.0
+        gated = b["wall_seconds"] >= MIN_GATED_WALL
+        verdict = "FAIL" if gated and ratio > 1.0 + args.threshold else "ok"
+        print(
+            f"{name:>20}: wall {b['wall_seconds']:.3f}s -> "
+            f"{c['wall_seconds']:.3f}s ({ratio:.0%} of baseline), "
+            f"rss +{c['rss_growth_mib']:.1f} MiB [{verdict}]"
+        )
+        if gated and ratio > 1.0 + args.threshold:
+            failures.append(
+                f"{name}: wall-clock regressed {ratio - 1.0:+.1%} "
+                f"(threshold +{args.threshold:.0%})"
+            )
+        rss_cap = b["rss_growth_mib"] * RSS_FACTOR + RSS_SLACK_MIB
+        if c["rss_growth_mib"] > rss_cap:
+            failures.append(
+                f"{name}: rss_growth {c['rss_growth_mib']:.1f} MiB exceeds "
+                f"cap {rss_cap:.1f} MiB (baseline {b['rss_growth_mib']:.1f})"
+            )
+
+    total_ratio = (
+        cur["total_wall_seconds"] / base["total_wall_seconds"]
+        if base["total_wall_seconds"]
+        else 1.0
+    )
+    print(
+        f"{'total':>20}: wall {base['total_wall_seconds']:.3f}s -> "
+        f"{cur['total_wall_seconds']:.3f}s ({total_ratio:.0%} of baseline)"
+    )
+    if total_ratio > 1.0 + args.threshold:
+        failures.append(
+            f"total wall-clock regressed {total_ratio - 1.0:+.1%} "
+            f"(threshold +{args.threshold:.0%})"
+        )
+
+    if failures:
+        print("\nperf regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

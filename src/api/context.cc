@@ -134,9 +134,13 @@ Context::Context(ContextOptions options)
   detector_->set_tracer(tracer_.get());
   detector_->set_on_executor_lost(
       [this](ServerId s, double latency) { dag_->on_executor_lost(s, latency); });
-  // Task offers go only to executors the driver believes are alive.
+  // Task offers go only to executors the driver believes are alive. The
+  // epoch lets the scheduler reuse its per-sweep offer cache until a
+  // belief actually flips instead of re-asking for every server.
   dag_->tasks().set_admission_fn(
       [this](ServerId s) { return detector_->believed_alive(s); });
+  dag_->tasks().set_admission_epoch_fn(
+      [this] { return detector_->belief_epoch(); });
   // A launch RPC aimed at a crashed executor fails on the spot and
   // short-circuits the heartbeat timeout.
   dag_->tasks().set_launch_failed_fn(
@@ -269,7 +273,7 @@ bool Context::restart_server(ServerId s) {
 bool Context::partition_server(ServerId s) {
   Server& srv = cluster_.server(s);
   if (!srv.alive() || !srv.reachable()) return false;
-  srv.set_reachable(false);
+  cluster_.set_server_reachable(s, false);
   detector_->on_server_dead(s);
   return true;
 }
@@ -277,7 +281,7 @@ bool Context::partition_server(ServerId s) {
 bool Context::heal_server(ServerId s) {
   Server& srv = cluster_.server(s);
   if (!srv.alive() || srv.reachable()) return false;
-  srv.set_reachable(true);
+  cluster_.set_server_reachable(s, true);
   detector_->on_server_healed(s);
   dag_->tasks().on_server_healed(s);
   dag_->tasks().schedule();

@@ -16,14 +16,6 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   }
 }
 
-Server& Cluster::server(ServerId id) {
-  return *servers_.at(static_cast<std::size_t>(id));
-}
-
-const Server& Cluster::server(ServerId id) const {
-  return *servers_.at(static_cast<std::size_t>(id));
-}
-
 const std::vector<ServerId>& Cluster::cache_locations(
     const BlockId& id) const {
   const auto it = index_.find(id);
@@ -103,6 +95,7 @@ bool Cluster::kill_server(ServerId s) {
     notify(s, id, /*inserted=*/false);
   }
   srv.kill();
+  ++topology_epoch_;
   return true;
 }
 
@@ -110,7 +103,15 @@ bool Cluster::restart_server(ServerId s) {
   Server& srv = server(s);
   if (srv.alive()) return false;  // restarting a live server is a no-op
   srv.restart();
+  ++topology_epoch_;
   return true;
+}
+
+void Cluster::set_server_reachable(ServerId s, bool reachable) {
+  Server& srv = server(s);
+  if (srv.reachable() == reachable) return;
+  srv.set_reachable(reachable);
+  ++topology_epoch_;
 }
 
 int Cluster::rack_of(ServerId s) const noexcept {

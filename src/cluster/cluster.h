@@ -6,6 +6,7 @@
 // scheduler's contention tracking, metrics) subscribe to block events.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -29,8 +30,12 @@ class Cluster {
   explicit Cluster(const ClusterConfig& config);
 
   int size() const noexcept { return static_cast<int>(servers_.size()); }
-  Server& server(ServerId id);
-  const Server& server(ServerId id) const;
+  // Inline: the schedulers call these on every offer, so the lookup must
+  // not cost a cross-TU function call. .at() keeps the bounds check.
+  Server& server(ServerId id) { return *servers_.at(static_cast<std::size_t>(id)); }
+  const Server& server(ServerId id) const {
+    return *servers_.at(static_cast<std::size_t>(id));
+  }
   const ClusterConfig& config() const noexcept { return config_; }
 
   // Servers currently holding the block in RAM.
@@ -77,6 +82,14 @@ class Cluster {
   bool kill_server(ServerId s);
   bool restart_server(ServerId s);
 
+  // Network partition toggle; no-op (and no epoch bump) when unchanged.
+  void set_server_reachable(ServerId s, bool reachable);
+
+  // Monotonic counter bumped on every alive/reachable transition. Lets
+  // schedulers cache topology-derived state and rebuild only after the
+  // cluster actually changed.
+  std::uint64_t topology_epoch() const noexcept { return topology_epoch_; }
+
   // Rack of a server under the configured topology (0 if single-rack).
   int rack_of(ServerId s) const noexcept;
   int num_racks() const noexcept;
@@ -110,6 +123,7 @@ class Cluster {
       disk_store_;
   std::vector<BlockObserver> observers_;
   std::vector<ServerId> empty_;
+  std::uint64_t topology_epoch_ = 0;
 };
 
 }  // namespace stark

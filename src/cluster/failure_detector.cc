@@ -36,7 +36,7 @@ void FailureDetector::on_server_dead(ServerId s) {
 
 void FailureDetector::declare_lost(ServerId s, State& st) {
   st.pending = false;
-  st.believed_alive = false;
+  set_belief(st, false);
   ++detections_;
   const double latency = sim_->now() - st.dead_at;
   latency_sum_ += latency;
@@ -68,7 +68,7 @@ void FailureDetector::on_server_restarted(ServerId s) {
     declare_lost(s, st);
   }
   st.pending = false;
-  st.believed_alive = true;
+  set_belief(st, true);
 }
 
 void FailureDetector::on_server_healed(ServerId s) {
@@ -82,7 +82,7 @@ void FailureDetector::on_server_healed(ServerId s) {
   }
   // Already declared lost: the executor re-registers (same incarnation,
   // but the driver treats re-registration as a fresh executor).
-  st.believed_alive = true;
+  set_belief(st, true);
 }
 
 bool FailureDetector::believed_alive(ServerId s) const {

@@ -18,6 +18,7 @@
 // whichever comes first.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
 
@@ -58,6 +59,11 @@ class FailureDetector {
   // The driver's belief. Schedulers consult this before making offers.
   bool believed_alive(ServerId s) const;
 
+  // Monotonic counter that advances whenever any believed_alive() answer
+  // changes. Schedulers use it to cache admission decisions across
+  // scheduling sweeps and rebuild only after a belief actually moved.
+  std::uint64_t belief_epoch() const noexcept { return belief_epoch_; }
+
   int detections() const noexcept { return detections_; }
   double total_detection_latency() const noexcept { return latency_sum_; }
 
@@ -75,6 +81,12 @@ class FailureDetector {
 
   State& state(ServerId s) { return states_[s]; }
   void declare_lost(ServerId s, State& st);
+  void set_belief(State& st, bool alive) noexcept {
+    if (st.believed_alive != alive) {
+      st.believed_alive = alive;
+      ++belief_epoch_;
+    }
+  }
 
   sim::Simulation* sim_;
   Cluster* cluster_;
@@ -84,6 +96,7 @@ class FailureDetector {
   std::unordered_map<ServerId, State> states_;
   int detections_ = 0;
   double latency_sum_ = 0.0;
+  std::uint64_t belief_epoch_ = 0;
 };
 
 }  // namespace stark

@@ -137,11 +137,12 @@ void DagScheduler::maybe_launch(StageRun& stage) {
     if (outs.size() != units.size()) {
       outs.assign(units.size(), kInvalidId);
     }
-    corrupt_flags(stage.output->key(), units.size());
+    // One probe for the corruption shadow instead of one per unit.
+    auto& corr = corrupt_flags(stage.output->key(), units.size());
     for (std::size_t i = 0; i < units.size(); ++i) {
       if (output_host_healthy(outs[i])) continue;
       outs[i] = kInvalidId;
-      clear_corrupt_flag(stage.output->key(), i);
+      corr[i] = 0;
       todo.push_back(i);
     }
     if (todo.empty()) {
@@ -204,11 +205,18 @@ void DagScheduler::maybe_launch(StageRun& stage) {
       outs[static_cast<std::size_t>(pos)] = m.server;
       // A re-registered unit is a clean rewrite: its checksum tag is fresh,
       // and if its corruption was detected earlier it now counts repaired.
-      clear_corrupt_flag(key, static_cast<std::size_t>(pos));
-      const auto rit = pending_shuffle_repair_.find(key);
-      if (rit != pending_shuffle_repair_.end() && rit->second.erase(pos) > 0) {
-        ++stats_.corruptions_repaired;
-        if (rit->second.empty()) pending_shuffle_repair_.erase(rit);
+      // Both maps are empty unless corruption faults are on; skip the
+      // ShuffleKey hashes entirely in the fault-free common case.
+      if (!map_output_corrupt_.empty()) {
+        clear_corrupt_flag(key, static_cast<std::size_t>(pos));
+      }
+      if (!pending_shuffle_repair_.empty()) {
+        const auto rit = pending_shuffle_repair_.find(key);
+        if (rit != pending_shuffle_repair_.end() &&
+            rit->second.erase(pos) > 0) {
+          ++stats_.corruptions_repaired;
+          if (rit->second.empty()) pending_shuffle_repair_.erase(rit);
+        }
       }
     }
     JobResult& r = stage_ptr->job->result;
@@ -508,11 +516,19 @@ void DagScheduler::on_executor_lost(ServerId s, double detection_latency) {
   // MapOutputTracker: every map output hosted there is gone; shuffles that
   // lose outputs are no longer complete and rebuild on demand.
   for (auto& [key, hosts] : map_outputs_) {
+    // Probe the corruption shadow at most once per shuffle, not per unit.
+    std::vector<char>* corr = nullptr;
+    bool corr_looked_up = false;
     bool lost = false;
     for (std::size_t i = 0; i < hosts.size(); ++i) {
       if (hosts[i] == s) {
         hosts[i] = kInvalidId;
-        clear_corrupt_flag(key, i);
+        if (!corr_looked_up) {
+          corr_looked_up = true;
+          const auto cit = map_output_corrupt_.find(key);
+          corr = cit != map_output_corrupt_.end() ? &cit->second : nullptr;
+        }
+        if (corr != nullptr && i < corr->size()) (*corr)[i] = 0;
         lost = true;
       }
     }

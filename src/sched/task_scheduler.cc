@@ -30,6 +30,7 @@ void TaskScheduler::submit(TaskSetPtr ts) {
   set->task_done_flags.assign(set->ts->tasks.size(), 0);
   set->task_speculated.assign(set->ts->tasks.size(), 0);
   set->attempts.assign(set->ts->tasks.size(), 0);
+  set->runs_by_index.assign(set->ts->tasks.size(), {});
   for (int i = 0; i < static_cast<int>(set->ts->tasks.size()); ++i) {
     set->pending.push_back(i);
     if (!set->ts->tasks[static_cast<std::size_t>(i)].preferred.empty()) {
@@ -37,8 +38,42 @@ void TaskScheduler::submit(TaskSetPtr ts) {
     }
   }
   set->locality_anchor = sim_->now();
-  task_sets_.push_back(std::move(set));
+  set->seq = next_set_seq_++;
+  task_sets_.push_back(set);
+  set->self = std::prev(task_sets_.end());
+  by_job_stage_[job_stage_key(set->ts->job, set->ts->stage)].push_back(set);
+  by_job_[set->ts->job].push_back(set);
+  mark_ready(set);
   schedule();
+}
+
+void TaskScheduler::mark_ready(const std::shared_ptr<ActiveSet>& set) {
+  if (set->in_ready || set->aborted || set->detached) return;
+  ready_.emplace(set->seq, set);
+  set->in_ready = true;
+}
+
+void TaskScheduler::unready(ActiveSet& set) {
+  if (!set.in_ready) return;
+  ready_.erase(set.seq);
+  set.in_ready = false;
+}
+
+void TaskScheduler::detach_set(const std::shared_ptr<ActiveSet>& set) {
+  if (set->detached) return;
+  set->detached = true;
+  unready(*set);
+  task_sets_.erase(set->self);
+  const auto jit = by_job_stage_.find(job_stage_key(set->ts->job, set->ts->stage));
+  if (jit != by_job_stage_.end()) {
+    std::erase(jit->second, set);
+    if (jit->second.empty()) by_job_stage_.erase(jit);
+  }
+  const auto bit = by_job_.find(set->ts->job);
+  if (bit != by_job_.end()) {
+    std::erase(bit->second, set);
+    if (bit->second.empty()) by_job_.erase(bit);
+  }
 }
 
 std::uint64_t TaskScheduler::collection_key(const BlockId& id) const {
@@ -83,6 +118,7 @@ void TaskScheduler::expire_exclusions() {
       // Timed exclusion over: the executor rejoins with a clean slate.
       app_failures_.erase(it->first);
       if (stats_) ++stats_->executor_readmissions;
+      app_excluded_mask_[static_cast<std::size_t>(it->first)] = 0;
       it = app_excluded_until_.erase(it);
     } else {
       arm_timer(it->second);
@@ -91,15 +127,51 @@ void TaskScheduler::expire_exclusions() {
   }
 }
 
+void TaskScheduler::rebuild_offer_cache() {
+  // Both epochs are monotonic, so their sum changes whenever either does.
+  // An admission fn without an epoch fn (tests wiring a bare callback)
+  // conservatively rebuilds every sweep.
+  const std::uint64_t key =
+      cluster_->topology_epoch() + (admission_epoch_ ? admission_epoch_() : 0);
+  const bool cacheable = !admission_ || static_cast<bool>(admission_epoch_);
+  if (offer_cache_valid_ && cacheable && key == offer_cache_key_) return;
+  offer_cache_key_ = key;
+  offer_cache_valid_ = true;
+  const int n = cluster_->size();
+  offer_servers_.clear();
+  offer_base_.assign(static_cast<std::size_t>(n), 0);
+  probe_launch_failure_.assign(static_cast<std::size_t>(n), 0);
+  for (ServerId s = 0; s < n; ++s) {
+    const Server& srv = cluster_->server(s);
+    if (!srv.alive()) {
+      // A dead server the driver still believes alive: the NODE_LOCAL
+      // pass "sends" it a launch RPC whose failure reveals the loss.
+      if (launch_failed_ && (!admission_ || admission_(s))) {
+        probe_launch_failure_[static_cast<std::size_t>(s)] = 1;
+      }
+      continue;
+    }
+    // A partitioned executor is skipped too: the launch RPC fails fast, so
+    // the driver moves on even before declaring the executor lost.
+    if (!srv.reachable()) continue;
+    if (admission_ && !admission_(s)) continue;
+    // App-wide exclusion is deliberately NOT cached: a verified read can
+    // quarantine an executor mid-sweep (plan-time corruption detection
+    // charges the excludeOnFailure budget), so offerable() checks it live.
+    offer_base_[static_cast<std::size_t>(s)] = 1;
+    offer_servers_.push_back(s);
+  }
+}
+
 bool TaskScheduler::offerable(ServerId s, const ActiveSet& set,
                               int index) const {
-  const Server& srv = cluster_->server(s);
-  // A partitioned executor is skipped too: the launch RPC fails fast, so
-  // the driver moves on even before declaring the executor lost.
-  if (!srv.alive() || !srv.reachable() || srv.free_cores() <= 0) return false;
-  if (admission_ && !admission_(s)) return false;
+  if (offer_base_[static_cast<std::size_t>(s)] == 0) return false;
+  if (cluster_->server(s).free_cores() <= 0) return false;
   if (options_.faults.exclude_on_failure) {
-    if (app_excluded_until_.count(s) != 0) return false;
+    if (static_cast<std::size_t>(s) < app_excluded_mask_.size() &&
+        app_excluded_mask_[static_cast<std::size_t>(s)] != 0) {
+      return false;
+    }
     if (set.stage_excluded.count(s) != 0) return false;
     const auto fit = set.failed_on.find(index);
     if (fit != set.failed_on.end()) {
@@ -113,6 +185,13 @@ bool TaskScheduler::offerable(ServerId s, const ActiveSet& set,
   return true;
 }
 
+void TaskScheduler::refresh_sweep_candidates() {
+  sweep_candidates_.clear();
+  for (ServerId s : offer_servers_) {
+    if (cluster_->server(s).free_cores() > 0) sweep_candidates_.push_back(s);
+  }
+}
+
 ServerId TaskScheduler::pick_remote_server(const ActiveSet& set, int index,
                                            ServerId exclude) {
   if (options_.mcf) {
@@ -120,7 +199,7 @@ ServerId TaskScheduler::pick_remote_server(const ActiveSet& set, int index,
     ServerId best = kInvalidId;
     int best_contention = 0;
     int best_free = -1;
-    for (ServerId s : cluster_->alive_servers()) {
+    for (ServerId s : sweep_candidates_) {
       if (s == exclude || !offerable(s, set, index)) continue;
       const Server& srv = cluster_->server(s);
       const int c = unique_collection_partitions(s);
@@ -135,12 +214,12 @@ ServerId TaskScheduler::pick_remote_server(const ActiveSet& set, int index,
   }
   // Stock behaviour: all remote workers are treated equally — Spark
   // effectively scatters tasks (and hence cached partitions) randomly.
-  std::vector<ServerId> candidates;
-  for (ServerId s : cluster_->alive_servers()) {
-    if (s != exclude && offerable(s, set, index)) candidates.push_back(s);
+  pick_scratch_.clear();
+  for (ServerId s : sweep_candidates_) {
+    if (s != exclude && offerable(s, set, index)) pick_scratch_.push_back(s);
   }
-  if (candidates.empty()) return kInvalidId;
-  return candidates[placement_rng_.next_below(candidates.size())];
+  if (pick_scratch_.empty()) return kInvalidId;
+  return pick_scratch_[placement_rng_.next_below(pick_scratch_.size())];
 }
 
 void TaskScheduler::arm_timer(SimTime at) {
@@ -160,6 +239,8 @@ void TaskScheduler::schedule() {
   bool sweep_again = true;
   while (sweep_again) {
     sweep_again = false;
+    rebuild_offer_cache();
+    refresh_sweep_candidates();
     // Executors the driver believes alive whose process is gone: the pass
     // below "sends" them launch RPCs that fail, which is how a real driver
     // discovers a crash ahead of the heartbeat timeout. Reported after the
@@ -173,20 +254,24 @@ void TaskScheduler::schedule() {
     // no free slot instead of scanning every pending task.
     int free_cores = cluster_->total_free_cores();
     if (free_cores == 0) break;
-    // Backlog guard: with a deep FIFO, scanning every blocked set per event
-    // is quadratic. After enough consecutive fruitless sets, stop and
-    // revisit shortly — at that depth the queueing delay dwarfs the revisit
-    // granularity anyway.
-    const bool deep_backlog = task_sets_.size() > 256;
+    // Only sets with pending work are scanned: drained-but-running sets
+    // (the common case under saturation) never appear in ready_, so a pass
+    // costs O(ready sets), not O(all live sets).
+    //
+    // Backlog guard: with a deep ready queue, scanning every blocked set
+    // per event is quadratic. After enough consecutive fruitless sets,
+    // stop and revisit shortly — at that depth the queueing delay dwarfs
+    // the revisit granularity anyway. The timer is only a backstop: any
+    // completion that frees a core re-enters schedule() immediately.
+    const bool deep_backlog = ready_.size() > options_.deep_backlog_threshold;
     int fruitless = 0;
-    for (auto& set : task_sets_) {
-      if (free_cores == 0) break;
-      if (deep_backlog && fruitless > 128) {
-        arm_timer(sim_->now() + 0.2);
+    for (auto rit = ready_.begin(); rit != ready_.end() && free_cores > 0;) {
+      if (deep_backlog && fruitless > options_.backlog_fruitless_limit) {
+        arm_timer(sim_->now() + options_.backlog_revisit_interval);
         break;
       }
       ++fruitless;
-      if (set->pending.empty()) continue;
+      const std::shared_ptr<ActiveSet> set = rit->second;
       // NODE_LOCAL pass: launch every pending task that has a preferred
       // server with a free core.
       for (std::size_t scan = set->pending.size(); scan-- > 0;) {
@@ -195,8 +280,7 @@ void TaskScheduler::schedule() {
         const TaskSpec& task = set->ts->tasks[static_cast<std::size_t>(idx)];
         ServerId local = kInvalidId;
         for (ServerId s : task.preferred) {
-          if (launch_failed_ && !cluster_->server(s).alive() &&
-              (!admission_ || admission_(s))) {
+          if (probe_launch_failure_[static_cast<std::size_t>(s)] != 0) {
             launch_failures.insert(s);
           }
           if (offerable(s, *set, idx)) {
@@ -214,36 +298,43 @@ void TaskScheduler::schedule() {
         }
         if (free_cores == 0) break;
       }
-      if (free_cores == 0) break;
-      if (set->pending.empty()) continue;
-      // ANY pass, gated by delay scheduling. Tasks with no preferred
-      // executor at all sit at the ANY locality level from the start
-      // (Spark's pendingTasksWithNoPrefs) and skip the gate.
-      const SimTime allowed_at = set->locality_anchor + options_.locality_wait;
-      const bool any_allowed =
-          !set->has_preferences || sim_->now() + 1e-12 >= allowed_at;
-      if (!any_allowed) arm_timer(allowed_at);
-      for (std::size_t scan = set->pending.size();
-           scan-- > 0 && free_cores > 0;) {
-        const int idx = set->pending.front();
-        set->pending.pop_front();
-        if (!any_allowed &&
-            !set->ts->tasks[static_cast<std::size_t>(idx)].preferred.empty()) {
-          set->pending.push_back(idx);  // still inside its locality wait
-          continue;
+      if (free_cores > 0 && !set->pending.empty()) {
+        // ANY pass, gated by delay scheduling. Tasks with no preferred
+        // executor at all sit at the ANY locality level from the start
+        // (Spark's pendingTasksWithNoPrefs) and skip the gate.
+        const SimTime allowed_at =
+            set->locality_anchor + options_.locality_wait;
+        const bool any_allowed =
+            !set->has_preferences || sim_->now() + 1e-12 >= allowed_at;
+        if (!any_allowed) arm_timer(allowed_at);
+        for (std::size_t scan = set->pending.size();
+             scan-- > 0 && free_cores > 0;) {
+          const int idx = set->pending.front();
+          set->pending.pop_front();
+          if (!any_allowed &&
+              !set->ts->tasks[static_cast<std::size_t>(idx)].preferred.empty()) {
+            set->pending.push_back(idx);  // still inside its locality wait
+            continue;
+          }
+          const ServerId s = pick_remote_server(*set, idx);
+          if (s == kInvalidId) {
+            // No executor the driver is willing to use for this task has a
+            // free core right now (exclusions shrink the candidate set
+            // per-task, so a sibling may still be placeable).
+            set->pending.push_back(idx);
+            continue;
+          }
+          launch(set, idx, s, /*node_local=*/false);
+          progress = true;
+          fruitless = 0;
+          --free_cores;
         }
-        const ServerId s = pick_remote_server(*set, idx);
-        if (s == kInvalidId) {
-          // No executor the driver is willing to use for this task has a
-          // free core right now (exclusions shrink the candidate set
-          // per-task, so a sibling may still be placeable).
-          set->pending.push_back(idx);
-          continue;
-        }
-        launch(set, idx, s, /*node_local=*/false);
-        progress = true;
-        fruitless = 0;
-        --free_cores;
+      }
+      if (set->pending.empty()) {
+        set->in_ready = false;
+        rit = ready_.erase(rit);
+      } else {
+        ++rit;
       }
     }
   }
@@ -343,7 +434,7 @@ void TaskScheduler::launch(const std::shared_ptr<ActiveSet>& set, int index,
     run.event = sim_->at(finish, [this, run_id] { complete(run_id); });
   }
   by_server_[server].insert(run_id);
-  set->runs_by_index[index].push_back(run_id);
+  set->runs_by_index[static_cast<std::size_t>(index)].push_back(run_id);
   running_.emplace(run_id, std::move(run));
 }
 
@@ -361,7 +452,7 @@ void TaskScheduler::release_run_resources(const RunningTask& run,
     --active_disk_flows_;
   }
   --run.set->running;
-  auto& runs = run.set->runs_by_index[run.index];
+  auto& runs = run.set->runs_by_index[static_cast<std::size_t>(run.index)];
   std::erase(runs, run_id);
 }
 
@@ -388,15 +479,17 @@ void TaskScheduler::maybe_speculate(const std::shared_ptr<ActiveSet>& set) {
                    sorted.end());
   const double median = sorted[sorted.size() / 2];
   const double threshold = options_.speculation_multiplier * median;
+  rebuild_offer_cache();  // pick_remote_server below reads the offer cache
+  refresh_sweep_candidates();
   // Snapshot: launching mutates runs_by_index.
   std::vector<std::pair<int, std::uint64_t>> candidates;
-  for (const auto& [index, runs] : set->runs_by_index) {
-    if (set->task_done_flags[static_cast<std::size_t>(index)] ||
-        set->task_speculated[static_cast<std::size_t>(index)] ||
+  for (std::size_t index = 0; index < set->runs_by_index.size(); ++index) {
+    const auto& runs = set->runs_by_index[index];
+    if (set->task_done_flags[index] || set->task_speculated[index] ||
         runs.size() != 1) {
       continue;
     }
-    candidates.emplace_back(index, runs.front());
+    candidates.emplace_back(static_cast<int>(index), runs.front());
   }
   for (const auto& [index, run_id] : candidates) {
     const auto rit = running_.find(run_id);
@@ -417,7 +510,7 @@ void TaskScheduler::finish_set_if_done(const std::shared_ptr<ActiveSet>& set) {
   if (set->pending.empty() && set->parked.empty() &&
       set->backoff_pending == 0 && set->running == 0 &&
       set->finished == static_cast<int>(set->ts->tasks.size())) {
-    task_sets_.remove(set);
+    detach_set(set);
     if (set->ts->all_done) set->ts->all_done();
   }
 }
@@ -457,9 +550,10 @@ void TaskScheduler::complete(std::uint64_t run_id) {
   // This copy wins; kill any sibling still running.
   set->task_done_flags[static_cast<std::size_t>(run.index)] = 1;
   if (run.speculative) ++speculative_wins_;
-  const auto runs_snapshot = set->runs_by_index[run.index];
+  const auto runs_snapshot =
+      set->runs_by_index[static_cast<std::size_t>(run.index)];
   for (const std::uint64_t sibling : runs_snapshot) discard_run(sibling);
-  set->runs_by_index.erase(run.index);
+  set->runs_by_index[static_cast<std::size_t>(run.index)].clear();
 
   for (const auto& block : run.plan.blocks_to_cache) {
     cluster_->insert_block(run.server, block.id, block.bytes,
@@ -467,6 +561,7 @@ void TaskScheduler::complete(std::uint64_t run_id) {
   }
 
   ++set->finished;
+  ++tasks_completed_;
   set->finished_durations.push_back(run.metrics.duration());
   const TaskSpec& task = set->ts->tasks[static_cast<std::size_t>(run.index)];
   if (obs::Tracer::active(tracer_)) {
@@ -525,6 +620,10 @@ void TaskScheduler::charge_app_failure(ServerId server) {
       app_excluded_until_.count(server) == 0) {
     app_excluded_until_[server] =
         sim_->now() + options_.faults.exclude_timeout;
+    if (app_excluded_mask_.size() < static_cast<std::size_t>(cluster_->size())) {
+      app_excluded_mask_.resize(static_cast<std::size_t>(cluster_->size()), 0);
+    }
+    app_excluded_mask_[static_cast<std::size_t>(server)] = 1;
     ++app_exclusions_;
     if (stats_) ++stats_->executor_exclusions;
     arm_timer(app_excluded_until_[server]);
@@ -576,6 +675,7 @@ void TaskScheduler::requeue_with_backoff(const std::shared_ptr<ActiveSet>& set,
     }
     set->task_speculated[static_cast<std::size_t>(index)] = 0;
     set->pending.push_back(index);
+    mark_ready(set);
     schedule();
   });
 }
@@ -584,12 +684,13 @@ void TaskScheduler::abort_set(const std::shared_ptr<ActiveSet>& set,
                               const std::string& reason) {
   if (set->aborted) return;
   set->aborted = true;
-  task_sets_.remove(set);
-  // Discard every copy still in flight.
+  detach_set(set);
+  // Discard every copy still in flight, in run-id (launch) order.
   std::vector<std::uint64_t> run_ids;
-  for (const auto& [index, runs] : set->runs_by_index) {
+  for (const auto& runs : set->runs_by_index) {
     run_ids.insert(run_ids.end(), runs.begin(), runs.end());
   }
+  std::sort(run_ids.begin(), run_ids.end());
   for (const std::uint64_t id : run_ids) discard_run(id);
   set->pending.clear();
   set->parked.clear();
@@ -665,13 +766,13 @@ void TaskScheduler::fail(std::uint64_t run_id, TaskFailureKind kind) {
     schedule();
     return;
   }
-  const auto& siblings = set->runs_by_index[run.index];
+  const auto& siblings =
+      set->runs_by_index[static_cast<std::size_t>(run.index)];
   if (!siblings.empty()) {
     // A speculative copy is still running; let it race.
     schedule();
     return;
   }
-  set->runs_by_index.erase(run.index);
   if (action == TaskFailureAction::kPark) {
     // Zombie the whole set, like Spark does on FetchFailed: launching the
     // siblings now would only replay the same doomed fetch. Everything not
@@ -679,6 +780,7 @@ void TaskScheduler::fail(std::uint64_t run_id, TaskFailureKind kind) {
     set->parked.insert(run.index);
     for (const int idx : set->pending) set->parked.insert(idx);
     set->pending.clear();
+    unready(*set);
     schedule();
     return;
   }
@@ -720,6 +822,7 @@ void TaskScheduler::fail(std::uint64_t run_id, TaskFailureKind kind) {
     // Executor loss requeues immediately: the task did nothing wrong.
     set->task_speculated[static_cast<std::size_t>(run.index)] = 0;
     set->pending.push_back(run.index);
+    mark_ready(set);
     if (stats_) ++stats_->task_retries;
     emit_retry(*set, run.index);
   } else {
@@ -765,27 +868,31 @@ void TaskScheduler::on_server_healed(ServerId s) {
 }
 
 void TaskScheduler::unpark(JobId job, StageId stage) {
-  for (auto& set : task_sets_) {
-    if (set->ts->job != job || set->ts->stage != stage) continue;
-    if (set->parked.empty()) continue;
-    std::vector<int> indices(set->parked.begin(), set->parked.end());
-    std::sort(indices.begin(), indices.end());
-    set->parked.clear();
-    for (int idx : indices) set->pending.push_back(idx);
+  const auto it = by_job_stage_.find(job_stage_key(job, stage));
+  if (it != by_job_stage_.end()) {
+    // Matching sets in submission order; parked indices requeue sorted so
+    // the offer order is independent of how the parked hash set iterates.
+    for (const auto& set : it->second) {
+      if (set->parked.empty()) continue;
+      std::vector<int> indices(set->parked.begin(), set->parked.end());
+      std::sort(indices.begin(), indices.end());
+      set->parked.clear();
+      for (int idx : indices) set->pending.push_back(idx);
+      mark_ready(set);
+    }
   }
   schedule();
 }
 
 void TaskScheduler::cancel_job(JobId job) {
   std::vector<std::shared_ptr<ActiveSet>> doomed;
-  for (auto& set : task_sets_) {
-    if (set->ts->job == job) doomed.push_back(set);
-  }
-  for (auto& set : doomed) {
+  const auto it = by_job_.find(job);
+  if (it != by_job_.end()) doomed = it->second;  // copy: detach mutates it
+  for (const auto& set : doomed) {
     set->aborted = true;
-    task_sets_.remove(set);
+    detach_set(set);
     std::vector<std::uint64_t> run_ids;
-    for (const auto& [index, runs] : set->runs_by_index) {
+    for (const auto& runs : set->runs_by_index) {
       run_ids.insert(run_ids.end(), runs.begin(), runs.end());
     }
     std::sort(run_ids.begin(), run_ids.end());

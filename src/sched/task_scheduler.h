@@ -37,6 +37,7 @@
 #include <deque>
 #include <functional>
 #include <list>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -128,6 +129,15 @@ class TaskScheduler {
     // Seed for stock Spark's random remote placement (ignored under MCF,
     // which orders offers by contention instead).
     std::uint64_t seed = 0x5041524bULL;
+    // Deep-backlog guard: once more than `deep_backlog_threshold` task sets
+    // have pending work, a scheduling pass stops after
+    // `backlog_fruitless_limit` consecutive sets that launched nothing and
+    // arms a revisit timer `backlog_revisit_interval` seconds out. The
+    // timer is a backstop only — any completion that frees a core re-runs
+    // the pass immediately, so no wakeup is lost to the interval.
+    std::size_t deep_backlog_threshold = 256;
+    int backlog_fruitless_limit = 128;
+    double backlog_revisit_interval = 0.2;
     // Retry / exclusion knobs (see FaultOptions in sched/task.h).
     FaultOptions faults;
   };
@@ -190,6 +200,17 @@ class TaskScheduler {
   // FailureDetector by api::Context). Unset = trust Server::alive().
   void set_admission_fn(std::function<bool(ServerId)> fn) {
     admission_ = std::move(fn);
+    offer_cache_valid_ = false;
+  }
+
+  // Monotonic counter that advances whenever the admission function's
+  // answers may have changed (wired to FailureDetector::belief_epoch by
+  // api::Context). With it, the offer cache survives across scheduling
+  // sweeps until a belief actually flips; without it, an admission fn
+  // forces a conservative rebuild every sweep.
+  void set_admission_epoch_fn(std::function<std::uint64_t()> fn) {
+    admission_epoch_ = std::move(fn);
+    offer_cache_valid_ = false;
   }
 
   // Fired when a scheduling pass tries to place a task on an executor the
@@ -198,6 +219,7 @@ class TaskScheduler {
   // FailureDetector::report_launch_failure by api::Context).
   void set_launch_failed_fn(std::function<void(ServerId)> fn) {
     launch_failed_ = std::move(fn);
+    offer_cache_valid_ = false;
   }
 
   // Gray-failure injection: every launched run fails partway through with
@@ -214,6 +236,8 @@ class TaskScheduler {
 
   std::size_t running_tasks() const noexcept { return running_.size(); }
   std::size_t pending_task_sets() const noexcept { return task_sets_.size(); }
+  // Logical tasks completed (winning copies only), across all sets ever run.
+  std::uint64_t tasks_completed() const noexcept { return tasks_completed_; }
   int speculative_launches() const noexcept { return speculative_launches_; }
   int speculative_wins() const noexcept { return speculative_wins_; }
   SimTime driver_free_at() const noexcept { return driver_free_at_; }
@@ -254,7 +278,15 @@ class TaskScheduler {
     std::vector<char> task_done_flags;
     std::vector<char> task_speculated;
     std::vector<double> finished_durations;
-    std::unordered_map<int, std::vector<std::uint64_t>> runs_by_index;
+    // In-flight run ids per task index (size == tasks.size()); an entry is
+    // non-empty only while copies of that task are running.
+    std::vector<std::vector<std::uint64_t>> runs_by_index;
+    // Scheduling-index bookkeeping (owned by the TaskScheduler): FIFO
+    // position, O(1) erase handle into task_sets_, ready-queue membership.
+    std::uint64_t seq = 0;
+    std::list<std::shared_ptr<ActiveSet>>::iterator self;
+    bool in_ready = false;
+    bool detached = false;
   };
   struct RunningTask {
     std::shared_ptr<ActiveSet> set;
@@ -289,7 +321,40 @@ class TaskScheduler {
   // Drops expired app-level exclusions (re-admission).
   void expire_exclusions();
   void arm_timer(SimTime at);
-  // Driver is willing to offer this server's slots to this task.
+  // Recomputes offer_servers_ / offer_base_ / probe_launch_failure_. Must
+  // run before offerable() / pick_remote_server(): once per scheduling
+  // sweep and on entry to maybe_speculate(). The inputs (liveness,
+  // reachability, driver admission) only change between sweeps —
+  // failure-detection callbacks are deferred past the sweep — so one
+  // evaluation per server replaces one per (task, server) offer; the
+  // cluster topology epoch and admission epoch let the cache survive
+  // whole sweeps untouched until something actually changes. App-level
+  // exclusion is NOT cached (a verified read can quarantine an executor
+  // mid-sweep); offerable() checks it live.
+  void rebuild_offer_cache();
+  // Rebuilds sweep_candidates_: offerable servers that still had a free
+  // core when the current sweep started. Free cores only decrease within
+  // a sweep (completions are events; launch-failure callbacks are
+  // deferred), so servers skipped here could never accept a task anyway —
+  // pick_remote_server() iterates this list instead of every offerable
+  // server. Refresh alongside rebuild_offer_cache().
+  void refresh_sweep_candidates();
+  // Ready-queue maintenance: a set is "ready" while it has pending task
+  // indices to offer. mark_ready is idempotent; call it wherever pending
+  // goes empty -> non-empty (submit, backoff expiry, executor-lost requeue,
+  // unpark).
+  void mark_ready(const std::shared_ptr<ActiveSet>& set);
+  void unready(ActiveSet& set);
+  // Removes the set from every index (FIFO list, ready queue, job and
+  // (job, stage) maps). Used when a set finishes or aborts.
+  void detach_set(const std::shared_ptr<ActiveSet>& set);
+  static std::uint64_t job_stage_key(JobId job, StageId stage) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(job)) << 32) |
+           static_cast<std::uint32_t>(stage);
+  }
+  // Driver is willing to offer this server's slots to this task. Reads the
+  // per-sweep offer cache for the set-independent half of the predicate;
+  // callers must be downstream of rebuild_offer_cache().
   bool offerable(ServerId s, const ActiveSet& set, int index) const;
   ServerId pick_remote_server(const ActiveSet& set, int index,
                               ServerId exclude = kInvalidId);
@@ -305,7 +370,17 @@ class TaskScheduler {
   FailureStats* stats_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 
-  std::list<std::shared_ptr<ActiveSet>> task_sets_;  // FIFO
+  std::list<std::shared_ptr<ActiveSet>> task_sets_;  // FIFO, all live sets
+  // Sets with pending work, keyed by submission sequence so iteration
+  // reproduces the FIFO scan order exactly while skipping the (usually
+  // numerous) drained-but-running sets.
+  std::map<std::uint64_t, std::shared_ptr<ActiveSet>> ready_;
+  // Secondary indexes so unpark / cancel_job touch only their own sets
+  // instead of scanning every live one.
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<ActiveSet>>>
+      by_job_stage_;
+  std::unordered_map<JobId, std::vector<std::shared_ptr<ActiveSet>>> by_job_;
+  std::uint64_t next_set_seq_ = 0;
   std::unordered_map<std::uint64_t, RunningTask> running_;
   std::unordered_map<ServerId, std::unordered_set<std::uint64_t>> by_server_;
   // Results that finished on an unreachable (partitioned) executor; they
@@ -315,8 +390,27 @@ class TaskScheduler {
   // App-level exclusion (spark.excludeOnFailure.application.*).
   std::unordered_map<ServerId, int> app_failures_;
   std::unordered_map<ServerId, SimTime> app_excluded_until_;
+  // By-id mirror of app_excluded_until_'s keys: offerable() consults the
+  // exclusion on every offer (it cannot be folded into the offer cache —
+  // a verified read can quarantine mid-sweep), and a flat byte beats a
+  // hash probe on that path. Sized lazily on first exclusion; empty means
+  // no server was ever excluded.
+  std::vector<char> app_excluded_mask_;
   std::unordered_map<ServerId, std::unordered_map<std::uint64_t, int>>
       contention_;
+  // Per-sweep offer cache (see rebuild_offer_cache): servers passing the
+  // set-independent checks in ascending-id order, a by-id bitmap of the
+  // same, a by-id bitmap of dead-but-believed-alive servers the
+  // NODE_LOCAL pass reports as failed launch RPCs, and a scratch buffer
+  // for stock-Spark random placement (avoids a per-offer allocation).
+  std::vector<ServerId> offer_servers_;
+  std::vector<char> offer_base_;
+  std::vector<char> probe_launch_failure_;
+  std::vector<ServerId> pick_scratch_;
+  std::vector<ServerId> sweep_candidates_;
+  std::function<std::uint64_t()> admission_epoch_;
+  std::uint64_t offer_cache_key_ = 0;
+  bool offer_cache_valid_ = false;
   Rng placement_rng_;
   Rng flaky_rng_;
   double flaky_probability_ = 0.0;
@@ -326,6 +420,7 @@ class TaskScheduler {
   int speculative_wins_ = 0;
   int app_exclusions_ = 0;
   std::uint64_t next_run_id_ = 0;
+  std::uint64_t tasks_completed_ = 0;
   SimTime driver_free_at_ = 0.0;
   bool timer_armed_ = false;
   SimTime timer_at_ = 0.0;

@@ -1,0 +1,112 @@
+// InlineFn: a move-only `void()` wrapper with a large inline buffer.
+//
+// The event queue stores one callback per pending event, and the simulator
+// pushes tens of millions of them per run. std::function's small-buffer
+// optimization (16 bytes on libstdc++) is too small for the scheduler's
+// capture lists (e.g. [this, shared_ptr, int]), so nearly every event paid a
+// heap allocation. InlineFn trades copyability — which the queue never
+// needs — for a 48-byte inline buffer that fits every callback in the tree.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace stark::sim {
+
+class InlineFn {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineFn() noexcept = default;
+  InlineFn(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_.buf)) Fn(std::forward<F>(f));
+      invoke_ = [](Storage& s) { (*std::launder(reinterpret_cast<Fn*>(s.buf)))(); };
+      manage_ = [](Storage& dst, Storage* src) {
+        if (src != nullptr) {
+          Fn* from = std::launder(reinterpret_cast<Fn*>(src->buf));
+          ::new (static_cast<void*>(dst.buf)) Fn(std::move(*from));
+          from->~Fn();
+        } else {
+          std::launder(reinterpret_cast<Fn*>(dst.buf))->~Fn();
+        }
+      };
+    } else {
+      storage_.ptr = new Fn(std::forward<F>(f));
+      invoke_ = [](Storage& s) { (*static_cast<Fn*>(s.ptr))(); };
+      manage_ = [](Storage& dst, Storage* src) {
+        if (src != nullptr) {
+          dst.ptr = src->ptr;
+          src->ptr = nullptr;
+        } else {
+          delete static_cast<Fn*>(dst.ptr);
+        }
+      };
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(storage_); }
+
+ private:
+  union Storage {
+    alignas(std::max_align_t) unsigned char buf[kInlineSize];
+    void* ptr;
+  };
+  // manage_(dst, src != nullptr): move-construct dst from src, destroy src.
+  // manage_(dst, nullptr): destroy dst.
+  using InvokeFn = void (*)(Storage&);
+  using ManageFn = void (*)(Storage&, Storage*);
+
+  void move_from(InlineFn& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(storage_, &other.storage_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  Storage storage_;
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace stark::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace stark::sim {
@@ -68,6 +69,61 @@ TEST(EventQueue, PopOnEmptyThrows) {
 TEST(EventQueue, CancelUnknownIdReturnsFalse) {
   EventQueue q;
   EXPECT_FALSE(q.cancel(123));
+}
+
+TEST(EventQueue, StaleIdFromReusedSlotIsRejected) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(a));
+  // The slot is reused by the next push, but under a new generation: the
+  // old id must not cancel the new occupant.
+  const EventId b = q.push(2.0, [] {});
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_TRUE(q.cancel(b));
+}
+
+// Regression test for unbounded event-queue memory growth: storage must be
+// bounded by the peak number of *live* events, not by the total number of
+// events ever pushed. A long simulation that pushes and retires millions of
+// events (heartbeats, timers, task completions) must not accumulate a slot
+// per push.
+TEST(EventQueue, SlotCountBoundedByLiveEventsOverMillionCycles) {
+  EventQueue q;
+  constexpr std::size_t kLive = 1'000;        // steady-state live events
+  constexpr std::size_t kCycles = 1'000'000;  // total push/pop/cancel cycles
+  std::vector<EventId> ids;
+  ids.reserve(kLive);
+  double t = 0.0;
+  std::size_t peak_live = 0;
+  for (std::size_t i = 0; i < kCycles; ++i) {
+    ids.push_back(q.push(t + 1.0 + static_cast<double>(i % 97), [] {}));
+    peak_live = std::max(peak_live, q.size());
+    if (ids.size() >= kLive) {
+      // Retire half by firing, half by cancellation, so both release
+      // paths (pop and cancel) feed the free list.
+      if (i % 2 == 0) {
+        q.pop();
+        ids.erase(ids.begin());
+      } else {
+        EXPECT_TRUE(q.cancel(ids.back()));
+        ids.pop_back();
+      }
+    }
+    t += 1e-3;
+  }
+  // O(live): allocated slots never exceed the peak live count (plus the
+  // transient +1 while at peak), no matter how many events were pushed.
+  EXPECT_LE(q.slots_allocated(), peak_live + 1);
+  EXPECT_GE(q.slots_allocated(), q.size());
+  // Drain cleanly: every event still live pops exactly once.
+  const std::size_t live_at_end = q.size();
+  std::size_t fired = 0;
+  while (!q.empty()) {
+    q.pop();
+    ++fired;
+  }
+  EXPECT_EQ(fired, live_at_end);
+  EXPECT_EQ(q.size(), 0u);
 }
 
 }  // namespace
