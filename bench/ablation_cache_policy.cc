@@ -1,0 +1,225 @@
+// Cache-policy ablation (PR 5): LRU vs LRC vs cost/size eviction under
+// memory pressure, on the paper's two streaming operating points.
+//
+// The block stores are sized well below the retention window's data volume,
+// so every timestep insert forces evictions and interactive queries keep
+// re-reading partitions the policy decided to keep or drop. Queries run in
+// interactive-session mode (QueryWorkload::Config::cache_cogroup): each
+// session caches its cogrouped window and runs a follow-up aggregation over
+// it, then abandons it without unpersisting. The cache therefore holds two
+// block populations — live stream timesteps that future queries will read,
+// and dead session cogroups that nothing will ever read again. Recency
+// cannot tell them apart (a dead cogroup is most-recently-used the moment
+// it dies); lineage refcounts can, which is the effect this ablation
+// measures. Workloads:
+//
+//   fig19_constant   the Fig 19 operating point: constant-rate interactive
+//                    sessions over a streamed collection (1 h retention).
+//   fig20_diurnal    the Fig 20 replay shape: diurnal data rate and a
+//                    diurnally modulated session rate over a 3 h retention
+//                    window.
+//
+// For each (workload, policy) cell the bench reports the DagScheduler's
+// cache-probe counters. `bytes_recomputed` — logical bytes of
+// cache-requested partitions rebuilt from lineage because the needed block
+// was evicted — is the headline: a smarter policy strictly reduces it
+// against LRU at equal capacity. Results are emitted as JSON (schema below)
+// for scripts and EXPERIMENTS.md; `--smoke` runs a down-scaled sweep for
+// CI. All cells run with pin_running_blocks on, so in-flight tasks never
+// lose their inputs mid-run regardless of policy.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/metrics.h"
+#include "bench_util.h"
+#include "streaming/query_workload.h"
+
+using namespace stark;
+
+namespace {
+
+constexpr int kServers = 8;
+constexpr int kPartitions = 32;
+constexpr int kGridBits = 6;
+constexpr Key kDomain = 64 * 64;
+
+struct CellResult {
+  EvictionPolicyKind policy = EvictionPolicyKind::kLru;
+  CacheStats cache;
+  long long evictions = 0;
+  int queries_issued = 0;
+  int queries_completed = 0;
+  double mean_delay_ms = 0.0;
+  double p99_delay_ms = 0.0;
+};
+
+struct WorkloadSpec {
+  const char* name;
+  bool diurnal = false;
+  double hours = 1.0;           // simulated span of stream ingestion
+  double retention = 3600.0;    // cached window
+  double query_rate = 2.0;      // sessions/s (peak rate when diurnal)
+  int max_window_timesteps = 8; // query range within the retention window
+};
+
+CellResult run_cell(const WorkloadSpec& w, EvictionPolicyKind policy,
+                    Bytes ram) {
+  ContextOptions opts = bench::paper_cluster(ConfigKind::kStarkH, kServers);
+  opts.detail_task_metrics = false;
+  opts.locality_wait = 0.3;
+  opts.groups.initial_groups = 16;
+  opts.groups.min_group_bytes = 1 * kMiB;
+  opts.groups.max_group_bytes = 48 * kMiB;
+  opts.cluster.server.ram = ram;  // the pressure knob: cache << window
+  opts.cluster.cache.policy = policy;
+  opts.cluster.cache.pin_running_blocks = true;
+  Context ctx(opts);
+  MetricsCollector metrics(ctx.cluster());
+  PartitionerPtr shared = ctx.collection_partitioner(kPartitions, kDomain);
+
+  trace::TaxiTraceGen::Config tc;
+  tc.grid_bits = kGridBits;
+  tc.events_per_hour = 1.0e6;
+  tc.diurnal_amplitude = w.diurnal ? 0.6 : 0.0;
+  auto taxi = std::make_shared<trace::TaxiTraceGen>(tc);
+  auto tweets = std::make_shared<trace::TweetGen>(trace::TweetGen::Config{});
+
+  StreamConfig sc;
+  sc.batch_interval = 300.0;
+  sc.retention = w.retention;
+  sc.ns = "stream";
+  GroupConfig gc = opts.groups;
+  gc.grouped = ctx.run_config().grouped;
+  gc.extendable = ctx.run_config().extendable;
+  ctx.groups().register_namespace("stream", shared, gc);
+  StreamContext stream(
+      ctx.dag(), ctx.groups(), sc,
+      [taxi, tweets, &w](int /*step*/, SimTime t) {
+        const double hour = w.diurnal ? std::fmod(t / 3600.0, 24.0) : 12.0;
+        return tweets->merge_with_taxi(
+            taxi->histogram(hour, 2, 1.0 / 12.0));
+      },
+      [shared](const KeyHistogram&, int) { return shared; });
+  stream.start(static_cast<int>(w.hours * 12.0));
+
+  QueryWorkload::Config qc;
+  const double rate = w.query_rate;
+  if (w.diurnal) {
+    // Fig 20: session arrivals follow the same diurnal curve as the data.
+    qc.rate = [rate](SimTime t) {
+      const double day = std::fmod(t / 3600.0, 24.0);
+      const double lift = std::max(0.0, std::sin(day * 3.14159265 / 12.0));
+      return rate * (0.4 + 0.6 * lift);
+    };
+  } else {
+    qc.rate = [rate](SimTime) { return rate; };
+  }
+  qc.max_window_timesteps = w.max_window_timesteps;
+  qc.min_window_timesteps = 2;
+  qc.grid_bits = kGridBits;
+  qc.region_cells = 16;
+  qc.cache_cogroup = true;  // interactive sessions; see the header comment
+  qc.seed = 17;
+  QueryWorkload wl(stream, ctx.dag(), qc,
+                   [shared](const std::vector<DatasetPtr>&) { return shared; });
+  // One continuous arrival window once the cache is warm.
+  const double t0 = w.diurnal ? 1800.0 : 0.75 * w.retention;
+  wl.start(t0, w.hours * 3600.0);
+  ctx.sim().run(w.hours * 3600.0 + 900.0);
+
+  CellResult r;
+  r.policy = policy;
+  r.cache = ctx.dag().cache_stats();
+  r.evictions = metrics.cache_evictions();
+  r.queries_issued = wl.issued();
+  r.queries_completed = wl.completed();
+  if (wl.completed() > 0) {
+    r.mean_delay_ms = wl.delays().mean() * 1e3;
+    r.p99_delay_ms = wl.delays().percentile(0.99) * 1e3;
+  }
+  return r;
+}
+
+void emit_cell(const CellResult& r, bool last) {
+  std::printf(
+      "      {\"policy\": \"%s\",\n"
+      "       \"probe_hits\": %lld, \"probe_misses\": %lld,\n"
+      "       \"recomputes\": %lld, \"bytes_recomputed\": %.0f,\n"
+      "       \"bytes_from_cache\": %.0f, \"evictions\": %lld,\n"
+      "       \"queries_issued\": %d, \"queries_completed\": %d,\n"
+      "       \"mean_delay_ms\": %.2f, \"p99_delay_ms\": %.2f}%s\n",
+      eviction_policy_name(r.policy), r.cache.hits, r.cache.misses,
+      r.cache.recomputes, r.cache.bytes_recomputed, r.cache.bytes_from_cache,
+      r.evictions, r.queries_issued, r.queries_completed, r.mean_delay_ms,
+      r.p99_delay_ms, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double ram_mb = 192.0;  // per server; aggregate cache ~0.9 GiB at 0.6
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--ram-mb") == 0 && i + 1 < argc) {
+      ram_mb = std::atof(argv[++i]);
+    }
+  }
+
+  std::vector<WorkloadSpec> workloads;
+  if (smoke) {
+    workloads.push_back({"fig19_constant", false, 0.75, 1800.0, 2.0, 4});
+    workloads.push_back({"fig20_diurnal", true, 1.5, 3600.0, 2.0, 8});
+  } else {
+    workloads.push_back({"fig19_constant", false, 1.5, 3600.0, 1.0, 8});
+    workloads.push_back({"fig20_diurnal", true, 3.0, 5400.0, 2.0, 8});
+  }
+  const Bytes ram = ram_mb * kMiB;
+  constexpr EvictionPolicyKind kPolicies[] = {EvictionPolicyKind::kLru,
+                                              EvictionPolicyKind::kLrc,
+                                              EvictionPolicyKind::kCostSize};
+
+  double lru_diurnal = 0.0, best_diurnal = 0.0;
+  const char* best_name = "lru";
+  std::printf("{\n  \"bench\": \"ablation_cache_policy\", \"schema\": 1,\n"
+              "  \"smoke\": %s, \"ram_mb\": %.0f, \"servers\": %d,\n"
+              "  \"workloads\": [\n",
+              smoke ? "true" : "false", ram_mb, kServers);
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    const auto& w = workloads[wi];
+    std::printf("    {\"name\": \"%s\",\n     \"policies\": [\n", w.name);
+    for (std::size_t pi = 0; pi < 3; ++pi) {
+      std::fprintf(stderr, "[ablation_cache_policy] %s / %s...\n", w.name,
+                   eviction_policy_name(kPolicies[pi]));
+      const CellResult r = run_cell(w, kPolicies[pi], ram);
+      emit_cell(r, pi == 2);
+      if (std::strcmp(w.name, "fig20_diurnal") == 0) {
+        if (kPolicies[pi] == EvictionPolicyKind::kLru) {
+          lru_diurnal = r.cache.bytes_recomputed;
+          best_diurnal = r.cache.bytes_recomputed;
+        } else if (r.cache.bytes_recomputed < best_diurnal) {
+          best_diurnal = r.cache.bytes_recomputed;
+          best_name = eviction_policy_name(kPolicies[pi]);
+        }
+      }
+    }
+    std::printf("    ]}%s\n", wi + 1 == workloads.size() ? "" : ",");
+  }
+  const double reduction =
+      lru_diurnal > 0.0 ? (1.0 - best_diurnal / lru_diurnal) * 100.0 : 0.0;
+  std::printf(
+      "  ],\n"
+      "  \"headline\": {\"workload\": \"fig20_diurnal\",\n"
+      "    \"lru_bytes_recomputed\": %.0f,\n"
+      "    \"best_policy\": \"%s\", \"best_bytes_recomputed\": %.0f,\n"
+      "    \"reduction_pct\": %.1f,\n"
+      "    \"best_beats_lru\": %s}\n"
+      "}\n",
+      lru_diurnal, best_name, best_diurnal, reduction,
+      best_diurnal < lru_diurnal ? "true" : "false");
+  return 0;
+}

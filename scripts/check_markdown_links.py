@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Scans every tracked *.md file for inline links/images and validates the
+ones that point inside the repository: the target file must exist, and a
+`#fragment` on a markdown target must match a heading's GitHub anchor.
+External (scheme://), mailto: and bare-anchor (#...) links are ignored.
+
+Usage: scripts/check_markdown_links.py [root]
+Exits non-zero listing every dangling link.
+"""
+import os
+import re
+import sys
+import unicodedata
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)")
+
+
+def github_anchor(heading):
+    """The anchor GitHub generates for a heading."""
+    text = unicodedata.normalize("NFKC", heading.strip().lower())
+    text = re.sub(r"[`*_]", "", text)              # inline formatting
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    out = []
+    for ch in text:
+        if ch.isalnum() or ch in "-_":
+            out.append(ch)
+        elif ch in " ":
+            out.append("-")
+        # everything else (punctuation) is dropped
+    return "".join(out)
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in {".git", "build", ".github"}
+                       and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        anchors = set()
+        in_fence = False
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                m = HEADING_RE.match(line)
+                if m:
+                    anchors.add(github_anchor(m.group(1)))
+        cache[path] = anchors
+    return cache[path]
+
+
+def check_file(path, root):
+    errors = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if (re.match(r"^[a-z][a-z0-9+.-]*:", target)  # scheme://
+                        or target.startswith("#")):
+                    continue
+                target_path, _, fragment = target.partition("#")
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target_path))
+                if not os.path.exists(resolved):
+                    errors.append(f"{path}:{lineno}: dangling link "
+                                  f"'{target}' -> {resolved}")
+                    continue
+                if fragment and resolved.endswith(".md"):
+                    if fragment not in anchors_of(resolved):
+                        errors.append(f"{path}:{lineno}: missing anchor "
+                                      f"'#{fragment}' in {resolved}")
+    return errors
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    errors = []
+    checked = 0
+    for path in sorted(md_files(root)):
+        checked += 1
+        errors.extend(check_file(path, root))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_markdown_links: {checked} files, {len(errors)} dangling")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

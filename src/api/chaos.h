@@ -63,6 +63,8 @@ class ChaosInjector {
     std::uint64_t seed = 31;
   };
 
+  // Binds to a live context (must outlive the injector). Nothing is
+  // scheduled until start().
   ChaosInjector(Context& ctx, Config config);
 
   // Schedules fault events over [t0, t1) of simulated time. An empty or
@@ -79,6 +81,7 @@ class ChaosInjector {
   // is reset). After stop() a fresh start() is legal at any time.
   void stop();
 
+  // Lifetime injection counts (across every window; never reset).
   int kills() const noexcept { return kills_; }
   int restarts() const noexcept { return restarts_; }
   int slow_episodes() const noexcept { return slow_episodes_; }

@@ -5,6 +5,8 @@
 
 namespace stark {
 
+// The paper's evaluation configurations (§IV-A), from stock Spark to full
+// Stark. Each resolves to a RunConfig bundle of switches via run_config().
 enum class ConfigKind {
   kSparkR,  // new RangePartitioner per RDD, stock placement
   kSparkH,  // shared HashPartitioner, stock placement
@@ -13,12 +15,18 @@ enum class ConfigKind {
   kStarkE,  // Stark-S + extendable partition groups (+ MCF)
 };
 
+// How Context::collection_partitioner hands out partitioners: one fresh
+// sampled RangePartitioner per RDD, or a single partitioner shared by the
+// whole dataset collection.
 enum class PartitionerMode {
   kPerRddRange,       // Spark-R
   kSharedHash,        // Spark-H / Stark-H
   kSharedStaticRange  // Stark-S / Stark-E
 };
 
+// The switch bundle a ConfigKind resolves to. Context derives one at
+// construction (Context::run_config()); benches compare configurations by
+// varying only this.
 struct RunConfig {
   ConfigKind kind = ConfigKind::kStarkH;
   PartitionerMode partitioner_mode = PartitionerMode::kSharedHash;
@@ -31,7 +39,9 @@ struct RunConfig {
   bool replicate_on_recompute = false;
 };
 
+// The canonical switch settings for each configuration of the paper.
 RunConfig run_config(ConfigKind kind);
+// Stable display name ("Spark-R", ..., "Stark-E") for tables and logs.
 const char* config_name(ConfigKind kind);
 
 }  // namespace stark

@@ -42,6 +42,11 @@ void ContextOptions::validate() const {
   if (cluster.servers_per_rack < 0) {
     reject("cluster.servers_per_rack must be >= 0 (0 = single rack)");
   }
+  try {
+    cluster.cache.validate();
+  } catch (const std::invalid_argument& e) {
+    reject(std::string("cluster.cache: ") + e.what());
+  }
   if (locality_wait < 0.0) {
     reject("locality_wait must be >= 0 (got " + std::to_string(locality_wait) +
            ")");
@@ -124,6 +129,10 @@ Context::Context(ContextOptions options)
   dag_opts.replicate_on_recompute = run_config_.replicate_on_recompute;
   dag_opts.detail_task_metrics = options_.detail_task_metrics;
   dag_opts.faults = options_.faults;
+  // The planner must agree with the block stores on policy and pinning:
+  // kCostSize needs recompute-cost estimates stamped on cached blocks,
+  // pin_running_blocks needs referenced-block lists in every task plan.
+  dag_opts.cache = options_.cluster.cache;
   dag_ = std::make_unique<DagScheduler>(sim_, cluster_, options_.cost,
                                         locality_, groups_, dag_opts);
   dag_->set_tracer(tracer_.get());
@@ -145,6 +154,24 @@ Context::Context(ContextOptions options)
   // short-circuits the heartbeat timeout.
   dag_->tasks().set_launch_failed_fn(
       [this](ServerId s) { detector_->report_launch_failure(s); });
+  // Eviction decisions as first-class trace instants: which policy fired,
+  // how many bytes left RAM, and whether the victim spilled to disk. The
+  // generic block observer below still emits kBlockEvict for locality/MCF
+  // bookkeeping; this channel carries the policy-attribution detail.
+  cluster_.set_eviction_observer(
+      [this](ServerId s, const BlockManager::EvictedBlock& victim) {
+        if (!obs::Tracer::active(tracer_.get())) return;
+        obs::TraceEvent e;
+        e.kind = obs::TraceKind::kEvictionDecision;
+        e.t0 = e.t1 = sim_.now();
+        e.server = s;
+        e.dataset = victim.id.dataset;
+        e.partition = victim.id.partition;
+        e.bytes = victim.bytes;
+        e.code = static_cast<std::int16_t>(options_.cluster.cache.policy);
+        if (victim.spill) e.flags |= obs::kFlagSpilled;
+        tracer_->emit(e);
+      });
   // Contention tracking (MCF) follows cache contents, and so do the
   // LocalityManager homes: a collection partition maps to a *set* of
   // executors — whenever a remote task materializes a namespaced block,

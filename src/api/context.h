@@ -30,13 +30,29 @@
 
 namespace stark {
 
+// Everything a Context is built from. Defaults reproduce the paper's
+// Stark-H configuration on an 8-server cluster; validate() is the single
+// gate for consistency (the constructor refuses inconsistent options).
 struct ContextOptions {
+  // Which of the paper's five evaluation configurations to run; selects
+  // partitioner policy, co-locality, grouping, MCF and recompute
+  // replication in one knob (see api/configs.h).
   ConfigKind config = ConfigKind::kStarkH;
+  // Cluster topology and per-server resources. cluster.cache selects the
+  // block stores' eviction policy (LRU / LRC / cost-size) and pinning —
+  // see cluster/eviction_policy.h; the choice is mirrored into the DAG
+  // scheduler so lineage refcounts and recompute-cost estimates flow to
+  // the stores that need them.
   ClusterConfig cluster;
+  // Calibrated cpu/net/disk/GC timing model (docs/COST_MODEL.md).
   CostModel cost;
+  // Seconds a task waits for a node-local slot before accepting a remote
+  // one (spark.locality.wait).
   double locality_wait = 3.0;
   bool speculation = false;  // straggler task copies (spark.speculation)
   GroupConfig groups;  // bounds/window for extendable namespaces
+  // Keep per-task TaskMetrics in every JobResult. Stage-level breakdowns
+  // are always on; turn this off for giant sweeps to save memory.
   bool detail_task_metrics = true;
   // Heartbeat detection, task retries, stage resubmission and exclusion
   // knobs (see sched/task.h and docs/FAULT_MODEL.md).
@@ -45,6 +61,8 @@ struct ContextOptions {
   // Disabled by default: the engine pays one pointer test per choke point
   // and simulated timelines are bit-identical either way.
   obs::TraceOptions trace;
+  // Master seed for every engine-internal random draw. Same options + same
+  // seed => byte-identical simulated timelines (scripts/bit_identity.sh).
   std::uint64_t seed = 7;
 
   // Rejects inconsistent options (negative waits, empty clusters, fault
@@ -65,16 +83,25 @@ struct IngestOptions {
 
 class Context {
  public:
+  // Validates the options (throws std::invalid_argument) and wires every
+  // subsystem: cluster, managers, scheduler, tracer, failure detector.
   explicit Context(ContextOptions options);
+  // Owns live subsystems with back-references; neither copyable nor
+  // movable.
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
+  // Direct access to the wired subsystems, for tests, benches and advanced
+  // callers (e.g. StreamContext takes dag() + groups()). The Context stays
+  // the owner; never keep these past its lifetime.
   sim::Simulation& sim() noexcept { return sim_; }
   Cluster& cluster() noexcept { return cluster_; }
   LocalityManager& locality() noexcept { return locality_; }
   GroupManager& groups() noexcept { return groups_; }
   DagScheduler& dag() noexcept { return *dag_; }
+  // The resolved per-configuration switches (derived from options().config).
   const RunConfig& run_config() const noexcept { return run_config_; }
+  // The validated options this context was built from.
   const ContextOptions& options() const noexcept { return options_; }
 
   // The tracing front end. Always constructed; enabled per
@@ -87,6 +114,8 @@ class Context {
   // range depending on the configuration). For Spark-R this returns a fresh
   // per-call RangePartitioner instead — pass the dataset's histogram.
   PartitionerPtr collection_partitioner(int num_partitions, Key domain_size);
+  // Like collection_partitioner, but range-based modes sample `hist` to
+  // place their bounds (Spark-R draws a fresh RangePartitioner per call).
   PartitionerPtr partitioner_for(const KeyHistogram& hist, int num_partitions,
                                  Key domain_size);
 
@@ -106,7 +135,11 @@ class Context {
                     const PartitionerPtr& part, const std::string& ns,
                     int source_splits, bool materialize = true);
 
-  // Runs an action to completion and returns the job result.
+  // Runs an action synchronously: submits the job, advances the simulation
+  // until it finishes, and returns the result (JobResult::completed is
+  // false if the failure machinery exhausted its retries). count(ds) is
+  // run_action(ds, ActionType::kCount). For asynchronous submission use
+  // dag().submit with a JobCallback.
   JobResult count(const DatasetPtr& ds);
   JobResult run_action(const DatasetPtr& ds, ActionType action);
 
@@ -142,6 +175,7 @@ class Context {
   bool corrupt_spilled_block(ServerId s, const BlockId& id);
   bool corrupt_shuffle_output(const ShuffleKey& key, int unit);
 
+  // The heartbeat failure detector mediating every injected fault above.
   FailureDetector& detector() noexcept { return *detector_; }
 
   // A checkpoint optimizer wired to this context's cost model and

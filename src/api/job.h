@@ -43,6 +43,7 @@ struct TaskMetrics {
   Bytes bytes_from_disk = 0.0;
   Bytes bytes_written = 0.0;
 
+  // Execution time on the server / time spent waiting for a slot.
   double duration() const noexcept { return finish_time - launch_time; }
   double queue_delay() const noexcept { return launch_time - submit_time; }
 };
@@ -86,6 +87,8 @@ struct JobResult {
   SimTime submit_time = 0.0;
   SimTime finish_time = 0.0;
   double delay = 0.0;  // finish - submit
+  // Job-wide totals, summed across all stages (skipped stages contribute
+  // nothing; resubmitted stages contribute every attempt).
   int num_stages = 0;
   int num_tasks = 0;
   int node_local_tasks = 0;
@@ -101,6 +104,9 @@ struct JobResult {
   std::vector<TaskMetrics> tasks;
 };
 
+// Invoked exactly once per submitted job, at its simulated completion or
+// abort time (DagScheduler::submit). Runs inside the event loop: it may
+// submit follow-up jobs but must not block.
 using JobCallback = std::function<void(const JobResult&)>;
 
 }  // namespace stark

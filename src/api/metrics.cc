@@ -42,6 +42,8 @@ void MetricsCollector::reset() noexcept {
   inserts_ = 0;
   evictions_ = 0;
   failures_.reset();
+  cache_.reset();
+  policy_ = EvictionPolicyKind::kLru;
 }
 
 double MetricsCollector::node_local_fraction() const noexcept {
@@ -72,13 +74,15 @@ double MetricsCollector::cluster_utilization(const Cluster& cluster,
 }
 
 std::string MetricsCollector::summary() const {
-  char buf[1536];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "jobs: %d (%d aborted)  tasks: %d  node-local: %.0f%%\n"
       "delay: mean %s  p50 %s  p99 %s\n"
       "input: %s cache / %s net / %s disk  (cache hit %.0f%%)\n"
       "cpu: %.1f s  gc: %.1f s (%.0f%%)  cache inserts/evictions: %lld/%lld\n"
+      "policy: %s  probes: %lld hit / %lld miss  recomputed: %lld (%s)  "
+      "avoided: %lld\n"
       "failures: %d (retries %d, fetch %d)  detections: %d (mean latency "
       "%s)  resubmitted stages: %d  exclusions: %d/%d\n"
       "integrity: injected %d  detected %d  repaired %d  undetected reads "
@@ -90,6 +94,8 @@ std::string MetricsCollector::summary() const {
       format_bytes(bytes_cache_).c_str(), format_bytes(bytes_net_).c_str(),
       format_bytes(bytes_disk_).c_str(), cache_hit_ratio() * 100.0, cpu_,
       gc_, gc_fraction() * 100.0, inserts_, evictions_,
+      eviction_policy(), cache_.hits, cache_.misses, cache_.recomputes,
+      format_bytes(cache_.bytes_recomputed).c_str(), recomputes_avoided(),
       failures_.task_failures, failures_.task_retries,
       failures_.fetch_failures, failures_.heartbeat_detections,
       format_seconds(failures_.mean_detection_latency()).c_str(),

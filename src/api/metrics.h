@@ -26,6 +26,14 @@ class MetricsCollector {
   // DagScheduler::failure_stats(), taken at the end of a run).
   void observe_failures(const FailureStats& stats) { failures_ = stats; }
 
+  // Snapshot the cache-probe counters (DagScheduler::cache_stats()) plus the
+  // eviction policy they were collected under, for policy-attributed
+  // reporting in summary() and the cache ablation bench.
+  void observe_cache(const CacheStats& stats, EvictionPolicyKind policy) {
+    cache_ = stats;
+    policy_ = policy;
+  }
+
   // Aggregates.
   int jobs() const noexcept { return jobs_; }
   int tasks() const noexcept { return tasks_; }
@@ -39,6 +47,18 @@ class MetricsCollector {
   double gc_fraction() const noexcept;
   long long cache_insertions() const noexcept { return inserts_; }
   long long cache_evictions() const noexcept { return evictions_; }
+
+  // Cache-policy effectiveness (from the last observe_cache snapshot).
+  // `recomputes_avoided` is the hit count: every hit is a lineage recompute
+  // the policy's retention decisions made unnecessary.
+  const char* eviction_policy() const noexcept {
+    return eviction_policy_name(policy_);
+  }
+  long long cache_probe_hits() const noexcept { return cache_.hits; }
+  long long cache_probe_misses() const noexcept { return cache_.misses; }
+  long long recomputes_avoided() const noexcept { return cache_.hits; }
+  long long cache_recomputes() const noexcept { return cache_.recomputes; }
+  Bytes bytes_recomputed() const noexcept { return cache_.bytes_recomputed; }
 
   // Failure machinery (from the last observe_failures snapshot).
   int aborted_jobs() const noexcept { return aborted_jobs_; }
@@ -104,6 +124,8 @@ class MetricsCollector {
   long long inserts_ = 0;
   long long evictions_ = 0;
   FailureStats failures_;
+  CacheStats cache_;
+  EvictionPolicyKind policy_ = EvictionPolicyKind::kLru;
 };
 
 }  // namespace stark

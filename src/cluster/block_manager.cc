@@ -4,10 +4,18 @@
 
 namespace stark {
 
-BlockManager::BlockManager(Bytes capacity) : capacity_(capacity) {
+BlockManager::BlockManager(Bytes capacity, const CachePolicyOptions& cache,
+                           LineageRefcountFn lineage_refcount)
+    : capacity_(capacity),
+      policy_(make_eviction_policy(cache, std::move(lineage_refcount))) {
   if (capacity < 0.0) {
     throw std::invalid_argument("BlockManager: negative capacity");
   }
+  cache.validate();
+  pinned_fn_ = [this](const BlockId& id) {
+    const auto it = blocks_.find(id);
+    return it != blocks_.end() && it->second.pins > 0;
+  };
 }
 
 bool BlockManager::contains(const BlockId& id) const noexcept {
@@ -31,15 +39,32 @@ bool BlockManager::is_corrupt(const BlockId& id) const noexcept {
   return it != blocks_.end() && it->second.corrupted;
 }
 
-void BlockManager::touch(const BlockId& id) {
+void BlockManager::touch(const BlockId& id) { policy_->on_touch(id); }
+
+bool BlockManager::pin(const BlockId& id) {
   const auto it = blocks_.find(id);
-  if (it == blocks_.end()) return;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  if (it == blocks_.end()) return false;
+  if (it->second.pins++ == 0) pinned_bytes_ += it->second.bytes;
+  return true;
+}
+
+bool BlockManager::unpin(const BlockId& id) {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end() || it->second.pins == 0) return false;
+  if (--it->second.pins == 0) pinned_bytes_ -= it->second.bytes;
+  return true;
+}
+
+int BlockManager::pin_count(const BlockId& id) const noexcept {
+  const auto it = blocks_.find(id);
+  return it == blocks_.end() ? 0 : it->second.pins;
 }
 
 BlockManager::InsertResult BlockManager::insert(const BlockId& id,
                                                 Bytes bytes,
-                                                bool spill_on_evict) {
+                                                bool spill_on_evict,
+                                                double recompute_cost) {
+  static const std::function<bool(const BlockId&)> kNoPins;
   InsertResult result;
   if (bytes > capacity_) {
     // Too large to ever cache; don't evict the world for it.
@@ -48,19 +73,30 @@ BlockManager::InsertResult BlockManager::insert(const BlockId& id,
   }
   // Resize-or-insert: drop the old copy first.
   remove(id);
-  // Evict LRU blocks until the new block fits.
-  while (used_ + bytes > capacity_ && !lru_.empty()) {
-    const BlockId victim = lru_.back();
-    lru_.pop_back();
-    const auto it = blocks_.find(victim);
+  if (pinned_bytes_ + bytes > capacity_) {
+    // Pinned blocks alone leave too little room; skip the insert rather
+    // than evict half the store for a block that still cannot fit.
+    return result;
+  }
+  // Evict policy-chosen victims until the new block fits. Under kLru the
+  // pre-check above guarantees the unpinned blocks cover the shortfall, so
+  // the loop always terminates by storing; kLrc/kCostSize may additionally
+  // refuse same-dataset victims and give up (insert skipped).
+  const auto& pinned = pinned_bytes_ > 0.0 ? pinned_fn_ : kNoPins;
+  while (used_ + bytes > capacity_) {
+    const auto victim = policy_->choose_victim(id, pinned);
+    if (!victim.has_value()) break;  // no eligible victim: skip the insert
+    const auto it = blocks_.find(*victim);
     used_ -= it->second.bytes;
-    result.evicted.push_back({victim, it->second.bytes,
+    result.evicted.push_back({*victim, it->second.bytes,
                               it->second.spill_on_evict,
                               it->second.corrupted});
+    policy_->on_remove(*victim);
     blocks_.erase(it);
   }
-  lru_.push_front(id);
-  blocks_.emplace(id, Entry{bytes, spill_on_evict, false, lru_.begin()});
+  if (used_ + bytes > capacity_) return result;  // defensive (see above)
+  policy_->on_insert(id, bytes, recompute_cost);
+  blocks_.emplace(id, Entry{bytes, spill_on_evict, false, 0});
   used_ += bytes;
   result.stored = true;
   return result;
@@ -70,21 +106,23 @@ bool BlockManager::remove(const BlockId& id) {
   const auto it = blocks_.find(id);
   if (it == blocks_.end()) return false;
   used_ -= it->second.bytes;
-  lru_.erase(it->second.lru_it);
+  if (it->second.pins > 0) pinned_bytes_ -= it->second.bytes;
+  policy_->on_remove(id);
   blocks_.erase(it);
   return true;
 }
 
 std::vector<BlockId> BlockManager::clear() {
-  std::vector<BlockId> all(lru_.begin(), lru_.end());
-  lru_.clear();
+  std::vector<BlockId> all = policy_->blocks_mru_order();
+  policy_->on_clear();
   blocks_.clear();
   used_ = 0.0;
+  pinned_bytes_ = 0.0;
   return all;
 }
 
 std::vector<BlockId> BlockManager::blocks_mru_order() const {
-  return {lru_.begin(), lru_.end()};
+  return policy_->blocks_mru_order();
 }
 
 }  // namespace stark

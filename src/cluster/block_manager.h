@@ -1,41 +1,35 @@
-// Per-server cached-block store with LRU eviction.
+// Per-server cached-block store with pluggable eviction (LRU by default).
 //
 // Mirrors Spark's BlockManager at the granularity the simulation needs:
 // which (dataset, partition) blocks live in this server's storage pool, how
-// big they are, and which get evicted when memory runs out. Every block
-// carries an integrity tag — a simulated checksum stamped at write time.
-// Corruption injection flips the tag; a verified read (the task planner's
-// cache probe) detects the mismatch instead of serving poisoned bytes.
+// big they are, and which get evicted when memory runs out. *Which* block
+// goes is delegated to an EvictionPolicy (see cluster/eviction_policy.h):
+// LRU, least-reference-count, or weighted cost/size. Blocks referenced by
+// currently-running tasks can be pinned so they are never victims. Every
+// block carries an integrity tag — a simulated checksum stamped at write
+// time. Corruption injection flips the tag; a verified read (the task
+// planner's cache probe) detects the mismatch instead of serving poisoned
+// bytes.
 #pragma once
 
 #include <cstddef>
 #include <functional>
-#include <list>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/eviction_policy.h"  // also defines BlockId / BlockIdHash
 #include "common/types.h"
 
 namespace stark {
 
-struct BlockId {
-  DatasetId dataset = kInvalidId;
-  int partition = -1;
-
-  bool operator==(const BlockId&) const = default;
-};
-
-struct BlockIdHash {
-  std::size_t operator()(const BlockId& b) const noexcept {
-    return std::hash<long long>()(
-        (static_cast<long long>(b.dataset) << 32) ^
-        static_cast<long long>(b.partition));
-  }
-};
-
 class BlockManager {
  public:
-  explicit BlockManager(Bytes capacity);
+  // Capacity in bytes (>= 0; throws std::invalid_argument otherwise).
+  // `cache` selects the eviction policy (validated here — throws on bad
+  // knobs); `lineage_refcount` feeds the kLrc policy and may be empty.
+  explicit BlockManager(Bytes capacity, const CachePolicyOptions& cache = {},
+                        LineageRefcountFn lineage_refcount = nullptr);
 
   Bytes capacity() const noexcept { return capacity_; }
   Bytes used() const noexcept { return used_; }
@@ -46,6 +40,9 @@ class BlockManager {
     return blocks_.empty() ? 0.0 : 1.0;
   }
   std::size_t num_blocks() const noexcept { return blocks_.size(); }
+
+  // The eviction policy this store runs (kLru unless configured otherwise).
+  EvictionPolicyKind policy() const noexcept { return policy_->kind(); }
 
   bool contains(const BlockId& id) const noexcept;
   Bytes block_bytes(const BlockId& id) const;  // 0 if absent
@@ -60,11 +57,29 @@ class BlockManager {
   // Marks the block most-recently-used.
   void touch(const BlockId& id);
 
-  // Inserts (or resizes) a block, evicting LRU blocks as needed. Returns
-  // the evicted blocks. A block larger than total capacity is not stored
-  // (Spark skips caching partitions that cannot fit) and `stored` is false.
+  // Pinning: a pinned block is never an eviction victim (running tasks pin
+  // the blocks their plan reads). Pins nest — pin() increments a per-block
+  // count, unpin() decrements it. Both return false (and change nothing)
+  // when the block is absent, which makes unpinning safe across evictions,
+  // explicit removals and server kills that already dropped the block.
+  // Pins do NOT protect against remove()/clear(): explicit removal (e.g. a
+  // verified read dropping a corrupt replica) always wins.
+  bool pin(const BlockId& id);
+  bool unpin(const BlockId& id);
+  int pin_count(const BlockId& id) const noexcept;  // 0 if absent
+  Bytes pinned_bytes() const noexcept { return pinned_bytes_; }
+
+  // Inserts (or resizes) a block, evicting policy-chosen victims as needed.
+  // Returns the evicted blocks. A block larger than total capacity is not
+  // stored (Spark skips caching partitions that cannot fit) and `stored` is
+  // false; likewise when pinned blocks alone leave too little room, or when
+  // the policy runs out of eligible victims (kLrc/kCostSize never evict
+  // other partitions of the inserting dataset). An insert never evicts a
+  // pinned block.
   // `spill_on_evict` tags MEMORY_AND_DISK blocks: the owner (Cluster) moves
   // such victims to the server's disk store instead of dropping them.
+  // `recompute_cost` (seconds, 0 = unknown) is the planner's estimate of
+  // rebuilding this block from lineage; only the kCostSize policy reads it.
   struct EvictedBlock {
     BlockId id;
     Bytes bytes = 0.0;
@@ -76,15 +91,17 @@ class BlockManager {
     std::vector<EvictedBlock> evicted;
   };
   InsertResult insert(const BlockId& id, Bytes bytes,
-                      bool spill_on_evict = false);
+                      bool spill_on_evict = false,
+                      double recompute_cost = 0.0);
 
-  // Removes a block if present; returns true if it existed.
+  // Removes a block if present (pinned or not); returns true if it existed.
   bool remove(const BlockId& id);
 
-  // Drops everything (server failure).
+  // Drops everything, including pins (server failure).
   std::vector<BlockId> clear();
 
-  // Blocks from most- to least-recently used.
+  // Blocks from most- to least-recently used (recency order is maintained
+  // identically under every policy).
   std::vector<BlockId> blocks_mru_order() const;
 
  private:
@@ -92,12 +109,16 @@ class BlockManager {
     Bytes bytes;
     bool spill_on_evict;
     bool corrupted = false;
-    std::list<BlockId>::iterator lru_it;
+    int pins = 0;
   };
   Bytes capacity_;
   Bytes used_ = 0.0;
-  std::list<BlockId> lru_;  // front = most recently used
+  Bytes pinned_bytes_ = 0.0;  // bytes of blocks with pins > 0
+  std::unique_ptr<EvictionPolicy> policy_;
   std::unordered_map<BlockId, Entry, BlockIdHash> blocks_;
+  // Victim filter handed to the policy; empty while nothing is pinned so
+  // the unpinned common case skips per-victim pin lookups entirely.
+  std::function<bool(const BlockId&)> pinned_fn_;
 };
 
 }  // namespace stark

@@ -9,10 +9,19 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   if (config.num_servers <= 0) {
     throw std::invalid_argument("Cluster: num_servers must be > 0");
   }
+  config.cache.validate();
   servers_.reserve(static_cast<std::size_t>(config.num_servers));
   disk_store_.resize(static_cast<std::size_t>(config.num_servers));
+  // Every server's store shares this cluster's lineage refcounts (the kLrc
+  // feed). The lambda captures `this`; Cluster is neither copied nor moved
+  // after construction (Context holds it by value, tests on the stack).
+  LineageRefcountFn refcount;
+  if (config.cache.policy == EvictionPolicyKind::kLrc) {
+    refcount = [this](DatasetId id) { return lineage_refcount(id); };
+  }
   for (int i = 0; i < config.num_servers; ++i) {
-    servers_.push_back(std::make_unique<Server>(i, config.server));
+    servers_.push_back(
+        std::make_unique<Server>(i, config.server, config.cache, refcount));
   }
 }
 
@@ -44,11 +53,13 @@ void Cluster::index_remove(ServerId s, const BlockId& id) {
 }
 
 bool Cluster::insert_block(ServerId s, const BlockId& id, Bytes bytes,
-                           bool spill_on_evict) {
+                           bool spill_on_evict, double recompute_cost) {
   Server& srv = server(s);
   if (!srv.alive()) return false;
-  const auto result = srv.storage().insert(id, bytes, spill_on_evict);
+  const auto result =
+      srv.storage().insert(id, bytes, spill_on_evict, recompute_cost);
   for (const auto& victim : result.evicted) {
+    if (eviction_observer_) eviction_observer_(s, victim);
     if (victim.spill) {
       disk_store_[static_cast<std::size_t>(s)][victim.id] = {victim.bytes,
                                                              victim.corrupted};
@@ -84,6 +95,29 @@ void Cluster::remove_block_everywhere(const BlockId& id) {
 
 void Cluster::touch_block(ServerId s, const BlockId& id) {
   server(s).storage().touch(id);
+}
+
+void Cluster::pin_block(ServerId s, const BlockId& id) {
+  server(s).storage().pin(id);
+}
+
+void Cluster::unpin_block(ServerId s, const BlockId& id) {
+  server(s).storage().unpin(id);
+}
+
+void Cluster::bump_lineage_refcount(DatasetId dataset, int delta) {
+  const auto it = lineage_refcounts_.find(dataset);
+  if (it == lineage_refcounts_.end()) {
+    if (delta > 0) lineage_refcounts_.emplace(dataset, delta);
+    return;
+  }
+  it->second += delta;
+  if (it->second <= 0) lineage_refcounts_.erase(it);
+}
+
+int Cluster::lineage_refcount(DatasetId dataset) const noexcept {
+  const auto it = lineage_refcounts_.find(dataset);
+  return it == lineage_refcounts_.end() ? 0 : it->second;
 }
 
 bool Cluster::kill_server(ServerId s) {
@@ -221,6 +255,10 @@ bool Cluster::spilled_block_corrupt(ServerId s, const BlockId& id) const {
 
 void Cluster::add_block_observer(BlockObserver obs) {
   observers_.push_back(std::move(obs));
+}
+
+void Cluster::set_eviction_observer(EvictionObserver obs) {
+  eviction_observer_ = std::move(obs);
 }
 
 }  // namespace stark

@@ -2,8 +2,10 @@
 //
 // The index answers "which servers hold block B in RAM" — what Spark's
 // driver-side BlockManagerMaster tracks — and keeps itself consistent with
-// per-server LRU evictions and server failures. Observers (the task
-// scheduler's contention tracking, metrics) subscribe to block events.
+// per-server policy-driven evictions (see cluster/eviction_policy.h) and
+// server failures. Observers (the task scheduler's contention tracking,
+// metrics) subscribe to block events. The cluster also hosts the lineage
+// refcounts the kLrc eviction policy reads.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +25,9 @@ struct ClusterConfig {
   // Rack topology for rack-level fault injection: servers [k*r, k*(r+1))
   // share rack r. 0 means a single rack spanning the whole cluster.
   int servers_per_rack = 0;
+  // Eviction policy + pinning knobs shared by every server's block store
+  // (see cluster/eviction_policy.h). Defaults reproduce plain LRU exactly.
+  CachePolicyOptions cache;
 };
 
 class Cluster {
@@ -43,12 +48,25 @@ class Cluster {
   bool cached_on(const BlockId& id, ServerId s) const;
   bool cached_anywhere(const BlockId& id) const;
 
-  // Stores a block on a server (LRU evictions propagate to the index).
-  // Returns false if the block did not fit. With `spill_on_evict`, a later
-  // eviction moves the block to the server's local disk store
-  // (MEMORY_AND_DISK semantics) instead of dropping it.
+  // Stores a block on a server (policy-chosen evictions propagate to the
+  // index). Returns false if the block did not fit. With `spill_on_evict`,
+  // a later eviction moves the block to the server's local disk store
+  // (MEMORY_AND_DISK semantics) instead of dropping it. `recompute_cost`
+  // (seconds, 0 = unknown) feeds the kCostSize eviction policy.
   bool insert_block(ServerId s, const BlockId& id, Bytes bytes,
-                    bool spill_on_evict = false);
+                    bool spill_on_evict = false, double recompute_cost = 0.0);
+
+  // Pin / unpin one replica against eviction (see BlockManager::pin). Safe
+  // no-ops when the block (or the server's storage) is gone.
+  void pin_block(ServerId s, const BlockId& id);
+  void unpin_block(ServerId s, const BlockId& id);
+
+  // --- lineage refcounts (kLrc eviction feed) -------------------------------
+  // Submitted-but-not-completed stages reading a cached dataset, maintained
+  // by the DagScheduler: +delta on stage build, -delta on stage completion
+  // or job abort. Clamped at zero; every server's block store reads it.
+  void bump_lineage_refcount(DatasetId dataset, int delta);
+  int lineage_refcount(DatasetId dataset) const noexcept;
 
   // Local-disk spill store (unbounded; disk reads pay the cost model).
   Bytes disk_block_bytes(ServerId s, const BlockId& id) const;  // 0 if absent
@@ -107,6 +125,14 @@ class Cluster {
       std::function<void(ServerId, const BlockId&, bool inserted)>;
   void add_block_observer(BlockObserver obs);
 
+  // Eviction-decision observer: fires once per victim the eviction policy
+  // picks during insert_block (before the generic not-inserted
+  // notification), with the victim's size and spill fate. At most one;
+  // api::Context wires it to the tracer's eviction-decision instants.
+  using EvictionObserver =
+      std::function<void(ServerId, const BlockManager::EvictedBlock&)>;
+  void set_eviction_observer(EvictionObserver obs);
+
  private:
   void notify(ServerId s, const BlockId& id, bool inserted);
   void index_remove(ServerId s, const BlockId& id);
@@ -122,6 +148,8 @@ class Cluster {
   std::vector<std::unordered_map<BlockId, SpilledBlock, BlockIdHash>>
       disk_store_;
   std::vector<BlockObserver> observers_;
+  EvictionObserver eviction_observer_;
+  std::unordered_map<DatasetId, int> lineage_refcounts_;
   std::vector<ServerId> empty_;
   std::uint64_t topology_epoch_ = 0;
 };

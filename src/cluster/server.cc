@@ -5,12 +5,15 @@
 
 namespace stark {
 
-Server::Server(ServerId id, const ServerConfig& config)
+Server::Server(ServerId id, const ServerConfig& config,
+               const CachePolicyOptions& cache,
+               LineageRefcountFn lineage_refcount)
     : id_(id),
       config_(config),
       free_cores_(config.cores),
-      storage_(std::make_unique<BlockManager>(config.ram *
-                                              config.storage_fraction)) {
+      storage_(std::make_unique<BlockManager>(
+          config.ram * config.storage_fraction, cache,
+          std::move(lineage_refcount))) {
   if (config.cores <= 0) throw std::invalid_argument("Server: cores must be > 0");
 }
 

@@ -28,7 +28,12 @@ struct ServerDegradation {
 
 class Server {
  public:
-  Server(ServerId id, const ServerConfig& config);
+  // `cache` selects the block store's eviction policy (default LRU) and
+  // `lineage_refcount` feeds its kLrc variant (may be empty); both default
+  // so tests can construct bare servers unchanged.
+  Server(ServerId id, const ServerConfig& config,
+         const CachePolicyOptions& cache = {},
+         LineageRefcountFn lineage_refcount = nullptr);
 
   ServerId id() const noexcept { return id_; }
   int cores() const noexcept { return config_.cores; }

@@ -327,6 +327,7 @@ void ChromeTraceSink::write(std::ostream& os) const {
       case TraceKind::kBlockMiss:
       case TraceKind::kBlockCorrupt:
       case TraceKind::kCorruptionDetected:
+      case TraceKind::kEvictionDecision:
         w.instant(block_name(e), "block", e.t0, e.server + 1, kStorageTid,
                   "\"bytes\": " + num(e.bytes));
         break;

@@ -51,6 +51,11 @@ enum class TraceKind : std::uint8_t {
   // storage lane, so injection and detection line up on the timeline.
   kBlockCorrupt,
   kCorruptionDetected,
+  // Eviction decision: the instant the eviction policy picked this block as
+  // a victim to make room for an insert (cluster/eviction_policy.h). Always
+  // followed by the matching kBlockEvict; `code` carries the policy's
+  // EvictionPolicyKind as an int, kFlagSpilled marks victims moved to disk.
+  kEvictionDecision,
 };
 
 const char* trace_kind_name(TraceKind kind);
@@ -80,12 +85,14 @@ enum : std::uint8_t {
   kFlagSpeculative = 1 << 1,  // task run was a speculative copy
   kFlagCompleted = 1 << 2,    // job finished with completed=true
   kFlagShuffleMap = 1 << 3,   // stage produces shuffle map output
+  kFlagSpilled = 1 << 4,      // eviction victim spilled to disk, not dropped
 };
 
 struct TraceEvent {
   TraceKind kind = TraceKind::kJobSubmit;
   std::uint8_t flags = kFlagNone;
-  // For kTaskFail: the TaskFailureKind as an int. Unused otherwise.
+  // For kTaskFail: the TaskFailureKind as an int. For kEvictionDecision:
+  // the EvictionPolicyKind as an int. Unused otherwise.
   std::int16_t code = 0;
   SimTime t0 = 0.0;  // span start (== event time for instants)
   SimTime t1 = 0.0;  // span end (== t0 for instants)

@@ -22,6 +22,7 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kExecutorLost: return "executor-lost";
     case TraceKind::kBlockCorrupt: return "block-corrupt";
     case TraceKind::kCorruptionDetected: return "corruption-detected";
+    case TraceKind::kEvictionDecision: return "eviction-decision";
   }
   return "unknown";
 }

@@ -91,6 +91,16 @@ DagScheduler::StageRun* DagScheduler::build_stage(
   job.stages.push_back(std::move(stage));
   ++job.stages_remaining;
 
+  // Lineage-refcount charge (kLrc eviction feed): every cached dataset this
+  // stage's chain can read keeps a reference until the stage truly completes,
+  // so the policy protects blocks that queued/running work still needs.
+  for (const auto& ds : raw->chain.datasets) {
+    if (ds->cache_requested()) {
+      cluster_->bump_lineage_refcount(ds->id(), +1);
+      raw->lineage_charged.push_back(ds->id());
+    }
+  }
+
   for (const auto& edge : raw->chain.shuffle_deps) {
     const ShuffleKey key = edge.key();
     shuffle_edges_.try_emplace(key, edge);  // remember the producer edge
@@ -324,6 +334,9 @@ void DagScheduler::on_stage_complete(StageRun& stage) {
       }
     }
   }
+  // Past every relaunch path: the stage is truly done, drop its lineage
+  // charges so the LRC policy stops protecting its inputs.
+  release_lineage_refcounts(stage);
   if (obs::Tracer::active(tracer_)) {
     obs::TraceEvent e;
     e.kind = obs::TraceKind::kStageComplete;
@@ -395,6 +408,9 @@ void DagScheduler::abort_job(Job& job, const std::string& reason) {
   ++stats_.jobs_aborted;
   STARK_LOG_INFO("job %d aborted: %s", job.id, reason.c_str());
   task_scheduler_.cancel_job(job.id);
+  // The StageRuns die with the job below: drop any lineage charges their
+  // completed-stage path never released (no-op for stages that did).
+  for (const auto& stage : job.stages) release_lineage_refcounts(*stage);
 
   // Purge this job's stages from every waiter registry (the StageRun
   // objects die with the job).
@@ -769,13 +785,23 @@ void DagScheduler::plan_chain(const DatasetPtr& ds, int partition,
         plan.bytes_cache += bytes;
       }
       emit_cache_probe(true, bytes);
+      ++cache_stats_.hits;
+      cache_stats_.bytes_from_cache += bytes;
       cluster_->touch_block(server, bid);
+      if (options_.cache.pin_running_blocks) {
+        // The block must survive until this task releases it; the
+        // TaskScheduler pins at launch and unpins at resource release.
+        plan.blocks_referenced.push_back(bid);
+      }
       return;
     }
   }
   // A miss only means something for datasets the program asked to cache;
   // uncached intermediates are expected to recompute.
-  if (ds->cache_requested()) emit_cache_probe(false, bytes);
+  if (ds->cache_requested()) {
+    emit_cache_probe(false, bytes);
+    ++cache_stats_.misses;
+  }
   if (ds->storage_level() == Dataset::StorageLevel::kMemoryAndDisk &&
       cluster_->disk_cached_on(bid, server)) {
     const Bytes stored = cluster_->disk_block_bytes(server, bid);
@@ -813,6 +839,12 @@ void DagScheduler::plan_chain(const DatasetPtr& ds, int partition,
     plan.cpu += deser;  // deserialize
     plan.deserialize += deser;
   } else {
+    if (ds->cache_requested()) {
+      // A cache-requested partition rebuilt via lineage: the cost an
+      // eviction policy is judged on (headline of the cache ablation).
+      ++cache_stats_.recomputes;
+      cache_stats_.bytes_recomputed += bytes;
+    }
     const auto add_fetch = [&](Bytes fetch) {
       // Reduce-side fetch: map outputs stream from remote disks over the
       // network. Bytes accumulate here; plan_task turns them into time
@@ -903,9 +935,17 @@ void DagScheduler::plan_chain(const DatasetPtr& ds, int partition,
     // the engine's tracking model (see DagOptions::replicate_on_recompute).
     const Bytes footprint =
         serialized ? bytes * cost_.serialization_ratio : bytes;
+    double recompute_cost = 0.0;
+    if (options_.cache.policy == EvictionPolicyKind::kCostSize) {
+      // Only the cost/size policy reads the estimate; skip the lineage
+      // walk otherwise so the default planner path stays byte-identical.
+      recompute_cost = recompute_delay_partition(
+          *ds, static_cast<std::size_t>(partition));
+    }
     plan.blocks_to_cache.push_back(
         {bid, footprint,
-         ds->storage_level() == Dataset::StorageLevel::kMemoryAndDisk});
+         ds->storage_level() == Dataset::StorageLevel::kMemoryAndDisk,
+         recompute_cost});
   }
 }
 
@@ -1029,58 +1069,71 @@ double DagScheduler::recompute_delay(const Dataset& ds) const {
   double worst = 0.0;
   const auto& bytes = ds.partition_bytes();
   for (std::size_t p = 0; p < bytes.size(); ++p) {
-    double d = 0.0;
-    switch (ds.op()) {
-      case Op::kSource:
-        d = bytes[p] / cost_.disk_read_bw +
-            cost_.cpu_seconds(OpKind::kSourceParse, bytes[p]);
-        break;
-      case Op::kMap:
-      case Op::kFilter: {
-        const Bytes in = ds.deps()[0].parent->partition_bytes()[p];
-        d = cost_.cpu_seconds(
-            ds.op() == Op::kMap ? OpKind::kMap : OpKind::kFilter, in);
-        break;
-      }
-      case Op::kPartitionBy:
-      case Op::kReduceByKey: {
-        const auto& dep = ds.deps()[0];
-        const Bytes in = dep.wide ? ds.shuffle_input_bytes(0)[p]
-                                  : dep.parent->partition_bytes()[p];
-        if (dep.wide) {
-          d += cost_.net_latency + in / std::min(cost_.net_bw, cost_.disk_read_bw);
-          d += cost_.cpu_seconds(OpKind::kShuffleRead, in);
-        }
-        if (ds.op() == Op::kReduceByKey) {
-          d += cost_.cpu_seconds(OpKind::kReduce, in);
-        }
-        break;
-      }
-      case Op::kCoGroup:
-      case Op::kJoin:
-      case Op::kUnion: {
-        Bytes total_in = 0.0;
-        for (std::size_t i = 0; i < ds.deps().size(); ++i) {
-          const auto& dep = ds.deps()[i];
-          const Bytes in = dep.wide ? ds.shuffle_input_bytes(i)[p]
-                                    : dep.parent->partition_bytes()[p];
-          if (dep.wide) {
-            d += cost_.net_latency +
-                 in / std::min(cost_.net_bw, cost_.disk_read_bw);
-            d += cost_.cpu_seconds(OpKind::kShuffleRead, in);
-          }
-          total_in += in;
-        }
-        const OpKind kind = ds.op() == Op::kCoGroup ? OpKind::kCoGroup
-                            : ds.op() == Op::kJoin  ? OpKind::kJoin
-                                                    : OpKind::kUnion;
-        d += cost_.cpu_seconds(kind, total_in);
-        break;
-      }
-    }
-    worst = std::max(worst, d);
+    worst = std::max(worst, recompute_delay_partition(ds, p));
   }
   return worst;
+}
+
+double DagScheduler::recompute_delay_partition(const Dataset& ds,
+                                               std::size_t p) const {
+  const auto& bytes = ds.partition_bytes();
+  double d = 0.0;
+  switch (ds.op()) {
+    case Op::kSource:
+      d = bytes[p] / cost_.disk_read_bw +
+          cost_.cpu_seconds(OpKind::kSourceParse, bytes[p]);
+      break;
+    case Op::kMap:
+    case Op::kFilter: {
+      const Bytes in = ds.deps()[0].parent->partition_bytes()[p];
+      d = cost_.cpu_seconds(
+          ds.op() == Op::kMap ? OpKind::kMap : OpKind::kFilter, in);
+      break;
+    }
+    case Op::kPartitionBy:
+    case Op::kReduceByKey: {
+      const auto& dep = ds.deps()[0];
+      const Bytes in = dep.wide ? ds.shuffle_input_bytes(0)[p]
+                                : dep.parent->partition_bytes()[p];
+      if (dep.wide) {
+        d += cost_.net_latency + in / std::min(cost_.net_bw, cost_.disk_read_bw);
+        d += cost_.cpu_seconds(OpKind::kShuffleRead, in);
+      }
+      if (ds.op() == Op::kReduceByKey) {
+        d += cost_.cpu_seconds(OpKind::kReduce, in);
+      }
+      break;
+    }
+    case Op::kCoGroup:
+    case Op::kJoin:
+    case Op::kUnion: {
+      Bytes total_in = 0.0;
+      for (std::size_t i = 0; i < ds.deps().size(); ++i) {
+        const auto& dep = ds.deps()[i];
+        const Bytes in = dep.wide ? ds.shuffle_input_bytes(i)[p]
+                                  : dep.parent->partition_bytes()[p];
+        if (dep.wide) {
+          d += cost_.net_latency +
+               in / std::min(cost_.net_bw, cost_.disk_read_bw);
+          d += cost_.cpu_seconds(OpKind::kShuffleRead, in);
+        }
+        total_in += in;
+      }
+      const OpKind kind = ds.op() == Op::kCoGroup ? OpKind::kCoGroup
+                          : ds.op() == Op::kJoin  ? OpKind::kJoin
+                                                  : OpKind::kUnion;
+      d += cost_.cpu_seconds(kind, total_in);
+      break;
+    }
+  }
+  return d;
+}
+
+void DagScheduler::release_lineage_refcounts(StageRun& stage) {
+  for (const DatasetId id : stage.lineage_charged) {
+    cluster_->bump_lineage_refcount(id, -1);
+  }
+  stage.lineage_charged.clear();
 }
 
 double DagScheduler::recovery_chain_delay(const DatasetPtr& ds,

@@ -61,6 +61,26 @@ struct DagOptions {
   bool detail_task_metrics = true;
   // Retry / exclusion / resubmission knobs, shared with the TaskScheduler.
   FaultOptions faults;
+  // Cache-policy interaction knobs, mirrored from ClusterConfig::cache by
+  // api::Context (a bare DagScheduler must be handed the same values its
+  // Cluster was built with): pin_running_blocks gates the planner's
+  // referenced-block lists, policy == kCostSize gates per-block
+  // recompute-cost estimation at insert time.
+  CachePolicyOptions cache;
+};
+
+// Cache-policy effectiveness counters, accumulated by the task planner's
+// cache probes. Only cache-requested datasets count — uncached
+// intermediates are expected to recompute. `hits` are recomputes avoided;
+// under memory pressure the `bytes_recomputed` delta between eviction
+// policies is the headline ablation number (bench_ablation_cache_policy).
+struct CacheStats {
+  long long hits = 0;       // probes served from executor RAM
+  long long misses = 0;     // probes that found no usable replica
+  long long recomputes = 0; // misses that fell through to lineage recompute
+  Bytes bytes_from_cache = 0.0;  // logical bytes served by hits
+  Bytes bytes_recomputed = 0.0;  // logical bytes rebuilt via lineage
+  void reset() noexcept { *this = CacheStats{}; }
 };
 
 class DagScheduler {
@@ -116,6 +136,11 @@ class DagScheduler {
   const FailureStats& failure_stats() const noexcept { return stats_; }
   void reset_failure_stats() noexcept { stats_.reset(); }
 
+  // Cumulative cache-probe counters (feed MetricsCollector and the
+  // cache-policy ablation bench).
+  const CacheStats& cache_stats() const noexcept { return cache_stats_; }
+  void reset_cache_stats() noexcept { cache_stats_.reset(); }
+
   // --- silent-data-corruption faults ---------------------------------------
   // Flip the checksum tag on one stored copy (cached replica, spilled copy,
   // or shuffle map-output unit). Returns false when no live copy exists.
@@ -169,6 +194,10 @@ class DagScheduler {
     // Per-stage phase totals, accumulated as tasks finish and copied into
     // JobResult::stages when the job ends.
     StageBreakdown breakdown;
+    // Cached datasets this stage's chain holds a lineage refcount on (kLrc
+    // feed); charged at build, released exactly once at true completion or
+    // job abort (relaunches for lost map outputs keep the charge).
+    std::vector<DatasetId> lineage_charged;
   };
   struct Job {
     JobId id = kInvalidId;
@@ -206,6 +235,11 @@ class DagScheduler {
                      ServerId server);
   void plan_chain(const DatasetPtr& ds, int partition, ServerId server,
                   DatasetId boundary_id, TaskPlan& plan);
+  // d(v) for one partition (recompute_delay is the max across partitions);
+  // also the kCostSize policy's per-block recompute-cost estimate.
+  double recompute_delay_partition(const Dataset& ds, std::size_t p) const;
+  // Decrements the lineage refcounts build_stage charged; idempotent.
+  void release_lineage_refcounts(StageRun& stage);
   double recovery_chain_delay(const DatasetPtr& ds, int partition) const;
   // Corrupt-flag vector for a shuffle, resized to n units on demand.
   std::vector<char>& corrupt_flags(const ShuffleKey& key, std::size_t n);
@@ -256,6 +290,7 @@ class DagScheduler {
   std::unordered_map<ShuffleKey, std::unordered_set<int>, ShuffleKeyHash>
       pending_shuffle_repair_;
   FailureStats stats_;
+  CacheStats cache_stats_;
   std::unordered_map<DatasetId, Bytes> checkpointed_;
   Bytes checkpoint_bytes_ = 0.0;
   Bytes shuffle_bytes_ = 0.0;

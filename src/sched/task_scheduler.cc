@@ -362,6 +362,12 @@ void TaskScheduler::launch(const std::shared_ptr<ActiveSet>& set, int index,
 
   TaskPlan plan = set->ts->plan(task, server);
   srv.add_working_set(plan.working_set);
+  // Pin every cached block the plan reads (empty unless pinning is on):
+  // the plan priced those reads as cache hits, so the eviction policy must
+  // not victimize them while the task runs.
+  for (const BlockId& id : plan.blocks_referenced) {
+    cluster_->pin_block(server, id);
+  }
   if (plan.bytes_net > 0.0) ++active_net_flows_;
   if (plan.bytes_disk > 0.0 || plan.bytes_written > 0.0) ++active_disk_flows_;
   const double overhead = cost_.task_launch_overhead;
@@ -446,6 +452,12 @@ void TaskScheduler::release_run_resources(const RunningTask& run,
   if (srv.alive() && srv.generation() == run.server_generation) {
     srv.release_core();
     srv.remove_working_set(run.plan.working_set);
+  }
+  // Unpin the plan's referenced blocks. Safe unconditionally: a killed or
+  // restarted incarnation cleared its store (pins died with the entries),
+  // and unpinning an absent block is a no-op.
+  for (const BlockId& id : run.plan.blocks_referenced) {
+    cluster_->unpin_block(run.server, id);
   }
   if (run.plan.bytes_net > 0.0) --active_net_flows_;
   if (run.plan.bytes_disk > 0.0 || run.plan.bytes_written > 0.0) {
@@ -557,7 +569,7 @@ void TaskScheduler::complete(std::uint64_t run_id) {
 
   for (const auto& block : run.plan.blocks_to_cache) {
     cluster_->insert_block(run.server, block.id, block.bytes,
-                           block.spill_on_evict);
+                           block.spill_on_evict, block.recompute_cost);
   }
 
   ++set->finished;

@@ -80,8 +80,18 @@ struct TaskPlan {
     BlockId id;
     Bytes bytes = 0.0;         // in-memory footprint (post-serialization)
     bool spill_on_evict = false;  // MEMORY_AND_DISK blocks spill, not drop
+    // Planner's estimate (seconds) of rebuilding this block from lineage;
+    // 0 = not computed. Feeds the kCostSize eviction policy at insert.
+    double recompute_cost = 0.0;
   };
   std::vector<CachedBlock> blocks_to_cache;
+
+  // Cached blocks this plan reads on the chosen executor. Filled only when
+  // block pinning is enabled (CachePolicyOptions::pin_running_blocks): the
+  // scheduler pins them for the run's lifetime so the eviction policy
+  // cannot victimize a block a running task depends on. May hold
+  // duplicates (a block read via two lineage paths pins twice; pins nest).
+  std::vector<BlockId> blocks_referenced;
 
   // Set by the planner when a shuffle fetch cannot succeed (map output
   // missing, or its host dead/partitioned): the task occupies its slot for

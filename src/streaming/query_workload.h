@@ -26,6 +26,16 @@ class QueryWorkload {
     int grid_bits = 6;              // taxi grid, for region selection
     int region_cells = 12;          // region edge length, in cells
     double cogroup_bytes_factor = 1.0;
+    // Cache each query's cogrouped window (MEMORY_ONLY_SER) and run a
+    // second aggregation over a fresh random region of it, the way an
+    // interactive session reuses its last materialized result. The second
+    // job reads the cogroup from cache instead of re-reading the window;
+    // afterwards the cached cogroup is dead — no later job ever references
+    // it, but nothing unpersists it (sessions rarely do). This creates the
+    // dead-after-last-use cached intermediates that reference-count and
+    // cost-aware eviction policies exploit and recency-only eviction keeps
+    // pinned at the MRU end of the cache.
+    bool cache_cogroup = false;
     std::uint64_t seed = 11;
     // Exact region filtering via Z-key predicate; disable for large sweeps
     // (selectivity is then approximated by the region's area fraction).

@@ -114,6 +114,33 @@ TEST_F(QueryWorkloadTest, ExactRegionFilterProducesExactCounts) {
   EXPECT_GT(wl.completed(), 0);
 }
 
+TEST_F(QueryWorkloadTest, InteractiveSessionsRunFollowUpOverCachedCogroup) {
+  stream_->start(6);
+  QueryWorkload::Config qc;
+  qc.rate = [](SimTime) { return 0.5; };
+  qc.max_window_timesteps = 4;
+  qc.min_window_timesteps = 1;
+  qc.grid_bits = 5;
+  qc.region_cells = 8;
+  qc.cache_cogroup = true;
+  QueryWorkload wl(*stream_, *dag_, qc,
+                   [this](const std::vector<DatasetPtr>&) { return part_; });
+  wl.start(15.0, 60.0);
+  sim_->run();
+  EXPECT_GT(wl.completed(), 0);
+  // A session completes only after its follow-up job, so the two jobs per
+  // query both finished and the recorded delay spans the whole session.
+  EXPECT_EQ(wl.completed(), wl.issued());
+  EXPECT_GE(dag_->jobs_completed(),
+            2 * static_cast<long long>(wl.completed()));
+  // The follow-up reads the session's cogroup (and the window timesteps)
+  // from cache rather than recomputing them.
+  EXPECT_GT(dag_->cache_stats().hits, 0);
+  // Dead sessions release their lineage refcounts: nothing in flight keeps
+  // a cogroup alive once its follow-up completed.
+  EXPECT_EQ(dag_->active_jobs(), 0);
+}
+
 TEST_F(QueryWorkloadTest, RejectsMissingCallbacks) {
   QueryWorkload::Config qc;  // no rate
   EXPECT_THROW(QueryWorkload(*stream_, *dag_, qc,
