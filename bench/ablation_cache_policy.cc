@@ -143,18 +143,20 @@ CellResult run_cell(const WorkloadSpec& w, EvictionPolicyKind policy,
   return r;
 }
 
-void emit_cell(const CellResult& r, bool last) {
-  std::printf(
-      "      {\"policy\": \"%s\",\n"
-      "       \"probe_hits\": %lld, \"probe_misses\": %lld,\n"
-      "       \"recomputes\": %lld, \"bytes_recomputed\": %.0f,\n"
-      "       \"bytes_from_cache\": %.0f, \"evictions\": %lld,\n"
-      "       \"queries_issued\": %d, \"queries_completed\": %d,\n"
-      "       \"mean_delay_ms\": %.2f, \"p99_delay_ms\": %.2f}%s\n",
-      eviction_policy_name(r.policy), r.cache.hits, r.cache.misses,
-      r.cache.recomputes, r.cache.bytes_recomputed, r.cache.bytes_from_cache,
-      r.evictions, r.queries_issued, r.queries_completed, r.mean_delay_ms,
-      r.p99_delay_ms, last ? "" : ",");
+void emit_cell(bench::JsonEmitter& json, const CellResult& r) {
+  json.begin_object();
+  json.field("policy", eviction_policy_name(r.policy));
+  json.field("probe_hits", r.cache.hits);
+  json.field("probe_misses", r.cache.misses);
+  json.field("recomputes", r.cache.recomputes);
+  json.field("bytes_recomputed", r.cache.bytes_recomputed, "%.0f");
+  json.field("bytes_from_cache", r.cache.bytes_from_cache, "%.0f");
+  json.field("evictions", r.evictions);
+  json.field("queries_issued", r.queries_issued);
+  json.field("queries_completed", r.queries_completed);
+  json.field("mean_delay_ms", r.mean_delay_ms, "%.2f");
+  json.field("p99_delay_ms", r.p99_delay_ms, "%.2f");
+  json.end_object();
 }
 
 }  // namespace
@@ -185,18 +187,23 @@ int main(int argc, char** argv) {
 
   double lru_diurnal = 0.0, best_diurnal = 0.0;
   const char* best_name = "lru";
-  std::printf("{\n  \"bench\": \"ablation_cache_policy\", \"schema\": 1,\n"
-              "  \"smoke\": %s, \"ram_mb\": %.0f, \"servers\": %d,\n"
-              "  \"workloads\": [\n",
-              smoke ? "true" : "false", ram_mb, kServers);
-  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
-    const auto& w = workloads[wi];
-    std::printf("    {\"name\": \"%s\",\n     \"policies\": [\n", w.name);
+  bench::JsonEmitter json;
+  json.begin_object();
+  json.field("bench", "ablation_cache_policy");
+  json.field("schema", 1);
+  json.field("smoke", smoke);
+  json.field("ram_mb", ram_mb, "%.0f");
+  json.field("servers", kServers);
+  json.begin_array("workloads");
+  for (const auto& w : workloads) {
+    json.begin_object();
+    json.field("name", w.name);
+    json.begin_array("policies");
     for (std::size_t pi = 0; pi < 3; ++pi) {
       std::fprintf(stderr, "[ablation_cache_policy] %s / %s...\n", w.name,
                    eviction_policy_name(kPolicies[pi]));
       const CellResult r = run_cell(w, kPolicies[pi], ram);
-      emit_cell(r, pi == 2);
+      emit_cell(json, r);
       if (std::strcmp(w.name, "fig20_diurnal") == 0) {
         if (kPolicies[pi] == EvictionPolicyKind::kLru) {
           lru_diurnal = r.cache.bytes_recomputed;
@@ -207,19 +214,20 @@ int main(int argc, char** argv) {
         }
       }
     }
-    std::printf("    ]}%s\n", wi + 1 == workloads.size() ? "" : ",");
+    json.end_array();
+    json.end_object();
   }
+  json.end_array();
   const double reduction =
       lru_diurnal > 0.0 ? (1.0 - best_diurnal / lru_diurnal) * 100.0 : 0.0;
-  std::printf(
-      "  ],\n"
-      "  \"headline\": {\"workload\": \"fig20_diurnal\",\n"
-      "    \"lru_bytes_recomputed\": %.0f,\n"
-      "    \"best_policy\": \"%s\", \"best_bytes_recomputed\": %.0f,\n"
-      "    \"reduction_pct\": %.1f,\n"
-      "    \"best_beats_lru\": %s}\n"
-      "}\n",
-      lru_diurnal, best_name, best_diurnal, reduction,
-      best_diurnal < lru_diurnal ? "true" : "false");
+  json.begin_object("headline");
+  json.field("workload", "fig20_diurnal");
+  json.field("lru_bytes_recomputed", lru_diurnal, "%.0f");
+  json.field("best_policy", best_name);
+  json.field("best_bytes_recomputed", best_diurnal, "%.0f");
+  json.field("reduction_pct", reduction, "%.1f");
+  json.field("best_beats_lru", best_diurnal < lru_diurnal);
+  json.end_object();
+  json.end_object();
   return 0;
 }

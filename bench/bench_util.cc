@@ -35,4 +35,65 @@ std::string bar(double value, double max_value, int width) {
   return std::string(static_cast<std::size_t>(n), '#');
 }
 
+void JsonEmitter::lead(const char* key) {
+  if (!has_members_.empty()) {
+    if (has_members_.back()) std::fputc(',', out_);
+    has_members_.back() = true;
+    std::fputc('\n', out_);
+    for (std::size_t i = 0; i < has_members_.size(); ++i) {
+      std::fputs("  ", out_);
+    }
+  }
+  if (key != nullptr) std::fprintf(out_, "\"%s\": ", key);
+}
+
+void JsonEmitter::open(char bracket, const char* key) {
+  lead(key);
+  std::fputc(bracket, out_);
+  has_members_.push_back(false);
+}
+
+void JsonEmitter::close(char bracket) {
+  const bool had_members = has_members_.back();
+  has_members_.pop_back();
+  if (had_members) {
+    std::fputc('\n', out_);
+    for (std::size_t i = 0; i < has_members_.size(); ++i) {
+      std::fputs("  ", out_);
+    }
+  }
+  std::fputc(bracket, out_);
+  if (has_members_.empty()) std::fputc('\n', out_);  // root closed
+}
+
+void JsonEmitter::field(const char* key, const char* value) {
+  lead(key);
+  std::fprintf(out_, "\"%s\"", value);
+}
+
+void JsonEmitter::field(const char* key, bool value) {
+  lead(key);
+  std::fputs(value ? "true" : "false", out_);
+}
+
+void JsonEmitter::field(const char* key, int value) {
+  lead(key);
+  std::fprintf(out_, "%d", value);
+}
+
+void JsonEmitter::field(const char* key, long long value) {
+  lead(key);
+  std::fprintf(out_, "%lld", value);
+}
+
+void JsonEmitter::field(const char* key, unsigned long long value) {
+  lead(key);
+  std::fprintf(out_, "%llu", value);
+}
+
+void JsonEmitter::field(const char* key, double value, const char* fmt) {
+  lead(key);
+  std::fprintf(out_, fmt, value);
+}
+
 }  // namespace stark::bench

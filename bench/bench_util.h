@@ -7,6 +7,7 @@
 // crossovers fall) matches the paper, as recorded in EXPERIMENTS.md.
 #pragma once
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,45 @@
 #include "trace/wiki.h"
 
 namespace stark::bench {
+
+// Streaming JSON writer shared by the machine-readable benches
+// (chaos_resilience, ablation_cache_policy, perf_regression, overload).
+// Tracks nesting depth and comma placement so emit sites state only keys
+// and values; one member per line, two-space indent. Output is fully
+// deterministic — the bit-identity harness diffs it across runs. Values
+// are printed with printf formats, so numeric layout is explicit at the
+// call site (e.g. "%.6f" for seconds, "%.1f" for rates).
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::FILE* out = stdout) : out_(out) {}
+
+  // Anonymous forms open the root object or an array element; keyed forms
+  // open a member of the enclosing object.
+  void begin_object() { open('{'); }
+  void begin_object(const char* key) { open('{', key); }
+  void begin_array(const char* key) { open('[', key); }
+  void end_object() { close('}'); }
+  void end_array() { close(']'); }
+
+  void field(const char* key, const char* value);
+  void field(const char* key, const std::string& value) {
+    field(key, value.c_str());
+  }
+  void field(const char* key, bool value);
+  void field(const char* key, int value);
+  void field(const char* key, long long value);
+  void field(const char* key, unsigned long long value);
+  void field(const char* key, double value, const char* fmt = "%.6f");
+
+ private:
+  void open(char bracket, const char* key = nullptr);
+  void close(char bracket);
+  // Comma after the previous sibling, newline, indent, optional "key": .
+  void lead(const char* key);
+
+  std::FILE* out_;
+  std::vector<bool> has_members_;  // per open scope
+};
 
 // Prints a standard header naming the figure being reproduced.
 void print_header(const std::string& figure, const std::string& description);

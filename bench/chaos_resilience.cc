@@ -100,45 +100,46 @@ RunResult run(ConfigKind kind, bool with_chaos, bool verify_reads = false,
   return res;
 }
 
-void emit_config(const char* name, const RunResult& healthy,
-                 const RunResult& chaotic, bool last) {
-  std::printf(
-      "    {\"config\": \"%s\",\n"
-      "     \"no_chaos_makespan_s\": %.6f,\n"
-      "     \"chaos_makespan_s\": %.6f,\n"
-      "     \"degradation\": %.4f,\n"
-      "     \"jobs_completed\": %d, \"jobs_aborted\": %d,\n"
-      "     \"chaos\": {\"kills\": %d, \"slow_episodes\": %d,\n"
-      "               \"heartbeat_detections\": %d,\n"
-      "               \"mean_detection_latency_s\": %.6f,\n"
-      "               \"task_failures\": %d, \"task_retries\": %d,\n"
-      "               \"fetch_failures\": %d, \"stage_resubmissions\": %d,\n"
-      "               \"executor_exclusions\": %d}}%s\n",
-      name, healthy.makespan, chaotic.makespan,
-      healthy.makespan > 0.0 ? chaotic.makespan / healthy.makespan : 0.0,
-      chaotic.completed, chaotic.aborted, chaotic.kills,
-      chaotic.slow_episodes, chaotic.stats.heartbeat_detections,
-      chaotic.stats.mean_detection_latency(), chaotic.stats.task_failures,
-      chaotic.stats.task_retries, chaotic.stats.fetch_failures,
-      chaotic.stats.stage_resubmissions, chaotic.stats.executor_exclusions,
-      last ? "" : ",");
+void emit_config(bench::JsonEmitter& json, const char* name,
+                 const RunResult& healthy, const RunResult& chaotic) {
+  json.begin_object();
+  json.field("config", name);
+  json.field("no_chaos_makespan_s", healthy.makespan);
+  json.field("chaos_makespan_s", chaotic.makespan);
+  json.field("degradation",
+             healthy.makespan > 0.0 ? chaotic.makespan / healthy.makespan : 0.0,
+             "%.4f");
+  json.field("jobs_completed", chaotic.completed);
+  json.field("jobs_aborted", chaotic.aborted);
+  json.begin_object("chaos");
+  json.field("kills", chaotic.kills);
+  json.field("slow_episodes", chaotic.slow_episodes);
+  json.field("heartbeat_detections", chaotic.stats.heartbeat_detections);
+  json.field("mean_detection_latency_s", chaotic.stats.mean_detection_latency());
+  json.field("task_failures", chaotic.stats.task_failures);
+  json.field("task_retries", chaotic.stats.task_retries);
+  json.field("fetch_failures", chaotic.stats.fetch_failures);
+  json.field("stage_resubmissions", chaotic.stats.stage_resubmissions);
+  json.field("executor_exclusions", chaotic.stats.executor_exclusions);
+  json.end_object();
+  json.end_object();
 }
 
-void emit_corruption_run(const char* name, const RunResult& r, bool last) {
-  std::printf(
-      "      \"%s\": {\"makespan_s\": %.6f,\n"
-      "        \"jobs_completed\": %d, \"jobs_aborted\": %d,\n"
-      "        \"corruptions_injected\": %d, \"corruptions_detected\": %d,\n"
-      "        \"corruptions_repaired\": %d,\n"
-      "        \"corrupt_reads_undetected\": %lld,\n"
-      "        \"bytes_reverified\": %.0f,\n"
-      "        \"fetch_failures\": %d, \"stage_resubmissions\": %d,\n"
-      "        \"executor_exclusions\": %d}%s\n",
-      name, r.makespan, r.completed, r.aborted, r.stats.corruptions_injected,
-      r.stats.corruptions_detected, r.stats.corruptions_repaired,
-      r.stats.corrupt_reads_undetected, r.stats.bytes_reverified,
-      r.stats.fetch_failures, r.stats.stage_resubmissions,
-      r.stats.executor_exclusions, last ? "" : ",");
+void emit_corruption_run(bench::JsonEmitter& json, const char* name,
+                         const RunResult& r) {
+  json.begin_object(name);
+  json.field("makespan_s", r.makespan);
+  json.field("jobs_completed", r.completed);
+  json.field("jobs_aborted", r.aborted);
+  json.field("corruptions_injected", r.stats.corruptions_injected);
+  json.field("corruptions_detected", r.stats.corruptions_detected);
+  json.field("corruptions_repaired", r.stats.corruptions_repaired);
+  json.field("corrupt_reads_undetected", r.stats.corrupt_reads_undetected);
+  json.field("bytes_reverified", r.stats.bytes_reverified, "%.0f");
+  json.field("fetch_failures", r.stats.fetch_failures);
+  json.field("stage_resubmissions", r.stats.stage_resubmissions);
+  json.field("executor_exclusions", r.stats.executor_exclusions);
+  json.end_object();
 }
 
 }  // namespace
@@ -152,33 +153,38 @@ int main(int argc, char** argv) {
                "[chaos_resilience] %d jobs on %d servers, healthy vs seeded "
                "chaos, Spark-H and Stark-H...\n",
                kJobs, kServers);
-  std::printf("{\n  \"bench\": \"chaos_resilience\",\n"
-              "  \"servers\": %d, \"jobs\": %d,\n  \"configs\": [\n",
-              kServers, kJobs);
+  bench::JsonEmitter json;
+  json.begin_object();
+  json.field("bench", "chaos_resilience");
+  json.field("servers", kServers);
+  json.field("jobs", kJobs);
+  json.begin_array("configs");
   const ConfigKind kinds[] = {ConfigKind::kSparkH, ConfigKind::kStarkH};
   for (std::size_t i = 0; i < 2; ++i) {
     const RunResult healthy = run(kinds[i], /*with_chaos=*/false);
     const RunResult chaotic = run(kinds[i], /*with_chaos=*/true);
-    emit_config(config_name(kinds[i]), healthy, chaotic, i + 1 == 2);
+    emit_config(json, config_name(kinds[i]), healthy, chaotic);
   }
-  if (!corruption) {
-    std::printf("  ]\n}\n");
-    return 0;
+  json.end_array();
+  if (corruption) {
+    std::fprintf(stderr,
+                 "[chaos_resilience] corruption scenario: Stark-H, "
+                 "verification off vs on...\n");
+    const RunResult off = run(ConfigKind::kStarkH, /*with_chaos=*/true,
+                              /*verify_reads=*/false, kCorruptionsPerHour);
+    const RunResult on = run(ConfigKind::kStarkH, /*with_chaos=*/true,
+                             /*verify_reads=*/true, kCorruptionsPerHour);
+    json.begin_object("corruption");
+    json.field("config", config_name(ConfigKind::kStarkH));
+    json.field("corruptions_per_hour", kCorruptionsPerHour, "%.0f");
+    json.field("verify_overhead",
+               off.makespan > 0.0 ? on.makespan / off.makespan : 0.0, "%.4f");
+    json.begin_object("runs");
+    emit_corruption_run(json, "unverified", off);
+    emit_corruption_run(json, "verified", on);
+    json.end_object();
+    json.end_object();
   }
-  std::fprintf(stderr,
-               "[chaos_resilience] corruption scenario: Stark-H, "
-               "verification off vs on...\n");
-  const RunResult off = run(ConfigKind::kStarkH, /*with_chaos=*/true,
-                            /*verify_reads=*/false, kCorruptionsPerHour);
-  const RunResult on = run(ConfigKind::kStarkH, /*with_chaos=*/true,
-                           /*verify_reads=*/true, kCorruptionsPerHour);
-  std::printf("  ],\n  \"corruption\": {\n"
-              "    \"config\": \"%s\", \"corruptions_per_hour\": %.0f,\n"
-              "    \"verify_overhead\": %.4f,\n    \"runs\": {\n",
-              config_name(ConfigKind::kStarkH), kCorruptionsPerHour,
-              off.makespan > 0.0 ? on.makespan / off.makespan : 0.0);
-  emit_corruption_run("unverified", off, /*last=*/false);
-  emit_corruption_run("verified", on, /*last=*/true);
-  std::printf("    }\n  }\n}\n");
+  json.end_object();
   return 0;
 }

@@ -334,26 +334,30 @@ ScenarioResult chaos_soak(double scale) {
   return r;
 }
 
-void emit(const ScenarioResult& r, bool last) {
-  std::printf(
-      "    {\"name\": \"%s\",\n"
-      "     \"sim_seconds\": %.6f, \"wall_seconds\": %.6f,\n"
-      "     \"events_executed\": %llu, \"events_per_wall_second\": %.1f,\n"
-      "     \"tasks_completed\": %llu, \"tasks_per_wall_second\": %.1f,\n"
-      "     \"jobs_completed\": %d, \"jobs_aborted\": %d,\n"
-      "     \"rss_growth_mib\": %.1f",
-      r.name.c_str(), r.sim_seconds, r.wall_seconds,
-      static_cast<unsigned long long>(r.events),
-      r.wall_seconds > 0.0 ? static_cast<double>(r.events) / r.wall_seconds
-                           : 0.0,
-      static_cast<unsigned long long>(r.tasks),
-      r.wall_seconds > 0.0 ? static_cast<double>(r.tasks) / r.wall_seconds
-                           : 0.0,
-      r.jobs_completed, r.jobs_aborted, r.rss_growth_mib);
+void emit(bench::JsonEmitter& json, const ScenarioResult& r) {
+  json.begin_object();
+  json.field("name", r.name);
+  json.field("sim_seconds", r.sim_seconds);
+  json.field("wall_seconds", r.wall_seconds);
+  json.field("events_executed", static_cast<unsigned long long>(r.events));
+  json.field("events_per_wall_second",
+             r.wall_seconds > 0.0
+                 ? static_cast<double>(r.events) / r.wall_seconds
+                 : 0.0,
+             "%.1f");
+  json.field("tasks_completed", static_cast<unsigned long long>(r.tasks));
+  json.field("tasks_per_wall_second",
+             r.wall_seconds > 0.0
+                 ? static_cast<double>(r.tasks) / r.wall_seconds
+                 : 0.0,
+             "%.1f");
+  json.field("jobs_completed", r.jobs_completed);
+  json.field("jobs_aborted", r.jobs_aborted);
+  json.field("rss_growth_mib", r.rss_growth_mib, "%.1f");
   for (const auto& [key, value] : r.extras) {
-    std::printf(",\n     \"%s\": %.1f", key.c_str(), value);
+    json.field(key.c_str(), value, "%.1f");
   }
-  std::printf("}%s\n", last ? "" : ",");
+  json.end_object();
 }
 
 }  // namespace
@@ -383,14 +387,16 @@ int main(int argc, char** argv) {
 
   double total_wall = 0.0;
   for (const auto& r : results) total_wall += r.wall_seconds;
-  std::printf("{\n  \"bench\": \"perf_regression\", \"schema\": 1,\n"
-              "  \"scale\": %.2f,\n  \"scenarios\": [\n",
-              scale);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    emit(results[i], i + 1 == results.size());
-  }
-  std::printf("  ],\n  \"total_wall_seconds\": %.6f,\n"
-              "  \"peak_rss_mib\": %.1f\n}\n",
-              total_wall, peak_rss_mib());
+  bench::JsonEmitter json;
+  json.begin_object();
+  json.field("bench", "perf_regression");
+  json.field("schema", 1);
+  json.field("scale", scale, "%.2f");
+  json.begin_array("scenarios");
+  for (const auto& r : results) emit(json, r);
+  json.end_array();
+  json.field("total_wall_seconds", total_wall);
+  json.field("peak_rss_mib", peak_rss_mib(), "%.1f");
+  json.end_object();
   return 0;
 }

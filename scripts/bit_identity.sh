@@ -26,9 +26,10 @@ declare -A SCENARIOS=(
   [chaos_corruption]="$BUILD_DIR/bench/bench_chaos_resilience --corruption"
   [fig19_starkh20]="$BUILD_DIR/bench/bench_fig19_throughput --slice stark-h 20"
   [fig19_sparkh30]="$BUILD_DIR/bench/bench_fig19_throughput --slice spark-h 30"
+  [overload]="$BUILD_DIR/bench/bench_overload --pinned"
 )
 
-for name in chaos chaos_corruption fig19_starkh20 fig19_sparkh30; do
+for name in chaos chaos_corruption fig19_starkh20 fig19_sparkh30 overload; do
   bin=${SCENARIOS[$name]%% *}
   if [ ! -x "$bin" ]; then
     echo "bit_identity: missing $bin (build the bench targets first)" >&2
@@ -40,7 +41,7 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 fail=0
 
-for name in chaos chaos_corruption fig19_starkh20 fig19_sparkh30; do
+for name in chaos chaos_corruption fig19_starkh20 fig19_sparkh30 overload; do
   cmd=${SCENARIOS[$name]}
   out="$tmp/$name.json"
   $cmd > "$out" 2>/dev/null

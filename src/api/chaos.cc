@@ -42,6 +42,19 @@ void validate(const ChaosInjector::Config& c, const Context& ctx) {
     bad("corruptions_per_hour > 0 with every corruption class disabled; "
         "every arrival would be skipped");
   }
+  if (c.overload_bursts_per_hour < 0.0) {
+    bad("overload_bursts_per_hour must be >= 0");
+  }
+  if (c.overload_bursts_per_hour > 0.0) {
+    if (c.overload_job_factory == nullptr) {
+      bad("overload_bursts_per_hour > 0 requires a non-null "
+          "overload_job_factory; every burst would submit nothing");
+    }
+    if (c.overload_burst_jobs < 1) {
+      bad("overload_burst_jobs must be >= 1 (got " +
+          std::to_string(c.overload_burst_jobs) + ")");
+    }
+  }
 }
 
 }  // namespace
@@ -52,7 +65,8 @@ ChaosInjector::ChaosInjector(Context& ctx, Config config)
       kill_rng_(config.seed),
       slow_rng_(splitmix64(config.seed ^ 0x534c4f57ULL)),
       partition_rng_(splitmix64(config.seed ^ 0x50415254ULL)),
-      corrupt_rng_(splitmix64(config.seed ^ 0x434f5252ULL)) {
+      corrupt_rng_(splitmix64(config.seed ^ 0x434f5252ULL)),
+      overload_rng_(splitmix64(config.seed ^ 0x4f564c44ULL)) {
   validate(config_, ctx);
 }
 
@@ -77,6 +91,8 @@ void ChaosInjector::start(SimTime t0, SimTime t1) {
                 [this] { inject_partition(); });
   schedule_next(corrupt_rng_, config_.corruptions_per_hour, t0, t1,
                 [this] { inject_corruption(); });
+  schedule_next(overload_rng_, config_.overload_bursts_per_hour, t0, t1,
+                [this] { inject_overload(); });
   if (config_.flaky_task_probability > 0.0) {
     // Flakiness is a window, not a process: tasks launched in [t0, t1)
     // crash with the configured probability. Boundaries from a stopped
@@ -211,6 +227,19 @@ void ChaosInjector::inject_corruption() {
       break;
   }
   if (ok) ++corruptions_;
+}
+
+void ChaosInjector::inject_overload() {
+  // An open-loop burst: the whole batch hits the driver at one instant
+  // with no think time. With admission control off this piles work onto
+  // the scheduler unchecked; with it on, the surplus queues, sheds or is
+  // rejected per ContextOptions::overload.
+  for (int i = 0; i < config_.overload_burst_jobs; ++i) {
+    DatasetPtr ds = config_.overload_job_factory();
+    if (ds == nullptr) continue;  // factory declined this one job
+    ctx_->dag().submit(ds, ActionType::kCount, {}, "chaos-overload");
+  }
+  ++overloads_;
 }
 
 void ChaosInjector::inject_partition() {

@@ -12,7 +12,10 @@
 //    unreachable, then heals together (fetch failures, deferred results);
 //  * silent data corruption: a random stored copy — cached replica,
 //    spilled block or shuffle map-output unit — gets its checksum tag
-//    flipped (verified reads detect it, see docs/FAULT_MODEL.md).
+//    flipped (verified reads detect it, see docs/FAULT_MODEL.md);
+//  * overload bursts: open-loop job surges slam the driver with a batch of
+//    submissions at one instant, with no think time — the arrival pattern
+//    ContextOptions::overload admission control is built to absorb.
 //
 // Every mode always leaves at least `min_alive` servers alive AND
 // reachable, even when repairs race with kills: the decision is taken
@@ -60,6 +63,14 @@ class ChaosInjector {
     bool corrupt_cache = true;
     bool corrupt_spill = true;
     bool corrupt_shuffle = true;
+    // Overload bursts: each arrival submits `overload_burst_jobs` jobs in
+    // one instant through DagScheduler::submit (app "chaos-overload"),
+    // each on a dataset built by `overload_job_factory`. The factory must
+    // be non-null when the rate is positive; a factory returning null
+    // skips that single job.
+    double overload_bursts_per_hour = 0.0;
+    int overload_burst_jobs = 8;
+    std::function<DatasetPtr()> overload_job_factory;
     std::uint64_t seed = 31;
   };
 
@@ -87,6 +98,7 @@ class ChaosInjector {
   int slow_episodes() const noexcept { return slow_episodes_; }
   int partitions() const noexcept { return partitions_; }
   int corruptions() const noexcept { return corruptions_; }
+  int overloads() const noexcept { return overloads_; }
 
  private:
   // One Poisson arrival chain: schedules `fire` at exponential intervals
@@ -97,6 +109,7 @@ class ChaosInjector {
   void inject_slow();
   void inject_partition();
   void inject_corruption();
+  void inject_overload();
   // Alive-and-reachable servers the workload can still use.
   int usable_servers() const;
 
@@ -106,6 +119,7 @@ class ChaosInjector {
   Rng slow_rng_;
   Rng partition_rng_;
   Rng corrupt_rng_;
+  Rng overload_rng_;
   // stop() invalidates every scheduled chain/boundary by bumping the epoch
   // they captured at scheduling time.
   int epoch_ = 0;
@@ -116,6 +130,7 @@ class ChaosInjector {
   int slow_episodes_ = 0;
   int partitions_ = 0;
   int corruptions_ = 0;
+  int overloads_ = 0;
 };
 
 }  // namespace stark

@@ -90,6 +90,55 @@ void ContextOptions::validate() const {
     reject("faults.verify_reads requires cost.checksum_bw > 0 (got " +
            std::to_string(cost.checksum_bw) + ")");
   }
+  if (overload.deadline_seconds < 0.0) {
+    reject("overload.deadline_seconds must be >= 0 (got " +
+           std::to_string(overload.deadline_seconds) + ")");
+  }
+  if (overload.admission_enabled) {
+    if (overload.max_in_flight_jobs <= 0) {
+      reject("overload.max_in_flight_jobs must be positive (got " +
+             std::to_string(overload.max_in_flight_jobs) + ")");
+    }
+    if (overload.policy != AdmissionPolicy::kBlock &&
+        overload.max_pending_jobs <= 0) {
+      reject("overload.max_pending_jobs must be positive (got " +
+             std::to_string(overload.max_pending_jobs) + ")");
+    }
+    if (overload.yellow_intake_factor <= 0.0 ||
+        overload.yellow_intake_factor > 1.0) {
+      reject("overload.yellow_intake_factor must be in (0, 1] (got " +
+             std::to_string(overload.yellow_intake_factor) + ")");
+    }
+    if (overload.red_intake_factor <= 0.0 ||
+        overload.red_intake_factor > 1.0) {
+      reject("overload.red_intake_factor must be in (0, 1] (got " +
+             std::to_string(overload.red_intake_factor) + ")");
+    }
+  }
+  if (overload.pressure.enabled) {
+    const MemoryPressureOptions& p = overload.pressure;
+    if (!(p.yellow_utilization > 0.0 &&
+          p.yellow_utilization < p.red_utilization &&
+          p.red_utilization <= 1.0)) {
+      reject("overload.pressure thresholds must be ordered "
+             "0 < yellow < red <= 1 (got yellow=" +
+             std::to_string(p.yellow_utilization) +
+             ", red=" + std::to_string(p.red_utilization) + ")");
+    }
+    if (p.hysteresis < 0.0 || p.hysteresis >= p.yellow_utilization) {
+      reject("overload.pressure.hysteresis must be in [0, yellow) (got " +
+             std::to_string(p.hysteresis) + ")");
+    }
+    if (p.eviction_window <= 0.0) {
+      reject("overload.pressure.eviction_window must be positive (got " +
+             std::to_string(p.eviction_window) + ")");
+    }
+    if (p.red_evictions_per_second <= 0.0) {
+      reject("overload.pressure.red_evictions_per_second must be positive "
+             "(got " +
+             std::to_string(p.red_evictions_per_second) + ")");
+    }
+  }
   if (trace.effective_enabled() && trace.ring_capacity == 0 &&
       !trace.aggregate && trace.chrome_path.empty()) {
     reject("trace enabled but no sink configured (ring_capacity = 0, "
@@ -133,6 +182,7 @@ Context::Context(ContextOptions options)
   // kCostSize needs recompute-cost estimates stamped on cached blocks,
   // pin_running_blocks needs referenced-block lists in every task plan.
   dag_opts.cache = options_.cluster.cache;
+  dag_opts.overload = options_.overload;
   dag_ = std::make_unique<DagScheduler>(sim_, cluster_, options_.cost,
                                         locality_, groups_, dag_opts);
   dag_->set_tracer(tracer_.get());
@@ -158,7 +208,7 @@ Context::Context(ContextOptions options)
   // how many bytes left RAM, and whether the victim spilled to disk. The
   // generic block observer below still emits kBlockEvict for locality/MCF
   // bookkeeping; this channel carries the policy-attribution detail.
-  cluster_.set_eviction_observer(
+  cluster_.add_eviction_observer(
       [this](ServerId s, const BlockManager::EvictedBlock& victim) {
         if (!obs::Tracer::active(tracer_.get())) return;
         obs::TraceEvent e;
@@ -172,6 +222,19 @@ Context::Context(ContextOptions options)
         if (victim.spill) e.flags |= obs::kFlagSpilled;
         tracer_->emit(e);
       });
+  // Memory-pressure feedback loop: the monitor samples cache utilization
+  // pull-style when the scheduler asks (no standing events, so an idle
+  // simulation still drains) and folds recent eviction throughput in via
+  // a second eviction observer.
+  if (options_.overload.pressure.enabled) {
+    pressure_ = std::make_unique<MemoryPressureMonitor>(
+        cluster_, options_.overload.pressure);
+    cluster_.add_eviction_observer(
+        [this](ServerId, const BlockManager::EvictedBlock&) {
+          pressure_->on_eviction(sim_.now());
+        });
+    dag_->set_pressure_fn([this] { return pressure_->sample(sim_.now()); });
+  }
   // Contention tracking (MCF) follows cache contents, and so do the
   // LocalityManager homes: a collection partition maps to a *set* of
   // executors — whenever a remote task materializes a namespaced block,

@@ -57,6 +57,12 @@ struct ContextOptions {
   // Heartbeat detection, task retries, stage resubmission and exclusion
   // knobs (see sched/task.h and docs/FAULT_MODEL.md).
   FaultOptions faults;
+  // Overload protection: driver-side admission control, whole-job
+  // deadlines and the memory-pressure feedback loop (sched/admission.h,
+  // cluster/memory_pressure.h, docs/FAULT_MODEL.md). Everything defaults
+  // off; simulated timelines are then byte-identical to a build without
+  // the overload layer.
+  OverloadOptions overload;
   // Structured tracing (see obs/tracer.h and docs/OBSERVABILITY.md).
   // Disabled by default: the engine pays one pointer test per choke point
   // and simulated timelines are bit-identical either way.
@@ -178,6 +184,12 @@ class Context {
   // The heartbeat failure detector mediating every injected fault above.
   FailureDetector& detector() noexcept { return *detector_; }
 
+  // The memory-pressure monitor feeding admission backpressure; null
+  // unless ContextOptions::overload.pressure.enabled.
+  MemoryPressureMonitor* pressure_monitor() noexcept {
+    return pressure_.get();
+  }
+
   // A checkpoint optimizer wired to this context's cost model and
   // checkpoint registry.
   CheckpointOptimizer make_checkpoint_optimizer(double recovery_bound,
@@ -194,6 +206,7 @@ class Context {
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<DagScheduler> dag_;
   std::unique_ptr<FailureDetector> detector_;
+  std::unique_ptr<MemoryPressureMonitor> pressure_;
   PartitionerPtr shared_partitioner_;
   std::uint64_t sample_counter_ = 0;
 };

@@ -1,0 +1,21 @@
+#include "api/job.h"
+
+namespace stark {
+
+const char* job_status_name(JobStatus status) noexcept {
+  switch (status) {
+    case JobStatus::kCompleted:
+      return "completed";
+    case JobStatus::kFailed:
+      return "failed";
+    case JobStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case JobStatus::kRejected:
+      return "rejected";
+    case JobStatus::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+}  // namespace stark

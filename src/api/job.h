@@ -20,6 +20,21 @@ enum class ActionType {
   kCollect,  // materialize results at the driver
 };
 
+// How a job ended. Everything except kCompleted implies completed=false;
+// the overload-protection statuses (see docs/FAULT_MODEL.md) distinguish
+// jobs the engine *chose* not to run to completion from jobs that failed.
+enum class JobStatus {
+  kCompleted,         // ran to completion
+  kFailed,            // aborted: retries/resubmissions exhausted, etc.
+  kDeadlineExceeded,  // cancelled because its whole-job deadline fired
+  kRejected,          // refused at admission (queue full, reject-new)
+  kShed,              // dropped from a pending queue (shed-oldest)
+};
+
+// Stable lower-case name ("completed", "failed", "deadline-exceeded",
+// "rejected", "shed") for logs and JSON.
+const char* job_status_name(JobStatus status) noexcept;
+
 // Per-task execution record, kept in JobResult::tasks when
 // ContextOptions::detail_task_metrics is on.
 struct TaskMetrics {
@@ -81,6 +96,10 @@ struct StageBreakdown {
 struct JobResult {
   JobId id = kInvalidId;
   bool completed = false;
+  // How the job ended; kCompleted iff completed. Jobs refused or shed by
+  // admission control never ran: their result carries zero stages/tasks
+  // and finish_time == submit_time.
+  JobStatus status = JobStatus::kFailed;
   // Why the job finished with completed=false (task retries exhausted,
   // stage resubmission limit, unschedulable task). Empty on success.
   std::string failure_reason;

@@ -42,6 +42,7 @@ void MetricsCollector::reset() noexcept {
   inserts_ = 0;
   evictions_ = 0;
   failures_.reset();
+  overload_.reset();
   cache_.reset();
   policy_ = EvictionPolicyKind::kLru;
 }
@@ -86,7 +87,9 @@ std::string MetricsCollector::summary() const {
       "failures: %d (retries %d, fetch %d)  detections: %d (mean latency "
       "%s)  resubmitted stages: %d  exclusions: %d/%d\n"
       "integrity: injected %d  detected %d  repaired %d  undetected reads "
-      "%lld  reverified %s\n",
+      "%lld  reverified %s\n"
+      "overload: admitted %d  queued %d  rejected %d  shed %d  deadline "
+      "%d  pressure transitions %d (red %d)\n",
       jobs_, aborted_jobs_, tasks_, node_local_fraction() * 100.0,
       format_seconds(delays_.mean()).c_str(),
       format_seconds(delays_.count() ? delays_.percentile(0.5) : 0.0).c_str(),
@@ -103,7 +106,10 @@ std::string MetricsCollector::summary() const {
       failures_.executor_readmissions, failures_.corruptions_injected,
       failures_.corruptions_detected, failures_.corruptions_repaired,
       failures_.corrupt_reads_undetected,
-      format_bytes(failures_.bytes_reverified).c_str());
+      format_bytes(failures_.bytes_reverified).c_str(),
+      overload_.jobs_admitted, overload_.jobs_queued, overload_.jobs_rejected,
+      overload_.jobs_shed, overload_.deadline_exceeded,
+      overload_.pressure_transitions, overload_.red_entries);
   return buf;
 }
 

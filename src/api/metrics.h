@@ -26,6 +26,10 @@ class MetricsCollector {
   // DagScheduler::failure_stats(), taken at the end of a run).
   void observe_failures(const FailureStats& stats) { failures_ = stats; }
 
+  // Snapshot the overload-protection counters
+  // (DagScheduler::overload_stats(), taken at the end of a run).
+  void observe_overload(const OverloadStats& stats) { overload_ = stats; }
+
   // Snapshot the cache-probe counters (DagScheduler::cache_stats()) plus the
   // eviction policy they were collected under, for policy-attributed
   // reporting in summary() and the cache ablation bench.
@@ -98,6 +102,18 @@ class MetricsCollector {
     return failures_.bytes_reverified;
   }
 
+  // Overload protection (from the last observe_overload snapshot; see
+  // sched/admission.h and docs/FAULT_MODEL.md).
+  int jobs_admitted() const noexcept { return overload_.jobs_admitted; }
+  int jobs_queued() const noexcept { return overload_.jobs_queued; }
+  int jobs_rejected() const noexcept { return overload_.jobs_rejected; }
+  int jobs_shed() const noexcept { return overload_.jobs_shed; }
+  int deadline_exceeded() const noexcept { return overload_.deadline_exceeded; }
+  int pressure_transitions() const noexcept {
+    return overload_.pressure_transitions;
+  }
+  int red_entries() const noexcept { return overload_.red_entries; }
+
   // Zeroes every aggregate, including the failure snapshot.
   void reset() noexcept;
 
@@ -124,6 +140,7 @@ class MetricsCollector {
   long long inserts_ = 0;
   long long evictions_ = 0;
   FailureStats failures_;
+  OverloadStats overload_;
   CacheStats cache_;
   EvictionPolicyKind policy_ = EvictionPolicyKind::kLru;
 };

@@ -59,7 +59,7 @@ bool Cluster::insert_block(ServerId s, const BlockId& id, Bytes bytes,
   const auto result =
       srv.storage().insert(id, bytes, spill_on_evict, recompute_cost);
   for (const auto& victim : result.evicted) {
-    if (eviction_observer_) eviction_observer_(s, victim);
+    for (const auto& obs : eviction_observers_) obs(s, victim);
     if (victim.spill) {
       disk_store_[static_cast<std::size_t>(s)][victim.id] = {victim.bytes,
                                                              victim.corrupted};
@@ -257,8 +257,13 @@ void Cluster::add_block_observer(BlockObserver obs) {
   observers_.push_back(std::move(obs));
 }
 
+void Cluster::add_eviction_observer(EvictionObserver obs) {
+  eviction_observers_.push_back(std::move(obs));
+}
+
 void Cluster::set_eviction_observer(EvictionObserver obs) {
-  eviction_observer_ = std::move(obs);
+  eviction_observers_.clear();
+  if (obs) eviction_observers_.push_back(std::move(obs));
 }
 
 }  // namespace stark

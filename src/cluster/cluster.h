@@ -125,12 +125,16 @@ class Cluster {
       std::function<void(ServerId, const BlockId&, bool inserted)>;
   void add_block_observer(BlockObserver obs);
 
-  // Eviction-decision observer: fires once per victim the eviction policy
-  // picks during insert_block (before the generic not-inserted
-  // notification), with the victim's size and spill fate. At most one;
-  // api::Context wires it to the tracer's eviction-decision instants.
+  // Eviction-decision observers: each fires once per victim the eviction
+  // policy picks during insert_block (before the generic not-inserted
+  // notification), with the victim's size and spill fate. api::Context
+  // wires the tracer's eviction-decision instants and, when overload
+  // protection is on, the memory-pressure monitor's eviction-rate feed.
   using EvictionObserver =
       std::function<void(ServerId, const BlockManager::EvictedBlock&)>;
+  void add_eviction_observer(EvictionObserver obs);
+  // Replaces every registered eviction observer with `obs` (legacy
+  // single-observer semantics; prefer add_eviction_observer).
   void set_eviction_observer(EvictionObserver obs);
 
  private:
@@ -148,7 +152,7 @@ class Cluster {
   std::vector<std::unordered_map<BlockId, SpilledBlock, BlockIdHash>>
       disk_store_;
   std::vector<BlockObserver> observers_;
-  EvictionObserver eviction_observer_;
+  std::vector<EvictionObserver> eviction_observers_;
   std::unordered_map<DatasetId, int> lineage_refcounts_;
   std::vector<ServerId> empty_;
   std::uint64_t topology_epoch_ = 0;

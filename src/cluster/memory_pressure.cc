@@ -1,0 +1,75 @@
+#include "cluster/memory_pressure.h"
+
+#include "cluster/cluster.h"
+
+namespace stark {
+
+const char* pressure_band_name(PressureBand band) noexcept {
+  switch (band) {
+    case PressureBand::kGreen:
+      return "green";
+    case PressureBand::kYellow:
+      return "yellow";
+    case PressureBand::kRed:
+      return "red";
+  }
+  return "unknown";
+}
+
+MemoryPressureMonitor::MemoryPressureMonitor(const Cluster& cluster,
+                                             MemoryPressureOptions options)
+    : cluster_(&cluster), options_(options) {}
+
+void MemoryPressureMonitor::on_eviction(SimTime now) {
+  evictions_.push_back(now);
+}
+
+double MemoryPressureMonitor::mean_utilization() const {
+  double sum = 0.0;
+  int n = 0;
+  for (ServerId s : cluster_->alive_servers()) {
+    sum += cluster_->server(s).storage().utilization();
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+PressureBand MemoryPressureMonitor::sample(SimTime now) {
+  const SimTime cutoff = now - options_.eviction_window;
+  while (!evictions_.empty() && evictions_.front() < cutoff) {
+    evictions_.pop_front();
+  }
+  const double util = mean_utilization();
+  const double rate = options_.eviction_window > 0.0
+                          ? static_cast<double>(evictions_.size()) /
+                                options_.eviction_window
+                          : 0.0;
+  last_utilization_ = util;
+  last_eviction_rate_ = rate;
+
+  // Utilization band with hysteresis: enter a band at its threshold, leave
+  // it only once utilization has dropped `hysteresis` below it.
+  PressureBand util_band;
+  if (util >= options_.red_utilization ||
+      (band_ == PressureBand::kRed &&
+       util >= options_.red_utilization - options_.hysteresis)) {
+    util_band = PressureBand::kRed;
+  } else if (util >= options_.yellow_utilization ||
+             (band_ >= PressureBand::kYellow &&
+              util >= options_.yellow_utilization - options_.hysteresis)) {
+    util_band = PressureBand::kYellow;
+  } else {
+    util_band = PressureBand::kGreen;
+  }
+
+  // An eviction storm forces Red on its own: the store keeps utilization
+  // pinned at capacity by churning blocks, which utilization alone reads
+  // as "merely full".
+  PressureBand band = util_band;
+  if (rate >= options_.red_evictions_per_second) band = PressureBand::kRed;
+
+  band_ = band;
+  return band_;
+}
+
+}  // namespace stark

@@ -1,0 +1,81 @@
+// Memory-pressure signal for overload protection (docs/FAULT_MODEL.md).
+//
+// Condenses the cluster's block-store state into a single hysteresis-banded
+// band (Green / Yellow / Red) that the admission layer can poll cheaply:
+//
+//   * mean cache utilization across alive servers' block stores, and
+//   * the recent eviction rate (evictions per second over a sliding
+//     window), fed by Cluster's eviction observers — a high rate means the
+//     cache is thrashing even if utilization alone looks survivable.
+//
+// The monitor is strictly pull-based: sample() computes the band on demand
+// and schedules no simulation events, so an idle engine still drains its
+// event queue and a disabled monitor (the default) is byte-identical to a
+// build without one. Hysteresis keeps the band from flapping around a
+// threshold: a band is entered at its threshold but only left once the
+// signal falls `hysteresis` below it.
+#pragma once
+
+#include <deque>
+
+#include "common/types.h"
+
+namespace stark {
+
+class Cluster;
+
+// Ordered: later bands are worse. Comparisons rely on the ordering.
+enum class PressureBand { kGreen = 0, kYellow = 1, kRed = 2 };
+
+// Stable lower-case name ("green", "yellow", "red") for logs and JSON.
+const char* pressure_band_name(PressureBand band) noexcept;
+
+// Knobs for the pressure signal, wired through
+// ContextOptions::overload.pressure. Defaults keep the monitor off and the
+// engine byte-identical to a build without it.
+struct MemoryPressureOptions {
+  bool enabled = false;
+  // Mean cache utilization (used/capacity over alive servers) at which the
+  // band rises. Must satisfy 0 < yellow < red <= 1 when enabled.
+  double yellow_utilization = 0.75;
+  double red_utilization = 0.90;
+  // A band is left only once utilization drops this far below the
+  // threshold that entered it. Must be >= 0 and < yellow_utilization.
+  double hysteresis = 0.05;
+  // Sliding window (seconds) over which evictions are counted.
+  double eviction_window = 60.0;
+  // Eviction rate (per second, over the window) that forces Red on its
+  // own: the cache is thrashing regardless of instantaneous utilization.
+  double red_evictions_per_second = 8.0;
+};
+
+class MemoryPressureMonitor {
+ public:
+  MemoryPressureMonitor(const Cluster& cluster, MemoryPressureOptions options);
+
+  // Feed: one cache eviction happened at simulated time `now`. Wired to
+  // Cluster::add_eviction_observer by api::Context.
+  void on_eviction(SimTime now);
+
+  // Recomputes and returns the band as of `now`. Pull-based; no events.
+  PressureBand sample(SimTime now);
+
+  // Last band computed by sample() (Green before the first sample).
+  PressureBand band() const noexcept { return band_; }
+
+  // Introspection for benches and tests.
+  double last_utilization() const noexcept { return last_utilization_; }
+  double last_eviction_rate() const noexcept { return last_eviction_rate_; }
+
+ private:
+  double mean_utilization() const;
+
+  const Cluster* cluster_;
+  MemoryPressureOptions options_;
+  PressureBand band_ = PressureBand::kGreen;
+  double last_utilization_ = 0.0;
+  double last_eviction_rate_ = 0.0;
+  std::deque<SimTime> evictions_;  // timestamps within the sliding window
+};
+
+}  // namespace stark

@@ -56,6 +56,15 @@ enum class TraceKind : std::uint8_t {
   // followed by the matching kBlockEvict; `code` carries the policy's
   // EvictionPolicyKind as an int, kFlagSpilled marks victims moved to disk.
   kEvictionDecision,
+  // Overload protection (docs/FAULT_MODEL.md). kAdmissionVerdict is the
+  // instant the admission controller ruled on an arrival (`code` carries
+  // the AdmissionVerdict as an int, `job` the arrival, `dataset` its final
+  // dataset). kPressureBand marks a memory-pressure band transition
+  // observed by the scheduler (`code` = new PressureBand, `attempt` = old).
+  // kDeadlineExceeded is the instant a job's whole-job deadline fired.
+  kAdmissionVerdict,
+  kPressureBand,
+  kDeadlineExceeded,
 };
 
 const char* trace_kind_name(TraceKind kind);

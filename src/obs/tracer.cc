@@ -23,6 +23,9 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kBlockCorrupt: return "block-corrupt";
     case TraceKind::kCorruptionDetected: return "corruption-detected";
     case TraceKind::kEvictionDecision: return "eviction-decision";
+    case TraceKind::kAdmissionVerdict: return "admission-verdict";
+    case TraceKind::kPressureBand: return "pressure-band";
+    case TraceKind::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }

@@ -1,0 +1,131 @@
+#include "sched/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stark {
+
+const char* admission_policy_name(AdmissionPolicy policy) noexcept {
+  switch (policy) {
+    case AdmissionPolicy::kRejectNew:
+      return "reject-new";
+    case AdmissionPolicy::kShedOldest:
+      return "shed-oldest";
+    case AdmissionPolicy::kBlock:
+      return "block";
+  }
+  return "unknown";
+}
+
+const char* admission_verdict_name(AdmissionVerdict verdict) noexcept {
+  switch (verdict) {
+    case AdmissionVerdict::kAdmit:
+      return "admit";
+    case AdmissionVerdict::kQueue:
+      return "queue";
+    case AdmissionVerdict::kReject:
+      return "reject";
+    case AdmissionVerdict::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+int AdmissionController::effective_limit(PressureBand band) const noexcept {
+  double factor = 1.0;
+  if (band == PressureBand::kYellow) factor = options_.yellow_intake_factor;
+  if (band == PressureBand::kRed) factor = options_.red_intake_factor;
+  const int limit =
+      static_cast<int>(std::floor(options_.max_in_flight_jobs * factor));
+  return std::max(1, limit);
+}
+
+AdmissionController::Decision AdmissionController::admit(const std::string& app,
+                                                         JobId id,
+                                                         PressureBand band) {
+  auto [it, inserted] = apps_.try_emplace(app);
+  if (inserted) app_order_.push_back(app);
+  AppState& state = it->second;
+  Decision d;
+  if (state.in_flight < effective_limit(band) && state.queue.empty()) {
+    ++state.in_flight;
+    d.verdict = AdmissionVerdict::kAdmit;
+    return d;
+  }
+  if (options_.policy == AdmissionPolicy::kBlock ||
+      static_cast<int>(state.queue.size()) < options_.max_pending_jobs) {
+    state.queue.push_back(id);
+    d.verdict = AdmissionVerdict::kQueue;
+    return d;
+  }
+  if (options_.policy == AdmissionPolicy::kRejectNew) {
+    d.verdict = AdmissionVerdict::kReject;
+    return d;
+  }
+  // kShedOldest: drop the head of the queue, the arrival takes its place.
+  d.verdict = AdmissionVerdict::kShed;
+  d.shed = state.queue.front();
+  state.queue.pop_front();
+  state.queue.push_back(id);
+  return d;
+}
+
+void AdmissionController::release(const std::string& app) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return;
+  if (it->second.in_flight > 0) --it->second.in_flight;
+}
+
+bool AdmissionController::remove_pending(const std::string& app, JobId id) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return false;
+  auto& q = it->second.queue;
+  auto pos = std::find(q.begin(), q.end(), id);
+  if (pos == q.end()) return false;
+  q.erase(pos);
+  return true;
+}
+
+JobId AdmissionController::next_dispatchable(PressureBand band,
+                                             std::string* app_out) {
+  const int limit = effective_limit(band);
+  // Oldest arrival overall wins: job ids are minted monotonically, so the
+  // smallest queue front across apps with spare capacity is FIFO across
+  // the whole driver. app_order_ keeps the scan deterministic.
+  AppState* best = nullptr;
+  const std::string* best_app = nullptr;
+  for (const std::string& app : app_order_) {
+    AppState& state = apps_[app];
+    if (state.queue.empty() || state.in_flight >= limit) continue;
+    if (best == nullptr || state.queue.front() < best->queue.front()) {
+      best = &state;
+      best_app = &app;
+    }
+  }
+  if (best == nullptr) return kInvalidId;
+  const JobId id = best->queue.front();
+  best->queue.pop_front();
+  ++best->in_flight;
+  if (app_out != nullptr) *app_out = *best_app;
+  return id;
+}
+
+int AdmissionController::in_flight(const std::string& app) const noexcept {
+  auto it = apps_.find(app);
+  return it != apps_.end() ? it->second.in_flight : 0;
+}
+
+int AdmissionController::pending(const std::string& app) const noexcept {
+  auto it = apps_.find(app);
+  return it != apps_.end() ? static_cast<int>(it->second.queue.size()) : 0;
+}
+
+int AdmissionController::total_pending() const noexcept {
+  int n = 0;
+  for (const auto& [app, state] : apps_) {
+    n += static_cast<int>(state.queue.size());
+  }
+  return n;
+}
+
+}  // namespace stark

@@ -1,0 +1,133 @@
+// Driver-side admission control for overload protection.
+//
+// Every job submitted to the DagScheduler first passes through an
+// AdmissionController: at most `max_in_flight_jobs` jobs (scaled down under
+// memory pressure) are dispatched per app at once; arrivals beyond that
+// wait in a bounded per-app FIFO. When the queue is also full the
+// configured policy decides who pays:
+//
+//   * kRejectNew  — the arriving job is refused (JobStatus::kRejected).
+//   * kShedOldest — the oldest *queued* job of the app is dropped
+//                   (JobStatus::kShed) and the arrival takes its place;
+//                   freshest work wins, matching interactive sessions where
+//                   a stale queued query is worthless by the time it runs.
+//   * kBlock      — the queue is unbounded; nothing is refused, intake is
+//                   only throttled. Latency grows instead of loss.
+//
+// Rejected and shed jobs complete *synchronously* with completed=false and
+// the corresponding JobStatus, so callers always get their callback —
+// nothing ever vanishes. All knobs default off: with
+// `admission_enabled=false` the controller is never consulted and the
+// engine is byte-identical to a build without it.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/memory_pressure.h"
+#include "common/types.h"
+
+namespace stark {
+
+enum class AdmissionPolicy { kRejectNew, kShedOldest, kBlock };
+
+// Stable lower-case name ("reject-new", "shed-oldest", "block").
+const char* admission_policy_name(AdmissionPolicy policy) noexcept;
+
+// What the controller decided for one arrival. Numeric values appear as
+// the `code` of kAdmissionVerdict trace instants.
+enum class AdmissionVerdict { kAdmit = 0, kQueue = 1, kReject = 2, kShed = 3 };
+
+const char* admission_verdict_name(AdmissionVerdict verdict) noexcept;
+
+// Overload-protection knobs, wired through ContextOptions::overload and
+// mirrored into DagOptions::overload by api::Context. Defaults keep every
+// mechanism off and the engine byte-identical to a build without them.
+struct OverloadOptions {
+  // Master switch for admission control. Off: submit() dispatches
+  // unconditionally, exactly as before.
+  bool admission_enabled = false;
+  AdmissionPolicy policy = AdmissionPolicy::kRejectNew;
+  // Dispatched-but-unfinished jobs allowed per app before arrivals queue.
+  int max_in_flight_jobs = 64;
+  // Bound on the per-app pending queue (ignored by kBlock). Must be > 0
+  // when admission is enabled and the policy is not kBlock.
+  int max_pending_jobs = 256;
+  // Whole-job timeout in simulated seconds, measured from submission
+  // (queueing time counts). 0 disables deadlines. Works independently of
+  // admission_enabled.
+  double deadline_seconds = 0.0;
+  // Intake scaling under memory pressure: the effective in-flight limit is
+  // floor(max_in_flight_jobs * factor), at least 1. Must be in (0, 1].
+  double yellow_intake_factor = 1.0;
+  double red_intake_factor = 0.5;
+  MemoryPressureOptions pressure;
+};
+
+// Per-run overload counters, surfaced via DagScheduler::overload_stats()
+// and MetricsCollector::observe_overload().
+struct OverloadStats {
+  int jobs_admitted = 0;       // dispatched immediately on arrival
+  int jobs_queued = 0;         // parked in a pending queue at least once
+  int jobs_rejected = 0;       // refused under kRejectNew
+  int jobs_shed = 0;           // dropped from a queue under kShedOldest
+  int deadline_exceeded = 0;   // jobs cancelled by their deadline
+  int pressure_transitions = 0;  // band changes observed by the scheduler
+  int red_entries = 0;           // transitions into Red
+  void reset() noexcept { *this = OverloadStats{}; }
+};
+
+// Pure bookkeeping: per-app in-flight counts and pending FIFOs. The
+// DagScheduler owns one, consults it on submit, and releases slots as jobs
+// finish. Job payloads stay in the scheduler; the controller only tracks
+// ids, so deadline-driven removals are O(queue).
+class AdmissionController {
+ public:
+  explicit AdmissionController(const OverloadOptions& options)
+      : options_(options) {}
+
+  struct Decision {
+    AdmissionVerdict verdict = AdmissionVerdict::kAdmit;
+    // Under kShed: the queued job that was dropped to make room (already
+    // removed from its queue); the caller must close it as kShed.
+    JobId shed = kInvalidId;
+  };
+
+  // Decide for a new arrival and update state accordingly (kAdmit bumps
+  // the in-flight count, kQueue/kShed enqueue the id).
+  Decision admit(const std::string& app, JobId id, PressureBand band);
+
+  // A dispatched job finished (completed, failed, aborted, or timed out).
+  void release(const std::string& app);
+
+  // Remove a still-queued job (its deadline fired while waiting). Returns
+  // false if the id was not queued (already dispatched or closed).
+  bool remove_pending(const std::string& app, JobId id);
+
+  // Pop the next job allowed to dispatch now (FIFO across apps by job id,
+  // oldest arrival first among apps with capacity) and charge its slot.
+  // kInvalidId when nothing may dispatch. The caller receives the app via
+  // `app_out` and must start the job.
+  JobId next_dispatchable(PressureBand band, std::string* app_out);
+
+  // Effective in-flight limit under `band` (floor(max * factor), >= 1).
+  int effective_limit(PressureBand band) const noexcept;
+
+  int in_flight(const std::string& app) const noexcept;
+  int pending(const std::string& app) const noexcept;
+  int total_pending() const noexcept;
+
+ private:
+  struct AppState {
+    int in_flight = 0;
+    std::deque<JobId> queue;  // front = oldest arrival
+  };
+
+  OverloadOptions options_;
+  std::unordered_map<std::string, AppState> apps_;
+  std::vector<std::string> app_order_;  // first-seen order, for determinism
+};
+
+}  // namespace stark

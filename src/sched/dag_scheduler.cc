@@ -26,7 +26,8 @@ DagScheduler::DagScheduler(sim::Simulation& sim, Cluster& cluster,
             o.faults = options.faults;
             return o;
           }(),
-          [this](DatasetId id) { return groups_->ns_of_dataset(id); }) {
+          [this](DatasetId id) { return groups_->ns_of_dataset(id); }),
+      admission_(options.overload) {
   task_scheduler_.set_failure_stats(&stats_);
   // A fresh insert of a block whose corruption was detected earlier means
   // lineage recompute rewrote it clean: the corruption is repaired.
@@ -38,8 +39,8 @@ DagScheduler::DagScheduler(sim::Simulation& sim, Cluster& cluster,
       });
 }
 
-JobId DagScheduler::submit(DatasetPtr final, ActionType action,
-                           JobCallback cb) {
+JobId DagScheduler::submit(DatasetPtr final, ActionType action, JobCallback cb,
+                           std::string app) {
   if (final == nullptr) throw std::invalid_argument("submit: null dataset");
   const JobId id = next_job_id_++;
   auto job = std::make_unique<Job>();
@@ -47,6 +48,7 @@ JobId DagScheduler::submit(DatasetPtr final, ActionType action,
   job->action = action;
   job->final = std::move(final);
   job->cb = std::move(cb);
+  job->app = std::move(app);
   job->result.id = id;
   job->result.submit_time = sim_->now();
   Job& ref = *job;
@@ -60,6 +62,52 @@ JobId DagScheduler::submit(DatasetPtr final, ActionType action,
     tracer_->emit(e);
   }
 
+  // The deadline covers the job's whole driver-side lifetime, queueing
+  // included: an interactive caller does not care *where* its time went.
+  arm_deadline(ref);
+
+  if (!options_.overload.admission_enabled) {
+    ref.dispatched = true;
+    start_job(ref);
+    return id;
+  }
+
+  const PressureBand band = sample_pressure();
+  const AdmissionController::Decision d = admission_.admit(ref.app, id, band);
+  emit_admission_verdict(ref, d.verdict);
+  switch (d.verdict) {
+    case AdmissionVerdict::kAdmit:
+      ++overload_stats_.jobs_admitted;
+      ref.dispatched = true;
+      start_job(ref);
+      break;
+    case AdmissionVerdict::kQueue:
+      ++overload_stats_.jobs_queued;
+      ref.queued = true;
+      break;
+    case AdmissionVerdict::kReject:
+      ++overload_stats_.jobs_rejected;
+      close_undispatched(ref, JobStatus::kRejected,
+                         "rejected at admission (pending queue full)");
+      break;
+    case AdmissionVerdict::kShed: {
+      // The arrival took the queue slot of the app's oldest pending job;
+      // close the victim (its callback fires now, with kShed).
+      ++overload_stats_.jobs_queued;
+      ref.queued = true;
+      const auto vit = jobs_.find(d.shed);
+      if (vit != jobs_.end()) {
+        ++overload_stats_.jobs_shed;
+        close_undispatched(*vit->second, JobStatus::kShed,
+                           "shed from pending queue (shed-oldest)");
+      }
+      break;
+    }
+  }
+  return id;
+}
+
+void DagScheduler::start_job(Job& ref) {
   // Make the lineage known to the group manager (ns resolution for MCF).
   for (const auto& ds :
        collect_stage_chain(ref.final, [](DatasetId) { return false; })
@@ -73,7 +121,139 @@ JobId DagScheduler::submit(DatasetPtr final, ActionType action,
   // count: a completing map stage can append resubmission stages.
   const std::size_t built = ref.stages.size();
   for (std::size_t i = 0; i < built; ++i) maybe_launch(*ref.stages[i]);
-  return id;
+}
+
+void DagScheduler::close_undispatched(Job& job, JobStatus status,
+                                      std::string reason) {
+  if (job.done) return;
+  job.done = true;
+  job.queued = false;
+  job.result.completed = false;
+  job.result.status = status;
+  job.result.failure_reason = std::move(reason);
+  job.result.finish_time = sim_->now();
+  job.result.delay = job.result.finish_time - job.result.submit_time;
+  cancel_deadline(job.id);
+  if (obs::Tracer::active(tracer_)) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceKind::kJobFinish;
+    e.t0 = job.result.submit_time;
+    e.t1 = job.result.finish_time;
+    e.job = job.id;
+    tracer_->emit(e);  // no kFlagCompleted: the job never ran
+  }
+  const JobId id = job.id;
+  results_.emplace(id, job.result);
+  if (job.cb) {
+    auto cb = job.cb;
+    cb(results_.at(id));
+  }
+  jobs_.erase(id);  // `job` is dangling from here on
+}
+
+void DagScheduler::arm_deadline(Job& job) {
+  const double deadline = options_.overload.deadline_seconds;
+  if (deadline <= 0.0) return;
+  deadline_events_[job.id] =
+      sim_->after(deadline, [this, id = job.id] { on_deadline(id); });
+}
+
+void DagScheduler::cancel_deadline(JobId id) {
+  const auto it = deadline_events_.find(id);
+  if (it == deadline_events_.end()) return;
+  // Only cancel while our entry is live: EventIds are recycled, so a
+  // stale id could cancel an unrelated event.
+  sim_->cancel(it->second);
+  deadline_events_.erase(it);
+}
+
+void DagScheduler::on_deadline(JobId id) {
+  const auto evt = deadline_events_.find(id);
+  if (evt == deadline_events_.end()) return;  // job already closed
+  deadline_events_.erase(evt);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second->done) return;
+  Job& job = *it->second;
+  ++overload_stats_.deadline_exceeded;
+  if (obs::Tracer::active(tracer_)) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceKind::kDeadlineExceeded;
+    e.t0 = e.t1 = sim_->now();
+    e.job = id;
+    if (job.final) e.dataset = job.final->id();
+    tracer_->emit(e);
+  }
+  const std::string reason =
+      "deadline exceeded (" +
+      std::to_string(options_.overload.deadline_seconds) + " s)";
+  if (job.queued) {
+    admission_.remove_pending(job.app, id);
+    close_undispatched(job, JobStatus::kDeadlineExceeded, reason);
+  } else {
+    abort_job(job, reason, JobStatus::kDeadlineExceeded);
+  }
+}
+
+PressureBand DagScheduler::sample_pressure() {
+  if (!pressure_fn_) return last_band_;  // permanently Green when unwired
+  const PressureBand band = pressure_fn_();
+  if (band != last_band_) {
+    ++overload_stats_.pressure_transitions;
+    if (band == PressureBand::kRed) ++overload_stats_.red_entries;
+    if (obs::Tracer::active(tracer_)) {
+      obs::TraceEvent e;
+      e.kind = obs::TraceKind::kPressureBand;
+      e.t0 = e.t1 = sim_->now();
+      e.code = static_cast<std::int16_t>(band);
+      e.attempt = static_cast<int>(last_band_);
+      tracer_->emit(e);
+    }
+    // Degrade mode: Red suspends speculative copies (running ones keep
+    // racing); leaving Red lifts the suspension.
+    task_scheduler_.set_speculation_suspended(band == PressureBand::kRed);
+    last_band_ = band;
+  }
+  return band;
+}
+
+void DagScheduler::release_admission_slot(Job& job) {
+  if (!options_.overload.admission_enabled || !job.dispatched) return;
+  job.dispatched = false;
+  admission_.release(job.app);
+}
+
+void DagScheduler::drain_admission_queue() {
+  if (!options_.overload.admission_enabled || draining_admission_) return;
+  draining_admission_ = true;
+  const PressureBand band = sample_pressure();
+  std::string app;
+  JobId next;
+  while ((next = admission_.next_dispatchable(band, &app)) != kInvalidId) {
+    const auto it = jobs_.find(next);
+    if (it == jobs_.end()) {
+      // The queued job vanished without going through a close path; give
+      // the slot back rather than leak it.
+      admission_.release(app);
+      continue;
+    }
+    Job& job = *it->second;
+    job.queued = false;
+    job.dispatched = true;
+    start_job(job);
+  }
+  draining_admission_ = false;
+}
+
+void DagScheduler::emit_admission_verdict(const Job& job,
+                                          AdmissionVerdict verdict) {
+  if (!obs::Tracer::active(tracer_)) return;
+  obs::TraceEvent e;
+  e.kind = obs::TraceKind::kAdmissionVerdict;
+  e.t0 = e.t1 = sim_->now();
+  e.job = job.id;
+  e.code = static_cast<std::int16_t>(verdict);
+  if (job.final) e.dataset = job.final->id();
+  tracer_->emit(e);
 }
 
 DagScheduler::StageRun* DagScheduler::build_stage(
@@ -369,9 +549,12 @@ void DagScheduler::collect_stage_breakdowns(Job& job) {
 void DagScheduler::finish_job(Job& job) {
   job.done = true;
   job.result.completed = true;
+  job.result.status = JobStatus::kCompleted;
   job.result.finish_time = sim_->now();
   job.result.delay = job.result.finish_time - job.result.submit_time;
   collect_stage_breakdowns(job);
+  cancel_deadline(job.id);
+  release_admission_slot(job);
   if (obs::Tracer::active(tracer_)) {
     obs::TraceEvent e;
     e.kind = obs::TraceKind::kJobFinish;
@@ -383,15 +566,22 @@ void DagScheduler::finish_job(Job& job) {
     tracer_->emit(e);
   }
   ++jobs_completed_;
-  results_.emplace(job.id, job.result);
-  if (job.cb) job.cb(results_.at(job.id));
-  jobs_.erase(job.id);
+  const JobId id = job.id;
+  results_.emplace(id, job.result);
+  if (job.cb) {
+    auto cb = job.cb;
+    cb(results_.at(id));
+  }
+  jobs_.erase(id);  // `job` is dangling from here on
+  drain_admission_queue();
 }
 
-void DagScheduler::abort_job(Job& job, const std::string& reason) {
+void DagScheduler::abort_job(Job& job, const std::string& reason,
+                             JobStatus status) {
   if (job.done) return;
   job.done = true;
   job.result.completed = false;
+  job.result.status = status;
   job.result.failure_reason = reason;
   job.result.finish_time = sim_->now();
   job.result.delay = job.result.finish_time - job.result.submit_time;
@@ -407,6 +597,8 @@ void DagScheduler::abort_job(Job& job, const std::string& reason) {
   }
   ++stats_.jobs_aborted;
   STARK_LOG_INFO("job %d aborted: %s", job.id, reason.c_str());
+  cancel_deadline(job.id);
+  release_admission_slot(job);
   task_scheduler_.cancel_job(job.id);
   // The StageRuns die with the job below: drop any lineage charges their
   // completed-stage path never released (no-op for stages that did).
@@ -450,6 +642,7 @@ void DagScheduler::abort_job(Job& job, const std::string& reason) {
     }
     rebuild_shuffle(key, *wit->second.front()->job);
   }
+  drain_admission_queue();
 }
 
 void DagScheduler::rebuild_shuffle(const ShuffleKey& key, Job& owner) {

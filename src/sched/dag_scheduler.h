@@ -33,6 +33,7 @@
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
 #include "obs/tracer.h"
+#include "sched/admission.h"
 #include "sched/stage.h"
 #include "sched/task.h"
 #include "sched/task_scheduler.h"
@@ -67,6 +68,10 @@ struct DagOptions {
   // referenced-block lists, policy == kCostSize gates per-block
   // recompute-cost estimation at insert time.
   CachePolicyOptions cache;
+  // Overload protection: admission control, job deadlines and
+  // pressure-scaled intake (sched/admission.h). Mirrored from
+  // ContextOptions::overload by api::Context; all defaults off.
+  OverloadOptions overload;
 };
 
 // Cache-policy effectiveness counters, accumulated by the task planner's
@@ -89,8 +94,13 @@ class DagScheduler {
                LocalityManager& locality, GroupManager& groups,
                DagOptions options);
 
-  // Asynchronous submission; cb fires when the job completes.
-  JobId submit(DatasetPtr final, ActionType action, JobCallback cb = {});
+  // Asynchronous submission; cb fires when the job completes — including
+  // jobs the overload layer refuses (JobStatus::kRejected / kShed, whose
+  // callbacks fire synchronously inside submit) and jobs cancelled by
+  // their deadline (kDeadlineExceeded). `app` selects the admission
+  // controller's per-app queue; the empty string is the default app.
+  JobId submit(DatasetPtr final, ActionType action, JobCallback cb = {},
+               std::string app = {});
 
   // Submit and run the simulation until this job completes.
   JobResult run_job(DatasetPtr final, ActionType action = ActionType::kCount);
@@ -140,6 +150,24 @@ class DagScheduler {
   // cache-policy ablation bench).
   const CacheStats& cache_stats() const noexcept { return cache_stats_; }
   void reset_cache_stats() noexcept { cache_stats_.reset(); }
+
+  // --- overload protection --------------------------------------------------
+  // Cumulative admission/deadline/pressure counters (feed MetricsCollector
+  // and bench_overload).
+  const OverloadStats& overload_stats() const noexcept {
+    return overload_stats_;
+  }
+  void reset_overload_stats() noexcept { overload_stats_.reset(); }
+  // Memory-pressure source, polled on every submit and job completion.
+  // Null (the default) reads as permanently Green. api::Context wires it
+  // to a MemoryPressureMonitor when overload.pressure.enabled.
+  void set_pressure_fn(std::function<PressureBand()> fn) {
+    pressure_fn_ = std::move(fn);
+  }
+  // Band as of the last poll (Green before the first).
+  PressureBand pressure_band() const noexcept { return last_band_; }
+  // Admission introspection for tests and benches.
+  const AdmissionController& admission() const noexcept { return admission_; }
 
   // --- silent-data-corruption faults ---------------------------------------
   // Flip the checksum tag on one stored copy (cached replica, spilled copy,
@@ -208,7 +236,35 @@ class DagScheduler {
     std::vector<std::unique_ptr<StageRun>> stages;
     int stages_remaining = 0;
     bool done = false;
+    // Overload bookkeeping: the admission app the job was submitted under,
+    // whether it currently sits in a pending queue, and whether it was
+    // dispatched (and so holds an in-flight slot to release on close).
+    std::string app;
+    bool queued = false;
+    bool dispatched = false;
   };
+
+  // Dispatch a job past admission: build its stages and launch what is
+  // ready (the pre-overload submit() body).
+  void start_job(Job& job);
+  // Close a job that never dispatched (rejected, shed, or deadline-expired
+  // while queued): zero stages, finish_time == submit_time == now of close.
+  void close_undispatched(Job& job, JobStatus status, std::string reason);
+  // Deadline machinery. Events live in deadline_events_; an entry is erased
+  // by whichever of {handler fired, job finished, job aborted} comes first,
+  // so a recycled EventId is never cancelled by mistake.
+  void arm_deadline(Job& job);
+  void cancel_deadline(JobId id);
+  void on_deadline(JobId id);
+  // Poll the pressure signal; on a band change, count the transition, trace
+  // it, and toggle the task scheduler's degrade mode.
+  PressureBand sample_pressure();
+  // Release the job's admission slot (if it held one); called on every
+  // close path before the callback fires.
+  void release_admission_slot(Job& job);
+  // Dispatch queued jobs while capacity allows (called after closes).
+  void drain_admission_queue();
+  void emit_admission_verdict(const Job& job, AdmissionVerdict verdict);
 
   StageRun* build_stage(Job& job, const DatasetPtr& boundary,
                         std::optional<ShuffleEdge> output);
@@ -218,8 +274,10 @@ class DagScheduler {
   void finish_job(Job& job);
   // Terminates the job with completed=false; cancels its task sets, purges
   // its waiter registrations, and re-homes any map stage other jobs were
-  // waiting on.
-  void abort_job(Job& job, const std::string& reason);
+  // waiting on. `status` records why (kFailed, or kDeadlineExceeded when
+  // the whole-job deadline drove the cancel).
+  void abort_job(Job& job, const std::string& reason,
+                 JobStatus status = JobStatus::kFailed);
   TaskFailureAction on_task_failed(StageRun& stage, const TaskSpec& task,
                                    const TaskFailure& failure);
   // Builds (or rebuilds) the map stage for `key` under `owner` and launches
@@ -291,6 +349,13 @@ class DagScheduler {
       pending_shuffle_repair_;
   FailureStats stats_;
   CacheStats cache_stats_;
+  // Overload protection (all inert while DagOptions::overload defaults).
+  AdmissionController admission_;
+  OverloadStats overload_stats_;
+  std::function<PressureBand()> pressure_fn_;
+  PressureBand last_band_ = PressureBand::kGreen;
+  std::unordered_map<JobId, sim::EventId> deadline_events_;
+  bool draining_admission_ = false;
   std::unordered_map<DatasetId, Bytes> checkpointed_;
   Bytes checkpoint_bytes_ = 0.0;
   Bytes shuffle_bytes_ = 0.0;

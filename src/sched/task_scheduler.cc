@@ -479,7 +479,7 @@ void TaskScheduler::discard_run(std::uint64_t run_id) {
 }
 
 void TaskScheduler::maybe_speculate(const std::shared_ptr<ActiveSet>& set) {
-  if (!options_.speculation) return;
+  if (!options_.speculation || speculation_suspended_) return;
   const std::size_t n = set->ts->tasks.size();
   if (set->finished_durations.size() <
       static_cast<std::size_t>(options_.speculation_quantile *
@@ -760,6 +760,19 @@ void TaskScheduler::fail(std::uint64_t run_id, TaskFailureKind kind) {
     tracer_->emit(e);
   }
 
+  const auto& siblings =
+      set->runs_by_index[static_cast<std::size_t>(run.index)];
+  if (!siblings.empty()) {
+    // A speculative copy is still running; let it race. The task_failed
+    // notification is deliberately skipped: its driver-side accounting
+    // (fetch-failure counters, stage-attempt bumps, shuffle rebuilds) must
+    // fire once per *logical* failure, and the surviving copy's outcome
+    // decides whether the stage actually failed. Notifying here too made
+    // an original + speculative pair that both hit FetchFailed charge the
+    // failure wave twice.
+    schedule();
+    return;
+  }
   TaskFailureAction action = TaskFailureAction::kRetry;
   if (set->ts->task_failed) {
     TaskFailure failure;
@@ -775,13 +788,6 @@ void TaskScheduler::fail(std::uint64_t run_id, TaskFailureKind kind) {
     action = set->ts->task_failed(task, failure);
   }
   if (set->aborted) {  // the callback may have aborted the whole job
-    schedule();
-    return;
-  }
-  const auto& siblings =
-      set->runs_by_index[static_cast<std::size_t>(run.index)];
-  if (!siblings.empty()) {
-    // A speculative copy is still running; let it race.
     schedule();
     return;
   }

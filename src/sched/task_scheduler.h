@@ -244,6 +244,17 @@ class TaskScheduler {
   // Null or disabled costs one pointer test per choke point.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  // Degrade mode under memory pressure (Red band): speculative copies are
+  // temporarily not launched even with Options::speculation on. Flipped by
+  // the DagScheduler on pressure-band transitions; already-running
+  // speculative copies keep racing.
+  void set_speculation_suspended(bool suspended) noexcept {
+    speculation_suspended_ = suspended;
+  }
+  bool speculation_suspended() const noexcept {
+    return speculation_suspended_;
+  }
+
   std::size_t running_tasks() const noexcept { return running_.size(); }
   std::size_t pending_task_sets() const noexcept { return task_sets_.size(); }
   // Logical tasks completed (winning copies only), across all sets ever run.
@@ -428,6 +439,7 @@ class TaskScheduler {
   int active_disk_flows_ = 0;
   int speculative_launches_ = 0;
   int speculative_wins_ = 0;
+  bool speculation_suspended_ = false;
   int app_exclusions_ = 0;
   std::uint64_t next_run_id_ = 0;
   std::uint64_t tasks_completed_ = 0;

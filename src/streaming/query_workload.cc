@@ -24,7 +24,11 @@ void QueryWorkload::start(SimTime start, SimTime end) {
 
 void QueryWorkload::schedule_next(SimTime at, SimTime end) {
   auto& sim = dag_->sim();
-  const double lambda = std::max(1e-9, config_.rate(at));
+  double lambda = std::max(1e-9, config_.rate(at));
+  if (config_.surge_factor != 1.0 && at >= config_.surge_start &&
+      at < config_.surge_end) {
+    lambda *= config_.surge_factor;
+  }
   const SimTime next = at + rng_.exponential(lambda);
   if (next >= end) return;
   sim.at(next, [this, next, end] {
@@ -69,11 +73,19 @@ void QueryWorkload::issue_query() {
 
   ++issued_;
   if (!config_.cache_cogroup) {
-    dag_->submit(region, ActionType::kCount, [this](const JobResult& r) {
+    dag_->submit(region, ActionType::kCount,
+                 [this](const JobResult& r) {
+      if (!r.completed) {
+        ++failed_;
+        return;  // rejected/shed/timed-out/aborted: no delay to record
+      }
       ++completed_;
       delays_.add(r.delay);
       series_.add(r.submit_time, r.delay);
-    });
+      if (config_.slo_seconds > 0.0 && r.delay <= config_.slo_seconds) {
+        ++completed_within_slo_;
+      }
+    }, config_.app);
     return;
   }
 
@@ -84,6 +96,10 @@ void QueryWorkload::issue_query() {
   grouped->cache(Dataset::StorageLevel::kMemorySerialized);
   dag_->submit(region, ActionType::kCount,
                [this, grouped](const JobResult& first) {
+    if (!first.completed) {
+      ++failed_;  // the whole session is lost; skip the follow-up
+      return;
+    }
     const std::uint32_t grid =
         1u << static_cast<std::uint32_t>(config_.grid_bits);
     const std::uint32_t edge = std::min<std::uint32_t>(
@@ -102,12 +118,23 @@ void QueryWorkload::issue_query() {
     auto follow_up = grouped->filter(std::move(spec), "query.region2");
     dag_->submit(follow_up, ActionType::kCount,
                  [this, first](const JobResult& second) {
+      if (!second.completed) {
+        ++failed_;
+        return;
+      }
       ++completed_;
       const double total = first.delay + second.delay;
       delays_.add(total);
       series_.add(first.submit_time, total);
-    });
-  });
+      if (config_.slo_seconds > 0.0 && total <= config_.slo_seconds) {
+        ++completed_within_slo_;
+      }
+      // Follow-ups ride their own admission lane (per-app queues): a fresh
+      // arrival must never shed the second half of a session the cluster
+      // already paid for job one of — that wastes the work and collapses
+      // goodput quadratically with offered load.
+    }, config_.app.empty() ? config_.app : config_.app + ".followup");
+  }, config_.app);
 }
 
 }  // namespace stark

@@ -36,6 +36,19 @@ class QueryWorkload {
     // cost-aware eviction policies exploit and recency-only eviction keeps
     // pinned at the MRU end of the cache.
     bool cache_cogroup = false;
+    // Open-loop surge: while t is in [surge_start, surge_end) the
+    // instantaneous arrival rate is multiplied by surge_factor. 1.0 means
+    // no surge and leaves the arrival process byte-identical.
+    double surge_factor = 1.0;
+    SimTime surge_start = 0.0;
+    SimTime surge_end = 0.0;
+    // Session SLO in seconds: completed sessions whose total delay is
+    // within it count toward completed_within_slo() ("goodput" in
+    // bench_overload). 0 disables the tally.
+    double slo_seconds = 0.0;
+    // App label passed to DagScheduler::submit — admission control
+    // bounds queues per app (empty = the default app).
+    std::string app;
     std::uint64_t seed = 11;
     // Exact region filtering via Z-key predicate; disable for large sweeps
     // (selectivity is then approximated by the region's area fraction).
@@ -54,7 +67,11 @@ class QueryWorkload {
   void start(SimTime start, SimTime end);
 
   int issued() const noexcept { return issued_; }
+  // Sessions whose every job completed; failed/rejected/shed/timed-out
+  // sessions land in failed() instead and record no delay.
   int completed() const noexcept { return completed_; }
+  int failed() const noexcept { return failed_; }
+  int completed_within_slo() const noexcept { return completed_within_slo_; }
   const Distribution& delays() const noexcept { return delays_; }
   const TimeSeries& delay_series() const noexcept { return series_; }
 
@@ -69,6 +86,8 @@ class QueryWorkload {
   Rng rng_;
   int issued_ = 0;
   int completed_ = 0;
+  int failed_ = 0;
+  int completed_within_slo_ = 0;
   Distribution delays_;
   TimeSeries series_;
 };

@@ -246,6 +246,37 @@ TEST(Chaos, CorruptionRateRequiresAnEnabledClass) {
                std::invalid_argument);
 }
 
+TEST(Chaos, OverloadBurstsSubmitJobsThroughTheDriver) {
+  Context ctx(opts());
+  auto part = ctx.collection_partitioner(8, 256);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  const int before = ctx.dag().jobs_completed();
+  int factory_calls = 0;
+  ChaosInjector chaos(ctx, {.failures_per_hour = 0.0,
+                            .overload_bursts_per_hour = 3600.0,
+                            .overload_burst_jobs = 4,
+                            .overload_job_factory =
+                                [&]() -> DatasetPtr {
+                                  ++factory_calls;
+                                  // Every other job is skipped (null
+                                  // dataset) without aborting the burst.
+                                  return factory_calls % 2 == 0
+                                             ? nullptr
+                                             : ds->filter({.selectivity = 0.1});
+                                },
+                            .seed = 13});
+  const SimTime t0 = ctx.sim().now();
+  chaos.start(t0, t0 + 5.0);
+  ctx.sim().run();
+  EXPECT_GE(chaos.overloads(), 1);
+  EXPECT_EQ(factory_calls, 4 * chaos.overloads());
+  // Each burst lands burst_jobs/2 real jobs (the other half returned null),
+  // all of which run to completion through the ordinary driver path.
+  EXPECT_EQ(ctx.dag().jobs_completed() - before,
+            2 * chaos.overloads());
+  EXPECT_EQ(ctx.dag().active_jobs(), 0);
+}
+
 TEST(Chaos, GrayFailureModesFire) {
   ContextOptions o = opts();
   o.cluster.servers_per_rack = 3;  // two racks: partitions can spare one

@@ -301,6 +301,70 @@ TEST(ContextOptionsValidate, RejectsBadExclusionKnobsOnlyWhenEnabled) {
   EXPECT_NO_THROW(o.validate());
 }
 
+TEST(ContextOptionsValidate, RejectsNegativeDeadline) {
+  ContextOptions o = valid();
+  o.overload.deadline_seconds = -1.0;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+TEST(ContextOptionsValidate, RejectsBadAdmissionBoundsOnlyWhenEnabled) {
+  ContextOptions o = valid();
+  o.overload.max_in_flight_jobs = 0;
+  o.overload.admission_enabled = true;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+  o.overload.admission_enabled = false;  // knob is dormant: accepted
+  EXPECT_NO_THROW(o.validate());
+}
+
+TEST(ContextOptionsValidate, RejectsZeroPendingQueueUnlessBlocking) {
+  ContextOptions o = valid();
+  o.overload.admission_enabled = true;
+  o.overload.max_pending_jobs = 0;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+  // kBlock ignores the pending bound; 0 is then harmless.
+  o.overload.policy = AdmissionPolicy::kBlock;
+  EXPECT_NO_THROW(o.validate());
+}
+
+TEST(ContextOptionsValidate, RejectsIntakeFactorsOutsideUnitInterval) {
+  ContextOptions o = valid();
+  o.overload.admission_enabled = true;
+  o.overload.yellow_intake_factor = 0.0;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+  o.overload.yellow_intake_factor = 1.0;
+  o.overload.red_intake_factor = 1.5;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+TEST(ContextOptionsValidate, RejectsUnorderedPressureThresholds) {
+  ContextOptions o = valid();
+  o.overload.pressure.enabled = true;
+  o.overload.pressure.yellow_utilization = 0.9;
+  o.overload.pressure.red_utilization = 0.8;  // yellow must be below red
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+  o.overload.pressure.yellow_utilization = 0.7;
+  o.overload.pressure.red_utilization = 1.2;  // red must be <= 1
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+TEST(ContextOptionsValidate, RejectsBadPressureWindowAndHysteresis) {
+  ContextOptions o = valid();
+  o.overload.pressure.enabled = true;
+  o.overload.pressure.hysteresis = 0.8;  // >= yellow: bands could not clear
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+  o = valid();
+  o.overload.pressure.enabled = true;
+  o.overload.pressure.eviction_window = 0.0;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+  o = valid();
+  o.overload.pressure.enabled = true;
+  o.overload.pressure.red_evictions_per_second = 0.0;
+  EXPECT_THROW(Context{o}, std::invalid_argument);
+  // Dormant pressure knobs are accepted, PR2-style.
+  o.overload.pressure.enabled = false;
+  EXPECT_NO_THROW(o.validate());
+}
+
 TEST(ContextOptionsValidate, RejectsTracingWithNoSink) {
   ContextOptions o = valid();
   o.trace.enabled = true;
@@ -338,6 +402,24 @@ TEST(ChaosConfigValidate, RejectsBadRatesAndProbabilities) {
                std::invalid_argument);
   EXPECT_THROW(ChaosInjector(ctx, {.slow_cpu_factor = 0.5}),
                std::invalid_argument);
+}
+
+TEST(ChaosConfigValidate, RejectsBadOverloadBurstConfig) {
+  Context ctx(opts(ConfigKind::kStarkH));
+  EXPECT_THROW(ChaosInjector(ctx, {.overload_bursts_per_hour = -1.0}),
+               std::invalid_argument);
+  // A positive burst rate needs a job factory to generate load with.
+  EXPECT_THROW(ChaosInjector(ctx, {.overload_bursts_per_hour = 1.0}),
+               std::invalid_argument);
+  auto part = ctx.collection_partitioner(4, 64);
+  auto ds = ctx.ingest("d", hist(4 * kMiB), part, "logs");
+  EXPECT_THROW(ChaosInjector(ctx, {.overload_bursts_per_hour = 1.0,
+                                   .overload_burst_jobs = 0,
+                                   .overload_job_factory = [ds] { return ds; }}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(
+      ChaosInjector(ctx, {.overload_bursts_per_hour = 1.0,
+                          .overload_job_factory = [ds] { return ds; }}));
 }
 
 }  // namespace

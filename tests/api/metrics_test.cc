@@ -217,5 +217,33 @@ TEST(Metrics, ResetClearsFailureSnapshotToo) {
   EXPECT_EQ(metrics.cache_insertions(), 0);
 }
 
+TEST(Metrics, SurfacesOverloadCounters) {
+  ContextOptions o;
+  o.config = ConfigKind::kStarkH;
+  o.cluster.num_servers = 4;
+  o.overload.admission_enabled = true;
+  o.overload.max_in_flight_jobs = 1;
+  o.overload.max_pending_jobs = 1;
+  Context ctx(o);
+  MetricsCollector metrics(ctx.cluster());
+  auto part = ctx.collection_partitioner(8, 256);
+  auto ds = ctx.ingest("d", hist(), part, "logs", {.materialize = false});
+  // Three synchronous submits against a 1-slot / 1-pending app: the third
+  // is rejected at the door.
+  for (int i = 0; i < 3; ++i) {
+    ctx.dag().submit(ds, ActionType::kCount, [](const JobResult&) {});
+  }
+  ctx.sim().run();
+  metrics.observe_overload(ctx.dag().overload_stats());
+  EXPECT_EQ(metrics.jobs_admitted(), 1);
+  EXPECT_EQ(metrics.jobs_queued(), 1);
+  EXPECT_EQ(metrics.jobs_rejected(), 1);
+  EXPECT_EQ(metrics.jobs_shed(), 0);
+  EXPECT_NE(metrics.summary().find("rejected 1"), std::string::npos);
+  metrics.reset();
+  EXPECT_EQ(metrics.jobs_admitted(), 0);
+  EXPECT_EQ(metrics.jobs_rejected(), 0);
+}
+
 }  // namespace
 }  // namespace stark

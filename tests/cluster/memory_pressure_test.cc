@@ -1,0 +1,99 @@
+// MemoryPressureMonitor: hysteresis-banded utilization signal plus an
+// eviction-rate trigger that forces Red when the cache is thrashing.
+#include "cluster/memory_pressure.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace stark {
+namespace {
+
+class MemoryPressureTest : public ::testing::Test {
+ protected:
+  MemoryPressureTest() {
+    ClusterConfig cc;
+    cc.num_servers = 2;
+    cc.server.ram = 1000.0;
+    cc.server.storage_fraction = 1.0;  // capacity = 1000 bytes per server
+    cluster_ = std::make_unique<Cluster>(cc);
+  }
+
+  // Pins mean utilization: the same number of bytes on every server.
+  void fill(Bytes bytes_per_server) {
+    for (ServerId s = 0; s < cluster_->size(); ++s) {
+      cluster_->server(s).storage().insert({1, static_cast<int>(s)},
+                                           bytes_per_server);
+    }
+  }
+
+  MemoryPressureOptions enabled() {
+    MemoryPressureOptions o;
+    o.enabled = true;
+    return o;  // yellow 0.75, red 0.90, hysteresis 0.05, red rate 8/s
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(MemoryPressureTest, NamesAreStable) {
+  EXPECT_STREQ(pressure_band_name(PressureBand::kGreen), "green");
+  EXPECT_STREQ(pressure_band_name(PressureBand::kYellow), "yellow");
+  EXPECT_STREQ(pressure_band_name(PressureBand::kRed), "red");
+}
+
+TEST_F(MemoryPressureTest, BandsFollowMeanUtilization) {
+  MemoryPressureMonitor mon(*cluster_, enabled());
+  EXPECT_EQ(mon.sample(0.0), PressureBand::kGreen);  // empty stores
+  fill(760.0);  // 76%
+  EXPECT_EQ(mon.sample(1.0), PressureBand::kYellow);
+  EXPECT_DOUBLE_EQ(mon.last_utilization(), 0.76);
+  fill(910.0);  // 91%
+  EXPECT_EQ(mon.sample(2.0), PressureBand::kRed);
+  EXPECT_EQ(mon.band(), PressureBand::kRed);
+}
+
+TEST_F(MemoryPressureTest, HysteresisHoldsTheBandNearTheThreshold) {
+  MemoryPressureMonitor mon(*cluster_, enabled());
+  fill(910.0);
+  ASSERT_EQ(mon.sample(0.0), PressureBand::kRed);
+  // Just below the entry threshold but inside the hysteresis gap: stays
+  // Red instead of flapping.
+  fill(870.0);  // 87% >= 90% - 5%
+  EXPECT_EQ(mon.sample(1.0), PressureBand::kRed);
+  // Below the gap: drops one band, and the same gap now guards Yellow.
+  fill(840.0);  // 84% < 85%, but >= 75% - pressure stays Yellow
+  EXPECT_EQ(mon.sample(2.0), PressureBand::kYellow);
+  fill(710.0);  // 71% >= 70%: inside Yellow's hysteresis gap
+  EXPECT_EQ(mon.sample(3.0), PressureBand::kYellow);
+  fill(690.0);  // 69% < 70%: finally clears
+  EXPECT_EQ(mon.sample(4.0), PressureBand::kGreen);
+}
+
+TEST_F(MemoryPressureTest, EvictionStormForcesRedAndDecaysWithTheWindow) {
+  MemoryPressureOptions o = enabled();
+  o.eviction_window = 10.0;
+  o.red_evictions_per_second = 5.0;
+  MemoryPressureMonitor mon(*cluster_, o);
+  // 60 evictions in the first second: rate 6/s over the 10 s window,
+  // utilization still ~0 — Red purely from thrash.
+  for (int i = 0; i < 60; ++i) mon.on_eviction(0.01 * i);
+  EXPECT_EQ(mon.sample(1.0), PressureBand::kRed);
+  EXPECT_DOUBLE_EQ(mon.last_eviction_rate(), 6.0);
+  // The window slides past the burst and the rate collapses to zero.
+  EXPECT_EQ(mon.sample(20.0), PressureBand::kGreen);
+  EXPECT_DOUBLE_EQ(mon.last_eviction_rate(), 0.0);
+}
+
+TEST_F(MemoryPressureTest, DeadServersLeaveTheMean) {
+  MemoryPressureMonitor mon(*cluster_, enabled());
+  // Server 0 full, server 1 empty: mean 50%, Green.
+  cluster_->server(0).storage().insert({1, 0}, 1000.0);
+  EXPECT_EQ(mon.sample(0.0), PressureBand::kGreen);
+  // Kill the empty server: the mean over alive servers jumps to 100%.
+  cluster_->kill_server(1);
+  EXPECT_EQ(mon.sample(1.0), PressureBand::kRed);
+}
+
+}  // namespace
+}  // namespace stark

@@ -156,5 +156,35 @@ TEST_F(SpeculationTest, FailureOfOriginalLeavesCopyRunning) {
   EXPECT_EQ(straggler_completions, 1);
 }
 
+TEST_F(SpeculationTest, FailureWithLiveCopyDoesNotNotifyTheDriver) {
+  reset({.mcf = false,
+         .locality_wait = 0.0,
+         .speculation = true,
+         .speculation_multiplier = 1.5,
+         .speculation_quantile = 0.5});
+  auto ts = straggler_set(8, /*slow_server=*/0);
+  int driver_notifications = 0;
+  ts->task_failed = [&](const TaskSpec&, const TaskFailure&) {
+    ++driver_notifications;
+    return TaskFailureAction::kRetry;
+  };
+  sched_->submit(ts);
+  // Wait for the whole fast wave, not just the copy launch: a fast task
+  // with a pending completion on server 0 would die sibling-less in the
+  // kill and notify legitimately.
+  sim_->run_until([&] {
+    return sched_->speculative_launches() >= 1 && done_.size() >= 7;
+  });
+  cluster_->kill_server(0);
+  sched_->handle_server_failure(0);
+  sim_->run();
+  ASSERT_TRUE(set_done_);
+  // The original's failure had a speculative sibling still racing: the
+  // logical task was never in jeopardy, so the driver-side failure
+  // notification must not fire. Notifying anyway double-counted
+  // fetch-failure waves (and bumped stage attempts) once per copy.
+  EXPECT_EQ(driver_notifications, 0);
+}
+
 }  // namespace
 }  // namespace stark
