@@ -56,7 +56,7 @@ Outcome run(double wait) {
   for (int burst = 0; burst < 8; ++burst) {
     for (int q = 0; q < 5; ++q) {
       auto cg = Dataset::cogroup(inputs, part);
-      dag.submit(cg->filter({.selectivity = 0.05}), ActionType::kCount,
+      dag.submit(cg->filter({.selectivity = 0.05}), ActionType::kCount, {},
                  [&](const JobResult& r) {
                    delays.add(r.delay);
                    local += r.node_local_tasks;

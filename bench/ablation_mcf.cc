@@ -64,7 +64,7 @@ Outcome run_with_mcf(bool mcf_on) {
     for (int q = 0; q < 6; ++q) {
       auto cg = Dataset::cogroup(inputs, part);
       auto filtered = cg->filter({.selectivity = 0.12});
-      dag.submit(filtered, ActionType::kCount,
+      dag.submit(filtered, ActionType::kCount, {},
                  [&delays, &done](const JobResult& r) {
                    delays.add(r.delay);
                    ++done;

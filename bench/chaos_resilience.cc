@@ -81,7 +81,8 @@ RunResult run(ConfigKind kind, bool with_chaos, bool verify_reads = false,
     ctx.sim().at(t0 + kJobSpacing * q, [&] {
       auto cg = Dataset::cogroup(inputs, part, "bench.cogroup");
       auto filtered = cg->filter({.selectivity = 0.1}, "bench.region");
-      ctx.dag().submit(filtered, ActionType::kCount, [&](const JobResult& r) {
+      ctx.dag().submit(filtered, ActionType::kCount, {},
+                       [&](const JobResult& r) {
         if (r.completed) {
           ++res.completed;
         } else {

@@ -121,7 +121,7 @@ ModeResult run_point(const SweepPoint& p, bool protect) {
   qc.region_cells = 16;
   qc.cache_cogroup = true;  // two-job interactive sessions
   qc.slo_seconds = kSloSeconds;
-  qc.app = "queries";
+  qc.tenant = "queries";
   qc.seed = 17;
   QueryWorkload wl(stream, ctx.dag(), qc,
                    [shared](const std::vector<DatasetPtr>&) { return shared; });

@@ -173,7 +173,8 @@ ScenarioResult backlog_storm(double scale) {
     ctx.sim().at(at, [&] {
       auto cg = Dataset::cogroup(inputs, part, "storm.cogroup");
       auto filtered = cg->filter({.selectivity = 0.1}, "storm.filter");
-      ctx.dag().submit(filtered, ActionType::kCount, [&](const JobResult& res) {
+      ctx.dag().submit(filtered, ActionType::kCount, {},
+                       [&](const JobResult& res) {
         if (res.completed) {
           ++completed;
         } else {
@@ -313,7 +314,74 @@ ScenarioResult chaos_soak(double scale) {
     ctx.sim().at(t0 + kSpacing * q, [&] {
       auto cg = Dataset::cogroup(inputs, part, "soak.cogroup");
       auto filtered = cg->filter({.selectivity = 0.1}, "soak.filter");
-      ctx.dag().submit(filtered, ActionType::kCount, [&](const JobResult& res) {
+      ctx.dag().submit(filtered, ActionType::kCount, {},
+                       [&](const JobResult& res) {
+        if (res.completed) {
+          ++completed;
+        } else {
+          ++aborted;
+        }
+      });
+    });
+  }
+  ctx.sim().run();
+
+  r.wall_seconds = wall.seconds();
+  r.sim_seconds = ctx.sim().now() - t0;
+  r.events = ctx.sim().executed_events();
+  r.tasks = ctx.dag().tasks().tasks_completed();
+  r.jobs_completed = completed;
+  r.jobs_aborted = aborted;
+  r.rss_growth_mib = std::max(0.0, peak_rss_mib() - rss0);
+  return r;
+}
+
+// --- multitenant_fanout ------------------------------------------------------
+// Fair-share scheduling overhead at high tenant counts: 24 tenants with
+// mixed weights hammer one collection concurrently, so every scheduling
+// pass scans the per-tenant ready buckets and every completion rebalances
+// the weighted shares. Gates the tenant bookkeeping added in PR 7.
+ScenarioResult multitenant_fanout(double scale) {
+  ScenarioResult r;
+  r.name = "multitenant_fanout";
+  const double rss0 = peak_rss_mib();
+  WallTimer wall;
+
+  constexpr int kServers = 16;
+  constexpr int kPartitions = 32;
+  constexpr int kTenants = 24;
+  const int jobs = static_cast<int>(10000 * std::max(0.05, scale));
+  constexpr double kSpacing = 0.05;
+
+  ContextOptions o = bench::paper_cluster(ConfigKind::kStarkH, kServers);
+  o.detail_task_metrics = false;
+  o.tenants.fair_share = true;
+  for (int t = 0; t < kTenants; ++t) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "t%02d", t);
+    o.tenants.tenants.push_back(
+        {name, t % 3 == 0 ? 2.0 : 1.0, 0.0, 0, 0});
+  }
+  Context ctx(o);
+  auto part = ctx.collection_partitioner(kPartitions, 4096);
+  std::vector<DatasetPtr> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(ctx.ingest("mt" + std::to_string(i),
+                                bench::wiki_hourly(i, 200 * kMiB), part,
+                                "mt"));
+  }
+
+  const SimTime t0 = ctx.sim().now();
+  int completed = 0;
+  int aborted = 0;
+  for (int q = 0; q < jobs; ++q) {
+    ctx.sim().at(t0 + kSpacing * q, [&, q] {
+      auto cg = Dataset::cogroup(inputs, part, "mt.cogroup");
+      auto filtered = cg->filter({.selectivity = 0.1}, "mt.filter");
+      ctx.dag().submit(filtered, ActionType::kCount,
+                       SubmitOptions{.tenant = o.tenants.tenants[
+                           static_cast<std::size_t>(q % kTenants)].name},
+                       [&](const JobResult& res) {
         if (res.completed) {
           ++completed;
         } else {
@@ -376,10 +444,12 @@ int main(int argc, char** argv) {
 
   std::vector<ScenarioResult> results;
   const char* running[] = {"event_churn", "backlog_storm",
-                           "fig19_constant_rate", "chaos_soak"};
+                           "fig19_constant_rate", "chaos_soak",
+                           "multitenant_fanout"};
   ScenarioResult (*fns[])(double) = {event_churn, backlog_storm,
-                                     fig19_constant_rate, chaos_soak};
-  for (std::size_t i = 0; i < 4; ++i) {
+                                     fig19_constant_rate, chaos_soak,
+                                     multitenant_fanout};
+  for (std::size_t i = 0; i < 5; ++i) {
     if (only != nullptr && std::strcmp(only, running[i]) != 0) continue;
     std::fprintf(stderr, "[perf_regression] %s...\n", running[i]);
     results.push_back(fns[i](scale));

@@ -237,7 +237,8 @@ void ChaosInjector::inject_overload() {
   for (int i = 0; i < config_.overload_burst_jobs; ++i) {
     DatasetPtr ds = config_.overload_job_factory();
     if (ds == nullptr) continue;  // factory declined this one job
-    ctx_->dag().submit(ds, ActionType::kCount, {}, "chaos-overload");
+    ctx_->dag().submit(ds, ActionType::kCount,
+                       SubmitOptions{.tenant = "chaos-overload"});
   }
   ++overloads_;
 }

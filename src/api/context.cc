@@ -20,6 +20,20 @@ namespace {
 // cluster hangs the first job, inverted heartbeat times never detect).
 ContextOptions validated(ContextOptions o) {
   o.validate();
+  // Mirror per-tenant cache quotas into the block stores' options. Tenant
+  // ids are dense: 0 is the default tenant (never quota'd here), configured
+  // tenant i gets id i+1 (the TenantRegistry mints them in the same order).
+  bool any_quota = false;
+  for (const TenantOptions& t : o.tenants.tenants) {
+    any_quota = any_quota || t.cache_quota > 0.0;
+  }
+  if (any_quota) {
+    auto& fractions = o.cluster.cache.tenant_quota_fractions;
+    fractions.assign(o.tenants.tenants.size() + 1, 0.0);
+    for (std::size_t i = 0; i < o.tenants.tenants.size(); ++i) {
+      fractions[i + 1] = o.tenants.tenants[i].cache_quota;
+    }
+  }
   return o;
 }
 
@@ -139,6 +153,11 @@ void ContextOptions::validate() const {
              std::to_string(p.red_evictions_per_second) + ")");
     }
   }
+  try {
+    tenants.validate();
+  } catch (const std::invalid_argument& e) {
+    reject(std::string("tenants: ") + e.what());
+  }
   if (trace.effective_enabled() && trace.ring_capacity == 0 &&
       !trace.aggregate && trace.chrome_path.empty()) {
     reject("trace enabled but no sink configured (ring_capacity = 0, "
@@ -183,6 +202,7 @@ Context::Context(ContextOptions options)
   // pin_running_blocks needs referenced-block lists in every task plan.
   dag_opts.cache = options_.cluster.cache;
   dag_opts.overload = options_.overload;
+  dag_opts.tenants = options_.tenants;
   dag_ = std::make_unique<DagScheduler>(sim_, cluster_, options_.cost,
                                         locality_, groups_, dag_opts);
   dag_->set_tracer(tracer_.get());

@@ -63,6 +63,13 @@ struct ContextOptions {
   // off; simulated timelines are then byte-identical to a build without
   // the overload layer.
   OverloadOptions overload;
+  // Multi-tenant cluster sharing: named tenants with fair-share weights,
+  // cache quotas and per-tenant admission limits (sched/tenant.h,
+  // docs/MULTITENANCY.md). Empty (the default) = single anonymous tenant;
+  // timelines are then byte-identical to a build without the tenant layer.
+  // Tenants with cache_quota > 0 are mirrored into
+  // cluster.cache.tenant_quota_fractions at construction.
+  MultiTenantOptions tenants;
   // Structured tracing (see obs/tracer.h and docs/OBSERVABILITY.md).
   // Disabled by default: the engine pays one pointer test per choke point
   // and simulated timelines are bit-identical either way.

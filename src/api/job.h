@@ -35,6 +35,27 @@ enum class JobStatus {
 // "rejected", "shed") for logs and JSON.
 const char* job_status_name(JobStatus status) noexcept;
 
+// Per-submission knobs for DagScheduler::submit. Defaults reproduce the
+// historical bare submit exactly: default tenant, default lane, priority 0,
+// global deadline.
+struct SubmitOptions {
+  // Which tenant the job runs as. Unknown names are auto-registered with
+  // default options (weight 1, no quota); the empty string is the default
+  // tenant.
+  std::string tenant;
+  // Admission lane within the tenant. Each (tenant, lane) pair owns its own
+  // in-flight count and pending queue, so e.g. interactive follow-up jobs
+  // can ride a lane fresh arrivals never shed from.
+  std::string lane;
+  // Admission priority within the (tenant, lane) queue: higher dispatches
+  // first; shed-oldest drops the lowest-priority oldest entry. 0 (all
+  // equal) reproduces plain FIFO and shed-head exactly.
+  int priority = 0;
+  // Per-job deadline in simulated seconds (measured from submission,
+  // queueing included). 0 falls back to OverloadOptions::deadline_seconds.
+  double deadline_seconds = 0.0;
+};
+
 // Per-task execution record, kept in JobResult::tasks when
 // ContextOptions::detail_task_metrics is on.
 struct TaskMetrics {
@@ -95,6 +116,10 @@ struct StageBreakdown {
 // run_action or through the JobCallback of DagScheduler::submit.
 struct JobResult {
   JobId id = kInvalidId;
+  // Which tenant the job ran as (see SubmitOptions::tenant); id 0 / the
+  // empty name is the default tenant.
+  TenantId tenant_id = 0;
+  std::string tenant;
   bool completed = false;
   // How the job ended; kCompleted iff completed. Jobs refused or shed by
   // admission control never ran: their result carries zero stages/tasks

@@ -26,6 +26,40 @@ void MetricsCollector::observe_job(const JobResult& r) {
   bytes_disk_ += r.bytes_from_disk;
   cpu_ += r.total_cpu;
   gc_ += r.total_gc;
+  TenantSummary& t = tenant_slot(r.tenant);
+  ++t.jobs;
+  if (!r.completed) ++t.aborted;
+  t.delays.add(r.delay);
+}
+
+MetricsCollector::TenantSummary& MetricsCollector::tenant_slot(
+    const std::string& tenant) {
+  const auto [it, fresh] = tenant_index_.try_emplace(tenant, tenants_.size());
+  if (fresh) {
+    tenants_.emplace_back();
+    tenants_.back().tenant = tenant;
+  }
+  return tenants_[it->second];
+}
+
+void MetricsCollector::observe_tenant_overload(const std::string& tenant,
+                                               const OverloadStats& stats) {
+  tenant_slot(tenant).overload = stats;
+}
+
+double MetricsCollector::tenant_delay_spread() const noexcept {
+  double lo = 0.0;
+  double hi = 0.0;
+  int seen = 0;
+  for (const TenantSummary& t : tenants_) {
+    if (t.delays.count() == 0) continue;
+    const double mean = t.delays.mean();
+    if (seen == 0 || mean < lo) lo = mean;
+    if (seen == 0 || mean > hi) hi = mean;
+    ++seen;
+  }
+  if (seen < 2 || lo <= 0.0) return 1.0;
+  return hi / lo;
 }
 
 void MetricsCollector::reset() noexcept {
@@ -45,6 +79,8 @@ void MetricsCollector::reset() noexcept {
   overload_.reset();
   cache_.reset();
   policy_ = EvictionPolicyKind::kLru;
+  tenants_.clear();
+  tenant_index_.clear();
 }
 
 double MetricsCollector::node_local_fraction() const noexcept {
@@ -110,7 +146,29 @@ std::string MetricsCollector::summary() const {
       overload_.jobs_admitted, overload_.jobs_queued, overload_.jobs_rejected,
       overload_.jobs_shed, overload_.deadline_exceeded,
       overload_.pressure_transitions, overload_.red_entries);
-  return buf;
+  std::string out = buf;
+  // Per-tenant appendix: only worth the lines in a genuinely multi-tenant
+  // run (the single-tenant table above already tells the whole story).
+  if (tenants_.size() > 1) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "tenants: %zu  delay spread %.2fx\n",
+                  tenants_.size(), tenant_delay_spread());
+    out += line;
+    for (const TenantSummary& t : tenants_) {
+      std::snprintf(
+          line, sizeof(line),
+          "  tenant %-12s jobs %d (%d aborted)  delay mean %s  p99 %s  "
+          "shed %d  rejected %d  deadline %d\n",
+          t.tenant.empty() ? "(default)" : t.tenant.c_str(), t.jobs,
+          t.aborted, format_seconds(t.delays.mean()).c_str(),
+          format_seconds(t.delays.count() ? t.delays.percentile(0.99) : 0.0)
+              .c_str(),
+          t.overload.jobs_shed, t.overload.jobs_rejected,
+          t.overload.deadline_exceeded);
+      out += line;
+    }
+  }
+  return out;
 }
 
 }  // namespace stark

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/stats.h"
 #include "sched/dag_scheduler.h"
@@ -21,6 +23,30 @@ class MetricsCollector {
   explicit MetricsCollector(Cluster& cluster);
 
   void observe_job(const JobResult& r);
+
+  // Per-tenant rollup, keyed by JobResult::tenant (the empty string is the
+  // default tenant). Tenants appear in first-observed order.
+  struct TenantSummary {
+    std::string tenant;
+    int jobs = 0;
+    int aborted = 0;
+    Distribution delays;
+    OverloadStats overload;  // filled by observe_tenant_overload
+  };
+
+  // Attach a per-tenant overload snapshot (from
+  // DagScheduler::tenant_overload_stats() + tenants().name()). Creates the
+  // tenant's summary slot if it never completed a job.
+  void observe_tenant_overload(const std::string& tenant,
+                               const OverloadStats& stats);
+
+  const std::vector<TenantSummary>& per_tenant() const noexcept {
+    return tenants_;
+  }
+  // Fairness spread: max/min of per-tenant *mean* job delays across tenants
+  // with at least one observed job. 1.0 when fewer than two such tenants
+  // (or a zero min). Lower is fairer; the fair-share scheduler's headline.
+  double tenant_delay_spread() const noexcept;
 
   // Snapshot the failure-machinery counters (typically
   // DagScheduler::failure_stats(), taken at the end of a run).
@@ -143,6 +169,10 @@ class MetricsCollector {
   OverloadStats overload_;
   CacheStats cache_;
   EvictionPolicyKind policy_ = EvictionPolicyKind::kLru;
+  // Per-tenant rollups in first-observed order + name -> index.
+  std::vector<TenantSummary> tenants_;
+  std::unordered_map<std::string, std::size_t> tenant_index_;
+  TenantSummary& tenant_slot(const std::string& tenant);
 };
 
 }  // namespace stark

@@ -90,9 +90,16 @@ class BlockManager {
     bool stored = false;
     std::vector<EvictedBlock> evicted;
   };
+  // `tenant` records which tenant owns the block for quota accounting
+  // (inert while CachePolicyOptions::tenant_quota_fractions is empty). A
+  // re-insert under a different tenant transfers ownership to the last
+  // writer. Quota semantics: the owning tenant's inserts first evict its
+  // own blocks while it sits over its cap; the global-pressure pass then
+  // skips victims whose eviction would push *their* owner below its
+  // guaranteed share.
   InsertResult insert(const BlockId& id, Bytes bytes,
                       bool spill_on_evict = false,
-                      double recompute_cost = 0.0);
+                      double recompute_cost = 0.0, TenantId tenant = 0);
 
   // Removes a block if present (pinned or not); returns true if it existed.
   bool remove(const BlockId& id);
@@ -104,16 +111,29 @@ class BlockManager {
   // identically under every policy).
   std::vector<BlockId> blocks_mru_order() const;
 
+  // Bytes currently held by a tenant's blocks. Always 0 while quotas are
+  // disabled (ownership is only tracked when tenant_quota_fractions is
+  // non-empty).
+  Bytes tenant_used(TenantId tenant) const noexcept;
+
  private:
   struct Entry {
     Bytes bytes;
     bool spill_on_evict;
     bool corrupted = false;
     int pins = 0;
+    TenantId tenant = 0;  // quota owner; meaningful only with quotas on
   };
+  // Quota helpers (see CachePolicyOptions::tenant_quota_fractions).
+  double quota_fraction(TenantId tenant) const noexcept;
+  void charge_tenant(TenantId tenant, Bytes delta);
+
   Bytes capacity_;
   Bytes used_ = 0.0;
   Bytes pinned_bytes_ = 0.0;  // bytes of blocks with pins > 0
+  bool quotas_enabled_ = false;
+  std::vector<double> quota_fractions_;  // copy of the configured fractions
+  std::vector<Bytes> tenant_used_;       // index = TenantId; lazily grown
   std::unique_ptr<EvictionPolicy> policy_;
   std::unordered_map<BlockId, Entry, BlockIdHash> blocks_;
   // Victim filter handed to the policy; empty while nothing is pinned so

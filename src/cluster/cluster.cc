@@ -53,11 +53,12 @@ void Cluster::index_remove(ServerId s, const BlockId& id) {
 }
 
 bool Cluster::insert_block(ServerId s, const BlockId& id, Bytes bytes,
-                           bool spill_on_evict, double recompute_cost) {
+                           bool spill_on_evict, double recompute_cost,
+                           TenantId tenant) {
   Server& srv = server(s);
   if (!srv.alive()) return false;
   const auto result =
-      srv.storage().insert(id, bytes, spill_on_evict, recompute_cost);
+      srv.storage().insert(id, bytes, spill_on_evict, recompute_cost, tenant);
   for (const auto& victim : result.evicted) {
     for (const auto& obs : eviction_observers_) obs(s, victim);
     if (victim.spill) {

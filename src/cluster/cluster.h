@@ -52,9 +52,12 @@ class Cluster {
   // index). Returns false if the block did not fit. With `spill_on_evict`,
   // a later eviction moves the block to the server's local disk store
   // (MEMORY_AND_DISK semantics) instead of dropping it. `recompute_cost`
-  // (seconds, 0 = unknown) feeds the kCostSize eviction policy.
+  // (seconds, 0 = unknown) feeds the kCostSize eviction policy. `tenant`
+  // records the owner for per-tenant cache quotas (inert unless
+  // ClusterConfig::cache.tenant_quota_fractions is set).
   bool insert_block(ServerId s, const BlockId& id, Bytes bytes,
-                    bool spill_on_evict = false, double recompute_cost = 0.0);
+                    bool spill_on_evict = false, double recompute_cost = 0.0,
+                    TenantId tenant = 0);
 
   // Pin / unpin one replica against eviction (see BlockManager::pin). Safe
   // no-ops when the block (or the server's storage) is gone.

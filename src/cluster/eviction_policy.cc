@@ -20,6 +20,14 @@ void CachePolicyOptions::validate() const {
         "CachePolicyOptions: min_recompute_cost must be > 0 (got " +
         std::to_string(min_recompute_cost) + ")");
   }
+  for (std::size_t i = 0; i < tenant_quota_fractions.size(); ++i) {
+    const double f = tenant_quota_fractions[i];
+    if (f < 0.0 || f > 1.0) {
+      throw std::invalid_argument(
+          "CachePolicyOptions: tenant_quota_fractions[" + std::to_string(i) +
+          "] must be in [0, 1] (got " + std::to_string(f) + ")");
+    }
+  }
 }
 
 void EvictionPolicy::on_insert(const BlockId& id, Bytes bytes,

@@ -88,6 +88,15 @@ struct CachePolicyOptions {
   // zero-estimate block cannot produce an infinite size/cost score.
   // Must be > 0; validate() throws std::invalid_argument otherwise.
   double min_recompute_cost = 1e-6;
+  // Per-tenant cache quotas, indexed by TenantId (entry 0 = the default
+  // tenant; entries must be in [0, 1]). A tenant with fraction f > 0 may
+  // hold at most f * capacity bytes per store: its inserts evict its own
+  // blocks first, and other tenants' global-pressure evictions never push
+  // it below f * capacity. A 0 entry (or an id past the end) means no
+  // quota: full capacity cap, no guaranteed floor. Empty (the default)
+  // disables quota accounting entirely — byte-identical to the historical
+  // store. Built from TenantOptions::cache_quota by api::Context.
+  std::vector<double> tenant_quota_fractions;
 
   // Rejects inconsistent knobs with std::invalid_argument naming the field.
   // Called by ContextOptions::validate() and by BlockManager's constructor.

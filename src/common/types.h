@@ -27,6 +27,9 @@ using ShuffleId = int;
 using JobId = int;
 using StageId = int;
 using TaskId = int;
+// Tenants are dense indexes minted by the TenantRegistry (sched/tenant.h);
+// 0 is always the default tenant.
+using TenantId = int;
 
 inline constexpr int kInvalidId = -1;
 

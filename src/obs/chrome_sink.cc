@@ -132,7 +132,8 @@ class EventWriter {
 std::string task_args(const TraceEvent& e) {
   std::ostringstream os;
   os << "\"job\": " << e.job << ", \"stage\": " << e.stage
-     << ", \"index\": " << e.task_index << ", \"unit\": " << e.unit
+     << ", \"tenant\": " << e.tenant << ", \"index\": " << e.task_index
+     << ", \"unit\": " << e.unit
      << ", \"node_local\": " << ((e.flags & kFlagNodeLocal) ? "true" : "false")
      << ", \"speculative\": "
      << ((e.flags & kFlagSpeculative) ? "true" : "false")

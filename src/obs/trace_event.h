@@ -108,6 +108,10 @@ struct TraceEvent {
 
   JobId job = kInvalidId;
   StageId stage = kInvalidId;
+  // Tenant of the owning job (0 = default tenant) for job/task lifecycle,
+  // admission and deadline events; resolve names via
+  // DagScheduler::tenants().
+  TenantId tenant = 0;
   int task_index = -1;  // position within the stage's task set
   int unit = -1;        // partition index / group id the task covers
   int attempt = 0;      // retries of this task / attempts of this stage

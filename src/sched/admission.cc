@@ -31,30 +31,65 @@ const char* admission_verdict_name(AdmissionVerdict verdict) noexcept {
   return "unknown";
 }
 
-int AdmissionController::effective_limit(PressureBand band) const noexcept {
+int AdmissionController::effective_limit(PressureBand band,
+                                         TenantId tenant) const noexcept {
   double factor = 1.0;
   if (band == PressureBand::kYellow) factor = options_.yellow_intake_factor;
   if (band == PressureBand::kRed) factor = options_.red_intake_factor;
-  const int limit =
-      static_cast<int>(std::floor(options_.max_in_flight_jobs * factor));
+  int base = options_.max_in_flight_jobs;
+  if (tenant > 0 &&
+      tenant < static_cast<TenantId>(tenant_max_in_flight_.size()) &&
+      tenant_max_in_flight_[static_cast<std::size_t>(tenant)] > 0) {
+    base = tenant_max_in_flight_[static_cast<std::size_t>(tenant)];
+  }
+  const int limit = static_cast<int>(std::floor(base * factor));
   return std::max(1, limit);
 }
 
-AdmissionController::Decision AdmissionController::admit(const std::string& app,
-                                                         JobId id,
-                                                         PressureBand band) {
-  auto [it, inserted] = apps_.try_emplace(app);
-  if (inserted) app_order_.push_back(app);
-  AppState& state = it->second;
+int AdmissionController::max_pending(TenantId tenant) const noexcept {
+  if (tenant > 0 &&
+      tenant < static_cast<TenantId>(tenant_max_pending_.size()) &&
+      tenant_max_pending_[static_cast<std::size_t>(tenant)] > 0) {
+    return tenant_max_pending_[static_cast<std::size_t>(tenant)];
+  }
+  return options_.max_pending_jobs;
+}
+
+void AdmissionController::set_tenant_limits(TenantId tenant, int max_in_flight,
+                                            int max_pending) {
+  if (tenant <= 0) return;
+  const auto idx = static_cast<std::size_t>(tenant);
+  if (tenant_max_in_flight_.size() <= idx) {
+    tenant_max_in_flight_.resize(idx + 1, 0);
+    tenant_max_pending_.resize(idx + 1, 0);
+  }
+  tenant_max_in_flight_[idx] = max_in_flight;
+  tenant_max_pending_[idx] = max_pending;
+}
+
+AdmissionController::Decision AdmissionController::admit(
+    const AdmissionKey& key, JobId id, int priority, PressureBand band) {
+  auto [it, inserted] = lanes_.try_emplace(key);
+  if (inserted) key_order_.push_back(key);
+  LaneState& state = it->second;
+  // Keep the queue sorted by descending priority, FIFO within ties: a new
+  // arrival goes after every entry of >= its priority. With all-zero
+  // priorities this is push_back — the historical FIFO.
+  const auto insert_pos = [&] {
+    return std::find_if(
+        state.queue.begin(), state.queue.end(),
+        [priority](const QueuedJob& q) { return q.priority < priority; });
+  };
   Decision d;
-  if (state.in_flight < effective_limit(band) && state.queue.empty()) {
+  if (state.in_flight < effective_limit(band, key.tenant) &&
+      state.queue.empty()) {
     ++state.in_flight;
     d.verdict = AdmissionVerdict::kAdmit;
     return d;
   }
   if (options_.policy == AdmissionPolicy::kBlock ||
-      static_cast<int>(state.queue.size()) < options_.max_pending_jobs) {
-    state.queue.push_back(id);
+      static_cast<int>(state.queue.size()) < max_pending(key.tenant)) {
+    state.queue.insert(insert_pos(), QueuedJob{id, priority});
     d.verdict = AdmissionVerdict::kQueue;
     return d;
   }
@@ -62,67 +97,79 @@ AdmissionController::Decision AdmissionController::admit(const std::string& app,
     d.verdict = AdmissionVerdict::kReject;
     return d;
   }
-  // kShedOldest: drop the head of the queue, the arrival takes its place.
+  // kShedOldest: drop the lowest-priority oldest queued entry — the first
+  // element of the back's priority class (plain head when all priorities
+  // are 0) — and the arrival takes its place.
+  const int victim_priority = state.queue.back().priority;
+  const auto victim = std::find_if(
+      state.queue.begin(), state.queue.end(),
+      [victim_priority](const QueuedJob& q) {
+        return q.priority == victim_priority;
+      });
   d.verdict = AdmissionVerdict::kShed;
-  d.shed = state.queue.front();
-  state.queue.pop_front();
-  state.queue.push_back(id);
+  d.shed = victim->id;
+  state.queue.erase(victim);
+  state.queue.insert(insert_pos(), QueuedJob{id, priority});
   return d;
 }
 
-void AdmissionController::release(const std::string& app) {
-  auto it = apps_.find(app);
-  if (it == apps_.end()) return;
+void AdmissionController::release(const AdmissionKey& key) {
+  auto it = lanes_.find(key);
+  if (it == lanes_.end()) return;
   if (it->second.in_flight > 0) --it->second.in_flight;
 }
 
-bool AdmissionController::remove_pending(const std::string& app, JobId id) {
-  auto it = apps_.find(app);
-  if (it == apps_.end()) return false;
+bool AdmissionController::remove_pending(const AdmissionKey& key, JobId id) {
+  auto it = lanes_.find(key);
+  if (it == lanes_.end()) return false;
   auto& q = it->second.queue;
-  auto pos = std::find(q.begin(), q.end(), id);
+  auto pos = std::find_if(q.begin(), q.end(),
+                          [id](const QueuedJob& e) { return e.id == id; });
   if (pos == q.end()) return false;
   q.erase(pos);
   return true;
 }
 
 JobId AdmissionController::next_dispatchable(PressureBand band,
-                                             std::string* app_out) {
-  const int limit = effective_limit(band);
+                                             AdmissionKey* key_out) {
   // Oldest arrival overall wins: job ids are minted monotonically, so the
-  // smallest queue front across apps with spare capacity is FIFO across
-  // the whole driver. app_order_ keeps the scan deterministic.
-  AppState* best = nullptr;
-  const std::string* best_app = nullptr;
-  for (const std::string& app : app_order_) {
-    AppState& state = apps_[app];
-    if (state.queue.empty() || state.in_flight >= limit) continue;
-    if (best == nullptr || state.queue.front() < best->queue.front()) {
+  // smallest queue front across keys with spare capacity is FIFO across
+  // the whole driver (priorities reorder only *within* a lane's queue).
+  // key_order_ keeps the scan deterministic.
+  LaneState* best = nullptr;
+  const AdmissionKey* best_key = nullptr;
+  for (const AdmissionKey& key : key_order_) {
+    LaneState& state = lanes_[key];
+    if (state.queue.empty() ||
+        state.in_flight >= effective_limit(band, key.tenant)) {
+      continue;
+    }
+    if (best == nullptr || state.queue.front().id < best->queue.front().id) {
       best = &state;
-      best_app = &app;
+      best_key = &key;
     }
   }
   if (best == nullptr) return kInvalidId;
-  const JobId id = best->queue.front();
+  const JobId id = best->queue.front().id;
   best->queue.pop_front();
   ++best->in_flight;
-  if (app_out != nullptr) *app_out = *best_app;
+  if (key_out != nullptr) *key_out = *best_key;
   return id;
 }
 
-int AdmissionController::in_flight(const std::string& app) const noexcept {
-  auto it = apps_.find(app);
-  return it != apps_.end() ? it->second.in_flight : 0;
+int AdmissionController::in_flight(const AdmissionKey& key) const noexcept {
+  auto it = lanes_.find(key);
+  return it != lanes_.end() ? it->second.in_flight : 0;
 }
 
-int AdmissionController::pending(const std::string& app) const noexcept {
-  auto it = apps_.find(app);
-  return it != apps_.end() ? static_cast<int>(it->second.queue.size()) : 0;
+int AdmissionController::pending(const AdmissionKey& key) const noexcept {
+  auto it = lanes_.find(key);
+  return it != lanes_.end() ? static_cast<int>(it->second.queue.size()) : 0;
 }
 
 int AdmissionController::total_pending() const noexcept {
   int n = 0;
-  for (const auto& [app, state] : apps_) {
+  for (const auto& [key, state] : lanes_) {
     n += static_cast<int>(state.queue.size());
   }
   return n;

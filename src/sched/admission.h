@@ -2,15 +2,18 @@
 //
 // Every job submitted to the DagScheduler first passes through an
 // AdmissionController: at most `max_in_flight_jobs` jobs (scaled down under
-// memory pressure) are dispatched per app at once; arrivals beyond that
-// wait in a bounded per-app FIFO. When the queue is also full the
-// configured policy decides who pays:
+// memory pressure, overridable per tenant) are dispatched per
+// (tenant, lane) at once; arrivals beyond that wait in a bounded per-lane
+// priority queue (FIFO within equal priority — all-zero priorities are
+// exactly the historical FIFO). When the queue is also full the configured
+// policy decides who pays:
 //
 //   * kRejectNew  — the arriving job is refused (JobStatus::kRejected).
-//   * kShedOldest — the oldest *queued* job of the app is dropped
-//                   (JobStatus::kShed) and the arrival takes its place;
-//                   freshest work wins, matching interactive sessions where
-//                   a stale queued query is worthless by the time it runs.
+//   * kShedOldest — the lowest-priority oldest *queued* job of the lane is
+//                   dropped (JobStatus::kShed) and the arrival takes its
+//                   place; freshest work wins, matching interactive
+//                   sessions where a stale queued query is worthless by the
+//                   time it runs.
 //   * kBlock      — the queue is unbounded; nothing is refused, intake is
 //                   only throttled. Latency grows instead of loss.
 //
@@ -21,7 +24,9 @@
 // engine is byte-identical to a build without it.
 #pragma once
 
+#include <cstddef>
 #include <deque>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,10 +55,12 @@ struct OverloadOptions {
   // unconditionally, exactly as before.
   bool admission_enabled = false;
   AdmissionPolicy policy = AdmissionPolicy::kRejectNew;
-  // Dispatched-but-unfinished jobs allowed per app before arrivals queue.
+  // Dispatched-but-unfinished jobs allowed per (tenant, lane) before
+  // arrivals queue. Tenants may override via TenantOptions.
   int max_in_flight_jobs = 64;
-  // Bound on the per-app pending queue (ignored by kBlock). Must be > 0
-  // when admission is enabled and the policy is not kBlock.
+  // Bound on the per-(tenant, lane) pending queue (ignored by kBlock).
+  // Must be > 0 when admission is enabled and the policy is not kBlock.
+  // Tenants may override via TenantOptions.
   int max_pending_jobs = 256;
   // Whole-job timeout in simulated seconds, measured from submission
   // (queueing time counts). 0 disables deadlines. Works independently of
@@ -79,10 +86,29 @@ struct OverloadStats {
   void reset() noexcept { *this = OverloadStats{}; }
 };
 
-// Pure bookkeeping: per-app in-flight counts and pending FIFOs. The
-// DagScheduler owns one, consults it on submit, and releases slots as jobs
-// finish. Job payloads stay in the scheduler; the controller only tracks
-// ids, so deadline-driven removals are O(queue).
+// What admission state is keyed by: a (tenant, lane) pair. Each key owns
+// its own in-flight count and pending queue; limits come from the tenant's
+// overrides (or the global OverloadOptions when unset) and apply per key,
+// so a tenant's "followup" lane cannot be starved or shed by its fresh
+// arrivals.
+struct AdmissionKey {
+  TenantId tenant = 0;
+  std::string lane;
+  bool operator==(const AdmissionKey&) const = default;
+};
+
+struct AdmissionKeyHash {
+  std::size_t operator()(const AdmissionKey& k) const noexcept {
+    return std::hash<std::string>{}(k.lane) * 1315423911u +
+           static_cast<std::size_t>(k.tenant);
+  }
+};
+
+// Pure bookkeeping: per-(tenant, lane) in-flight counts and pending
+// queues. The DagScheduler owns one, consults it on submit, and releases
+// slots as jobs finish. Job payloads stay in the scheduler; the controller
+// only tracks ids and priorities, so deadline-driven removals are
+// O(queue).
 class AdmissionController {
  public:
   explicit AdmissionController(const OverloadOptions& options)
@@ -96,38 +122,57 @@ class AdmissionController {
   };
 
   // Decide for a new arrival and update state accordingly (kAdmit bumps
-  // the in-flight count, kQueue/kShed enqueue the id).
-  Decision admit(const std::string& app, JobId id, PressureBand band);
+  // the in-flight count, kQueue/kShed enqueue the id at its priority
+  // position: after all entries of >= priority, before lower ones).
+  Decision admit(const AdmissionKey& key, JobId id, int priority,
+                 PressureBand band);
 
   // A dispatched job finished (completed, failed, aborted, or timed out).
-  void release(const std::string& app);
+  void release(const AdmissionKey& key);
 
   // Remove a still-queued job (its deadline fired while waiting). Returns
   // false if the id was not queued (already dispatched or closed).
-  bool remove_pending(const std::string& app, JobId id);
+  bool remove_pending(const AdmissionKey& key, JobId id);
 
-  // Pop the next job allowed to dispatch now (FIFO across apps by job id,
-  // oldest arrival first among apps with capacity) and charge its slot.
-  // kInvalidId when nothing may dispatch. The caller receives the app via
-  // `app_out` and must start the job.
-  JobId next_dispatchable(PressureBand band, std::string* app_out);
+  // Pop the next job allowed to dispatch now (smallest queue-front job id
+  // among keys with capacity — oldest arrival first at equal priority) and
+  // charge its slot. kInvalidId when nothing may dispatch. The caller
+  // receives the key via `key_out` and must start the job.
+  JobId next_dispatchable(PressureBand band, AdmissionKey* key_out);
 
-  // Effective in-flight limit under `band` (floor(max * factor), >= 1).
-  int effective_limit(PressureBand band) const noexcept;
+  // Effective in-flight limit under `band` (floor(max * factor), >= 1),
+  // using the tenant's max_in_flight_jobs override when configured.
+  int effective_limit(PressureBand band, TenantId tenant = 0) const noexcept;
 
-  int in_flight(const std::string& app) const noexcept;
-  int pending(const std::string& app) const noexcept;
+  // Per-tenant admission overrides (0 = use the global OverloadOptions
+  // value). Wired from TenantOptions by the DagScheduler constructor.
+  void set_tenant_limits(TenantId tenant, int max_in_flight, int max_pending);
+
+  int in_flight(const AdmissionKey& key) const noexcept;
+  int pending(const AdmissionKey& key) const noexcept;
   int total_pending() const noexcept;
 
  private:
-  struct AppState {
+  struct QueuedJob {
+    JobId id = kInvalidId;
+    int priority = 0;
+  };
+  struct LaneState {
     int in_flight = 0;
-    std::deque<JobId> queue;  // front = oldest arrival
+    // Sorted by descending priority, FIFO within equal priority; front =
+    // next to dispatch. With all-zero priorities this is a plain FIFO.
+    std::deque<QueuedJob> queue;
   };
 
+  // The pending-queue bound for `tenant` (tenant override or global).
+  int max_pending(TenantId tenant) const noexcept;
+
   OverloadOptions options_;
-  std::unordered_map<std::string, AppState> apps_;
-  std::vector<std::string> app_order_;  // first-seen order, for determinism
+  std::unordered_map<AdmissionKey, LaneState, AdmissionKeyHash> lanes_;
+  std::vector<AdmissionKey> key_order_;  // first-seen order, for determinism
+  // Indexed by TenantId; 0 entries (or ids past the end) mean "use global".
+  std::vector<int> tenant_max_in_flight_;
+  std::vector<int> tenant_max_pending_;
 };
 
 }  // namespace stark

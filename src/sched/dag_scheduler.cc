@@ -24,11 +24,21 @@ DagScheduler::DagScheduler(sim::Simulation& sim, Cluster& cluster,
             o.locality_wait = options.locality_wait;
             o.speculation = options.speculation;
             o.faults = options.faults;
+            o.fair_share = options.tenants.fair_share;
             return o;
           }(),
           [this](DatasetId id) { return groups_->ns_of_dataset(id); }),
-      admission_(options.overload) {
+      admission_(options.overload),
+      tenants_(options.tenants) {
   task_scheduler_.set_failure_stats(&stats_);
+  // Configured tenants got ids 1..N in declaration order; wire their
+  // fair-share weights and admission overrides into the schedulers.
+  for (std::size_t i = 0; i < options.tenants.tenants.size(); ++i) {
+    const TenantOptions& t = options.tenants.tenants[i];
+    const TenantId id = static_cast<TenantId>(i + 1);
+    task_scheduler_.set_tenant_weight(id, t.weight);
+    admission_.set_tenant_limits(id, t.max_in_flight_jobs, t.max_pending_jobs);
+  }
   // A fresh insert of a block whose corruption was detected earlier means
   // lineage recompute rewrote it clean: the corruption is repaired.
   cluster.add_block_observer(
@@ -39,8 +49,8 @@ DagScheduler::DagScheduler(sim::Simulation& sim, Cluster& cluster,
       });
 }
 
-JobId DagScheduler::submit(DatasetPtr final, ActionType action, JobCallback cb,
-                           std::string app) {
+JobId DagScheduler::submit(DatasetPtr final, ActionType action,
+                           SubmitOptions opts, JobCallback cb) {
   if (final == nullptr) throw std::invalid_argument("submit: null dataset");
   const JobId id = next_job_id_++;
   auto job = std::make_unique<Job>();
@@ -48,8 +58,13 @@ JobId DagScheduler::submit(DatasetPtr final, ActionType action, JobCallback cb,
   job->action = action;
   job->final = std::move(final);
   job->cb = std::move(cb);
-  job->app = std::move(app);
+  job->tenant = tenants_.resolve(opts.tenant);
+  job->lane = std::move(opts.lane);
+  job->priority = opts.priority;
+  job->deadline_seconds = opts.deadline_seconds;
   job->result.id = id;
+  job->result.tenant_id = job->tenant;
+  job->result.tenant = tenants_.name(job->tenant);
   job->result.submit_time = sim_->now();
   Job& ref = *job;
   jobs_.emplace(id, std::move(job));
@@ -59,6 +74,7 @@ JobId DagScheduler::submit(DatasetPtr final, ActionType action, JobCallback cb,
     e.kind = obs::TraceKind::kJobSubmit;
     e.t0 = e.t1 = sim_->now();
     e.job = id;
+    e.tenant = ref.tenant;
     tracer_->emit(e);
   }
 
@@ -73,31 +89,38 @@ JobId DagScheduler::submit(DatasetPtr final, ActionType action, JobCallback cb,
   }
 
   const PressureBand band = sample_pressure();
-  const AdmissionController::Decision d = admission_.admit(ref.app, id, band);
+  const AdmissionController::Decision d =
+      admission_.admit(ref.admission_key(), id, ref.priority, band);
   emit_admission_verdict(ref, d.verdict);
   switch (d.verdict) {
     case AdmissionVerdict::kAdmit:
       ++overload_stats_.jobs_admitted;
+      ++tenant_stats(ref.tenant).jobs_admitted;
       ref.dispatched = true;
       start_job(ref);
       break;
     case AdmissionVerdict::kQueue:
       ++overload_stats_.jobs_queued;
+      ++tenant_stats(ref.tenant).jobs_queued;
       ref.queued = true;
       break;
     case AdmissionVerdict::kReject:
       ++overload_stats_.jobs_rejected;
+      ++tenant_stats(ref.tenant).jobs_rejected;
       close_undispatched(ref, JobStatus::kRejected,
                          "rejected at admission (pending queue full)");
       break;
     case AdmissionVerdict::kShed: {
-      // The arrival took the queue slot of the app's oldest pending job;
-      // close the victim (its callback fires now, with kShed).
+      // The arrival took the queue slot of the lane's lowest-priority
+      // oldest pending job; close the victim (its callback fires now,
+      // with kShed).
       ++overload_stats_.jobs_queued;
+      ++tenant_stats(ref.tenant).jobs_queued;
       ref.queued = true;
       const auto vit = jobs_.find(d.shed);
       if (vit != jobs_.end()) {
         ++overload_stats_.jobs_shed;
+        ++tenant_stats(vit->second->tenant).jobs_shed;
         close_undispatched(*vit->second, JobStatus::kShed,
                            "shed from pending queue (shed-oldest)");
       }
@@ -105,6 +128,12 @@ JobId DagScheduler::submit(DatasetPtr final, ActionType action, JobCallback cb,
     }
   }
   return id;
+}
+
+JobId DagScheduler::submit(DatasetPtr final, ActionType action, JobCallback cb,
+                           std::string app) {
+  return submit(std::move(final), action, SubmitOptions{.tenant = std::move(app)},
+                std::move(cb));
 }
 
 void DagScheduler::start_job(Job& ref) {
@@ -140,6 +169,7 @@ void DagScheduler::close_undispatched(Job& job, JobStatus status,
     e.t0 = job.result.submit_time;
     e.t1 = job.result.finish_time;
     e.job = job.id;
+    e.tenant = job.tenant;
     tracer_->emit(e);  // no kFlagCompleted: the job never ran
   }
   const JobId id = job.id;
@@ -152,7 +182,9 @@ void DagScheduler::close_undispatched(Job& job, JobStatus status,
 }
 
 void DagScheduler::arm_deadline(Job& job) {
-  const double deadline = options_.overload.deadline_seconds;
+  const double deadline = job.deadline_seconds > 0.0
+                              ? job.deadline_seconds
+                              : options_.overload.deadline_seconds;
   if (deadline <= 0.0) return;
   deadline_events_[job.id] =
       sim_->after(deadline, [this, id = job.id] { on_deadline(id); });
@@ -175,19 +207,23 @@ void DagScheduler::on_deadline(JobId id) {
   if (it == jobs_.end() || it->second->done) return;
   Job& job = *it->second;
   ++overload_stats_.deadline_exceeded;
+  ++tenant_stats(job.tenant).deadline_exceeded;
   if (obs::Tracer::active(tracer_)) {
     obs::TraceEvent e;
     e.kind = obs::TraceKind::kDeadlineExceeded;
     e.t0 = e.t1 = sim_->now();
     e.job = id;
+    e.tenant = job.tenant;
     if (job.final) e.dataset = job.final->id();
     tracer_->emit(e);
   }
+  const double deadline = job.deadline_seconds > 0.0
+                              ? job.deadline_seconds
+                              : options_.overload.deadline_seconds;
   const std::string reason =
-      "deadline exceeded (" +
-      std::to_string(options_.overload.deadline_seconds) + " s)";
+      "deadline exceeded (" + std::to_string(deadline) + " s)";
   if (job.queued) {
-    admission_.remove_pending(job.app, id);
+    admission_.remove_pending(job.admission_key(), id);
     close_undispatched(job, JobStatus::kDeadlineExceeded, reason);
   } else {
     abort_job(job, reason, JobStatus::kDeadlineExceeded);
@@ -219,21 +255,21 @@ PressureBand DagScheduler::sample_pressure() {
 void DagScheduler::release_admission_slot(Job& job) {
   if (!options_.overload.admission_enabled || !job.dispatched) return;
   job.dispatched = false;
-  admission_.release(job.app);
+  admission_.release(job.admission_key());
 }
 
 void DagScheduler::drain_admission_queue() {
   if (!options_.overload.admission_enabled || draining_admission_) return;
   draining_admission_ = true;
   const PressureBand band = sample_pressure();
-  std::string app;
+  AdmissionKey key;
   JobId next;
-  while ((next = admission_.next_dispatchable(band, &app)) != kInvalidId) {
+  while ((next = admission_.next_dispatchable(band, &key)) != kInvalidId) {
     const auto it = jobs_.find(next);
     if (it == jobs_.end()) {
       // The queued job vanished without going through a close path; give
       // the slot back rather than leak it.
-      admission_.release(app);
+      admission_.release(key);
       continue;
     }
     Job& job = *it->second;
@@ -252,8 +288,15 @@ void DagScheduler::emit_admission_verdict(const Job& job,
   e.t0 = e.t1 = sim_->now();
   e.job = job.id;
   e.code = static_cast<std::int16_t>(verdict);
+  e.tenant = job.tenant;
   if (job.final) e.dataset = job.final->id();
   tracer_->emit(e);
+}
+
+OverloadStats& DagScheduler::tenant_stats(TenantId tenant) {
+  const auto idx = static_cast<std::size_t>(tenant < 0 ? 0 : tenant);
+  if (tenant_overload_.size() <= idx) tenant_overload_.resize(idx + 1);
+  return tenant_overload_[idx];
 }
 
 DagScheduler::StageRun* DagScheduler::build_stage(
@@ -360,6 +403,7 @@ void DagScheduler::maybe_launch(StageRun& stage) {
   auto ts = std::make_shared<TaskScheduler::TaskSet>();
   ts->job = stage.job->id;
   ts->stage = stage.id;
+  ts->tenant = stage.job->tenant;
   ts->tasks.reserve(todo.size());
   stage.task_unit_pos.clear();
   stage.task_unit_pos.reserve(todo.size());
@@ -561,6 +605,7 @@ void DagScheduler::finish_job(Job& job) {
     e.t0 = job.result.submit_time;
     e.t1 = job.result.finish_time;
     e.job = job.id;
+    e.tenant = job.tenant;
     e.task_index = job.result.num_tasks;
     e.flags |= obs::kFlagCompleted;
     tracer_->emit(e);
@@ -592,6 +637,7 @@ void DagScheduler::abort_job(Job& job, const std::string& reason,
     e.t0 = job.result.submit_time;
     e.t1 = job.result.finish_time;
     e.job = job.id;
+    e.tenant = job.tenant;
     e.task_index = job.result.num_tasks;
     tracer_->emit(e);  // no kFlagCompleted: the job aborted
   }

@@ -36,6 +36,7 @@
 #include "sched/admission.h"
 #include "sched/stage.h"
 #include "sched/task.h"
+#include "sched/tenant.h"
 #include "sched/task_scheduler.h"
 #include "sim/simulation.h"
 #include "stark/group_manager.h"
@@ -72,6 +73,11 @@ struct DagOptions {
   // pressure-scaled intake (sched/admission.h). Mirrored from
   // ContextOptions::overload by api::Context; all defaults off.
   OverloadOptions overload;
+  // Multi-tenant configuration: fair-share scheduling, per-tenant weights,
+  // cache quotas and admission overrides (sched/tenant.h). Mirrored from
+  // ContextOptions::tenants by api::Context; the default (no tenants,
+  // fair_share off) is byte-identical to a single-tenant build.
+  MultiTenantOptions tenants;
 };
 
 // Cache-policy effectiveness counters, accumulated by the task planner's
@@ -97,9 +103,19 @@ class DagScheduler {
   // Asynchronous submission; cb fires when the job completes — including
   // jobs the overload layer refuses (JobStatus::kRejected / kShed, whose
   // callbacks fire synchronously inside submit) and jobs cancelled by
-  // their deadline (kDeadlineExceeded). `app` selects the admission
-  // controller's per-app queue; the empty string is the default app.
-  JobId submit(DatasetPtr final, ActionType action, JobCallback cb = {},
+  // their deadline (kDeadlineExceeded). `opts` selects the tenant the job
+  // runs as, its admission lane/priority and a per-job deadline; the
+  // default SubmitOptions reproduce the historical bare submit exactly.
+  JobId submit(DatasetPtr final, ActionType action, SubmitOptions opts = {},
+               JobCallback cb = {});
+
+  // Legacy positional form: the app string doubled as the admission queue
+  // key. It now maps onto SubmitOptions::tenant (same partition, same
+  // limits), so behavior is unchanged — but migrate to the options form.
+  [[deprecated(
+      "pass SubmitOptions{.tenant = ...} (and a callback) instead of the "
+      "positional app string")]]
+  JobId submit(DatasetPtr final, ActionType action, JobCallback cb,
                std::string app = {});
 
   // Submit and run the simulation until this job completes.
@@ -169,6 +185,16 @@ class DagScheduler {
   // Admission introspection for tests and benches.
   const AdmissionController& admission() const noexcept { return admission_; }
 
+  // --- multi-tenancy --------------------------------------------------------
+  // Name <-> id mapping and per-tenant options (configured + auto-registered).
+  const TenantRegistry& tenants() const noexcept { return tenants_; }
+  // Per-tenant overload counters, indexed by TenantId (entries appear as
+  // tenants submit; index 0 is the default tenant). The global
+  // overload_stats() remains the sum over tenants.
+  const std::vector<OverloadStats>& tenant_overload_stats() const noexcept {
+    return tenant_overload_;
+  }
+
   // --- silent-data-corruption faults ---------------------------------------
   // Flip the checksum tag on one stored copy (cached replica, spilled copy,
   // or shuffle map-output unit). Returns false when no live copy exists.
@@ -236,12 +262,18 @@ class DagScheduler {
     std::vector<std::unique_ptr<StageRun>> stages;
     int stages_remaining = 0;
     bool done = false;
-    // Overload bookkeeping: the admission app the job was submitted under,
-    // whether it currently sits in a pending queue, and whether it was
-    // dispatched (and so holds an in-flight slot to release on close).
-    std::string app;
+    // Overload bookkeeping: the tenant/lane the job was submitted under
+    // (together the admission key), its queue priority and per-job
+    // deadline, whether it currently sits in a pending queue, and whether
+    // it was dispatched (and so holds an in-flight slot to release).
+    TenantId tenant = 0;
+    std::string lane;
+    int priority = 0;
+    double deadline_seconds = 0.0;
     bool queued = false;
     bool dispatched = false;
+
+    AdmissionKey admission_key() const { return AdmissionKey{tenant, lane}; }
   };
 
   // Dispatch a job past admission: build its stages and launch what is
@@ -265,6 +297,8 @@ class DagScheduler {
   // Dispatch queued jobs while capacity allows (called after closes).
   void drain_admission_queue();
   void emit_admission_verdict(const Job& job, AdmissionVerdict verdict);
+  // The per-tenant counter slot, grown on demand.
+  OverloadStats& tenant_stats(TenantId tenant);
 
   StageRun* build_stage(Job& job, const DatasetPtr& boundary,
                         std::optional<ShuffleEdge> output);
@@ -352,6 +386,9 @@ class DagScheduler {
   // Overload protection (all inert while DagOptions::overload defaults).
   AdmissionController admission_;
   OverloadStats overload_stats_;
+  TenantRegistry tenants_;
+  // Per-tenant overload counters; grown lazily by tenant_stats().
+  std::vector<OverloadStats> tenant_overload_;
   std::function<PressureBand()> pressure_fn_;
   PressureBand last_band_ = PressureBand::kGreen;
   std::unordered_map<JobId, sim::EventId> deadline_events_;

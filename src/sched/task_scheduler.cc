@@ -50,13 +50,45 @@ void TaskScheduler::submit(TaskSetPtr ts) {
 void TaskScheduler::mark_ready(const std::shared_ptr<ActiveSet>& set) {
   if (set->in_ready || set->aborted || set->detached) return;
   ready_.emplace(set->seq, set);
+  if (options_.fair_share) {
+    const auto t = static_cast<std::size_t>(
+        set->ts->tenant < 0 ? 0 : set->ts->tenant);
+    if (ready_by_tenant_.size() <= t) ready_by_tenant_.resize(t + 1);
+    ready_by_tenant_[t].emplace(set->seq, set);
+  }
   set->in_ready = true;
 }
 
 void TaskScheduler::unready(ActiveSet& set) {
   if (!set.in_ready) return;
   ready_.erase(set.seq);
+  if (options_.fair_share) {
+    const auto t =
+        static_cast<std::size_t>(set.ts->tenant < 0 ? 0 : set.ts->tenant);
+    if (t < ready_by_tenant_.size()) ready_by_tenant_[t].erase(set.seq);
+  }
   set.in_ready = false;
+}
+
+void TaskScheduler::set_tenant_weight(TenantId tenant, double weight) {
+  if (tenant < 0 || weight <= 0.0) return;
+  const auto idx = static_cast<std::size_t>(tenant);
+  if (tenant_weight_.size() <= idx) tenant_weight_.resize(idx + 1, 1.0);
+  tenant_weight_[idx] = weight;
+}
+
+int TaskScheduler::tenant_running_cores(TenantId tenant) const noexcept {
+  const auto idx = static_cast<std::size_t>(tenant < 0 ? 0 : tenant);
+  return idx < tenant_running_cores_.size() ? tenant_running_cores_[idx] : 0;
+}
+
+double TaskScheduler::weighted_share(TenantId tenant) const noexcept {
+  const auto idx = static_cast<std::size_t>(tenant < 0 ? 0 : tenant);
+  const double weight =
+      idx < tenant_weight_.size() ? tenant_weight_[idx] : 1.0;
+  const int cores =
+      idx < tenant_running_cores_.size() ? tenant_running_cores_[idx] : 0;
+  return static_cast<double>(cores) / weight;
 }
 
 void TaskScheduler::detach_set(const std::shared_ptr<ActiveSet>& set) {
@@ -232,6 +264,68 @@ void TaskScheduler::arm_timer(SimTime at) {
   });
 }
 
+bool TaskScheduler::offer_to_set(const std::shared_ptr<ActiveSet>& set,
+                                 int& free_cores,
+                                 std::set<ServerId>& launch_failures) {
+  bool launched = false;
+  // NODE_LOCAL pass: launch every pending task that has a preferred
+  // server with a free core.
+  for (std::size_t scan = set->pending.size(); scan-- > 0;) {
+    const int idx = set->pending.front();
+    set->pending.pop_front();
+    const TaskSpec& task = set->ts->tasks[static_cast<std::size_t>(idx)];
+    ServerId local = kInvalidId;
+    for (ServerId s : task.preferred) {
+      if (probe_launch_failure_[static_cast<std::size_t>(s)] != 0) {
+        launch_failures.insert(s);
+      }
+      if (offerable(s, *set, idx)) {
+        local = s;
+        break;
+      }
+    }
+    if (local != kInvalidId) {
+      launch(set, idx, local, /*node_local=*/true);
+      launched = true;
+      --free_cores;
+    } else {
+      set->pending.push_back(idx);  // keep for ANY pass / next round
+    }
+    if (free_cores == 0) break;
+  }
+  if (free_cores > 0 && !set->pending.empty()) {
+    // ANY pass, gated by delay scheduling. Tasks with no preferred
+    // executor at all sit at the ANY locality level from the start
+    // (Spark's pendingTasksWithNoPrefs) and skip the gate.
+    const SimTime allowed_at = set->locality_anchor + options_.locality_wait;
+    const bool any_allowed =
+        !set->has_preferences || sim_->now() + 1e-12 >= allowed_at;
+    if (!any_allowed) arm_timer(allowed_at);
+    for (std::size_t scan = set->pending.size();
+         scan-- > 0 && free_cores > 0;) {
+      const int idx = set->pending.front();
+      set->pending.pop_front();
+      if (!any_allowed &&
+          !set->ts->tasks[static_cast<std::size_t>(idx)].preferred.empty()) {
+        set->pending.push_back(idx);  // still inside its locality wait
+        continue;
+      }
+      const ServerId s = pick_remote_server(*set, idx);
+      if (s == kInvalidId) {
+        // No executor the driver is willing to use for this task has a
+        // free core right now (exclusions shrink the candidate set
+        // per-task, so a sibling may still be placeable).
+        set->pending.push_back(idx);
+        continue;
+      }
+      launch(set, idx, s, /*node_local=*/false);
+      launched = true;
+      --free_cores;
+    }
+  }
+  return launched;
+}
+
 void TaskScheduler::schedule() {
   if (in_schedule_) return;  // guard against re-entrant launches
   in_schedule_ = true;
@@ -265,76 +359,72 @@ void TaskScheduler::schedule() {
     // completion that frees a core re-enters schedule() immediately.
     const bool deep_backlog = ready_.size() > options_.deep_backlog_threshold;
     int fruitless = 0;
-    for (auto rit = ready_.begin(); rit != ready_.end() && free_cores > 0;) {
-      if (deep_backlog && fruitless > options_.backlog_fruitless_limit) {
-        arm_timer(sim_->now() + options_.backlog_revisit_interval);
-        break;
-      }
-      ++fruitless;
-      const std::shared_ptr<ActiveSet> set = rit->second;
-      // NODE_LOCAL pass: launch every pending task that has a preferred
-      // server with a free core.
-      for (std::size_t scan = set->pending.size(); scan-- > 0;) {
-        const int idx = set->pending.front();
-        set->pending.pop_front();
-        const TaskSpec& task = set->ts->tasks[static_cast<std::size_t>(idx)];
-        ServerId local = kInvalidId;
-        for (ServerId s : task.preferred) {
-          if (probe_launch_failure_[static_cast<std::size_t>(s)] != 0) {
-            launch_failures.insert(s);
-          }
-          if (offerable(s, *set, idx)) {
-            local = s;
-            break;
-          }
+    if (!options_.fair_share) {
+      for (auto rit = ready_.begin(); rit != ready_.end() && free_cores > 0;) {
+        if (deep_backlog && fruitless > options_.backlog_fruitless_limit) {
+          arm_timer(sim_->now() + options_.backlog_revisit_interval);
+          break;
         }
-        if (local != kInvalidId) {
-          launch(set, idx, local, /*node_local=*/true);
+        ++fruitless;
+        const std::shared_ptr<ActiveSet> set = rit->second;
+        if (offer_to_set(set, free_cores, launch_failures)) {
           progress = true;
           fruitless = 0;
-          --free_cores;
+        }
+        if (set->pending.empty()) {
+          set->in_ready = false;
+          rit = ready_.erase(rit);
         } else {
-          set->pending.push_back(idx);  // keep for ANY pass / next round
+          ++rit;
         }
-        if (free_cores == 0) break;
       }
-      if (free_cores > 0 && !set->pending.empty()) {
-        // ANY pass, gated by delay scheduling. Tasks with no preferred
-        // executor at all sit at the ANY locality level from the start
-        // (Spark's pendingTasksWithNoPrefs) and skip the gate.
-        const SimTime allowed_at =
-            set->locality_anchor + options_.locality_wait;
-        const bool any_allowed =
-            !set->has_preferences || sim_->now() + 1e-12 >= allowed_at;
-        if (!any_allowed) arm_timer(allowed_at);
-        for (std::size_t scan = set->pending.size();
-             scan-- > 0 && free_cores > 0;) {
-          const int idx = set->pending.front();
-          set->pending.pop_front();
-          if (!any_allowed &&
-              !set->ts->tasks[static_cast<std::size_t>(idx)].preferred.empty()) {
-            set->pending.push_back(idx);  // still inside its locality wait
+    } else {
+      // Weighted fair-share: each step offers the oldest ready set of the
+      // tenant with the lowest running-cores/weight ratio (ties: lowest
+      // tenant id). A tenant whose head set cannot place anything is
+      // stepped past so its later sets still get offers this pass; the
+      // outer progress loop restarts the scan from every tenant's oldest
+      // set once anything launches.
+      const int nt = static_cast<int>(ready_by_tenant_.size());
+      std::vector<std::map<std::uint64_t, std::shared_ptr<ActiveSet>>::iterator>
+          its(static_cast<std::size_t>(nt));
+      for (int t = 0; t < nt; ++t) {
+        its[static_cast<std::size_t>(t)] =
+            ready_by_tenant_[static_cast<std::size_t>(t)].begin();
+      }
+      while (free_cores > 0) {
+        if (deep_backlog && fruitless > options_.backlog_fruitless_limit) {
+          arm_timer(sim_->now() + options_.backlog_revisit_interval);
+          break;
+        }
+        int best = -1;
+        double best_share = 0.0;
+        for (int t = 0; t < nt; ++t) {
+          if (its[static_cast<std::size_t>(t)] ==
+              ready_by_tenant_[static_cast<std::size_t>(t)].end()) {
             continue;
           }
-          const ServerId s = pick_remote_server(*set, idx);
-          if (s == kInvalidId) {
-            // No executor the driver is willing to use for this task has a
-            // free core right now (exclusions shrink the candidate set
-            // per-task, so a sibling may still be placeable).
-            set->pending.push_back(idx);
-            continue;
+          const double share = weighted_share(t);
+          if (best < 0 || share < best_share) {
+            best = t;
+            best_share = share;
           }
-          launch(set, idx, s, /*node_local=*/false);
+        }
+        if (best < 0) break;  // no tenant has an unvisited ready set
+        auto& bit = its[static_cast<std::size_t>(best)];
+        ++fruitless;
+        const std::shared_ptr<ActiveSet> set = bit->second;
+        if (offer_to_set(set, free_cores, launch_failures)) {
           progress = true;
           fruitless = 0;
-          --free_cores;
         }
-      }
-      if (set->pending.empty()) {
-        set->in_ready = false;
-        rit = ready_.erase(rit);
-      } else {
-        ++rit;
+        if (set->pending.empty()) {
+          set->in_ready = false;
+          bit = ready_by_tenant_[static_cast<std::size_t>(best)].erase(bit);
+          ready_.erase(set->seq);
+        } else {
+          ++bit;
+        }
       }
     }
   }
@@ -353,6 +443,14 @@ void TaskScheduler::launch(const std::shared_ptr<ActiveSet>& set, int index,
   srv.acquire_core();
   if (node_local) set->locality_anchor = sim_->now();
   ++set->running;
+  {
+    const auto t = static_cast<std::size_t>(
+        set->ts->tenant < 0 ? 0 : set->ts->tenant);
+    if (tenant_running_cores_.size() <= t) {
+      tenant_running_cores_.resize(t + 1, 0);
+    }
+    ++tenant_running_cores_[t];
+  }
 
   const TaskSpec& task = set->ts->tasks[static_cast<std::size_t>(index)];
   // The driver serializes and ships tasks one at a time.
@@ -420,6 +518,7 @@ void TaskScheduler::launch(const std::shared_ptr<ActiveSet>& set, int index,
     e.t0 = e.t1 = launch_time;
     e.job = task.job;
     e.stage = task.stage;
+    e.tenant = set->ts->tenant;
     e.task_index = index;
     e.unit = task.unit_id;
     e.attempt = set->attempts[static_cast<std::size_t>(index)];
@@ -464,6 +563,11 @@ void TaskScheduler::release_run_resources(const RunningTask& run,
     --active_disk_flows_;
   }
   --run.set->running;
+  {
+    const auto t = static_cast<std::size_t>(
+        run.set->ts->tenant < 0 ? 0 : run.set->ts->tenant);
+    if (t < tenant_running_cores_.size()) --tenant_running_cores_[t];
+  }
   auto& runs = run.set->runs_by_index[static_cast<std::size_t>(run.index)];
   std::erase(runs, run_id);
 }
@@ -569,7 +673,8 @@ void TaskScheduler::complete(std::uint64_t run_id) {
 
   for (const auto& block : run.plan.blocks_to_cache) {
     cluster_->insert_block(run.server, block.id, block.bytes,
-                           block.spill_on_evict, block.recompute_cost);
+                           block.spill_on_evict, block.recompute_cost,
+                           set->ts->tenant);
   }
 
   ++set->finished;
@@ -584,6 +689,7 @@ void TaskScheduler::complete(std::uint64_t run_id) {
     e.t1 = run.metrics.finish_time;
     e.job = task.job;
     e.stage = task.stage;
+    e.tenant = set->ts->tenant;
     e.task_index = run.index;
     e.unit = task.unit_id;
     e.attempt = set->attempts[static_cast<std::size_t>(run.index)];

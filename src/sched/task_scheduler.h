@@ -40,6 +40,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -148,6 +149,11 @@ class TaskScheduler {
     std::size_t deep_backlog_threshold = 256;
     int backlog_fruitless_limit = 128;
     double backlog_revisit_interval = 0.2;
+    // Weighted fair-share across tenants: each scheduling step offers the
+    // oldest ready set of the tenant with the lowest weighted running-core
+    // share (tenant weights via set_tenant_weight). Off: the historical
+    // FIFO ready-set scan, byte-identical to a build without tenants.
+    bool fair_share = false;
     // Retry / exclusion knobs (see FaultOptions in sched/task.h).
     FaultOptions faults;
   };
@@ -164,6 +170,9 @@ class TaskScheduler {
   struct TaskSet {
     JobId job = kInvalidId;
     StageId stage = kInvalidId;
+    // Tenant the owning job runs as (0 = default); drives fair-share
+    // ordering and cache-quota ownership of the blocks the tasks cache.
+    TenantId tenant = 0;
     std::vector<TaskSpec> tasks;
     PlanFn plan;
     TaskDoneFn task_done;
@@ -254,6 +263,13 @@ class TaskScheduler {
   bool speculation_suspended() const noexcept {
     return speculation_suspended_;
   }
+
+  // Fair-share weight for a tenant (> 0; unset tenants weigh 1.0). Wired
+  // from TenantOptions by the DagScheduler constructor.
+  void set_tenant_weight(TenantId tenant, double weight);
+  // Cores currently running tasks of this tenant (maintained regardless of
+  // fair_share, so benches/tests can measure shares in either mode).
+  int tenant_running_cores(TenantId tenant) const noexcept;
 
   std::size_t running_tasks() const noexcept { return running_.size(); }
   std::size_t pending_task_sets() const noexcept { return task_sets_.size(); }
@@ -373,6 +389,13 @@ class TaskScheduler {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(job)) << 32) |
            static_cast<std::uint32_t>(stage);
   }
+  // One NODE_LOCAL + ANY offer round for a single set (the body of the
+  // historical ready-scan loop). Returns true when at least one task
+  // launched; the set may have drained its pending queue either way.
+  bool offer_to_set(const std::shared_ptr<ActiveSet>& set, int& free_cores,
+                    std::set<ServerId>& launch_failures);
+  // Fair-share pick metric: running cores / weight for the tenant.
+  double weighted_share(TenantId tenant) const noexcept;
   // Driver is willing to offer this server's slots to this task. Reads the
   // per-sweep offer cache for the set-independent half of the predicate;
   // callers must be downstream of rebuild_offer_cache().
@@ -396,6 +419,14 @@ class TaskScheduler {
   // reproduces the FIFO scan order exactly while skipping the (usually
   // numerous) drained-but-running sets.
   std::map<std::uint64_t, std::shared_ptr<ActiveSet>> ready_;
+  // Fair-share state. ready_by_tenant_ mirrors ready_ (same sets, bucketed
+  // by TaskSet::tenant) and is maintained only when Options::fair_share —
+  // the plain path never touches it. The core counters are kept in both
+  // modes (pure accounting next to set->running updates).
+  std::vector<std::map<std::uint64_t, std::shared_ptr<ActiveSet>>>
+      ready_by_tenant_;
+  std::vector<double> tenant_weight_;      // index = TenantId; empty slot = 1
+  std::vector<int> tenant_running_cores_;  // index = TenantId
   // Secondary indexes so unpark / cancel_job touch only their own sets
   // instead of scanning every live one.
   std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<ActiveSet>>>

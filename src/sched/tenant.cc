@@ -1,0 +1,73 @@
+#include "sched/tenant.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace stark {
+
+void MultiTenantOptions::validate() const {
+  std::unordered_set<std::string> seen;
+  for (const TenantOptions& t : tenants) {
+    if (t.name.empty()) {
+      throw std::invalid_argument(
+          "MultiTenantOptions: tenant name must be non-empty (the empty "
+          "name is reserved for the default tenant)");
+    }
+    if (!seen.insert(t.name).second) {
+      throw std::invalid_argument("MultiTenantOptions: duplicate tenant \"" +
+                                  t.name + "\"");
+    }
+    if (!(t.weight > 0.0) || !std::isfinite(t.weight)) {
+      throw std::invalid_argument("MultiTenantOptions: tenant \"" + t.name +
+                                  "\" weight must be positive and finite "
+                                  "(got " +
+                                  std::to_string(t.weight) + ")");
+    }
+    if (t.cache_quota < 0.0 || t.cache_quota > 1.0) {
+      throw std::invalid_argument("MultiTenantOptions: tenant \"" + t.name +
+                                  "\" cache_quota must be in [0, 1] (got " +
+                                  std::to_string(t.cache_quota) + ")");
+    }
+    if (t.max_in_flight_jobs < 0) {
+      throw std::invalid_argument("MultiTenantOptions: tenant \"" + t.name +
+                                  "\" max_in_flight_jobs must be >= 0");
+    }
+    if (t.max_pending_jobs < 0) {
+      throw std::invalid_argument("MultiTenantOptions: tenant \"" + t.name +
+                                  "\" max_pending_jobs must be >= 0");
+    }
+  }
+}
+
+TenantRegistry::TenantRegistry() {
+  tenants_.push_back(TenantOptions{});  // default tenant: id 0, empty name
+  by_name_.emplace(std::string{}, 0);
+}
+
+TenantRegistry::TenantRegistry(const MultiTenantOptions& options)
+    : TenantRegistry() {
+  for (const TenantOptions& t : options.tenants) {
+    const TenantId id = static_cast<TenantId>(tenants_.size());
+    tenants_.push_back(t);
+    by_name_.emplace(t.name, id);
+  }
+}
+
+TenantId TenantRegistry::resolve(const std::string& name) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const TenantId id = static_cast<TenantId>(tenants_.size());
+  TenantOptions opts;
+  opts.name = name;
+  tenants_.push_back(std::move(opts));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+TenantId TenantRegistry::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it != by_name_.end() ? it->second : kInvalidId;
+}
+
+}  // namespace stark

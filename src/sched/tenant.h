@@ -1,0 +1,85 @@
+// First-class tenant model for multi-tenant cluster simulation.
+//
+// A tenant is a named principal sharing the cluster: it owns a scheduling
+// weight (fair-share), a cache quota (fraction of every server's RAM it may
+// fill before evicting its own blocks first), and admission limits that
+// override the global OverloadOptions bounds. Tenants are configured up
+// front via ContextOptions::tenants and resolved to dense TenantIds by the
+// TenantRegistry; names arriving at submit() that were never configured are
+// auto-registered with default options (weight 1, no quota, global limits),
+// so ad-hoc workloads keep working without declaring themselves.
+//
+// TenantId 0 is always the default tenant (the empty name). Configured
+// tenants get ids 1..N in declaration order; auto-registered ones follow in
+// first-submission order, which is deterministic for a deterministic
+// workload.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace stark {
+
+// Per-tenant knobs, validated by MultiTenantOptions::validate().
+struct TenantOptions {
+  // Unique, non-empty tenant name (the submit-side key).
+  std::string name;
+  // Fair-share weight (> 0): under saturation the task scheduler targets
+  // running-core shares proportional to weight.
+  double weight = 1.0;
+  // Fraction of each server's cache capacity this tenant may occupy before
+  // its own blocks are evicted first ([0, 1]; 0 = no quota: the tenant
+  // competes in the shared pool like before).
+  double cache_quota = 0.0;
+  // Admission overrides (0 = use the global OverloadOptions value).
+  int max_in_flight_jobs = 0;
+  int max_pending_jobs = 0;
+};
+
+// Tenant configuration handed through ContextOptions::tenants and mirrored
+// into DagOptions by api::Context. Defaults (no tenants, fair_share off)
+// leave the engine byte-identical to a single-tenant build.
+struct MultiTenantOptions {
+  // Weighted fair-share task scheduling between tenants. Off: the scheduler
+  // runs the historical FIFO ready-set scan unchanged.
+  bool fair_share = false;
+  std::vector<TenantOptions> tenants;
+
+  // Rejects inconsistent knobs with std::invalid_argument naming the field.
+  void validate() const;
+};
+
+// Name <-> dense id mapping plus the per-tenant options. Owned by the
+// DagScheduler; lookups on the submit path are one hash probe.
+class TenantRegistry {
+ public:
+  // Registers only the default tenant (id 0, empty name).
+  TenantRegistry();
+  // Registers the default tenant plus every configured tenant (ids 1..N in
+  // declaration order). Assumes options.validate() passed.
+  explicit TenantRegistry(const MultiTenantOptions& options);
+
+  // Lookup-or-register: unknown names are added with default options so
+  // ad-hoc apps need no up-front declaration. The empty name is tenant 0.
+  TenantId resolve(const std::string& name);
+
+  // Lookup-only: kInvalidId when the name was never seen.
+  TenantId find(const std::string& name) const;
+
+  const TenantOptions& options(TenantId id) const {
+    return tenants_.at(static_cast<std::size_t>(id));
+  }
+  const std::string& name(TenantId id) const {
+    return tenants_.at(static_cast<std::size_t>(id)).name;
+  }
+  int size() const noexcept { return static_cast<int>(tenants_.size()); }
+
+ private:
+  std::vector<TenantOptions> tenants_;  // index == TenantId
+  std::unordered_map<std::string, TenantId> by_name_;
+};
+
+}  // namespace stark

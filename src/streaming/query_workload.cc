@@ -74,6 +74,7 @@ void QueryWorkload::issue_query() {
   ++issued_;
   if (!config_.cache_cogroup) {
     dag_->submit(region, ActionType::kCount,
+                 SubmitOptions{.tenant = config_.tenant},
                  [this](const JobResult& r) {
       if (!r.completed) {
         ++failed_;
@@ -85,7 +86,7 @@ void QueryWorkload::issue_query() {
       if (config_.slo_seconds > 0.0 && r.delay <= config_.slo_seconds) {
         ++completed_within_slo_;
       }
-    }, config_.app);
+    });
     return;
   }
 
@@ -95,6 +96,7 @@ void QueryWorkload::issue_query() {
   // completes the cached cogroup is dead but stays resident until evicted.
   grouped->cache(Dataset::StorageLevel::kMemorySerialized);
   dag_->submit(region, ActionType::kCount,
+               SubmitOptions{.tenant = config_.tenant},
                [this, grouped](const JobResult& first) {
     if (!first.completed) {
       ++failed_;  // the whole session is lost; skip the follow-up
@@ -116,7 +118,13 @@ void QueryWorkload::issue_query() {
     spec.selectivity = static_cast<double>(edge) * edge /
                        (static_cast<double>(grid) * grid);
     auto follow_up = grouped->filter(std::move(spec), "query.region2");
-    dag_->submit(follow_up, ActionType::kCount,
+    // Follow-ups ride their own admission lane (per-(tenant, lane)
+    // queues): a fresh arrival must never shed the second half of a
+    // session the cluster already paid for job one of — that wastes the
+    // work and collapses goodput quadratically with offered load.
+    SubmitOptions followup_opts{.tenant = config_.tenant};
+    if (!config_.tenant.empty()) followup_opts.lane = "followup";
+    dag_->submit(follow_up, ActionType::kCount, std::move(followup_opts),
                  [this, first](const JobResult& second) {
       if (!second.completed) {
         ++failed_;
@@ -129,12 +137,8 @@ void QueryWorkload::issue_query() {
       if (config_.slo_seconds > 0.0 && total <= config_.slo_seconds) {
         ++completed_within_slo_;
       }
-      // Follow-ups ride their own admission lane (per-app queues): a fresh
-      // arrival must never shed the second half of a session the cluster
-      // already paid for job one of — that wastes the work and collapses
-      // goodput quadratically with offered load.
-    }, config_.app.empty() ? config_.app : config_.app + ".followup");
-  }, config_.app);
+    });
+  });
 }
 
 }  // namespace stark

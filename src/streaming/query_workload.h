@@ -46,9 +46,10 @@ class QueryWorkload {
     // within it count toward completed_within_slo() ("goodput" in
     // bench_overload). 0 disables the tally.
     double slo_seconds = 0.0;
-    // App label passed to DagScheduler::submit — admission control
-    // bounds queues per app (empty = the default app).
-    std::string app;
+    // Tenant passed via SubmitOptions to DagScheduler::submit — admission
+    // control bounds queues per (tenant, lane) and the fair-share
+    // scheduler accounts cores per tenant (empty = the default tenant).
+    std::string tenant;
     std::uint64_t seed = 11;
     // Exact region filtering via Z-key predicate; disable for large sweeps
     // (selectivity is then approximated by the region's area fraction).

@@ -79,7 +79,7 @@ TEST(Chaos, WorkloadSurvivesChurn) {
     ctx.sim().at(t0 + 4.0 * q, [&] {
       auto cg = Dataset::cogroup(inputs, part);
       ctx.dag().submit(cg->filter({.selectivity = 0.05}), ActionType::kCount,
-                       [&](const JobResult& r) {
+                       {}, [&](const JobResult& r) {
                          if (r.completed) {
                            ++completed;
                          } else {
@@ -217,7 +217,7 @@ TEST(Chaos, CorruptionProcessIsSeededAndCounted) {
     // cluster so every arrival sees the same deterministic target list.
     ctx.dag().submit(
         Dataset::cogroup(inputs, part)->filter({.selectivity = 0.1}),
-        ActionType::kCount, [](const JobResult&) {});
+        ActionType::kCount, {}, [](const JobResult&) {});
     ctx.sim().run();
     ChaosInjector chaos(ctx, {.failures_per_hour = 0.0,
                               .corruptions_per_hour = 36000.0,

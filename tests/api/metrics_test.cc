@@ -158,7 +158,7 @@ TEST(Metrics, UtilizationAndSummaryUnderChaos) {
   int observed = 0;
   for (int q = 0; q < 12; ++q) {
     ctx.sim().at(t0 + 5.0 * q, [&] {
-      ctx.dag().submit(Dataset::cogroup(inputs, part), ActionType::kCount,
+      ctx.dag().submit(Dataset::cogroup(inputs, part), ActionType::kCount, {},
                        [&](const JobResult& r) {
                          metrics.observe_job(r);
                          ++observed;
@@ -231,7 +231,7 @@ TEST(Metrics, SurfacesOverloadCounters) {
   // Three synchronous submits against a 1-slot / 1-pending app: the third
   // is rejected at the door.
   for (int i = 0; i < 3; ++i) {
-    ctx.dag().submit(ds, ActionType::kCount, [](const JobResult&) {});
+    ctx.dag().submit(ds, ActionType::kCount, {}, [](const JobResult&) {});
   }
   ctx.sim().run();
   metrics.observe_overload(ctx.dag().overload_stats());
@@ -243,6 +243,85 @@ TEST(Metrics, SurfacesOverloadCounters) {
   metrics.reset();
   EXPECT_EQ(metrics.jobs_admitted(), 0);
   EXPECT_EQ(metrics.jobs_rejected(), 0);
+}
+
+TEST(Metrics, PerTenantRollupsAndDelaySpread) {
+  ContextOptions o;
+  o.config = ConfigKind::kStarkH;
+  o.cluster.num_servers = 4;
+  Context ctx(o);
+  MetricsCollector metrics(ctx.cluster());
+  auto part = ctx.collection_partitioner(8, 256);
+  auto ds = ctx.ingest("d", hist(), part, "logs");
+  auto run_as = [&](const std::string& tenant, int jobs) {
+    for (int q = 0; q < jobs; ++q) {
+      ctx.dag().submit(ds, ActionType::kCount,
+                       SubmitOptions{.tenant = tenant},
+                       [&](const JobResult& r) { metrics.observe_job(r); });
+    }
+    ctx.sim().run();
+  };
+  run_as("a", 2);
+  run_as("b", 3);
+
+  const auto& tenants = metrics.per_tenant();
+  ASSERT_EQ(tenants.size(), 2u);  // first-observed order
+  EXPECT_EQ(tenants[0].tenant, "a");
+  EXPECT_EQ(tenants[0].jobs, 2);
+  EXPECT_EQ(tenants[1].tenant, "b");
+  EXPECT_EQ(tenants[1].jobs, 3);
+  EXPECT_EQ(tenants[0].aborted, 0);
+  EXPECT_GT(tenants[0].delays.mean(), 0.0);
+  // Identical jobs on an idle cluster: the per-tenant means are close, so
+  // the spread sits near 1 (and is always >= 1 by construction).
+  EXPECT_GE(metrics.tenant_delay_spread(), 1.0);
+  EXPECT_LT(metrics.tenant_delay_spread(), 1.5);
+  // Multi-tenant runs surface the per-tenant block in the summary.
+  EXPECT_NE(metrics.summary().find("tenants: 2"), std::string::npos);
+
+  metrics.reset();
+  EXPECT_TRUE(metrics.per_tenant().empty());
+  EXPECT_DOUBLE_EQ(metrics.tenant_delay_spread(), 1.0);
+}
+
+TEST(Metrics, PerTenantOverloadSnapshots) {
+  ContextOptions o;
+  o.config = ConfigKind::kStarkH;
+  o.cluster.num_servers = 4;
+  o.overload.admission_enabled = true;
+  o.overload.max_in_flight_jobs = 1;
+  o.overload.max_pending_jobs = 1;
+  Context ctx(o);
+  MetricsCollector metrics(ctx.cluster());
+  auto part = ctx.collection_partitioner(8, 256);
+  auto ds = ctx.ingest("d", hist(), part, "logs", {.materialize = false});
+  // Tenant "hot" over-submits against its 1-slot / 1-pending queue while
+  // "cold" stays within limits; the per-tenant snapshots keep them apart.
+  for (int i = 0; i < 3; ++i) {
+    ctx.dag().submit(ds, ActionType::kCount, SubmitOptions{.tenant = "hot"},
+                     [&](const JobResult& r) { metrics.observe_job(r); });
+  }
+  ctx.dag().submit(ds, ActionType::kCount, SubmitOptions{.tenant = "cold"},
+                   [&](const JobResult& r) { metrics.observe_job(r); });
+  ctx.sim().run();
+
+  const auto& per_tenant = ctx.dag().tenant_overload_stats();
+  const auto& reg = ctx.dag().tenants();
+  for (std::size_t t = 0; t < per_tenant.size(); ++t) {
+    metrics.observe_tenant_overload(reg.name(static_cast<TenantId>(t)),
+                                    per_tenant[t]);
+  }
+  const MetricsCollector::TenantSummary* hot = nullptr;
+  const MetricsCollector::TenantSummary* cold = nullptr;
+  for (const auto& t : metrics.per_tenant()) {
+    if (t.tenant == "hot") hot = &t;
+    if (t.tenant == "cold") cold = &t;
+  }
+  ASSERT_NE(hot, nullptr);
+  ASSERT_NE(cold, nullptr);
+  EXPECT_EQ(hot->overload.jobs_rejected, 1);  // third submit bounced
+  EXPECT_EQ(cold->overload.jobs_rejected, 0);
+  EXPECT_EQ(cold->overload.jobs_admitted, 1);
 }
 
 }  // namespace

@@ -152,6 +152,93 @@ TEST(BlockManager, CorruptionTagLifecycle) {
   EXPECT_FALSE(bm.is_corrupt({1, 0}));
 }
 
+// --- per-tenant cache quotas ----------------------------------------------
+
+CachePolicyOptions quotas(std::vector<double> fractions) {
+  CachePolicyOptions c;
+  c.tenant_quota_fractions = std::move(fractions);
+  return c;
+}
+
+TEST(BlockManagerQuota, CappedTenantEvictsItsOwnBlocksFirst) {
+  // Tenant 1 may hold 30% of a 1000-byte store. At its cap, its next
+  // insert evicts its *own* LRU block even though 700 bytes sit free.
+  BlockManager bm(1000.0, quotas({0.0, 0.3}));
+  bm.insert({1, 0}, 100.0, false, 0.0, /*tenant=*/1);
+  bm.insert({2, 0}, 100.0, false, 0.0, /*tenant=*/1);
+  bm.insert({3, 0}, 100.0, false, 0.0, /*tenant=*/1);
+  EXPECT_DOUBLE_EQ(bm.tenant_used(1), 300.0);
+  const auto result = bm.insert({4, 0}, 100.0, false, 0.0, /*tenant=*/1);
+  ASSERT_TRUE(result.stored);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0].id, (BlockId{1, 0}));  // own LRU paid
+  EXPECT_DOUBLE_EQ(bm.tenant_used(1), 300.0);        // still at the cap
+  EXPECT_DOUBLE_EQ(bm.used(), 300.0);                // free space untouched
+}
+
+TEST(BlockManagerQuota, BlockLargerThanTheCapIsNeverStored) {
+  BlockManager bm(1000.0, quotas({0.0, 0.3}));
+  const auto result = bm.insert({1, 0}, 400.0, false, 0.0, /*tenant=*/1);
+  EXPECT_FALSE(result.stored);
+  EXPECT_TRUE(result.evicted.empty());
+  EXPECT_DOUBLE_EQ(bm.tenant_used(1), 0.0);
+}
+
+TEST(BlockManagerQuota, GlobalPressureNeverDipsBelowAGuaranteedFloor) {
+  // Tenant 1's quota doubles as a floor: while it holds <= 300 bytes,
+  // other tenants' evictions must skip its blocks, even the global LRU.
+  BlockManager bm(1000.0, quotas({0.0, 0.3}));
+  bm.insert({1, 0}, 100.0, false, 0.0, /*tenant=*/1);
+  bm.insert({2, 0}, 100.0, false, 0.0, /*tenant=*/1);
+  for (DatasetId d = 10; d < 18; ++d) {
+    bm.insert({d, 0}, 100.0);  // default tenant fills the remaining 800
+  }
+  EXPECT_DOUBLE_EQ(bm.used(), 1000.0);
+  const auto result = bm.insert({20, 0}, 100.0);  // default tenant, full
+  ASSERT_TRUE(result.stored);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  // The global LRU blocks are tenant 1's, but both sit under its floor:
+  // the victim comes from the unprotected default pool instead.
+  EXPECT_EQ(result.evicted[0].id, (BlockId{10, 0}));
+  EXPECT_TRUE(bm.contains({1, 0}));
+  EXPECT_TRUE(bm.contains({2, 0}));
+  EXPECT_DOUBLE_EQ(bm.tenant_used(1), 200.0);
+}
+
+TEST(BlockManagerQuota, QuotaTenantAtItsCapIsStillProtected) {
+  // The quota is a cap on the tenant's own inserts AND a guaranteed floor
+  // against everyone else: even sitting exactly at the cap, the tenant's
+  // blocks are not victims for other tenants' pressure.
+  BlockManager bm(1000.0, quotas({0.0, 0.0, 0.5}));
+  for (DatasetId d = 1; d <= 5; ++d) {
+    bm.insert({d, 0}, 100.0, false, 0.0, /*tenant=*/2);  // 500 = the cap
+  }
+  for (DatasetId d = 10; d < 15; ++d) {
+    bm.insert({d, 0}, 100.0);  // default tenant fills the rest
+  }
+  EXPECT_DOUBLE_EQ(bm.used(), 1000.0);
+  const auto result = bm.insert({20, 0}, 100.0);
+  ASSERT_TRUE(result.stored);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0].id, (BlockId{10, 0}));  // default's own LRU
+  EXPECT_DOUBLE_EQ(bm.tenant_used(2), 500.0);
+}
+
+TEST(BlockManagerQuota, ReinsertTransfersOwnershipToTheLastWriter) {
+  BlockManager bm(1000.0, quotas({0.0, 0.5, 0.5}));
+  bm.insert({1, 0}, 100.0, false, 0.0, /*tenant=*/1);
+  EXPECT_DOUBLE_EQ(bm.tenant_used(1), 100.0);
+  bm.insert({1, 0}, 150.0, false, 0.0, /*tenant=*/2);
+  EXPECT_DOUBLE_EQ(bm.tenant_used(1), 0.0);
+  EXPECT_DOUBLE_EQ(bm.tenant_used(2), 150.0);
+}
+
+TEST(BlockManagerQuota, DisabledQuotasTrackNothing) {
+  BlockManager bm(1000.0);  // no fractions: historical store
+  bm.insert({1, 0}, 100.0, false, 0.0, /*tenant=*/1);
+  EXPECT_DOUBLE_EQ(bm.tenant_used(1), 0.0);
+}
+
 TEST(BlockManager, EvictionCarriesCorruptionTag) {
   BlockManager bm(200.0);
   bm.insert({1, 0}, 100.0, /*spill_on_evict=*/true);

@@ -95,7 +95,8 @@ Outcome run_soak(std::uint64_t seed) {
       auto grouped = Dataset::cogroup(window, part, "soak.cogroup");
       auto region = grouped->filter({.selectivity = 0.1}, "soak.region");
       ++out.issued;
-      ctx.dag().submit(region, ActionType::kCount, [&](const JobResult& r) {
+      ctx.dag().submit(region, ActionType::kCount, {},
+                       [&](const JobResult& r) {
         if (r.completed) {
           ++out.completed;
           out.delays.push_back(r.delay);

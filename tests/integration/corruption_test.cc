@@ -226,7 +226,7 @@ TEST(Corruption, SameSeedSoakIsBitIdentical) {
       ctx.sim().at(t0 + 3.0 * q, [&] {
         auto cg = Dataset::cogroup(inputs, part);
         ctx.dag().submit(cg->filter({.selectivity = 0.1}), ActionType::kCount,
-                         [&](const JobResult& r) {
+                         {}, [&](const JobResult& r) {
                            if (r.completed) ++completed;
                            if (r.finish_time > last) last = r.finish_time;
                          });

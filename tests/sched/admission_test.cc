@@ -1,6 +1,6 @@
-// Admission control: per-app bounded pending queues, reject/shed/block
-// policies, FIFO dispatch as slots free up, and pressure-scaled intake
-// with speculative-launch suspension under Red.
+// Admission control: per-(tenant, lane) bounded priority queues,
+// reject/shed/block policies, FIFO dispatch as slots free up, and
+// pressure-scaled intake with speculative-launch suspension under Red.
 #include <gtest/gtest.h>
 
 #include "api/context.h"
@@ -26,45 +26,48 @@ OverloadOptions overload(AdmissionPolicy policy, int in_flight = 1,
   return o;
 }
 
+const AdmissionKey kLaneA{0, "a"};
+const AdmissionKey kLaneB{0, "b"};
+
 TEST(AdmissionController, RejectNewWhenQueueIsFull) {
   AdmissionController ac(overload(AdmissionPolicy::kRejectNew));
-  EXPECT_EQ(ac.admit("a", 1, PressureBand::kGreen).verdict,
+  EXPECT_EQ(ac.admit(kLaneA, 1, 0, PressureBand::kGreen).verdict,
             AdmissionVerdict::kAdmit);
-  EXPECT_EQ(ac.admit("a", 2, PressureBand::kGreen).verdict,
+  EXPECT_EQ(ac.admit(kLaneA, 2, 0, PressureBand::kGreen).verdict,
             AdmissionVerdict::kQueue);
-  EXPECT_EQ(ac.admit("a", 3, PressureBand::kGreen).verdict,
+  EXPECT_EQ(ac.admit(kLaneA, 3, 0, PressureBand::kGreen).verdict,
             AdmissionVerdict::kReject);
-  EXPECT_EQ(ac.in_flight("a"), 1);
-  EXPECT_EQ(ac.pending("a"), 1);
+  EXPECT_EQ(ac.in_flight(kLaneA), 1);
+  EXPECT_EQ(ac.pending(kLaneA), 1);
   // Releasing the slot lets the queued job dispatch, FIFO.
-  ac.release("a");
-  std::string app;
-  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &app), 2);
-  EXPECT_EQ(app, "a");
-  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &app), kInvalidId);
+  ac.release(kLaneA);
+  AdmissionKey key;
+  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &key), 2);
+  EXPECT_EQ(key, kLaneA);
+  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &key), kInvalidId);
 }
 
 TEST(AdmissionController, ShedOldestDropsTheStalestQueuedJob) {
   AdmissionController ac(overload(AdmissionPolicy::kShedOldest));
-  ac.admit("a", 1, PressureBand::kGreen);
-  ac.admit("a", 2, PressureBand::kGreen);
-  const auto d = ac.admit("a", 3, PressureBand::kGreen);
+  ac.admit(kLaneA, 1, 0, PressureBand::kGreen);
+  ac.admit(kLaneA, 2, 0, PressureBand::kGreen);
+  const auto d = ac.admit(kLaneA, 3, 0, PressureBand::kGreen);
   EXPECT_EQ(d.verdict, AdmissionVerdict::kShed);
   EXPECT_EQ(d.shed, 2);  // oldest queued job paid; the arrival is queued
-  EXPECT_EQ(ac.pending("a"), 1);
-  ac.release("a");
-  std::string app;
-  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &app), 3);
+  EXPECT_EQ(ac.pending(kLaneA), 1);
+  ac.release(kLaneA);
+  AdmissionKey key;
+  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &key), 3);
 }
 
 TEST(AdmissionController, BlockPolicyNeverRefuses) {
   AdmissionController ac(overload(AdmissionPolicy::kBlock));
-  ac.admit("a", 1, PressureBand::kGreen);
+  ac.admit(kLaneA, 1, 0, PressureBand::kGreen);
   for (JobId id = 2; id < 12; ++id) {
-    EXPECT_EQ(ac.admit("a", id, PressureBand::kGreen).verdict,
+    EXPECT_EQ(ac.admit(kLaneA, id, 0, PressureBand::kGreen).verdict,
               AdmissionVerdict::kQueue);
   }
-  EXPECT_EQ(ac.pending("a"), 10);  // far past max_pending_jobs = 1
+  EXPECT_EQ(ac.pending(kLaneA), 10);  // far past max_pending_jobs = 1
 }
 
 TEST(AdmissionController, PressureTightensTheEffectiveLimit) {
@@ -80,43 +83,92 @@ TEST(AdmissionController, PressureTightensTheEffectiveLimit) {
   EXPECT_EQ(AdmissionController(o).effective_limit(PressureBand::kRed), 1);
 }
 
-TEST(AdmissionController, DispatchIsFifoAcrossApps) {
+TEST(AdmissionController, DispatchIsFifoAcrossLanes) {
   AdmissionController ac(overload(AdmissionPolicy::kBlock));
-  ac.admit("a", 1, PressureBand::kGreen);  // admit (a at capacity)
-  ac.admit("b", 2, PressureBand::kGreen);  // admit (b at capacity)
-  ac.admit("a", 3, PressureBand::kGreen);  // queue
-  ac.admit("b", 4, PressureBand::kGreen);  // queue
+  ac.admit(kLaneA, 1, 0, PressureBand::kGreen);  // admit (a at capacity)
+  ac.admit(kLaneB, 2, 0, PressureBand::kGreen);  // admit (b at capacity)
+  ac.admit(kLaneA, 3, 0, PressureBand::kGreen);  // queue
+  ac.admit(kLaneB, 4, 0, PressureBand::kGreen);  // queue
   // Only b released: a's older queued job must not jump the capacity check.
-  ac.release("b");
-  std::string app;
-  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &app), 4);
-  EXPECT_EQ(app, "b");
-  ac.release("a");
-  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &app), 3);
-  EXPECT_EQ(app, "a");
+  ac.release(kLaneB);
+  AdmissionKey key;
+  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &key), 4);
+  EXPECT_EQ(key, kLaneB);
+  ac.release(kLaneA);
+  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &key), 3);
+  EXPECT_EQ(key, kLaneA);
 }
 
 TEST(AdmissionController, RemovePendingDropsOnlyQueuedJobs) {
   AdmissionController ac(overload(AdmissionPolicy::kRejectNew));
-  ac.admit("a", 1, PressureBand::kGreen);  // dispatched
-  ac.admit("a", 2, PressureBand::kGreen);  // queued
-  EXPECT_FALSE(ac.remove_pending("a", 1));  // in flight, not queued
-  EXPECT_TRUE(ac.remove_pending("a", 2));
-  EXPECT_FALSE(ac.remove_pending("a", 2));  // already removed
-  EXPECT_EQ(ac.pending("a"), 0);
-  EXPECT_EQ(ac.in_flight("a"), 1);
+  ac.admit(kLaneA, 1, 0, PressureBand::kGreen);  // dispatched
+  ac.admit(kLaneA, 2, 0, PressureBand::kGreen);  // queued
+  EXPECT_FALSE(ac.remove_pending(kLaneA, 1));  // in flight, not queued
+  EXPECT_TRUE(ac.remove_pending(kLaneA, 2));
+  EXPECT_FALSE(ac.remove_pending(kLaneA, 2));  // already removed
+  EXPECT_EQ(ac.pending(kLaneA), 0);
+  EXPECT_EQ(ac.in_flight(kLaneA), 1);
 }
 
-TEST(AdmissionController, AppsQueueIndependently) {
+TEST(AdmissionController, LanesQueueIndependently) {
   AdmissionController ac(overload(AdmissionPolicy::kRejectNew));
-  ac.admit("a", 1, PressureBand::kGreen);
-  ac.admit("a", 2, PressureBand::kGreen);  // a's queue now full
-  EXPECT_EQ(ac.admit("a", 3, PressureBand::kGreen).verdict,
+  ac.admit(kLaneA, 1, 0, PressureBand::kGreen);
+  ac.admit(kLaneA, 2, 0, PressureBand::kGreen);  // a's queue now full
+  EXPECT_EQ(ac.admit(kLaneA, 3, 0, PressureBand::kGreen).verdict,
             AdmissionVerdict::kReject);
-  // App b is untouched by a's overload.
-  EXPECT_EQ(ac.admit("b", 4, PressureBand::kGreen).verdict,
+  // Lane b is untouched by a's overload.
+  EXPECT_EQ(ac.admit(kLaneB, 4, 0, PressureBand::kGreen).verdict,
             AdmissionVerdict::kAdmit);
   EXPECT_EQ(ac.total_pending(), 1);
+}
+
+TEST(AdmissionController, HigherPriorityDispatchesFirstWithinALane) {
+  AdmissionController ac(overload(AdmissionPolicy::kBlock));
+  ac.admit(kLaneA, 1, 0, PressureBand::kGreen);   // holds the slot
+  ac.admit(kLaneA, 2, 0, PressureBand::kGreen);   // queued, prio 0
+  ac.admit(kLaneA, 3, 5, PressureBand::kGreen);   // queued, prio 5: jumps
+  ac.admit(kLaneA, 4, 5, PressureBand::kGreen);   // prio 5: FIFO after 3
+  ac.release(kLaneA);
+  AdmissionKey key;
+  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &key), 3);
+  ac.release(kLaneA);
+  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &key), 4);
+  ac.release(kLaneA);
+  EXPECT_EQ(ac.next_dispatchable(PressureBand::kGreen, &key), 2);
+}
+
+TEST(AdmissionController, ShedVictimIsTheOldestLowestPriorityJob) {
+  OverloadOptions o = overload(AdmissionPolicy::kShedOldest,
+                               /*in_flight=*/1, /*pending=*/2);
+  AdmissionController ac(o);
+  ac.admit(kLaneA, 1, 0, PressureBand::kGreen);  // in flight
+  ac.admit(kLaneA, 2, 5, PressureBand::kGreen);  // queued, high prio
+  ac.admit(kLaneA, 3, 0, PressureBand::kGreen);  // queued, low prio
+  const auto d = ac.admit(kLaneA, 4, 0, PressureBand::kGreen);
+  EXPECT_EQ(d.verdict, AdmissionVerdict::kShed);
+  EXPECT_EQ(d.shed, 3);  // lowest priority class, oldest within it
+}
+
+TEST(AdmissionController, PerTenantLimitsOverrideTheGlobals) {
+  OverloadOptions o = overload(AdmissionPolicy::kRejectNew,
+                               /*in_flight=*/1, /*pending=*/1);
+  AdmissionController ac(o);
+  ac.set_tenant_limits(/*tenant=*/2, /*max_in_flight=*/2, /*max_pending=*/3);
+  const AdmissionKey t2{2, ""};
+  EXPECT_EQ(ac.effective_limit(PressureBand::kGreen, 2), 2);
+  EXPECT_EQ(ac.effective_limit(PressureBand::kGreen, 1), 1);
+  EXPECT_EQ(ac.admit(t2, 1, 0, PressureBand::kGreen).verdict,
+            AdmissionVerdict::kAdmit);
+  EXPECT_EQ(ac.admit(t2, 2, 0, PressureBand::kGreen).verdict,
+            AdmissionVerdict::kAdmit);  // second slot from the override
+  EXPECT_EQ(ac.admit(t2, 3, 0, PressureBand::kGreen).verdict,
+            AdmissionVerdict::kQueue);
+  EXPECT_EQ(ac.admit(t2, 4, 0, PressureBand::kGreen).verdict,
+            AdmissionVerdict::kQueue);
+  EXPECT_EQ(ac.admit(t2, 5, 0, PressureBand::kGreen).verdict,
+            AdmissionVerdict::kQueue);  // pending override = 3
+  EXPECT_EQ(ac.admit(t2, 6, 0, PressureBand::kGreen).verdict,
+            AdmissionVerdict::kReject);
 }
 
 // --- end-to-end through the DagScheduler ----------------------------------
@@ -142,9 +194,9 @@ TEST(AdmissionEndToEnd, RejectNewRefusesSynchronouslyAndDrainsFifo) {
   auto cb = [&](const JobResult& r) {
     outcomes.push_back({r.id, r.status});
   };
-  const JobId a = ctx.dag().submit(ds, ActionType::kCount, cb);
-  const JobId b = ctx.dag().submit(ds, ActionType::kCount, cb);
-  const JobId c = ctx.dag().submit(ds, ActionType::kCount, cb);
+  const JobId a = ctx.dag().submit(ds, ActionType::kCount, {}, cb);
+  const JobId b = ctx.dag().submit(ds, ActionType::kCount, {}, cb);
+  const JobId c = ctx.dag().submit(ds, ActionType::kCount, {}, cb);
   // The third arrival found one in flight and a full queue: its callback
   // already fired, inside submit.
   ASSERT_EQ(outcomes.size(), 1u);
@@ -172,9 +224,9 @@ TEST(AdmissionEndToEnd, ShedOldestTradesStaleForFresh) {
   auto cb = [&](const JobResult& r) {
     outcomes.push_back({r.id, r.status});
   };
-  const JobId a = ctx.dag().submit(ds, ActionType::kCount, cb);
-  const JobId b = ctx.dag().submit(ds, ActionType::kCount, cb);
-  const JobId c = ctx.dag().submit(ds, ActionType::kCount, cb);
+  const JobId a = ctx.dag().submit(ds, ActionType::kCount, {}, cb);
+  const JobId b = ctx.dag().submit(ds, ActionType::kCount, {}, cb);
+  const JobId c = ctx.dag().submit(ds, ActionType::kCount, {}, cb);
   // b was the oldest queued job; c's arrival displaced it.
   ASSERT_EQ(outcomes.size(), 1u);
   EXPECT_EQ(outcomes[0].id, b);
@@ -193,7 +245,7 @@ TEST(AdmissionEndToEnd, BlockPolicyThrottlesWithoutLoss) {
   auto ds = ctx.ingest("d", hist(), part, "logs", {.materialize = false});
   int completed = 0;
   for (int i = 0; i < 4; ++i) {
-    ctx.dag().submit(ds, ActionType::kCount, [&](const JobResult& r) {
+    ctx.dag().submit(ds, ActionType::kCount, {}, [&](const JobResult& r) {
       if (r.completed) ++completed;
     });
   }
@@ -219,13 +271,13 @@ TEST(AdmissionEndToEnd, RedPressureTightensIntakeAndSuspendsSpeculation) {
   auto cb = [&](const JobResult& r) {
     if (r.completed) ++completed;
   };
-  ctx.dag().submit(ds, ActionType::kCount, cb);
-  ctx.dag().submit(ds, ActionType::kCount, cb);
+  ctx.dag().submit(ds, ActionType::kCount, {}, cb);
+  ctx.dag().submit(ds, ActionType::kCount, {}, cb);
   // Red halved the in-flight limit, so the second arrival queued; degrade
   // mode also suspended speculative copies.
   EXPECT_EQ(ctx.dag().pressure_band(), PressureBand::kRed);
-  EXPECT_EQ(ctx.dag().admission().in_flight(""), 1);
-  EXPECT_EQ(ctx.dag().admission().pending(""), 1);
+  EXPECT_EQ(ctx.dag().admission().in_flight({}), 1);
+  EXPECT_EQ(ctx.dag().admission().pending({}), 1);
   EXPECT_TRUE(ctx.dag().tasks().speculation_suspended());
   const OverloadStats& s = ctx.dag().overload_stats();
   EXPECT_EQ(s.pressure_transitions, 1);

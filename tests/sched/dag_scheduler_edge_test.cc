@@ -137,7 +137,7 @@ TEST_F(DagEdgeTest, ManyConcurrentJobsAllComplete) {
   int done = 0;
   const int n = 50;
   for (int i = 0; i < n; ++i) {
-    dag_->submit(base->filter({.selectivity = 0.5}), ActionType::kCount,
+    dag_->submit(base->filter({.selectivity = 0.5}), ActionType::kCount, {},
                  [&done](const JobResult& r) {
                    EXPECT_TRUE(r.completed);
                    ++done;

@@ -131,7 +131,7 @@ TEST_F(DagSchedulerTest, AsyncSubmitCallbacksFire) {
   auto src = Dataset::source("s", hist(), 4);
   int called = 0;
   JobId seen = kInvalidId;
-  const JobId id = dag_->submit(src, ActionType::kCount,
+  const JobId id = dag_->submit(src, ActionType::kCount, {},
                                 [&](const JobResult& r) {
                                   ++called;
                                   seen = r.id;

@@ -89,7 +89,7 @@ TEST(Deadline, FiresMidFetchFailureResubmissionWithoutLeaks) {
   ctx.kill_server(1);
   JobResult result;
   bool done = false;
-  ctx.dag().submit(Dataset::cogroup(inputs, part), ActionType::kCount,
+  ctx.dag().submit(Dataset::cogroup(inputs, part), ActionType::kCount, {},
                    [&](const JobResult& r) {
                      result = r;
                      done = true;
@@ -161,10 +161,10 @@ TEST(Deadline, AbortOfTheSlotHolderDispatchesTheQueueInOrder) {
   auto cb = [&](const JobResult& r) {
     outcomes.emplace_back(r.id, r.status);
   };
-  const JobId a = ctx.dag().submit(ds, ActionType::kCount, cb);
+  const JobId a = ctx.dag().submit(ds, ActionType::kCount, {}, cb);
   JobId b = kInvalidId;
   ctx.sim().after(0.1, [&] {
-    b = ctx.dag().submit(ds, ActionType::kCount, cb);
+    b = ctx.dag().submit(ds, ActionType::kCount, {}, cb);
   });
   ctx.sim().run();
   // a stalls and dies at its deadline (t=0.5); that close frees the slot
@@ -176,7 +176,7 @@ TEST(Deadline, AbortOfTheSlotHolderDispatchesTheQueueInOrder) {
   EXPECT_EQ(outcomes[1].first, b);
   EXPECT_EQ(outcomes[1].second, JobStatus::kDeadlineExceeded);
   EXPECT_EQ(ctx.dag().overload_stats().deadline_exceeded, 2);
-  EXPECT_EQ(ctx.dag().admission().in_flight(""), 0);
+  EXPECT_EQ(ctx.dag().admission().in_flight({}), 0);
   EXPECT_EQ(ctx.dag().admission().total_pending(), 0);
   EXPECT_EQ(ctx.dag().active_jobs(), 0);
 }
