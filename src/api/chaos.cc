@@ -36,6 +36,22 @@ void validate(const ChaosInjector::Config& c, const Context& ctx) {
       c.slow_net_factor < 1.0) {
     bad("slow factors must be >= 1 (a factor below 1 would speed nodes up)");
   }
+  if (c.disk_ramps_per_hour < 0.0) bad("disk_ramps_per_hour must be >= 0");
+  if (c.mean_ramp_seconds <= 0.0) bad("mean_ramp_seconds must be > 0");
+  if (c.ramp_max_disk_factor < 1.0) {
+    bad("ramp_max_disk_factor must be >= 1");
+  }
+  if (c.ramp_steps < 1) {
+    bad("ramp_steps must be >= 1 (got " + std::to_string(c.ramp_steps) + ")");
+  }
+  if (c.nic_brownouts_per_hour < 0.0) {
+    bad("nic_brownouts_per_hour must be >= 0");
+  }
+  if (c.mean_brownout_seconds <= 0.0) bad("mean_brownout_seconds must be > 0");
+  if (c.brownout_net_factor < 1.0) bad("brownout_net_factor must be >= 1");
+  if (c.stalls_per_hour < 0.0) bad("stalls_per_hour must be >= 0");
+  if (c.mean_stall_seconds <= 0.0) bad("mean_stall_seconds must be > 0");
+  if (c.stall_factor < 1.0) bad("stall_factor must be >= 1");
   if (c.corruptions_per_hour < 0.0) bad("corruptions_per_hour must be >= 0");
   if (c.corruptions_per_hour > 0.0 && !c.corrupt_cache && !c.corrupt_spill &&
       !c.corrupt_shuffle) {
@@ -64,6 +80,9 @@ ChaosInjector::ChaosInjector(Context& ctx, Config config)
       config_(config),
       kill_rng_(config.seed),
       slow_rng_(splitmix64(config.seed ^ 0x534c4f57ULL)),
+      ramp_rng_(splitmix64(config.seed ^ 0x52414d50ULL)),
+      brownout_rng_(splitmix64(config.seed ^ 0x4e494342ULL)),
+      stall_rng_(splitmix64(config.seed ^ 0x5354414cULL)),
       partition_rng_(splitmix64(config.seed ^ 0x50415254ULL)),
       corrupt_rng_(splitmix64(config.seed ^ 0x434f5252ULL)),
       overload_rng_(splitmix64(config.seed ^ 0x4f564c44ULL)) {
@@ -87,6 +106,12 @@ void ChaosInjector::start(SimTime t0, SimTime t1) {
                 [this] { inject_kill(); });
   schedule_next(slow_rng_, config_.slow_nodes_per_hour, t0, t1,
                 [this] { inject_slow(); });
+  schedule_next(ramp_rng_, config_.disk_ramps_per_hour, t0, t1,
+                [this] { inject_disk_ramp(); });
+  schedule_next(brownout_rng_, config_.nic_brownouts_per_hour, t0, t1,
+                [this] { inject_brownout(); });
+  schedule_next(stall_rng_, config_.stalls_per_hour, t0, t1,
+                [this] { inject_stall(); });
   schedule_next(partition_rng_, config_.partitions_per_hour, t0, t1,
                 [this] { inject_partition(); });
   schedule_next(corrupt_rng_, config_.corruptions_per_hour, t0, t1,
@@ -116,6 +141,14 @@ void ChaosInjector::stop() {
   if (config_.flaky_task_probability > 0.0) {
     ctx_->dag().tasks().set_flaky_task_probability(0.0);
   }
+  // Fail-slow degradations don't get to outlive their window: their
+  // recovery events just got orphaned by the epoch bump, so clear them
+  // here (same incarnation only — a restarted server starts clean anyway).
+  for (const auto& [victim, gen] : failslow_active_) {
+    Server& s = ctx_->cluster().server(victim);
+    if (s.alive() && s.generation() == gen) s.clear_degradation();
+  }
+  failslow_active_.clear();
 }
 
 void ChaosInjector::schedule_next(Rng& rng, double per_hour, SimTime at,
@@ -172,6 +205,97 @@ void ChaosInjector::inject_slow() {
     // A restart in between already reset the degradation of the new
     // incarnation; don't touch it.
     if (s.alive() && s.generation() == gen) s.clear_degradation();
+  });
+}
+
+ServerId ChaosInjector::pick_undegraded(Rng& rng) {
+  const auto usable = ctx_->cluster().reachable_servers();
+  std::vector<ServerId> healthy;
+  for (ServerId s : usable) {
+    if (!ctx_->cluster().server(s).degradation().degraded()) {
+      healthy.push_back(s);
+    }
+  }
+  if (healthy.empty()) return kInvalidId;
+  return healthy[rng.next_below(healthy.size())];
+}
+
+void ChaosInjector::track_failslow(ServerId victim, int gen) {
+  failslow_active_.emplace_back(victim, gen);
+}
+
+void ChaosInjector::recover_failslow(ServerId victim, int gen, int epoch) {
+  if (epoch != epoch_) return;  // stop() already cleared and untracked it
+  Server& s = ctx_->cluster().server(victim);
+  if (s.alive() && s.generation() == gen) s.clear_degradation();
+  for (auto it = failslow_active_.begin(); it != failslow_active_.end(); ++it) {
+    if (it->first == victim && it->second == gen) {
+      failslow_active_.erase(it);
+      break;
+    }
+  }
+}
+
+void ChaosInjector::inject_disk_ramp() {
+  const ServerId victim = pick_undegraded(ramp_rng_);
+  if (victim == kInvalidId) return;
+  Server& srv = ctx_->cluster().server(victim);
+  const int gen = srv.generation();
+  const int epoch = epoch_;
+  const SimTime dur = ramp_rng_.exponential(1.0 / config_.mean_ramp_seconds);
+  const int steps = config_.ramp_steps;
+  const double gain = (config_.ramp_max_disk_factor - 1.0) / steps;
+  // First increment lands now (so the victim reads as degraded to the other
+  // pickers immediately); the spindle then worsens step by step until the
+  // episode ends — the profile EWMA detectors are slowest to catch.
+  srv.set_degradation({1.0, 1.0 + gain, 1.0});
+  ++disk_ramps_;
+  track_failslow(victim, gen);
+  for (int i = 2; i <= steps; ++i) {
+    const double factor = 1.0 + gain * i;
+    ctx_->sim().after(dur * (i - 1) / steps, [this, victim, gen, epoch,
+                                              factor] {
+      if (epoch != epoch_) return;  // stop() cancelled the remaining ramp
+      Server& s = ctx_->cluster().server(victim);
+      if (s.alive() && s.generation() == gen) {
+        s.set_degradation({1.0, factor, 1.0});
+      }
+    });
+  }
+  ctx_->sim().after(dur, [this, victim, gen, epoch] {
+    recover_failslow(victim, gen, epoch);
+  });
+}
+
+void ChaosInjector::inject_brownout() {
+  const ServerId victim = pick_undegraded(brownout_rng_);
+  if (victim == kInvalidId) return;
+  Server& srv = ctx_->cluster().server(victim);
+  srv.set_degradation({1.0, 1.0, config_.brownout_net_factor});
+  ++brownouts_;
+  const int gen = srv.generation();
+  const int epoch = epoch_;
+  track_failslow(victim, gen);
+  const SimTime dur =
+      brownout_rng_.exponential(1.0 / config_.mean_brownout_seconds);
+  ctx_->sim().after(dur, [this, victim, gen, epoch] {
+    recover_failslow(victim, gen, epoch);
+  });
+}
+
+void ChaosInjector::inject_stall() {
+  const ServerId victim = pick_undegraded(stall_rng_);
+  if (victim == kInvalidId) return;
+  Server& srv = ctx_->cluster().server(victim);
+  srv.set_degradation(
+      {config_.stall_factor, config_.stall_factor, config_.stall_factor});
+  ++stalls_;
+  const int gen = srv.generation();
+  const int epoch = epoch_;
+  track_failslow(victim, gen);
+  const SimTime dur = stall_rng_.exponential(1.0 / config_.mean_stall_seconds);
+  ctx_->sim().after(dur, [this, victim, gen, epoch] {
+    recover_failslow(victim, gen, epoch);
   });
 }
 

@@ -24,6 +24,8 @@
 #pragma once
 
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "api/context.h"
 #include "common/rng.h"
@@ -49,6 +51,31 @@ class ChaosInjector {
     double slow_cpu_factor = 2.0;
     double slow_disk_factor = 4.0;
     double slow_net_factor = 4.0;
+    // Richer fail-slow processes (all default off). Each picks a currently
+    // undegraded reachable server; unlike the plain slow-node episodes
+    // above, active degradations from these processes are *cleared* by
+    // stop() — the scorecard/hedging machinery is what should absorb them,
+    // so tests need a hard reset between windows.
+    //
+    // Degraded-disk bandwidth ramp: the victim's disk factor climbs in
+    // `ramp_steps` equal increments from 1 to `ramp_max_disk_factor` over
+    // an exponential episode, then recovers — the classic slowly-dying
+    // spindle that trips EWMA detectors late.
+    double disk_ramps_per_hour = 0.0;
+    double mean_ramp_seconds = 90.0;
+    double ramp_max_disk_factor = 6.0;
+    int ramp_steps = 4;
+    // NIC brownout: network factor jumps to `brownout_net_factor` for an
+    // exponential duration (link renegotiated down, duplex mismatch).
+    double nic_brownouts_per_hour = 0.0;
+    double mean_brownout_seconds = 45.0;
+    double brownout_net_factor = 8.0;
+    // Intermittent stall: every resource stretches by `stall_factor` for a
+    // short exponential burst (GC storm, firmware hiccup) — frequent onset,
+    // quick recovery.
+    double stalls_per_hour = 0.0;
+    double mean_stall_seconds = 10.0;
+    double stall_factor = 12.0;
     // Rack-level partitions (requires ClusterConfig::servers_per_rack > 0
     // for multi-rack topologies; with a single rack the whole cluster would
     // partition, so min_alive usually suppresses it).
@@ -96,6 +123,9 @@ class ChaosInjector {
   int kills() const noexcept { return kills_; }
   int restarts() const noexcept { return restarts_; }
   int slow_episodes() const noexcept { return slow_episodes_; }
+  int disk_ramps() const noexcept { return disk_ramps_; }
+  int brownouts() const noexcept { return brownouts_; }
+  int stalls() const noexcept { return stalls_; }
   int partitions() const noexcept { return partitions_; }
   int corruptions() const noexcept { return corruptions_; }
   int overloads() const noexcept { return overloads_; }
@@ -107,16 +137,30 @@ class ChaosInjector {
                      const std::function<void()>& fire);
   void inject_kill();
   void inject_slow();
+  void inject_disk_ramp();
+  void inject_brownout();
+  void inject_stall();
   void inject_partition();
   void inject_corruption();
   void inject_overload();
   // Alive-and-reachable servers the workload can still use.
   int usable_servers() const;
+  // A uniformly random reachable server with no active degradation, or
+  // kInvalidId when every candidate is already degraded.
+  ServerId pick_undegraded(Rng& rng);
+  // Shared recovery path for the fail-slow processes above: clears the
+  // victim's degradation (same incarnation only) and drops it from the
+  // active-victim set. Epoch-guarded — a stop() in between already did both.
+  void recover_failslow(ServerId victim, int gen, int epoch);
+  void track_failslow(ServerId victim, int gen);
 
   Context* ctx_;
   Config config_;
   Rng kill_rng_;
   Rng slow_rng_;
+  Rng ramp_rng_;
+  Rng brownout_rng_;
+  Rng stall_rng_;
   Rng partition_rng_;
   Rng corrupt_rng_;
   Rng overload_rng_;
@@ -128,9 +172,15 @@ class ChaosInjector {
   int kills_ = 0;
   int restarts_ = 0;
   int slow_episodes_ = 0;
+  int disk_ramps_ = 0;
+  int brownouts_ = 0;
+  int stalls_ = 0;
   int partitions_ = 0;
   int corruptions_ = 0;
   int overloads_ = 0;
+  // Fail-slow victims with an active degradation (server, generation at
+  // onset). stop() clears their degradations; recovery events prune it.
+  std::vector<std::pair<ServerId, int>> failslow_active_;
 };
 
 }  // namespace stark

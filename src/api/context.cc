@@ -104,6 +104,55 @@ void ContextOptions::validate() const {
     reject("faults.verify_reads requires cost.checksum_bw > 0 (got " +
            std::to_string(cost.checksum_bw) + ")");
   }
+  if (faults.slowness.enabled) {
+    const SlownessOptions& s = faults.slowness;
+    if (s.ewma_alpha <= 0.0 || s.ewma_alpha > 1.0) {
+      reject("faults.slowness.ewma_alpha must be in (0, 1] (got " +
+             std::to_string(s.ewma_alpha) + ")");
+    }
+    if (s.window < 2) {
+      reject("faults.slowness.window must be >= 2 (got " +
+             std::to_string(s.window) + ")");
+    }
+    if (s.band_window < 2) {
+      reject("faults.slowness.band_window must be >= 2 (got " +
+             std::to_string(s.band_window) + ")");
+    }
+    if (s.min_samples < 1) {
+      reject("faults.slowness.min_samples must be >= 1 (got " +
+             std::to_string(s.min_samples) + ")");
+    }
+    // Band thresholds must be ordered or the hysteresis loop oscillates:
+    // recover < suspect <= degraded, all at or above parity (ratio 1).
+    if (s.recover_ratio < 1.0 || s.suspect_ratio <= s.recover_ratio ||
+        s.degraded_ratio < s.suspect_ratio) {
+      reject("faults.slowness band thresholds must satisfy "
+             "1 <= recover_ratio < suspect_ratio <= degraded_ratio (got "
+             "recover=" + std::to_string(s.recover_ratio) +
+             ", suspect=" + std::to_string(s.suspect_ratio) +
+             ", degraded=" + std::to_string(s.degraded_ratio) + ")");
+    }
+    if (s.timeout_quantile <= 0.0 || s.timeout_quantile >= 1.0) {
+      reject("faults.slowness.timeout_quantile must be in (0, 1) (got " +
+             std::to_string(s.timeout_quantile) + ")");
+    }
+    if (s.timeout_multiplier <= 0.0) {
+      reject("faults.slowness.timeout_multiplier must be positive");
+    }
+    if (s.timeout_min <= 0.0 || s.timeout_max < s.timeout_min) {
+      reject("faults.slowness timeout bounds must satisfy "
+             "0 < timeout_min <= timeout_max (got min=" +
+             std::to_string(s.timeout_min) +
+             ", max=" + std::to_string(s.timeout_max) + ")");
+    }
+    if (s.hedge_budget_fraction < 0.0 || s.hedge_budget_fraction > 1.0) {
+      reject("faults.slowness.hedge_budget_fraction must be in [0, 1] (got " +
+             std::to_string(s.hedge_budget_fraction) + ")");
+    }
+    if (s.probe_interval <= 0.0) {
+      reject("faults.slowness.probe_interval must be positive");
+    }
+  }
   if (overload.deadline_seconds < 0.0) {
     reject("overload.deadline_seconds must be >= 0 (got " +
            std::to_string(overload.deadline_seconds) + ")");

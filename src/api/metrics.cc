@@ -62,6 +62,21 @@ double MetricsCollector::tenant_delay_spread() const noexcept {
   return hi / lo;
 }
 
+double MetricsCollector::tenant_fairness_index() const noexcept {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  int seen = 0;
+  for (const TenantSummary& t : tenants_) {
+    if (t.delays.count() == 0) continue;
+    const double mean = t.delays.mean();
+    sum += mean;
+    sum_sq += mean * mean;
+    ++seen;
+  }
+  if (seen < 2 || sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(seen) * sum_sq);
+}
+
 void MetricsCollector::reset() noexcept {
   jobs_ = 0;
   aborted_jobs_ = 0;
@@ -77,6 +92,7 @@ void MetricsCollector::reset() noexcept {
   evictions_ = 0;
   failures_.reset();
   overload_.reset();
+  slowness_.reset();
   cache_.reset();
   policy_ = EvictionPolicyKind::kLru;
   tenants_.clear();
@@ -125,7 +141,10 @@ std::string MetricsCollector::summary() const {
       "integrity: injected %d  detected %d  repaired %d  undetected reads "
       "%lld  reverified %s\n"
       "overload: admitted %d  queued %d  rejected %d  shed %d  deadline "
-      "%d  pressure transitions %d (red %d)\n",
+      "%d  pressure transitions %d (red %d)\n"
+      "slowness: peers %d suspect / %d degraded (recoveries %d)  hedges "
+      "%lld (%lld won, %lld denied)  hedge bytes %s (%s wasted)  timeout "
+      "adaptations %lld  probes %d\n",
       jobs_, aborted_jobs_, tasks_, node_local_fraction() * 100.0,
       format_seconds(delays_.mean()).c_str(),
       format_seconds(delays_.count() ? delays_.percentile(0.5) : 0.0).c_str(),
@@ -145,14 +164,22 @@ std::string MetricsCollector::summary() const {
       format_bytes(failures_.bytes_reverified).c_str(),
       overload_.jobs_admitted, overload_.jobs_queued, overload_.jobs_rejected,
       overload_.jobs_shed, overload_.deadline_exceeded,
-      overload_.pressure_transitions, overload_.red_entries);
+      overload_.pressure_transitions, overload_.red_entries,
+      slowness_.suspect_peers, slowness_.degraded_peers,
+      slowness_.recoveries, slowness_.hedges_issued, slowness_.hedges_won,
+      slowness_.hedges_budget_denied,
+      format_bytes(slowness_.hedge_bytes_issued).c_str(),
+      format_bytes(slowness_.hedge_bytes_wasted).c_str(),
+      slowness_.timeout_adaptations, slowness_.placement_probes);
   std::string out = buf;
   // Per-tenant appendix: only worth the lines in a genuinely multi-tenant
   // run (the single-tenant table above already tells the whole story).
   if (tenants_.size() > 1) {
     char line[256];
-    std::snprintf(line, sizeof(line), "tenants: %zu  delay spread %.2fx\n",
-                  tenants_.size(), tenant_delay_spread());
+    std::snprintf(line, sizeof(line),
+                  "tenants: %zu  delay spread %.2fx  jain %.3f\n",
+                  tenants_.size(), tenant_delay_spread(),
+                  tenant_fairness_index());
     out += line;
     for (const TenantSummary& t : tenants_) {
       std::snprintf(

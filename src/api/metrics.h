@@ -48,6 +48,12 @@ class MetricsCollector {
   // (or a zero min). Lower is fairer; the fair-share scheduler's headline.
   double tenant_delay_spread() const noexcept;
 
+  // Jain's fairness index over the same per-tenant mean delays:
+  // (sum m)^2 / (n * sum m^2), in (0, 1] with 1 = perfectly even. Unlike
+  // the max/min spread it degrades gracefully when one tenant's mean sits
+  // near zero at the saturation knee, so CI gates on this one.
+  double tenant_fairness_index() const noexcept;
+
   // Snapshot the failure-machinery counters (typically
   // DagScheduler::failure_stats(), taken at the end of a run).
   void observe_failures(const FailureStats& stats) { failures_ = stats; }
@@ -128,6 +134,37 @@ class MetricsCollector {
     return failures_.bytes_reverified;
   }
 
+  // Snapshot the fail-slow counters (DagScheduler::slowness_stats(), taken
+  // at the end of a run).
+  void observe_slowness(const SlownessStats& stats) { slowness_ = stats; }
+
+  // Fail-slow fault domain (from the last observe_slowness snapshot; see
+  // cluster/slowness.h and docs/FAULT_MODEL.md).
+  long long slowness_observations() const noexcept {
+    return slowness_.observations;
+  }
+  int suspect_peers() const noexcept { return slowness_.suspect_peers; }
+  int degraded_peers() const noexcept { return slowness_.degraded_peers; }
+  int slowness_recoveries() const noexcept { return slowness_.recoveries; }
+  int placement_probes() const noexcept { return slowness_.placement_probes; }
+  long long timeout_adaptations() const noexcept {
+    return slowness_.timeout_adaptations;
+  }
+  long long hedges_issued() const noexcept { return slowness_.hedges_issued; }
+  long long hedges_won() const noexcept { return slowness_.hedges_won; }
+  long long hedges_budget_denied() const noexcept {
+    return slowness_.hedges_budget_denied;
+  }
+  Bytes hedge_bytes_issued() const noexcept {
+    return slowness_.hedge_bytes_issued;
+  }
+  Bytes hedge_bytes_wasted() const noexcept {
+    return slowness_.hedge_bytes_wasted;
+  }
+  double hedge_seconds_saved() const noexcept {
+    return slowness_.hedge_seconds_saved;
+  }
+
   // Overload protection (from the last observe_overload snapshot; see
   // sched/admission.h and docs/FAULT_MODEL.md).
   int jobs_admitted() const noexcept { return overload_.jobs_admitted; }
@@ -167,6 +204,7 @@ class MetricsCollector {
   long long evictions_ = 0;
   FailureStats failures_;
   OverloadStats overload_;
+  SlownessStats slowness_;
   CacheStats cache_;
   EvictionPolicyKind policy_ = EvictionPolicyKind::kLru;
   // Per-tenant rollups in first-observed order + name -> index.

@@ -1,0 +1,226 @@
+#include "cluster/slowness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stark {
+
+const char* slow_resource_name(SlowResource r) noexcept {
+  switch (r) {
+    case SlowResource::kCpu: return "cpu";
+    case SlowResource::kDisk: return "disk";
+    case SlowResource::kNet: return "net";
+  }
+  return "?";
+}
+
+const char* slow_band_name(SlowBand b) noexcept {
+  switch (b) {
+    case SlowBand::kHealthy: return "healthy";
+    case SlowBand::kSuspect: return "suspect";
+    case SlowBand::kDegraded: return "degraded";
+  }
+  return "?";
+}
+
+namespace {
+
+// Nearest-rank quantile over an unsorted scratch copy. Windows are tiny
+// (tens of entries), so nth_element per query is cheap.
+double window_quantile(std::vector<float>& scratch, double q) {
+  if (scratch.empty()) return 0.0;
+  const std::size_t n = scratch.size();
+  std::size_t idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (idx > 0) --idx;
+  if (idx >= n) idx = n - 1;
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(idx),
+                   scratch.end());
+  return static_cast<double>(scratch[idx]);
+}
+
+}  // namespace
+
+SlownessTracker::SlownessTracker(const SlownessOptions& opts, int num_servers)
+    : opts_(opts), scores_(static_cast<std::size_t>(num_servers)) {}
+
+void SlownessTracker::observe(ServerId server, SlowResource r, double ratio,
+                              SimTime now) {
+  if (server < 0 || static_cast<std::size_t>(server) >= scores_.size()) return;
+  if (!(ratio > 0.0)) return;
+  Score& sc = scores_[static_cast<std::size_t>(server)];
+  const int ri = static_cast<int>(r);
+  sc.ewma[ri] = sc.samples[ri] == 0
+                    ? ratio
+                    : opts_.ewma_alpha * ratio +
+                          (1.0 - opts_.ewma_alpha) * sc.ewma[ri];
+  auto& win = sc.window[ri];
+  if (win.size() < static_cast<std::size_t>(opts_.band_window)) {
+    win.push_back(static_cast<float>(ratio));
+  } else {
+    win[static_cast<std::size_t>(sc.next[ri])] = static_cast<float>(ratio);
+  }
+  sc.next[ri] = (sc.next[ri] + 1) % opts_.band_window;
+  ++sc.samples[ri];
+  ++stats_.observations;
+  reclassify(server, sc, now);
+}
+
+void SlownessTracker::observe_fetch_seconds(double seconds) {
+  if (!(seconds > 0.0)) return;
+  if (fetch_window_.size() < static_cast<std::size_t>(opts_.window)) {
+    fetch_window_.push_back(static_cast<float>(seconds));
+  } else {
+    fetch_window_[static_cast<std::size_t>(fetch_next_)] =
+        static_cast<float>(seconds);
+  }
+  fetch_next_ = (fetch_next_ + 1) % opts_.window;
+  ++fetch_count_;
+  if (fetch_count_ < opts_.min_samples) return;
+  scratch_ = fetch_window_;
+  const double q = window_quantile(scratch_, opts_.timeout_quantile);
+  const double cand = std::clamp(q * opts_.timeout_multiplier,
+                                 opts_.timeout_min, opts_.timeout_max);
+  // Count an adaptation only when the deadline moves materially, so the
+  // counter reports regime shifts rather than per-sample jitter.
+  if (adaptive_timeout_ <= 0.0 ||
+      std::abs(cand - adaptive_timeout_) > 0.05 * adaptive_timeout_) {
+    adaptive_timeout_ = cand;
+    ++stats_.timeout_adaptations;
+  }
+}
+
+SlowBand SlownessTracker::band(ServerId server) const noexcept {
+  if (server < 0 || static_cast<std::size_t>(server) >= scores_.size()) {
+    return SlowBand::kHealthy;
+  }
+  return scores_[static_cast<std::size_t>(server)].band;
+}
+
+double SlownessTracker::ewma(ServerId server, SlowResource r) const noexcept {
+  if (server < 0 || static_cast<std::size_t>(server) >= scores_.size()) {
+    return 1.0;
+  }
+  return scores_[static_cast<std::size_t>(server)]
+      .ewma[static_cast<int>(r)];
+}
+
+double SlownessTracker::window_median(ServerId server, SlowResource r) const {
+  if (server < 0 || static_cast<std::size_t>(server) >= scores_.size()) {
+    return 1.0;
+  }
+  const auto& win =
+      scores_[static_cast<std::size_t>(server)].window[static_cast<int>(r)];
+  if (win.empty()) return 1.0;
+  scratch_ = win;
+  return window_quantile(scratch_, 0.5);
+}
+
+double SlownessTracker::resource_ratio(const Score& sc, int ri) const {
+  if (sc.samples[ri] < opts_.min_samples) return 1.0;
+  scratch_ = sc.window[ri];
+  const double med = window_quantile(scratch_, 0.5);
+  // Both the long-memory EWMA and the recent-window median must agree
+  // before a resource counts as slow; taking the min keeps one noisy
+  // signal from tripping (or holding) a band alone.
+  return std::min(sc.ewma[ri], med);
+}
+
+double SlownessTracker::effective_ratio(const Score& sc) const {
+  double worst = 1.0;
+  for (int ri = 0; ri < kSlowResourceCount; ++ri) {
+    worst = std::max(worst, resource_ratio(sc, ri));
+  }
+  return worst;
+}
+
+void SlownessTracker::reclassify(ServerId server, Score& sc, SimTime now) {
+  const double e = effective_ratio(sc);
+  SlowBand nb = sc.band;
+  switch (sc.band) {
+    case SlowBand::kHealthy:
+      if (e >= opts_.degraded_ratio) {
+        nb = SlowBand::kDegraded;
+      } else if (e >= opts_.suspect_ratio) {
+        nb = SlowBand::kSuspect;
+      }
+      break;
+    case SlowBand::kSuspect:
+      if (e >= opts_.degraded_ratio) {
+        nb = SlowBand::kDegraded;
+      } else if (e < opts_.recover_ratio) {
+        nb = SlowBand::kHealthy;
+      }
+      break;
+    case SlowBand::kDegraded:
+      if (e < opts_.recover_ratio) {
+        nb = SlowBand::kHealthy;
+      } else if (e < opts_.suspect_ratio) {
+        nb = SlowBand::kSuspect;
+      }
+      break;
+  }
+  if (nb == sc.band) return;
+  const SlowBand ob = sc.band;
+  if (ob == SlowBand::kSuspect) --stats_.suspect_peers;
+  if (ob == SlowBand::kDegraded) --stats_.degraded_peers;
+  switch (nb) {
+    case SlowBand::kHealthy:
+      ++stats_.recoveries;
+      break;
+    case SlowBand::kSuspect:
+      ++stats_.suspect_entries;
+      ++stats_.suspect_peers;
+      break;
+    case SlowBand::kDegraded:
+      ++stats_.degraded_entries;
+      ++stats_.degraded_peers;
+      // Deprioritize for a full interval before the first probe.
+      sc.probe_anchor = now;
+      break;
+  }
+  sc.band = nb;
+  if (on_band_change_) on_band_change_(server, ob, nb);
+}
+
+bool SlownessTracker::should_avoid(ServerId server, SimTime now) const noexcept {
+  if (!opts_.deprioritize_degraded) return false;
+  if (server < 0 || static_cast<std::size_t>(server) >= scores_.size()) {
+    return false;
+  }
+  const Score& sc = scores_[static_cast<std::size_t>(server)];
+  if (sc.band != SlowBand::kDegraded) return false;
+  // A compute-slow peer needs active probes: nothing observes its cpu/disk
+  // unless a task runs there. A net-only-slow peer is observed passively —
+  // every fetch that reads a map output from it reports its NIC ratio — so
+  // its (expensive: the probe task eats the full degraded fetch) probes run
+  // at a 4x relaxed cadence, mostly as a safety net for peers that stopped
+  // serving data.
+  const bool compute_slow =
+      std::max(resource_ratio(sc, static_cast<int>(SlowResource::kCpu)),
+               resource_ratio(sc, static_cast<int>(SlowResource::kDisk))) >=
+      opts_.degraded_ratio;
+  const double interval =
+      compute_slow ? opts_.probe_interval : 4.0 * opts_.probe_interval;
+  return now < sc.probe_anchor + interval;
+}
+
+bool SlownessTracker::should_avoid_compute(ServerId server,
+                                           SimTime now) const noexcept {
+  if (!should_avoid(server, now)) return false;
+  const Score& sc = scores_[static_cast<std::size_t>(server)];
+  return std::max(resource_ratio(sc, static_cast<int>(SlowResource::kCpu)),
+                  resource_ratio(sc, static_cast<int>(SlowResource::kDisk))) >=
+         opts_.degraded_ratio;
+}
+
+void SlownessTracker::note_probe(ServerId server, SimTime now) {
+  if (server < 0 || static_cast<std::size_t>(server) >= scores_.size()) return;
+  Score& sc = scores_[static_cast<std::size_t>(server)];
+  if (sc.band != SlowBand::kDegraded) return;
+  sc.probe_anchor = now;
+  ++stats_.placement_probes;
+}
+
+}  // namespace stark

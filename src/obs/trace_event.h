@@ -65,6 +65,16 @@ enum class TraceKind : std::uint8_t {
   kAdmissionVerdict,
   kPressureBand,
   kDeadlineExceeded,
+  // Fail-slow fault domain (cluster/slowness.h). kSlownessBand marks a
+  // scorecard band transition for `server` (`code` = new SlowBand,
+  // `attempt` = old, mirroring kPressureBand). kHedgeIssued is the instant
+  // the driver duplicated a fetch believed stuck past the adaptive
+  // deadline (`server` = the slow source, `bytes` = duplicated slice);
+  // kHedgeResolved closes the race (`code` = 1 when the hedge won, 0 when
+  // the primary finished first).
+  kSlownessBand,
+  kHedgeIssued,
+  kHedgeResolved,
 };
 
 const char* trace_kind_name(TraceKind kind);

@@ -26,6 +26,9 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kAdmissionVerdict: return "admission-verdict";
     case TraceKind::kPressureBand: return "pressure-band";
     case TraceKind::kDeadlineExceeded: return "deadline-exceeded";
+    case TraceKind::kSlownessBand: return "slowness-band";
+    case TraceKind::kHedgeIssued: return "hedge-issued";
+    case TraceKind::kHedgeResolved: return "hedge-resolved";
   }
   return "unknown";
 }

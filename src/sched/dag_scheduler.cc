@@ -31,6 +31,25 @@ DagScheduler::DagScheduler(sim::Simulation& sim, Cluster& cluster,
       admission_(options.overload),
       tenants_(options.tenants) {
   task_scheduler_.set_failure_stats(&stats_);
+  if (options_.faults.slowness.enabled) {
+    // Fail-slow scorecards: one tracker shared with the TaskScheduler
+    // (placement deprioritization, adaptive fetch timeouts, observation
+    // feed from completed runs). Band transitions become trace instants.
+    slowness_ = std::make_unique<SlownessTracker>(options_.faults.slowness,
+                                                  cluster.size());
+    slowness_->set_band_change(
+        [this](ServerId s, SlowBand old_band, SlowBand new_band) {
+          if (!obs::Tracer::active(tracer_)) return;
+          obs::TraceEvent e;
+          e.kind = obs::TraceKind::kSlownessBand;
+          e.t0 = e.t1 = sim_->now();
+          e.server = s;
+          e.code = static_cast<std::int16_t>(new_band);
+          e.attempt = static_cast<int>(old_band);
+          tracer_->emit(e);
+        });
+    task_scheduler_.set_slowness_tracker(slowness_.get());
+  }
   // Configured tenants got ids 1..N in declaration order; wire their
   // fair-share weights and admission overrides into the schedulers.
   for (std::size_t i = 0; i < options.tenants.tenants.size(); ++i) {
@@ -1273,6 +1292,23 @@ TaskPlan DagScheduler::plan_task(const StageRun& stage, const TaskSpec& task,
   plan.disk = (plan.bytes_disk / (cost_.disk_read_bw / disk_factor) +
                plan.bytes_written / (cost_.disk_write_bw / disk_factor)) *
               deg.disk;
+  if (slowness_) {
+    // Fail-slow domain: record the executor-side stretch ratios the
+    // completion path will feed the scorecards, then re-price the fetch
+    // phase source-host-aware — a slow map-output host drags the slice it
+    // serves — and hedge the lagging slice when it blows the adaptive
+    // deadline. Gated so the default planner path stays byte-identical.
+    plan.slowness.emplace();
+    plan.slowness->cpu_ratio = static_cast<float>(deg.cpu);
+    plan.slowness->disk_ratio = static_cast<float>(deg.disk);
+    if (plan.bytes_net > 0.0) {
+      // The executor's own NIC is an endpoint of every fetch it performs.
+      plan.slowness->source_net.emplace_back(server,
+                                             static_cast<float>(deg.net));
+    }
+    apply_source_slowness(stage, task, net_factor, plan);
+    plan.slowness->fetch_seconds = plan.shuffle_read;
+  }
   plan.working_set =
       cost_.working_set_expansion *
       (plan.bytes_cache + plan.bytes_net + plan.bytes_disk) *
@@ -1283,6 +1319,114 @@ TaskPlan DagScheduler::plan_task(const StageRun& stage, const TaskSpec& task,
             cost_.gc_factor(
                 cluster_->server(server).heap_utilization(plan.working_set));
   return plan;
+}
+
+DagScheduler::HedgeBudget& DagScheduler::hedge_budget(TenantId tenant) {
+  const auto idx = static_cast<std::size_t>(tenant < 0 ? 0 : tenant);
+  if (hedge_budget_.size() <= idx) hedge_budget_.resize(idx + 1);
+  return hedge_budget_[idx];
+}
+
+void DagScheduler::apply_source_slowness(const StageRun& stage,
+                                         const TaskSpec& task,
+                                         double net_factor, TaskPlan& plan) {
+  if (plan.bytes_net <= 0.0) return;
+  HedgeBudget& hb = hedge_budget(stage.job->tenant);
+  // Every fetched byte widens the tenant's hedge budget, hedged or not:
+  // the cap is a fraction of *total* fetch traffic, not of hedged jobs'.
+  hb.fetched += plan.bytes_net;
+  // Distinct registered map-output hosts across this task's shuffle deps.
+  // The plan already failed fast if any host were dead, so these are live.
+  auto& hosts = hedge_hosts_scratch_;
+  hosts.clear();
+  for (const auto& edge : stage.chain.shuffle_deps) {
+    const auto oit = map_outputs_.find(edge.key());
+    if (oit == map_outputs_.end()) continue;
+    for (const ServerId h : oit->second) {
+      if (h == kInvalidId) continue;
+      if (std::find(hosts.begin(), hosts.end(), h) == hosts.end()) {
+        hosts.push_back(h);
+      }
+    }
+  }
+  if (hosts.empty()) return;
+  // Per-slice timing is observable by the executor's fetch client, so
+  // every source host yields one net observation at completion — healthy
+  // hosts report ratio 1.0, which is the recovery evidence that lets a
+  // Degraded band decay once the episode ends.
+  double slow_factor = 1.0;
+  ServerId slow_host = kInvalidId;
+  for (const ServerId h : hosts) {
+    const double f = cluster_->server(h).degradation().net;
+    plan.slowness->source_net.emplace_back(h, static_cast<float>(f));
+    if (f > slow_factor) {
+      slow_factor = f;
+      slow_host = h;
+    }
+  }
+  if (slow_host == kInvalidId) return;  // every source healthy
+  // The slowest host's slice is limited by *its* NIC: the fetch phase ends
+  // when that last slice lands, stretching the base time by the slice's
+  // extra transfer seconds.
+  const double eff_bw =
+      std::min(cost_.net_bw, cost_.disk_read_bw) / net_factor;
+  const Bytes slice = plan.bytes_net / static_cast<double>(hosts.size());
+  const double extra = slice * (slow_factor - 1.0) / eff_bw;
+  const double projected = plan.shuffle_read + extra;
+  const SlownessOptions& so = options_.faults.slowness;
+  const double deadline = slowness_->fetch_deadline();
+  bool hedged = false;
+  bool hedge_won = false;
+  if (so.hedging && deadline > 0.0 && projected > deadline) {
+    // The driver notices at the adaptive deadline that the fetch has not
+    // completed and duplicates the lagging slice to an alternate source
+    // (another replica or the lineage recompute's fresh output) — first
+    // responder wins, loser cancelled — if the tenant's budget allows.
+    SlownessStats& st = slowness_->stats();
+    const Bytes budget = so.hedge_budget_fraction * hb.fetched;
+    if (hb.hedged + slice <= budget) {
+      hedged = true;
+      hb.hedged += slice;
+      ++st.hedges_issued;
+      st.hedge_bytes_issued += slice;
+      // The duplicate is real traffic regardless of who wins.
+      plan.bytes_net += slice;
+      const double alt_done = std::max(
+          plan.shuffle_read, deadline + cost_.net_latency + slice / eff_bw);
+      if (alt_done < projected) {
+        hedge_won = true;
+        ++st.hedges_won;
+        st.hedge_seconds_saved += projected - alt_done;
+        st.hedge_bytes_wasted += slice;  // the cancelled slow fetch
+        plan.shuffle_read = alt_done;
+      } else {
+        ++st.hedges_lost;
+        st.hedge_bytes_wasted += slice;  // the cancelled hedge
+        plan.shuffle_read = projected;
+      }
+    } else {
+      ++st.hedges_budget_denied;
+      plan.shuffle_read = projected;
+    }
+  } else {
+    plan.shuffle_read = projected;
+  }
+  if (hedged && obs::Tracer::active(tracer_)) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceKind::kHedgeIssued;
+    e.t0 = e.t1 = sim_->now();
+    e.job = task.job;
+    e.stage = task.stage;
+    e.tenant = stage.job->tenant;
+    e.task_index = task.index;
+    e.unit = task.unit_id;
+    e.server = slow_host;
+    e.bytes = slice;
+    tracer_->emit(e);
+    e.kind = obs::TraceKind::kHedgeResolved;
+    e.code = hedge_won ? 1 : 0;
+    tracer_->emit(e);
+  }
 }
 
 // --- checkpointing & recovery -----------------------------------------------

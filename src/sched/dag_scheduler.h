@@ -195,6 +195,21 @@ class DagScheduler {
     return tenant_overload_;
   }
 
+  // --- fail-slow fault domain ----------------------------------------------
+  // Scorecards + hedge counters; a zero struct while
+  // faults.slowness.enabled is off (no tracker is constructed then).
+  const SlownessStats& slowness_stats() const noexcept {
+    static const SlownessStats kEmpty{};
+    return slowness_ ? slowness_->stats() : kEmpty;
+  }
+  // Believed band for a server (kHealthy when the feature is off). Benches
+  // compare this against ground-truth degradation to count undetected
+  // slow peers.
+  SlowBand slowness_band(ServerId s) const noexcept {
+    return slowness_ ? slowness_->band(s) : SlowBand::kHealthy;
+  }
+  SlownessTracker* slowness() noexcept { return slowness_.get(); }
+
   // --- silent-data-corruption faults ---------------------------------------
   // Flip the checksum tag on one stored copy (cached replica, spilled copy,
   // or shuffle map-output unit). Returns false when no live copy exists.
@@ -343,6 +358,18 @@ class DagScheduler {
   void emit_corruption_event(obs::TraceKind kind, ServerId host,
                              DatasetId dataset, int partition, Bytes bytes,
                              bool shuffle);
+  // Fail-slow fetch modeling (only when slowness_ is constructed): stretch
+  // the plan's fetch phase by the slowest map-output source host, decide
+  // whether to hedge the lagging slice under the tenant's byte budget, and
+  // record the per-source ratios the completion path feeds the scorecards.
+  void apply_source_slowness(const StageRun& stage, const TaskSpec& task,
+                             double net_factor, TaskPlan& plan);
+  // Per-tenant hedge budget slot, grown on demand (tenant ids are dense).
+  struct HedgeBudget {
+    Bytes fetched = 0.0;  // cumulative bytes the tenant fetched
+    Bytes hedged = 0.0;   // cumulative duplicated bytes issued
+  };
+  HedgeBudget& hedge_budget(TenantId tenant);
 
   sim::Simulation* sim_;
   Cluster* cluster_;
@@ -383,6 +410,11 @@ class DagScheduler {
       pending_shuffle_repair_;
   FailureStats stats_;
   CacheStats cache_stats_;
+  // Fail-slow scorecards; constructed only when faults.slowness.enabled
+  // (the tracker also feeds the TaskScheduler's placement and timeouts).
+  std::unique_ptr<SlownessTracker> slowness_;
+  std::vector<HedgeBudget> hedge_budget_;
+  std::vector<ServerId> hedge_hosts_scratch_;  // distinct source hosts
   // Overload protection (all inert while DagOptions::overload defaults).
   AdmissionController admission_;
   OverloadStats overload_stats_;

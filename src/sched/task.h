@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "api/job.h"
+#include "cluster/slowness.h"
 #include "common/types.h"
 
 namespace stark {
@@ -61,6 +62,13 @@ struct FaultOptions {
   // excludeOnFailure budget, so a bad-disk server is quarantined rather
   // than re-poisoning every retry. Only meaningful with exclude_on_failure.
   bool quarantine_on_corruption = true;
+  // Fail-slow fault domain (cluster/slowness.h): latency scorecards that
+  // classify peers Healthy/Suspect/Degraded, adaptive fetch timeouts
+  // replacing fetch_fail_seconds, hedged fetches under a per-tenant byte
+  // budget, and Degraded-peer placement deprioritization. This is a
+  // separate track from the fail-stop exclusion knobs above: a slow peer
+  // is never charged task failures. Off by default (byte-identical).
+  SlownessOptions slowness;
 };
 
 // Cluster-wide failure machinery counters, surfaced via MetricsCollector.

@@ -228,16 +228,24 @@ ServerId TaskScheduler::pick_remote_server(const ActiveSet& set, int index,
                                            ServerId exclude) {
   if (options_.mcf) {
     // Algorithm 1: ascending by unique collection partitions cached.
+    // Believed-Degraded peers (fail-slow scorecards) rank behind every
+    // healthy candidate regardless of contention — they still run work
+    // when nothing else offers, or when due for a re-admission probe.
     ServerId best = kInvalidId;
+    bool best_avoid = false;
     int best_contention = 0;
     int best_free = -1;
     for (ServerId s : sweep_candidates_) {
       if (s == exclude || !offerable(s, set, index)) continue;
+      const bool avoid = slowness_ && slowness_->should_avoid(s, sim_->now());
       const Server& srv = cluster_->server(s);
       const int c = unique_collection_partitions(s);
-      if (best == kInvalidId || c < best_contention ||
-          (c == best_contention && srv.free_cores() > best_free)) {
+      if (best == kInvalidId || (best_avoid && !avoid) ||
+          (avoid == best_avoid &&
+           (c < best_contention ||
+            (c == best_contention && srv.free_cores() > best_free)))) {
         best = s;
+        best_avoid = avoid;
         best_contention = c;
         best_free = srv.free_cores();
       }
@@ -251,6 +259,17 @@ ServerId TaskScheduler::pick_remote_server(const ActiveSet& set, int index,
     if (s != exclude && offerable(s, set, index)) pick_scratch_.push_back(s);
   }
   if (pick_scratch_.empty()) return kInvalidId;
+  if (slowness_) {
+    // Drop believed-Degraded peers from the random draw unless every
+    // candidate is degraded (then any of them beats not launching).
+    const SimTime now = sim_->now();
+    const auto keep = std::stable_partition(
+        pick_scratch_.begin(), pick_scratch_.end(),
+        [&](ServerId s) { return !slowness_->should_avoid(s, now); });
+    if (keep != pick_scratch_.begin()) {
+      pick_scratch_.erase(keep, pick_scratch_.end());
+    }
+  }
   return pick_scratch_[placement_rng_.next_below(pick_scratch_.size())];
 }
 
@@ -278,6 +297,16 @@ bool TaskScheduler::offer_to_set(const std::shared_ptr<ActiveSet>& set,
     for (ServerId s : task.preferred) {
       if (probe_launch_failure_[static_cast<std::size_t>(s)] != 0) {
         launch_failures.insert(s);
+      }
+      // A peer believed compute-slow (cpu/disk Degraded) forfeits its
+      // locality preference: fetching the data beats computing at a
+      // fraction of the speed. A net-only-degraded peer keeps its local
+      // tasks — they don't touch its NIC, and moving them would *create* a
+      // fetch over the degraded link. The task falls through to the ANY
+      // pass (periodic probes still land here so recovery is observable).
+      if (slowness_ != nullptr &&
+          slowness_->should_avoid_compute(s, sim_->now())) {
+        continue;
       }
       if (offerable(s, *set, idx)) {
         local = s;
@@ -479,12 +508,23 @@ void TaskScheduler::launch(const std::shared_ptr<ActiveSet>& set, int index,
   if (speculative) ++speculative_launches_;
   run.fetch_failure = plan.fetch_failure;
 
+  // A believed-Degraded server receiving work is a re-admission probe:
+  // restart its probe timer so it gets one task per interval, not a flood.
+  if (slowness_) slowness_->note_probe(server, sim_->now());
+
   // Work out whether (and when) this run dies instead of finishing.
   SimTime finish;
   if (run.fetch_failure.has_value()) {
     // The reduce task burns its connection-retry budget against the lost
-    // map-output host, then raises FetchFailed.
-    finish = launch_time + overhead + options_.faults.fetch_fail_seconds;
+    // map-output host, then raises FetchFailed. With fail-slow scorecards
+    // active the fixed constant is replaced by the adaptive deadline
+    // derived from the observed fetch distribution (once warmed up).
+    double wait = options_.faults.fetch_fail_seconds;
+    if (slowness_ != nullptr) {
+      const double adaptive = slowness_->fetch_deadline();
+      if (adaptive > 0.0) wait = adaptive;
+    }
+    finish = launch_time + overhead + wait;
   } else if (flaky_probability_ > 0.0 &&
              flaky_rng_.next_double() < flaky_probability_) {
     // Gray failure: the task crashes partway through its work.
@@ -680,6 +720,24 @@ void TaskScheduler::complete(std::uint64_t run_id) {
   ++set->finished;
   ++tasks_completed_;
   set->finished_durations.push_back(run.metrics.duration());
+  if (slowness_ && run.plan.slowness.has_value()) {
+    // Feed the fail-slow scorecards from the winning copy only, so a
+    // cancelled speculative sibling never double-reports an observation.
+    const TaskPlan::SlownessObs& so = *run.plan.slowness;
+    const SimTime now = sim_->now();
+    if (run.plan.cpu > 0.0) {
+      slowness_->observe(run.server, SlowResource::kCpu, so.cpu_ratio, now);
+    }
+    if (run.plan.bytes_disk > 0.0 || run.plan.bytes_written > 0.0) {
+      slowness_->observe(run.server, SlowResource::kDisk, so.disk_ratio, now);
+    }
+    for (const auto& [source, ratio] : so.source_net) {
+      slowness_->observe(source, SlowResource::kNet, ratio, now);
+    }
+    if (so.fetch_seconds > 0.0) {
+      slowness_->observe_fetch_seconds(so.fetch_seconds);
+    }
+  }
   const TaskSpec& task = set->ts->tasks[static_cast<std::size_t>(run.index)];
   if (obs::Tracer::active(tracer_)) {
     // Exactly one finish span per logical task: the winning copy.

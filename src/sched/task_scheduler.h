@@ -104,6 +104,20 @@ struct TaskPlan {
   };
   std::optional<FetchFailure> fetch_failure;
 
+  // Fail-slow scorecard feedback, filled by the planner only when
+  // FaultOptions::slowness.enabled: the observed/expected latency ratios
+  // the driver can measure once this run completes. The completion path
+  // feeds them to the SlownessTracker (winning copies only, so a
+  // cancelled speculative sibling does not double-report).
+  struct SlownessObs {
+    float cpu_ratio = 1.0f;   // executor compute stretch
+    float disk_ratio = 1.0f;  // executor spindle stretch
+    double fetch_seconds = 0.0;  // effective fetch-phase duration
+    // Per map-output source host: observed per-slice net stretch.
+    std::vector<std::pair<ServerId, float>> source_net;
+  };
+  std::optional<SlownessObs> slowness;
+
   double work_seconds() const noexcept {
     return cpu + gc + shuffle_read + disk;
   }
@@ -248,6 +262,16 @@ class TaskScheduler {
 
   // Failure counters shared with the DagScheduler (optional).
   void set_failure_stats(FailureStats* stats) { stats_ = stats; }
+
+  // Fail-slow scorecards (optional; owned by the DagScheduler and set only
+  // when FaultOptions::slowness.enabled). With a tracker wired: completed
+  // runs feed their SlownessObs ratios, the fetch-failure discovery time
+  // adapts to the observed fetch distribution, and believed-Degraded peers
+  // are deprioritized for remote placement (with timed probes) — a track
+  // deliberately separate from the fail-stop exclusion machinery.
+  void set_slowness_tracker(SlownessTracker* tracker) noexcept {
+    slowness_ = tracker;
+  }
 
   // Structured tracing of task launch/finish/retry/fail (see obs/tracer.h).
   // Null or disabled costs one pointer test per choke point.
@@ -413,6 +437,7 @@ class TaskScheduler {
   std::function<void(ServerId)> launch_failed_;
   FailureStats* stats_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  SlownessTracker* slowness_ = nullptr;
 
   std::list<std::shared_ptr<ActiveSet>> task_sets_;  // FIFO, all live sets
   // Sets with pending work, keyed by submission sequence so iteration

@@ -277,6 +277,134 @@ TEST(Chaos, OverloadBurstsSubmitJobsThroughTheDriver) {
   EXPECT_EQ(ctx.dag().active_jobs(), 0);
 }
 
+TEST(Chaos, FailSlowProcessesFireAndHeal) {
+  Context ctx(opts());
+  ChaosInjector chaos(ctx, {.failures_per_hour = 0.0,
+                            .disk_ramps_per_hour = 1200.0,
+                            .mean_ramp_seconds = 4.0,
+                            .ramp_max_disk_factor = 6.0,
+                            .ramp_steps = 3,
+                            .nic_brownouts_per_hour = 1200.0,
+                            .mean_brownout_seconds = 3.0,
+                            .stalls_per_hour = 1200.0,
+                            .mean_stall_seconds = 2.0,
+                            .seed = 23});
+  chaos.start(0.0, 60.0);
+  // Mid-window at least one fail-slow degradation should be in force.
+  bool degraded_seen = false;
+  for (int i = 1; i < 60; ++i) {
+    ctx.sim().at(static_cast<SimTime>(i), [&] {
+      for (ServerId s : ctx.cluster().alive_servers()) {
+        if (ctx.cluster().server(s).degradation().degraded()) {
+          degraded_seen = true;
+        }
+      }
+    });
+  }
+  ctx.sim().run();
+  EXPECT_GT(chaos.disk_ramps(), 0);
+  EXPECT_GT(chaos.brownouts(), 0);
+  EXPECT_GT(chaos.stalls(), 0);
+  EXPECT_TRUE(degraded_seen);
+  // Every episode recovered on its own once the window drained.
+  for (ServerId s : ctx.cluster().alive_servers()) {
+    EXPECT_FALSE(ctx.cluster().server(s).degradation().degraded());
+  }
+}
+
+TEST(Chaos, StopCancelsFailSlowOnsetsAndClearsDegradations) {
+  Context ctx(opts());
+  ChaosInjector chaos(ctx, {.failures_per_hour = 0.0,
+                            .disk_ramps_per_hour = 7200.0,
+                            .mean_ramp_seconds = 500.0,  // outlives the stop
+                            .ramp_steps = 4,
+                            .nic_brownouts_per_hour = 7200.0,
+                            .mean_brownout_seconds = 500.0,
+                            .stalls_per_hour = 7200.0,
+                            .mean_stall_seconds = 500.0,
+                            .seed = 29});
+  chaos.start(0.0, 1000.0);
+  int ramps_at_stop = -1;
+  ctx.sim().at(5.0, [&] {
+    // With episodes this long something must be degraded right now.
+    bool any = false;
+    for (ServerId s : ctx.cluster().alive_servers()) {
+      any = any || ctx.cluster().server(s).degradation().degraded();
+    }
+    EXPECT_TRUE(any);
+    chaos.stop();
+    ramps_at_stop = chaos.disk_ramps();
+    // stop() clears active fail-slow degradations synchronously...
+    for (ServerId s : ctx.cluster().alive_servers()) {
+      EXPECT_FALSE(ctx.cluster().server(s).degradation().degraded());
+    }
+  });
+  ctx.sim().run();
+  // ...and cancels pending onsets, ramp steps and recoveries: nothing
+  // re-degrades a server after the epoch bump, and the counters freeze.
+  EXPECT_GT(ramps_at_stop, 0);
+  EXPECT_EQ(chaos.disk_ramps(), ramps_at_stop);
+  for (ServerId s : ctx.cluster().alive_servers()) {
+    EXPECT_FALSE(ctx.cluster().server(s).degradation().degraded());
+  }
+  // A fresh window after stop() is legal and injects again.
+  const SimTime t0 = ctx.sim().now();
+  chaos.start(t0, t0 + 5.0);
+  ctx.sim().run();
+  EXPECT_GT(chaos.disk_ramps(), ramps_at_stop);
+}
+
+TEST(Chaos, FailSlowOverlappingStartThrows) {
+  Context ctx(opts());
+  ChaosInjector chaos(ctx, {.failures_per_hour = 0.0,
+                            .nic_brownouts_per_hour = 60.0,
+                            .seed = 37});
+  chaos.start(0.0, 50.0);
+  EXPECT_THROW(chaos.start(10.0, 60.0), std::logic_error);
+  chaos.stop();
+  chaos.start(10.0, 20.0);  // legal after stop()
+  ctx.sim().run();
+}
+
+TEST(Chaos, FailSlowScheduleIsSeeded) {
+  // Same seed -> identical fail-slow schedule, observed as identical
+  // degradation state at 1 Hz and identical lifetime counters.
+  const auto soak = [](std::uint64_t seed) {
+    Context ctx(opts());
+    ChaosInjector chaos(ctx, {.failures_per_hour = 0.0,
+                              .disk_ramps_per_hour = 600.0,
+                              .mean_ramp_seconds = 6.0,
+                              .nic_brownouts_per_hour = 600.0,
+                              .mean_brownout_seconds = 5.0,
+                              .stalls_per_hour = 600.0,
+                              .mean_stall_seconds = 3.0,
+                              .seed = seed});
+    chaos.start(0.0, 60.0);
+    std::vector<double> samples;
+    for (int i = 1; i < 60; ++i) {
+      ctx.sim().at(static_cast<SimTime>(i), [&] {
+        for (ServerId s : ctx.cluster().alive_servers()) {
+          const auto& d = ctx.cluster().server(s).degradation();
+          samples.push_back(d.cpu);
+          samples.push_back(d.disk);
+          samples.push_back(d.net);
+        }
+      });
+    }
+    ctx.sim().run();
+    samples.push_back(static_cast<double>(chaos.disk_ramps()));
+    samples.push_back(static_cast<double>(chaos.brownouts()));
+    samples.push_back(static_cast<double>(chaos.stalls()));
+    return samples;
+  };
+  const auto a = soak(41);
+  const auto b = soak(41);
+  const auto c = soak(43);
+  EXPECT_GT(a.back(), 0.0);
+  EXPECT_EQ(a, b);  // same seed, same schedule
+  EXPECT_NE(a, c);  // different seed decorrelates
+}
+
 TEST(Chaos, GrayFailureModesFire) {
   ContextOptions o = opts();
   o.cluster.servers_per_rack = 3;  // two racks: partitions can spare one

@@ -1,0 +1,163 @@
+#include "cluster/slowness.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stark {
+namespace {
+
+SlownessOptions small_opts() {
+  SlownessOptions o;
+  o.enabled = true;
+  o.window = 8;
+  o.band_window = 5;
+  o.min_samples = 3;
+  return o;
+}
+
+// Feed n identical ratios for one resource.
+void feed(SlownessTracker& t, ServerId s, SlowResource r, double ratio, int n,
+          SimTime now = 0.0) {
+  for (int i = 0; i < n; ++i) t.observe(s, r, ratio, now);
+}
+
+TEST(Slowness, BandsRequireMinSamples) {
+  SlownessTracker t(small_opts(), 4);
+  // Two huge samples are below min_samples: no band change yet.
+  feed(t, 1, SlowResource::kDisk, 8.0, 2);
+  EXPECT_EQ(t.band(1), SlowBand::kHealthy);
+  feed(t, 1, SlowResource::kDisk, 8.0, 1);
+  EXPECT_EQ(t.band(1), SlowBand::kDegraded);
+  EXPECT_EQ(t.stats().degraded_entries, 1);
+  EXPECT_EQ(t.stats().degraded_peers, 1);
+}
+
+TEST(Slowness, HysteresisHoldsTheBandUntilRecoveryThreshold) {
+  SlownessTracker t(small_opts(), 4);
+  feed(t, 0, SlowResource::kNet, 3.0, 5);
+  EXPECT_EQ(t.band(0), SlowBand::kDegraded);
+  // Ratios between recover (1.2) and suspect (1.6) keep Suspect sticky:
+  // the band steps down to Suspect but not to Healthy.
+  feed(t, 0, SlowResource::kNet, 1.4, 5);
+  EXPECT_EQ(t.band(0), SlowBand::kSuspect);
+  feed(t, 0, SlowResource::kNet, 1.4, 8);
+  EXPECT_EQ(t.band(0), SlowBand::kSuspect);
+  // Clean samples below the recovery threshold release it.
+  feed(t, 0, SlowResource::kNet, 1.0, 8);
+  EXPECT_EQ(t.band(0), SlowBand::kHealthy);
+  EXPECT_EQ(t.stats().recoveries, 1);
+  EXPECT_EQ(t.stats().degraded_peers, 0);
+}
+
+TEST(Slowness, OneNoisySignalCannotTripABand) {
+  // The effective ratio is min(EWMA, windowed median): a single 50x
+  // outlier spikes the EWMA but not the median, so the band holds.
+  SlownessTracker t(small_opts(), 4);
+  feed(t, 2, SlowResource::kCpu, 1.0, 6);
+  t.observe(2, SlowResource::kCpu, 50.0, 0.0);
+  EXPECT_EQ(t.band(2), SlowBand::kHealthy);
+}
+
+TEST(Slowness, BandChangeCallbackSeesTransitions) {
+  SlownessTracker t(small_opts(), 4);
+  std::vector<std::pair<SlowBand, SlowBand>> seen;
+  t.set_band_change([&](ServerId s, SlowBand from, SlowBand to) {
+    EXPECT_EQ(s, 3);
+    seen.emplace_back(from, to);
+  });
+  feed(t, 3, SlowResource::kDisk, 1.8, 5);   // -> Suspect
+  feed(t, 3, SlowResource::kDisk, 4.0, 8);   // -> Degraded
+  feed(t, 3, SlowResource::kDisk, 1.0, 8);   // -> Healthy
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], std::make_pair(SlowBand::kHealthy, SlowBand::kSuspect));
+  EXPECT_EQ(seen[1], std::make_pair(SlowBand::kSuspect, SlowBand::kDegraded));
+  EXPECT_EQ(seen[2], std::make_pair(SlowBand::kDegraded, SlowBand::kHealthy));
+}
+
+TEST(Slowness, AdaptiveTimeoutTracksTheFetchQuantile) {
+  SlownessOptions o = small_opts();
+  o.timeout_quantile = 0.5;
+  o.timeout_multiplier = 2.0;
+  o.timeout_min = 0.01;
+  o.timeout_max = 10.0;
+  SlownessTracker t(o, 2);
+  EXPECT_LE(t.fetch_deadline(), 0.0);  // undefined until min_samples
+  for (int i = 0; i < 8; ++i) t.observe_fetch_seconds(0.5);
+  EXPECT_NEAR(t.fetch_deadline(), 1.0, 1e-9);  // 2 x median(0.5)
+  EXPECT_GE(t.stats().timeout_adaptations, 1);
+  // A regime shift moves the deadline with the window.
+  for (int i = 0; i < 8; ++i) t.observe_fetch_seconds(2.0);
+  EXPECT_NEAR(t.fetch_deadline(), 4.0, 1e-9);
+}
+
+TEST(Slowness, AdaptiveTimeoutClamps) {
+  SlownessOptions o = small_opts();
+  o.timeout_multiplier = 3.0;
+  o.timeout_min = 0.5;
+  o.timeout_max = 2.0;
+  SlownessTracker t(o, 2);
+  for (int i = 0; i < 8; ++i) t.observe_fetch_seconds(0.01);
+  EXPECT_NEAR(t.fetch_deadline(), 0.5, 1e-9);  // floor
+  for (int i = 0; i < 8; ++i) t.observe_fetch_seconds(100.0);
+  EXPECT_NEAR(t.fetch_deadline(), 2.0, 1e-9);  // ceiling
+}
+
+TEST(Slowness, ShouldAvoidGatesOnBandAndProbeCadence) {
+  SlownessOptions o = small_opts();
+  o.probe_interval = 10.0;
+  SlownessTracker t(o, 4);
+  EXPECT_FALSE(t.should_avoid(1, 0.0));  // Healthy
+  feed(t, 1, SlowResource::kDisk, 6.0, 5, /*now=*/100.0);
+  EXPECT_EQ(t.band(1), SlowBand::kDegraded);
+  // Compute-slow (disk): avoided for one full interval, probed after.
+  EXPECT_TRUE(t.should_avoid(1, 105.0));
+  EXPECT_FALSE(t.should_avoid(1, 110.0));
+  // Launching the probe restarts the cadence.
+  t.note_probe(1, 110.0);
+  EXPECT_EQ(t.stats().placement_probes, 1);
+  EXPECT_TRUE(t.should_avoid(1, 115.0));
+  EXPECT_FALSE(t.should_avoid(1, 120.0));
+}
+
+TEST(Slowness, NetOnlyDegradedProbesAtRelaxedCadence) {
+  // A net-only Degraded peer is observed passively by every fetch that
+  // uses it as a source, so its (expensive) active probes run at 4x the
+  // interval — and it never forfeits node-local compute placement.
+  SlownessOptions o = small_opts();
+  o.probe_interval = 10.0;
+  SlownessTracker t(o, 4);
+  feed(t, 2, SlowResource::kNet, 6.0, 5, /*now=*/100.0);
+  EXPECT_EQ(t.band(2), SlowBand::kDegraded);
+  EXPECT_TRUE(t.should_avoid(2, 115.0));   // past 1x interval
+  EXPECT_TRUE(t.should_avoid(2, 135.0));   // still inside 4x
+  EXPECT_FALSE(t.should_avoid(2, 140.0));  // 4x interval elapsed
+  EXPECT_FALSE(t.should_avoid_compute(2, 115.0));
+
+  // A disk-slow peer forfeits compute placement while avoided.
+  feed(t, 3, SlowResource::kDisk, 6.0, 5, /*now=*/100.0);
+  EXPECT_TRUE(t.should_avoid_compute(3, 105.0));
+}
+
+TEST(Slowness, DeprioritizationCanBeDisabled) {
+  SlownessOptions o = small_opts();
+  o.deprioritize_degraded = false;
+  SlownessTracker t(o, 2);
+  feed(t, 0, SlowResource::kCpu, 9.0, 5);
+  EXPECT_EQ(t.band(0), SlowBand::kDegraded);  // detection still runs
+  EXPECT_FALSE(t.should_avoid(0, 1.0));       // mitigation does not
+}
+
+TEST(Slowness, OutOfRangeServersAreIgnored) {
+  SlownessTracker t(small_opts(), 2);
+  t.observe(-1, SlowResource::kCpu, 9.0, 0.0);
+  t.observe(7, SlowResource::kCpu, 9.0, 0.0);
+  t.note_probe(-1, 0.0);
+  EXPECT_EQ(t.stats().observations, 0);
+  EXPECT_EQ(t.band(-1), SlowBand::kHealthy);
+  EXPECT_EQ(t.band(7), SlowBand::kHealthy);
+  EXPECT_FALSE(t.should_avoid(7, 0.0));
+}
+
+}  // namespace
+}  // namespace stark
