@@ -28,9 +28,10 @@ declare -A SCENARIOS=(
   [fig19_sparkh30]="$BUILD_DIR/bench/bench_fig19_throughput --slice spark-h 30"
   [overload]="$BUILD_DIR/bench/bench_overload --pinned"
   [tail_tolerance]="$BUILD_DIR/bench/bench_tail_tolerance --pinned"
+  [remote_memory]="$BUILD_DIR/bench/bench_remote_memory --pinned"
 )
 
-for name in chaos chaos_corruption fig19_starkh20 fig19_sparkh30 overload tail_tolerance; do
+for name in chaos chaos_corruption fig19_starkh20 fig19_sparkh30 overload tail_tolerance remote_memory; do
   bin=${SCENARIOS[$name]%% *}
   if [ ! -x "$bin" ]; then
     echo "bit_identity: missing $bin (build the bench targets first)" >&2
@@ -42,7 +43,7 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 fail=0
 
-for name in chaos chaos_corruption fig19_starkh20 fig19_sparkh30 overload tail_tolerance; do
+for name in chaos chaos_corruption fig19_starkh20 fig19_sparkh30 overload tail_tolerance remote_memory; do
   cmd=${SCENARIOS[$name]}
   out="$tmp/$name.json"
   $cmd > "$out" 2>/dev/null

@@ -61,6 +61,21 @@ void ContextOptions::validate() const {
   } catch (const std::invalid_argument& e) {
     reject(std::string("cluster.cache: ") + e.what());
   }
+  try {
+    cluster.remote_memory.validate();
+  } catch (const std::invalid_argument& e) {
+    reject(std::string("cluster.remote_memory: ") + e.what());
+  }
+  if (cluster.remote_memory.enabled) {
+    if (cost.remote_read_bw <= 0.0) {
+      reject("cluster.remote_memory.enabled requires cost.remote_read_bw > 0 "
+             "(got " + std::to_string(cost.remote_read_bw) + ")");
+    }
+    if (cost.remote_read_latency < 0.0) {
+      reject("cost.remote_read_latency must be >= 0 (got " +
+             std::to_string(cost.remote_read_latency) + ")");
+    }
+  }
   if (locality_wait < 0.0) {
     reject("locality_wait must be >= 0 (got " + std::to_string(locality_wait) +
            ")");
@@ -291,6 +306,26 @@ Context::Context(ContextOptions options)
         if (victim.spill) e.flags |= obs::kFlagSpilled;
         tracer_->emit(e);
       });
+  // Demotions between tiers as trace instants (kBlockDemote; code = the
+  // destination MemoryTier). Wired only when the remote-memory tier is
+  // enabled so a plain spill-to-disk build emits exactly the event stream
+  // it always did (bit_identity.sh relies on this).
+  if (options_.cluster.remote_memory.enabled) {
+    cluster_.add_demotion_observer(
+        [this](const BlockId& id, Bytes bytes, MemoryTier to,
+               ServerId origin) {
+          if (!obs::Tracer::active(tracer_.get())) return;
+          obs::TraceEvent e;
+          e.kind = obs::TraceKind::kBlockDemote;
+          e.t0 = e.t1 = sim_.now();
+          e.server = origin;
+          e.dataset = id.dataset;
+          e.partition = id.partition;
+          e.bytes = bytes;
+          e.code = static_cast<std::int16_t>(to);
+          tracer_->emit(e);
+        });
+  }
   // Memory-pressure feedback loop: the monitor samples cache utilization
   // pull-style when the scheduler asks (no standing events, so an idle
   // simulation still drains) and folds recent eviction throughput in via
@@ -453,6 +488,10 @@ bool Context::corrupt_cached_block(ServerId s, const BlockId& id) {
 
 bool Context::corrupt_spilled_block(ServerId s, const BlockId& id) {
   return dag_->corrupt_spilled_block(s, id);
+}
+
+bool Context::corrupt_remote_block(const BlockId& id) {
+  return dag_->corrupt_remote_block(id);
 }
 
 bool Context::corrupt_shuffle_output(const ShuffleKey& key, int unit) {

@@ -186,6 +186,9 @@ class Context {
   // FailureStats::corrupt_reads_undetected.
   bool corrupt_cached_block(ServerId s, const BlockId& id);
   bool corrupt_spilled_block(ServerId s, const BlockId& id);
+  // Remote-pool copies are cluster-wide, so no ServerId; returns false if
+  // the tier is disabled or holds no such block.
+  bool corrupt_remote_block(const BlockId& id);
   bool corrupt_shuffle_output(const ShuffleKey& key, int unit);
 
   // The heartbeat failure detector mediating every injected fault above.

@@ -71,12 +71,14 @@ struct TaskMetrics {
   double gc = 0.0;            // garbage collection overhead
   double shuffle_read = 0.0;  // network + remote disk for shuffle fetches
   double disk = 0.0;          // local input/checkpoint reads, map-output writes
+  double remote_read = 0.0;   // one-sided remote-memory pool reads
   double overhead = 0.0;      // launch + dispatch
 
   // Data volume breakdown (bytes).
   Bytes bytes_from_cache = 0.0;
   Bytes bytes_from_net = 0.0;
   Bytes bytes_from_disk = 0.0;
+  Bytes bytes_from_remote = 0.0;  // served by the remote-memory tier
   Bytes bytes_written = 0.0;
 
   // Execution time on the server / time spent waiting for a slot.
@@ -101,12 +103,14 @@ struct StageBreakdown {
   double gc = 0.0;
   double shuffle_read = 0.0;
   double disk = 0.0;
+  double remote_read = 0.0;  // one-sided remote-memory pool reads
   double overhead = 0.0;
   double max_task_duration = 0.0;  // the stage's critical task
 
   Bytes bytes_from_cache = 0.0;
   Bytes bytes_from_net = 0.0;
   Bytes bytes_from_disk = 0.0;
+  Bytes bytes_from_remote = 0.0;
 
   SimTime first_launch = 0.0;
   SimTime last_finish = 0.0;
@@ -142,6 +146,7 @@ struct JobResult {
   Bytes bytes_from_cache = 0.0;
   Bytes bytes_from_net = 0.0;
   Bytes bytes_from_disk = 0.0;
+  Bytes bytes_from_remote = 0.0;  // served by the remote-memory tier
   // Per-stage phase breakdown, ordered by stage id. Always present.
   std::vector<StageBreakdown> stages;
   // Per-task detail (ContextOptions::detail_task_metrics).

@@ -24,6 +24,7 @@ void MetricsCollector::observe_job(const JobResult& r) {
   bytes_cache_ += r.bytes_from_cache;
   bytes_net_ += r.bytes_from_net;
   bytes_disk_ += r.bytes_from_disk;
+  bytes_remote_ += r.bytes_from_remote;
   cpu_ += r.total_cpu;
   gc_ += r.total_gc;
   TenantSummary& t = tenant_slot(r.tenant);
@@ -86,6 +87,7 @@ void MetricsCollector::reset() noexcept {
   bytes_cache_ = 0.0;
   bytes_net_ = 0.0;
   bytes_disk_ = 0.0;
+  bytes_remote_ = 0.0;
   cpu_ = 0.0;
   gc_ = 0.0;
   inserts_ = 0;
@@ -94,6 +96,7 @@ void MetricsCollector::reset() noexcept {
   overload_.reset();
   slowness_.reset();
   cache_.reset();
+  remote_.reset();
   policy_ = EvictionPolicyKind::kLru;
   tenants_.clear();
   tenant_index_.clear();
@@ -109,7 +112,7 @@ double MetricsCollector::gc_fraction() const noexcept {
 }
 
 double MetricsCollector::cache_hit_ratio() const noexcept {
-  const Bytes total = bytes_cache_ + bytes_net_ + bytes_disk_;
+  const Bytes total = bytes_cache_ + bytes_net_ + bytes_disk_ + bytes_remote_;
   return total > 0.0 ? bytes_cache_ / total : 0.0;
 }
 
@@ -127,15 +130,17 @@ double MetricsCollector::cluster_utilization(const Cluster& cluster,
 }
 
 std::string MetricsCollector::summary() const {
-  char buf[2048];
+  char buf[3072];
   std::snprintf(
       buf, sizeof(buf),
       "jobs: %d (%d aborted)  tasks: %d  node-local: %.0f%%\n"
       "delay: mean %s  p50 %s  p99 %s\n"
-      "input: %s cache / %s net / %s disk  (cache hit %.0f%%)\n"
+      "input: %s cache / %s net / %s disk / %s remote  (cache hit %.0f%%)\n"
       "cpu: %.1f s  gc: %.1f s (%.0f%%)  cache inserts/evictions: %lld/%lld\n"
       "policy: %s  probes: %lld hit / %lld miss  recomputed: %lld (%s)  "
       "avoided: %lld\n"
+      "remote tier: hits %lld  fault-backs %lld  demotions %lld (%s)  "
+      "evicted-to-disk %lld  dropped-dead-origin %lld\n"
       "failures: %d (retries %d, fetch %d)  detections: %d (mean latency "
       "%s)  resubmitted stages: %d  exclusions: %d/%d\n"
       "integrity: injected %d  detected %d  repaired %d  undetected reads "
@@ -150,10 +155,14 @@ std::string MetricsCollector::summary() const {
       format_seconds(delays_.count() ? delays_.percentile(0.5) : 0.0).c_str(),
       format_seconds(delays_.count() ? delays_.percentile(0.99) : 0.0).c_str(),
       format_bytes(bytes_cache_).c_str(), format_bytes(bytes_net_).c_str(),
-      format_bytes(bytes_disk_).c_str(), cache_hit_ratio() * 100.0, cpu_,
+      format_bytes(bytes_disk_).c_str(), format_bytes(bytes_remote_).c_str(),
+      cache_hit_ratio() * 100.0, cpu_,
       gc_, gc_fraction() * 100.0, inserts_, evictions_,
       eviction_policy(), cache_.hits, cache_.misses, cache_.recomputes,
       format_bytes(cache_.bytes_recomputed).c_str(), recomputes_avoided(),
+      cache_.remote_hits, cache_.fault_backs, remote_.demotions_in,
+      format_bytes(remote_.bytes_demoted_in).c_str(),
+      remote_.evictions_to_disk, remote_.dropped_dead_origin,
       failures_.task_failures, failures_.task_retries,
       failures_.fetch_failures, failures_.heartbeat_detections,
       format_seconds(failures_.mean_detection_latency()).c_str(),

@@ -70,6 +70,13 @@ class MetricsCollector {
     policy_ = policy;
   }
 
+  // Snapshot the remote-memory tier counters (Cluster::remote_stats(),
+  // taken at the end of a run). A no-op pointer (tier disabled) leaves the
+  // zeroed defaults in place.
+  void observe_remote(const RemoteMemoryStats* stats) {
+    if (stats != nullptr) remote_ = *stats;
+  }
+
   // Aggregates.
   int jobs() const noexcept { return jobs_; }
   int tasks() const noexcept { return tasks_; }
@@ -78,6 +85,7 @@ class MetricsCollector {
   Bytes bytes_from_cache() const noexcept { return bytes_cache_; }
   Bytes bytes_from_net() const noexcept { return bytes_net_; }
   Bytes bytes_from_disk() const noexcept { return bytes_disk_; }
+  Bytes bytes_from_remote() const noexcept { return bytes_remote_; }
   double total_cpu_seconds() const noexcept { return cpu_; }
   double total_gc_seconds() const noexcept { return gc_; }
   double gc_fraction() const noexcept;
@@ -95,6 +103,19 @@ class MetricsCollector {
   long long recomputes_avoided() const noexcept { return cache_.hits; }
   long long cache_recomputes() const noexcept { return cache_.recomputes; }
   Bytes bytes_recomputed() const noexcept { return cache_.bytes_recomputed; }
+
+  // Remote-memory tier (scheduler-side probes from the last observe_cache
+  // snapshot, pool-side counters from the last observe_remote snapshot).
+  long long remote_hits() const noexcept { return cache_.remote_hits; }
+  long long fault_backs() const noexcept { return cache_.fault_backs; }
+  long long remote_demotions() const noexcept { return remote_.demotions_in; }
+  Bytes bytes_demoted() const noexcept { return remote_.bytes_demoted_in; }
+  long long remote_evictions_to_disk() const noexcept {
+    return remote_.evictions_to_disk;
+  }
+  long long remote_dropped_dead_origin() const noexcept {
+    return remote_.dropped_dead_origin;
+  }
 
   // Failure machinery (from the last observe_failures snapshot).
   int aborted_jobs() const noexcept { return aborted_jobs_; }
@@ -198,6 +219,7 @@ class MetricsCollector {
   Bytes bytes_cache_ = 0.0;
   Bytes bytes_net_ = 0.0;
   Bytes bytes_disk_ = 0.0;
+  Bytes bytes_remote_ = 0.0;
   double cpu_ = 0.0;
   double gc_ = 0.0;
   long long inserts_ = 0;
@@ -206,6 +228,7 @@ class MetricsCollector {
   OverloadStats overload_;
   SlownessStats slowness_;
   CacheStats cache_;
+  RemoteMemoryStats remote_;
   EvictionPolicyKind policy_ = EvictionPolicyKind::kLru;
   // Per-tenant rollups in first-observed order + name -> index.
   std::vector<TenantSummary> tenants_;

@@ -10,8 +10,10 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
     throw std::invalid_argument("Cluster: num_servers must be > 0");
   }
   config.cache.validate();
+  config.remote_memory.validate();
   servers_.reserve(static_cast<std::size_t>(config.num_servers));
   disk_store_.resize(static_cast<std::size_t>(config.num_servers));
+  disk_used_.resize(static_cast<std::size_t>(config.num_servers), 0.0);
   // Every server's store shares this cluster's lineage refcounts (the kLrc
   // feed). The lambda captures `this`; Cluster is neither copied nor moved
   // after construction (Context holds it by value, tests on the stack).
@@ -22,6 +24,16 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   for (int i = 0; i < config.num_servers; ++i) {
     servers_.push_back(
         std::make_unique<Server>(i, config.server, config.cache, refcount));
+  }
+  if (config.remote_memory.enabled) {
+    // The pool's demotion policy reads the same lineage-refcount channel
+    // when it runs kLrc (per-tier policies may differ from the RAM one).
+    LineageRefcountFn pool_refcount;
+    if (config.remote_memory.policy == EvictionPolicyKind::kLrc) {
+      pool_refcount = [this](DatasetId id) { return lineage_refcount(id); };
+    }
+    remote_ = std::make_unique<RemoteMemoryPool>(config.remote_memory,
+                                                 std::move(pool_refcount));
   }
 }
 
@@ -57,20 +69,42 @@ bool Cluster::insert_block(ServerId s, const BlockId& id, Bytes bytes,
                            TenantId tenant) {
   Server& srv = server(s);
   if (!srv.alive()) return false;
+  const bool was_indexed = cached_on(id, s);
   const auto result =
       srv.storage().insert(id, bytes, spill_on_evict, recompute_cost, tenant);
+  // Victims leave RAM first (observers, index, not-inserted notifications
+  // in eviction order), then demote in ascending BlockId order: the pool's
+  // recency state among same-instant victims must never depend on how the
+  // store's containers happened to iterate.
+  std::vector<BlockManager::EvictedBlock> spill;
   for (const auto& victim : result.evicted) {
     for (const auto& obs : eviction_observers_) obs(s, victim);
-    if (victim.spill) {
-      disk_store_[static_cast<std::size_t>(s)][victim.id] = {victim.bytes,
-                                                             victim.corrupted};
-    }
+    if (victim.spill) spill.push_back(victim);
     index_remove(s, victim.id);
     notify(s, victim.id, /*inserted=*/false);
   }
-  // A fresh in-memory copy supersedes any stale spilled one.
-  disk_store_[static_cast<std::size_t>(s)].erase(id);
-  if (!result.stored) return false;
+  std::sort(spill.begin(), spill.end(),
+            [](const BlockManager::EvictedBlock& a,
+               const BlockManager::EvictedBlock& b) {
+              return a.id.dataset != b.id.dataset
+                         ? a.id.dataset < b.id.dataset
+                         : a.id.partition < b.id.partition;
+            });
+  for (const auto& victim : spill) demote(s, victim);
+  if (!result.stored) {
+    // A failed re-insert still dropped the old RAM copy inside the store
+    // (resize-or-insert semantics); the index must not keep advertising a
+    // phantom replica. Lower-tier copies stay put — a failed insert must
+    // never destroy the only remaining spilled or remote copy.
+    if (was_indexed) {
+      index_remove(s, id);
+      notify(s, id, /*inserted=*/false);
+    }
+    return false;
+  }
+  // A fresh in-memory copy supersedes stale lower-tier ones.
+  disk_erase(s, id);
+  if (remote_) remote_->remove(id);
   auto& locs = index_[id];
   if (std::find(locs.begin(), locs.end(), s) == locs.end()) {
     locs.push_back(s);
@@ -79,8 +113,65 @@ bool Cluster::insert_block(ServerId s, const BlockId& id, Bytes bytes,
   return true;
 }
 
+void Cluster::demote(ServerId s, const BlockManager::EvictedBlock& victim) {
+  if (remote_) {
+    const auto result =
+        remote_->insert(victim.id, victim.bytes, victim.corrupted, s);
+    // Pool victims cascade to their *origin* server's disk; a dead origin
+    // means the copy is simply gone (lineage recompute covers the loss,
+    // exactly as if the block had spilled to that disk before the crash).
+    for (const auto& demoted : result.evicted) {
+      if (server(demoted.origin).alive()) {
+        disk_put(demoted.origin, demoted.id, demoted.bytes, demoted.corrupted);
+        remote_->note_evicted_to_disk(demoted.bytes);
+        for (const auto& obs : demotion_observers_) {
+          obs(demoted.id, demoted.bytes, MemoryTier::kDisk, demoted.origin);
+        }
+      } else {
+        remote_->note_dropped_dead_origin();
+      }
+    }
+    if (result.stored) {
+      // The pool copy supersedes a stale spilled one on the origin disk.
+      disk_erase(s, victim.id);
+      for (const auto& obs : demotion_observers_) {
+        obs(victim.id, victim.bytes, MemoryTier::kRemote, s);
+      }
+      return;
+    }
+  }
+  disk_put(s, victim.id, victim.bytes, victim.corrupted);
+  for (const auto& obs : demotion_observers_) {
+    obs(victim.id, victim.bytes, MemoryTier::kDisk, s);
+  }
+}
+
+void Cluster::disk_put(ServerId s, const BlockId& id, Bytes bytes,
+                       bool corrupted) {
+  auto& store = disk_store_[static_cast<std::size_t>(s)];
+  auto& used = disk_used_[static_cast<std::size_t>(s)];
+  const auto it = store.find(id);
+  if (it != store.end()) used -= it->second.bytes;  // re-spill overwrites
+  store[id] = {bytes, corrupted};
+  used += bytes;
+}
+
+bool Cluster::disk_erase(ServerId s, const BlockId& id) {
+  auto& store = disk_store_[static_cast<std::size_t>(s)];
+  const auto it = store.find(id);
+  if (it == store.end()) return false;
+  auto& used = disk_used_[static_cast<std::size_t>(s)];
+  used -= it->second.bytes;
+  store.erase(it);
+  // FP add/subtract churn may leave a residue; the counter is defined to
+  // be exactly 0 for an empty store and never negative.
+  if (store.empty() || used < 0.0) used = 0.0;
+  return true;
+}
+
 void Cluster::remove_block(ServerId s, const BlockId& id) {
-  disk_store_[static_cast<std::size_t>(s)].erase(id);
+  // Per-server removal: the cluster-wide remote copy (if any) stays.
+  disk_erase(s, id);
   if (server(s).storage().remove(id)) {
     index_remove(s, id);
     notify(s, id, /*inserted=*/false);
@@ -91,7 +182,8 @@ void Cluster::remove_block_everywhere(const BlockId& id) {
   // Copy: index_remove mutates the vector we'd be iterating.
   const std::vector<ServerId> locs = cache_locations(id);
   for (ServerId s : locs) remove_block(s, id);
-  for (auto& store : disk_store_) store.erase(id);
+  for (int s = 0; s < size(); ++s) disk_erase(s, id);
+  if (remote_) remote_->remove(id);
 }
 
 void Cluster::touch_block(ServerId s, const BlockId& id) {
@@ -124,7 +216,10 @@ int Cluster::lineage_refcount(DatasetId dataset) const noexcept {
 bool Cluster::kill_server(ServerId s) {
   Server& srv = server(s);
   if (!srv.alive()) return false;  // killing a dead server is a no-op
+  // RAM and local disk die with the server; remote-pool entries survive —
+  // the pool is disaggregated, which is the tier's whole fault-model point.
   disk_store_[static_cast<std::size_t>(s)].clear();
+  disk_used_[static_cast<std::size_t>(s)] = 0.0;
   for (const BlockId& id : srv.storage().clear()) {
     index_remove(s, id);
     notify(s, id, /*inserted=*/false);
@@ -206,10 +301,11 @@ Bytes Cluster::disk_block_bytes(ServerId s, const BlockId& id) const {
 }
 
 Bytes Cluster::total_spilled_bytes() const noexcept {
+  // Sum the maintained per-server counters in server-index order: exact
+  // and independent of hash-map iteration order, so the value (and any
+  // JSON built from it) is identical across standard libraries.
   Bytes total = 0.0;
-  for (const auto& store : disk_store_) {
-    for (const auto& [id, block] : store) total += block.bytes;
-  }
+  for (const Bytes used : disk_used_) total += used;
   return total;
 }
 
@@ -226,7 +322,47 @@ std::vector<BlockId> Cluster::spilled_blocks(ServerId s) const {
 }
 
 bool Cluster::drop_spilled_block(ServerId s, const BlockId& id) {
-  return disk_store_.at(static_cast<std::size_t>(s)).erase(id) > 0;
+  // Routed through disk_erase so dropping a copy — corrupt or not — always
+  // settles the byte accounting (no leak, no double-subtract).
+  return disk_erase(s, id);
+}
+
+// --- remote-memory tier ------------------------------------------------
+
+bool Cluster::remote_cached(const BlockId& id) const noexcept {
+  return remote_ && remote_->contains(id);
+}
+
+Bytes Cluster::remote_block_bytes(const BlockId& id) const noexcept {
+  return remote_ ? remote_->block_bytes(id) : 0.0;
+}
+
+ServerId Cluster::remote_block_origin(const BlockId& id) const noexcept {
+  return remote_ ? remote_->origin_of(id) : kInvalidId;
+}
+
+bool Cluster::remote_block_corrupt(const BlockId& id) const noexcept {
+  return remote_ && remote_->is_corrupt(id);
+}
+
+bool Cluster::corrupt_remote_block(const BlockId& id) {
+  return remote_ && remote_->mark_corrupt(id);
+}
+
+bool Cluster::drop_remote_block(const BlockId& id) {
+  return remote_ && remote_->remove(id);
+}
+
+void Cluster::touch_remote_block(const BlockId& id) {
+  if (remote_) remote_->touch(id);
+}
+
+Bytes Cluster::remote_used_bytes() const noexcept {
+  return remote_ ? remote_->used() : 0.0;
+}
+
+std::vector<BlockId> Cluster::remote_blocks() const {
+  return remote_ ? remote_->blocks() : std::vector<BlockId>{};
 }
 
 bool Cluster::corrupt_cached_block(ServerId s, const BlockId& id) {
@@ -265,6 +401,10 @@ void Cluster::add_eviction_observer(EvictionObserver obs) {
 void Cluster::set_eviction_observer(EvictionObserver obs) {
   eviction_observers_.clear();
   if (obs) eviction_observers_.push_back(std::move(obs));
+}
+
+void Cluster::add_demotion_observer(DemotionObserver obs) {
+  demotion_observers_.push_back(std::move(obs));
 }
 
 }  // namespace stark

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/remote_memory.h"
 #include "cluster/server.h"
 #include "common/types.h"
 
@@ -28,6 +29,11 @@ struct ClusterConfig {
   // Eviction policy + pinning knobs shared by every server's block store
   // (see cluster/eviction_policy.h). Defaults reproduce plain LRU exactly.
   CachePolicyOptions cache;
+  // Disaggregated remote-memory tier between RAM and disk (see
+  // cluster/remote_memory.h). Disabled by default: demotion then goes
+  // straight to the local disk store, byte-identical to the two-tier
+  // engine.
+  RemoteMemoryOptions remote_memory;
 };
 
 class Cluster {
@@ -73,10 +79,20 @@ class Cluster {
 
   // Local-disk spill store (unbounded; disk reads pay the cost model).
   Bytes disk_block_bytes(ServerId s, const BlockId& id) const;  // 0 if absent
+  // Presence, not size: a legitimately empty spilled partition (e.g. a
+  // fully-filtered dataset) is still a valid on-disk copy; treating
+  // size-zero as absent forced a needless lineage recompute.
   bool disk_cached_on(const BlockId& id, ServerId s) const {
-    return disk_block_bytes(s, id) > 0.0;
+    const auto& store = disk_store_.at(static_cast<std::size_t>(s));
+    return store.find(id) != store.end();
   }
   Bytes total_spilled_bytes() const noexcept;
+  // Spilled bytes held on one server's local disk (exact maintained
+  // counter; summing these in server order is what total_spilled_bytes
+  // does, so the total never depends on hash-map iteration order).
+  Bytes disk_used_bytes(ServerId s) const {
+    return disk_used_.at(static_cast<std::size_t>(s));
+  }
   // Spilled block ids on a server, sorted by (dataset, partition) so fault
   // injectors enumerating them stay deterministic across runs.
   std::vector<BlockId> spilled_blocks(ServerId s) const;
@@ -91,6 +107,26 @@ class Cluster {
   bool corrupt_spilled_block(ServerId s, const BlockId& id);
   bool cached_block_corrupt(ServerId s, const BlockId& id) const;
   bool spilled_block_corrupt(ServerId s, const BlockId& id) const;
+
+  // --- remote-memory tier (cluster/remote_memory.h) ----------------------
+  // All calls are safe when the tier is disabled: predicates read false,
+  // sizes 0, mutators return false / no-op, remote_stats() is null.
+  bool remote_memory_enabled() const noexcept { return remote_ != nullptr; }
+  bool remote_cached(const BlockId& id) const noexcept;
+  Bytes remote_block_bytes(const BlockId& id) const noexcept;  // 0 if absent
+  ServerId remote_block_origin(const BlockId& id) const noexcept;
+  bool remote_block_corrupt(const BlockId& id) const noexcept;
+  bool corrupt_remote_block(const BlockId& id);
+  // Drops the pool copy (verified reads do this on a detected-corrupt
+  // remote copy); returns false when absent.
+  bool drop_remote_block(const BlockId& id);
+  void touch_remote_block(const BlockId& id);
+  Bytes remote_used_bytes() const noexcept;
+  // Pool contents sorted by (dataset, partition); empty when disabled.
+  std::vector<BlockId> remote_blocks() const;
+  const RemoteMemoryStats* remote_stats() const noexcept {
+    return remote_ ? &remote_->stats() : nullptr;
+  }
 
   // Drops one replica (or all replicas) of a block.
   void remove_block(ServerId s, const BlockId& id);
@@ -140,9 +176,25 @@ class Cluster {
   // single-observer semantics; prefer add_eviction_observer).
   void set_eviction_observer(EvictionObserver obs);
 
+  // Demotion observers: fire once per block copy moving *down* the
+  // hierarchy — RAM -> remote pool (to == kRemote, origin = the evicting
+  // server) and pool -> origin disk or plain RAM -> disk spill
+  // (to == kDisk). api::Context wires the tracer's block-demote instants
+  // when the remote tier is enabled.
+  using DemotionObserver =
+      std::function<void(const BlockId&, Bytes, MemoryTier to, ServerId origin)>;
+  void add_demotion_observer(DemotionObserver obs);
+
  private:
   void notify(ServerId s, const BlockId& id, bool inserted);
   void index_remove(ServerId s, const BlockId& id);
+  // Moves an evicted spill victim down the hierarchy: remote pool first
+  // (when enabled), origin disk otherwise or when the pool refuses.
+  void demote(ServerId s, const BlockManager::EvictedBlock& victim);
+  // Disk-store mutations routed through these two so disk_used_ can never
+  // drift from the store contents (re-spill subtracts the old size first).
+  void disk_put(ServerId s, const BlockId& id, Bytes bytes, bool corrupted);
+  bool disk_erase(ServerId s, const BlockId& id);
 
   struct SpilledBlock {
     Bytes bytes = 0.0;
@@ -154,8 +206,12 @@ class Cluster {
   std::unordered_map<BlockId, std::vector<ServerId>, BlockIdHash> index_;
   std::vector<std::unordered_map<BlockId, SpilledBlock, BlockIdHash>>
       disk_store_;
+  // Exact spilled bytes per server, maintained by disk_put/disk_erase.
+  std::vector<Bytes> disk_used_;
+  std::unique_ptr<RemoteMemoryPool> remote_;  // null when tier disabled
   std::vector<BlockObserver> observers_;
   std::vector<EvictionObserver> eviction_observers_;
+  std::vector<DemotionObserver> demotion_observers_;
   std::unordered_map<DatasetId, int> lineage_refcounts_;
   std::vector<ServerId> empty_;
   std::uint64_t topology_epoch_ = 0;

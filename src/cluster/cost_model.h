@@ -73,6 +73,16 @@ struct CostModel {
   // FaultOptions::verify_reads is on.
   double checksum_bw = 2.5 * kGiB;
 
+  // --- Remote-memory tier (cluster/remote_memory.h) ---
+  // One-sided reads from the disaggregated pool: a per-read setup latency
+  // plus byte transfer on the memory fabric. Deliberately between the two
+  // neighbouring tiers — far above disk_read_bw, below local mem_bw — and
+  // distinct from the disk service (no seek, no disk congestion factor).
+  // Only charged when ClusterConfig::remote_memory.enabled; demotion
+  // *writes* are asynchronous and uncharged, matching disk spill writes.
+  double remote_read_bw = 1.2 * kGiB;   // bytes/s per task stream
+  double remote_read_latency = 5e-6;    // per faulted read
+
   double cpu_seconds(OpKind op, Bytes bytes) const noexcept;
   // Time to re-verify `bytes` of stored data against its checksum tag.
   double verify_seconds(Bytes bytes) const noexcept;

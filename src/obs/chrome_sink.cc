@@ -143,6 +143,7 @@ std::string task_args(const TraceEvent& e) {
      << ", \"gc_s\": " << e.phases.gc
      << ", \"shuffle_read_s\": " << e.phases.shuffle_read
      << ", \"disk_s\": " << e.phases.disk
+     << ", \"remote_read_s\": " << e.phases.remote_read
      << ", \"overhead_s\": " << e.phases.overhead;
   return os.str();
 }
@@ -331,6 +332,12 @@ void ChromeTraceSink::write(std::ostream& os) const {
       case TraceKind::kEvictionDecision:
         w.instant(block_name(e), "block", e.t0, e.server + 1, kStorageTid,
                   "\"bytes\": " + num(e.bytes));
+        break;
+      case TraceKind::kBlockDemote:
+      case TraceKind::kBlockFaultBack:
+        w.instant(block_name(e), "block", e.t0, e.server + 1, kStorageTid,
+                  "\"bytes\": " + num(e.bytes) +
+                      ", \"tier\": " + std::to_string(e.code));
         break;
       case TraceKind::kTaskRetry:
       case TraceKind::kTaskFail:

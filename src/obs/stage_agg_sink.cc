@@ -60,6 +60,7 @@ void StageAggregationSink::on_event(const TraceEvent& e) {
       s.totals.gc += e.phases.gc;
       s.totals.shuffle_read += e.phases.shuffle_read;
       s.totals.disk += e.phases.disk;
+      s.totals.remote_read += e.phases.remote_read;
       s.totals.overhead += e.phases.overhead;
       // Keep the job's critical-path estimate incrementally consistent:
       // it is the sum of per-stage maxima.

@@ -75,6 +75,15 @@ enum class TraceKind : std::uint8_t {
   kSlownessBand,
   kHedgeIssued,
   kHedgeResolved,
+  // Memory hierarchy (cluster/remote_memory.h). kBlockDemote marks a block
+  // copy moving *down* a tier — RAM -> remote pool or (pool|RAM) -> disk —
+  // with `code` = the destination MemoryTier as an int and `server` = the
+  // origin executor. kBlockFaultBack marks a read served from a lower tier
+  // whose copy will promote back into the reading executor's RAM cache
+  // (`code` = the tier the copy was found in). Only emitted when the
+  // remote-memory tier is enabled.
+  kBlockDemote,
+  kBlockFaultBack,
 };
 
 const char* trace_kind_name(TraceKind kind);
@@ -90,10 +99,11 @@ struct TaskPhases {
   double gc = 0.0;            // garbage-collection overhead
   double shuffle_read = 0.0;  // network + remote disk for shuffle fetches
   double disk = 0.0;          // local reads + map-output writes
+  double remote_read = 0.0;   // one-sided remote-memory pool reads
   double overhead = 0.0;      // driver dispatch + task launch
 
   double busy() const noexcept {
-    return deserialize + compute + gc + shuffle_read + disk;
+    return deserialize + compute + gc + shuffle_read + disk + remote_read;
   }
 };
 

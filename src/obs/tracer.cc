@@ -29,6 +29,8 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kSlownessBand: return "slowness-band";
     case TraceKind::kHedgeIssued: return "hedge-issued";
     case TraceKind::kHedgeResolved: return "hedge-resolved";
+    case TraceKind::kBlockDemote: return "block-demote";
+    case TraceKind::kBlockFaultBack: return "block-fault-back";
   }
   return "unknown";
 }

@@ -481,6 +481,7 @@ void DagScheduler::maybe_launch(StageRun& stage) {
     r.bytes_from_cache += m.bytes_from_cache;
     r.bytes_from_net += m.bytes_from_net;
     r.bytes_from_disk += m.bytes_from_disk;
+    r.bytes_from_remote += m.bytes_from_remote;
     StageBreakdown& b = stage_ptr->breakdown;
     if (b.num_tasks == 0 || m.launch_time < b.first_launch) {
       b.first_launch = m.launch_time;
@@ -494,11 +495,13 @@ void DagScheduler::maybe_launch(StageRun& stage) {
     b.gc += m.gc;
     b.shuffle_read += m.shuffle_read;
     b.disk += m.disk;
+    b.remote_read += m.remote_read;
     b.overhead += m.overhead;
     b.max_task_duration = std::max(b.max_task_duration, m.duration());
     b.bytes_from_cache += m.bytes_from_cache;
     b.bytes_from_net += m.bytes_from_net;
     b.bytes_from_disk += m.bytes_from_disk;
+    b.bytes_from_remote += m.bytes_from_remote;
     if (options_.detail_task_metrics) r.tasks.push_back(m);
   };
   ts->all_done = [this, stage_ptr] { on_stage_complete(*stage_ptr); };
@@ -873,6 +876,16 @@ bool DagScheduler::corrupt_spilled_block(ServerId s, const BlockId& id) {
   return true;
 }
 
+bool DagScheduler::corrupt_remote_block(const BlockId& id) {
+  if (!cluster_->corrupt_remote_block(id)) return false;
+  ++stats_.corruptions_injected;
+  emit_corruption_event(obs::TraceKind::kBlockCorrupt,
+                        cluster_->remote_block_origin(id), id.dataset,
+                        id.partition, cluster_->remote_block_bytes(id),
+                        /*shuffle=*/false);
+  return true;
+}
+
 bool DagScheduler::corrupt_shuffle_output(const ShuffleKey& key, int unit) {
   const auto oit = map_outputs_.find(key);
   if (oit == map_outputs_.end()) return false;
@@ -986,6 +999,28 @@ std::vector<ServerId> DagScheduler::preferred_servers(const StageRun& stage,
       break;
     }
   }
+  // Hierarchy-aware placement (remote tier only, so the historical
+  // scheduler stays byte-identical): with no RAM replica anywhere, a
+  // server holding every partition of the boundary in its local spill
+  // store still beats recompute — the spill copies are only readable
+  // there. Remote-pool copies are location-independent and add no
+  // preference. Scan order is server-id order: deterministic.
+  if (out.empty() && cluster_->remote_memory_enabled() &&
+      stage.boundary->storage_level() ==
+          Dataset::StorageLevel::kMemoryAndDisk) {
+    for (ServerId s = 0; s < cluster_->size(); ++s) {
+      const Server& srv = cluster_->server(s);
+      if (!srv.alive() || !srv.reachable()) continue;
+      bool all = true;
+      for (int p = lo; p < hi; ++p) {
+        if (!cluster_->disk_cached_on({stage.boundary->id(), p}, s)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) out.push_back(s);
+    }
+  }
   return out;
 }
 
@@ -1060,6 +1095,47 @@ void DagScheduler::plan_chain(const DatasetPtr& ds, int partition,
     emit_cache_probe(false, bytes);
     ++cache_stats_.misses;
   }
+  // The block may live one tier down, in the disaggregated remote-memory
+  // pool: a one-sided read there beats both disk and recompute, and the
+  // copy faults back up into this executor's cache when the task lands.
+  if (cluster_->remote_memory_enabled() && cluster_->remote_cached(bid)) {
+    const Bytes stored = cluster_->remote_block_bytes(bid);
+    const bool corrupt = cluster_->remote_block_corrupt(bid);
+    bool serve = true;
+    if (options_.faults.verify_reads) {
+      plan.cpu += cost_.verify_seconds(stored);
+      stats_.bytes_reverified += stored;
+      if (corrupt) {
+        // The one-sided read happened before the checksum failed; charge
+        // it, drop the poisoned pool copy and keep falling down the
+        // hierarchy (disk, then lineage) — never serve poisoned bytes.
+        plan.bytes_remote += stored;
+        ++plan.remote_reads;
+        note_corruption_detected(cluster_->remote_block_origin(bid), ds->id(),
+                                 partition, stored, /*shuffle=*/false);
+        pending_block_repair_.insert(bid);
+        cluster_->drop_remote_block(bid);
+        serve = false;
+      }
+    } else if (corrupt) {
+      ++stats_.corrupt_reads_undetected;
+    }
+    if (serve) {
+      // Pool copies are serialized (demoted from a spill-eligible store):
+      // pay the one-sided transfer plus deserialization.
+      const double deser = cost_.cpu_seconds(OpKind::kSourceParse, stored);
+      plan.bytes_remote += stored;
+      ++plan.remote_reads;
+      plan.cpu += deser;
+      plan.deserialize += deser;
+      ++cache_stats_.remote_hits;
+      cache_stats_.bytes_from_remote += stored;
+      cluster_->touch_remote_block(bid);
+      fault_back(ds, partition, server, boundary_id, stored,
+                 MemoryTier::kRemote, plan);
+      return;
+    }
+  }
   if (ds->storage_level() == Dataset::StorageLevel::kMemoryAndDisk &&
       cluster_->disk_cached_on(bid, server)) {
     const Bytes stored = cluster_->disk_block_bytes(server, bid);
@@ -1087,6 +1163,8 @@ void DagScheduler::plan_chain(const DatasetPtr& ds, int partition,
       plan.bytes_disk += stored;
       plan.cpu += deser;
       plan.deserialize += deser;
+      fault_back(ds, partition, server, boundary_id, stored, MemoryTier::kDisk,
+                 plan);
       return;
     }
   }
@@ -1207,6 +1285,44 @@ void DagScheduler::plan_chain(const DatasetPtr& ds, int partition,
   }
 }
 
+void DagScheduler::fault_back(const DatasetPtr& ds, int partition,
+                              ServerId server, DatasetId boundary_id,
+                              Bytes stored, MemoryTier found_in,
+                              TaskPlan& plan) {
+  // Promotion is only meaningful with a hierarchy to climb; gating on the
+  // tier keeps the two-tier engine's disk reads byte-identical.
+  if (!cluster_->remote_memory_enabled()) return;
+  if (!ds->cache_requested() ||
+      !(options_.replicate_on_recompute || ds->id() == boundary_id)) {
+    return;
+  }
+  const BlockId bid{ds->id(), partition};
+  double recompute_cost = 0.0;
+  if (options_.cache.policy == EvictionPolicyKind::kCostSize) {
+    recompute_cost =
+        recompute_delay_partition(*ds, static_cast<std::size_t>(partition));
+  }
+  // The task-completion hook inserts this into the executor's RAM store;
+  // insert_block then supersedes (erases) the lower-tier copy, so the
+  // block has *moved* up the hierarchy rather than multiplied.
+  plan.blocks_to_cache.push_back(
+      {bid, stored,
+       ds->storage_level() == Dataset::StorageLevel::kMemoryAndDisk,
+       recompute_cost});
+  ++cache_stats_.fault_backs;
+  if (obs::Tracer::active(tracer_)) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceKind::kBlockFaultBack;
+    e.code = static_cast<std::int16_t>(found_in);
+    e.t0 = e.t1 = sim_->now();
+    e.server = server;
+    e.dataset = ds->id();
+    e.partition = partition;
+    e.bytes = stored;
+    tracer_->emit(e);
+  }
+}
+
 TaskPlan DagScheduler::plan_task(const StageRun& stage, const TaskSpec& task,
                                  ServerId server) {
   // Shuffle fetch feasibility: if any map output this task must read sits
@@ -1292,6 +1408,13 @@ TaskPlan DagScheduler::plan_task(const StageRun& stage, const TaskSpec& task,
   plan.disk = (plan.bytes_disk / (cost_.disk_read_bw / disk_factor) +
                plan.bytes_written / (cost_.disk_write_bw / disk_factor)) *
               deg.disk;
+  // Remote-memory pool reads: one-sided fetches over the disaggregated
+  // fabric — no disk congestion factor, but the executor's own NIC is an
+  // endpoint, so its net degradation applies. Exactly 0.0 (and therefore
+  // byte-identical) when the tier is off: no probe ever fills these fields.
+  plan.remote = (plan.remote_reads * cost_.remote_read_latency +
+                 plan.bytes_remote / cost_.remote_read_bw) *
+                deg.net;
   if (slowness_) {
     // Fail-slow domain: record the executor-side stretch ratios the
     // completion path will feed the scorecards, then re-price the fetch
@@ -1311,7 +1434,8 @@ TaskPlan DagScheduler::plan_task(const StageRun& stage, const TaskSpec& task,
   }
   plan.working_set =
       cost_.working_set_expansion *
-      (plan.bytes_cache + plan.bytes_net + plan.bytes_disk) *
+      (plan.bytes_cache + plan.bytes_net + plan.bytes_disk +
+       plan.bytes_remote) *
       std::min(cost_.cogroup_ws_factor_cap,
                1.0 + cost_.cogroup_ws_per_input *
                          std::max(0, plan.cogroup_width - 1));

@@ -89,7 +89,11 @@ struct CacheStats {
   long long hits = 0;       // probes served from executor RAM
   long long misses = 0;     // probes that found no usable replica
   long long recomputes = 0; // misses that fell through to lineage recompute
+  // Remote-memory tier (cluster/remote_memory.h); all zero with it off.
+  long long remote_hits = 0;  // RAM misses served from the remote pool
+  long long fault_backs = 0;  // lower-tier hits promoted back into RAM
   Bytes bytes_from_cache = 0.0;  // logical bytes served by hits
+  Bytes bytes_from_remote = 0.0;  // stored bytes served by remote hits
   Bytes bytes_recomputed = 0.0;  // logical bytes rebuilt via lineage
   void reset() noexcept { *this = CacheStats{}; }
 };
@@ -218,6 +222,9 @@ class DagScheduler {
   // FailureStats::corrupt_reads_undetected.
   bool corrupt_cached_block(ServerId s, const BlockId& id);
   bool corrupt_spilled_block(ServerId s, const BlockId& id);
+  // Remote-memory pool copy; the detection charge lands on the copy's
+  // origin server (the executor that wrote it).
+  bool corrupt_remote_block(const BlockId& id);
   bool corrupt_shuffle_output(const ShuffleKey& key, int unit);
 
   // Healthy, not-yet-corrupted shuffle map-output units, sorted by
@@ -342,6 +349,12 @@ class DagScheduler {
                      ServerId server);
   void plan_chain(const DatasetPtr& ds, int partition, ServerId server,
                   DatasetId boundary_id, TaskPlan& plan);
+  // Promote a lower-tier hit (remote pool / local spill) back into the
+  // executor's RAM cache when this plan's task lands. No-op unless the
+  // remote tier is enabled, so the default engine stays byte-identical.
+  void fault_back(const DatasetPtr& ds, int partition, ServerId server,
+                  DatasetId boundary_id, Bytes stored, MemoryTier found_in,
+                  TaskPlan& plan);
   // d(v) for one partition (recompute_delay is the max across partitions);
   // also the kCostSize policy's per-block recompute-cost estimate.
   double recompute_delay_partition(const Dataset& ds, std::size_t p) const;

@@ -546,10 +546,12 @@ void TaskScheduler::launch(const std::shared_ptr<ActiveSet>& set, int index,
   run.metrics.gc = run.plan.gc;
   run.metrics.shuffle_read = run.plan.shuffle_read;
   run.metrics.disk = run.plan.disk;
+  run.metrics.remote_read = run.plan.remote;
   run.metrics.overhead = overhead + cost_.driver_dispatch_per_task;
   run.metrics.bytes_from_cache = run.plan.bytes_cache;
   run.metrics.bytes_from_net = run.plan.bytes_net;
   run.metrics.bytes_from_disk = run.plan.bytes_disk;
+  run.metrics.bytes_from_remote = run.plan.bytes_remote;
   run.metrics.bytes_written = run.plan.bytes_written;
 
   if (obs::Tracer::active(tracer_)) {
@@ -756,13 +758,14 @@ void TaskScheduler::complete(std::uint64_t run_id) {
     if (run.metrics.node_local) e.flags |= obs::kFlagNodeLocal;
     if (run.speculative) e.flags |= obs::kFlagSpeculative;
     e.bytes = run.metrics.bytes_from_cache + run.metrics.bytes_from_net +
-              run.metrics.bytes_from_disk;
+              run.metrics.bytes_from_disk + run.metrics.bytes_from_remote;
     e.phases.sched_delay = run.metrics.queue_delay();
     e.phases.deserialize = run.metrics.deserialize;
     e.phases.compute = run.metrics.cpu - run.metrics.deserialize;
     e.phases.gc = run.metrics.gc;
     e.phases.shuffle_read = run.metrics.shuffle_read;
     e.phases.disk = run.metrics.disk;
+    e.phases.remote_read = run.metrics.remote_read;
     e.phases.overhead = run.metrics.overhead;
     tracer_->emit(e);
   }

@@ -66,10 +66,15 @@ struct TaskPlan {
   double gc = 0.0;
   double shuffle_read = 0.0;
   double disk = 0.0;
+  // Remote-memory tier reads (one-sided fetches from the disaggregated
+  // pool; see cluster/remote_memory.h). Exactly 0.0 with the tier off.
+  double remote = 0.0;
   int fetch_waves = 0;  // remote fetch rounds (each pays an RTT)
+  int remote_reads = 0;  // remote-pool faults (each pays the setup latency)
   Bytes bytes_cache = 0.0;
   Bytes bytes_net = 0.0;
   Bytes bytes_disk = 0.0;
+  Bytes bytes_remote = 0.0;
   Bytes bytes_written = 0.0;
   // Deserialized heap footprint while the task runs (drives GC pressure
   // for concurrently scheduled tasks).
@@ -119,7 +124,7 @@ struct TaskPlan {
   std::optional<SlownessObs> slowness;
 
   double work_seconds() const noexcept {
-    return cpu + gc + shuffle_read + disk;
+    return cpu + gc + shuffle_read + disk + remote;
   }
 };
 

@@ -94,7 +94,7 @@ void QueryWorkload::issue_query() {
   // cache, then run a follow-up aggregation over a fresh region of it.
   // The second job's window read is a cache hit on the cogroup; once it
   // completes the cached cogroup is dead but stays resident until evicted.
-  grouped->cache(Dataset::StorageLevel::kMemorySerialized);
+  grouped->cache(config_.cogroup_storage_level);
   dag_->submit(region, ActionType::kCount,
                SubmitOptions{.tenant = config_.tenant},
                [this, grouped](const JobResult& first) {

@@ -36,6 +36,13 @@ class QueryWorkload {
     // cost-aware eviction policies exploit and recency-only eviction keeps
     // pinned at the MRU end of the cache.
     bool cache_cogroup = false;
+    // Storage level for the cached session cogroup. The default reproduces
+    // the historical MEMORY_ONLY_SER behaviour exactly; kMemoryAndDisk
+    // routes evicted session state into the spill hierarchy (local disk,
+    // or the remote-memory pool when that tier is enabled), which is what
+    // bench_remote_memory ablates.
+    Dataset::StorageLevel cogroup_storage_level =
+        Dataset::StorageLevel::kMemorySerialized;
     // Open-loop surge: while t is in [surge_start, surge_end) the
     // instantaneous arrival rate is multiplied by surge_factor. 1.0 means
     // no surge and leaves the arrival process byte-identical.

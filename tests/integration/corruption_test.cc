@@ -9,6 +9,7 @@
 // correct data.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -280,6 +281,122 @@ TEST(Corruption, VerifyWithoutChecksumBandwidthRejected) {
   ContextOptions o = options(/*verify=*/true);
   o.cost.checksum_bw = 0.0;
   EXPECT_THROW(Context{o}, std::invalid_argument);
+}
+
+// --- remote-memory tier (PR 9): verified reads across the full hierarchy ----
+
+// Shared setup: a remote-tier context under enough cache pressure that the
+// second dataset's inserts evict the first dataset's MEMORY_AND_DISK blocks
+// into the remote pool (evict -> demote). Returns the first pool block
+// belonging to `a`.
+struct RemoteChain {
+  std::unique_ptr<Context> ctx;
+  DatasetPtr a, b;
+  BlockId victim{kInvalidId, -1};
+};
+
+RemoteChain build_remote_chain(bool verify) {
+  ContextOptions o = options(verify);
+  o.cluster.num_servers = 2;
+  o.cluster.server.ram = 24 * kMiB;  // tiny cache: second dataset evicts
+  o.cluster.remote_memory.enabled = true;
+  o.cluster.remote_memory.capacity = 256 * kMiB;  // pool holds everything
+  RemoteChain rc;
+  rc.ctx = std::make_unique<Context>(o);
+  Context& ctx = *rc.ctx;
+  auto part = ctx.collection_partitioner(4, 256);
+  const auto ingest_and_spill = [&](const std::string& name) {
+    auto ds = ctx.ingest(name, wiki_hist(40 * kMiB), part, "logs",
+                         {.materialize = false});
+    ds->cache(Dataset::StorageLevel::kMemoryAndDisk);
+    EXPECT_TRUE(ctx.count(ds).completed);
+    return ds;
+  };
+  rc.a = ingest_and_spill("a");
+  rc.b = ingest_and_spill("b");  // evicts a's blocks into the pool
+  for (const BlockId& id : ctx.cluster().remote_blocks()) {
+    if (id.dataset == rc.a->id()) {
+      rc.victim = id;
+      break;
+    }
+  }
+  return rc;
+}
+
+TEST(Corruption, EvictDemoteCorruptReadChainRecovers) {
+  // The full hierarchy chain: evict -> demote to the remote pool ->
+  // corrupt the pool copy -> verified read detects, drops the copy, and
+  // recovers (fault-back of a clean copy or lineage recompute) — never a
+  // silent wrong result.
+  RemoteChain rc = build_remote_chain(/*verify=*/true);
+  Context& ctx = *rc.ctx;
+  ASSERT_NE(rc.victim.dataset, kInvalidId) << "no partition of `a` demoted";
+  ASSERT_TRUE(ctx.corrupt_remote_block(rc.victim));
+  EXPECT_TRUE(ctx.cluster().remote_block_corrupt(rc.victim));
+
+  const auto r = ctx.count(rc.a);
+  EXPECT_TRUE(r.completed);
+  const FailureStats& st = ctx.dag().failure_stats();
+  EXPECT_EQ(st.corruptions_injected, 1);
+  EXPECT_GE(st.corruptions_detected, 1);
+  EXPECT_EQ(st.corrupt_reads_undetected, 0);
+  // The poisoned pool copy is gone; whatever copy exists now is clean.
+  EXPECT_FALSE(ctx.cluster().remote_block_corrupt(rc.victim));
+  bool available = ctx.cluster().cached_anywhere(rc.victim) ||
+                   ctx.cluster().remote_cached(rc.victim);
+  for (ServerId s = 0; s < ctx.cluster().size() && !available; ++s) {
+    available = ctx.cluster().disk_cached_on(rc.victim, s);
+  }
+  EXPECT_TRUE(available);
+}
+
+TEST(Corruption, RemoteCopyUnverifiedReadIsSilentButCounted) {
+  RemoteChain rc = build_remote_chain(/*verify=*/false);
+  Context& ctx = *rc.ctx;
+  ASSERT_NE(rc.victim.dataset, kInvalidId) << "no partition of `a` demoted";
+  ASSERT_TRUE(ctx.corrupt_remote_block(rc.victim));
+
+  const auto r = ctx.count(rc.a);
+  EXPECT_TRUE(r.completed);  // "completed" — with poisoned data
+  const FailureStats& st = ctx.dag().failure_stats();
+  EXPECT_EQ(st.corruptions_detected, 0);
+  EXPECT_GT(st.corrupt_reads_undetected, 0);
+}
+
+TEST(Corruption, RemoteHitsServeWithoutRecompute) {
+  // Clean remote copies are served from the pool (remote_hits) and faulted
+  // back up; rereading the evicted dataset costs no lineage recompute of
+  // its cached partitions.
+  RemoteChain rc = build_remote_chain(/*verify=*/true);
+  Context& ctx = *rc.ctx;
+  ASSERT_NE(rc.victim.dataset, kInvalidId);
+  const CacheStats before = ctx.dag().cache_stats();
+  const auto r = ctx.count(rc.a);
+  EXPECT_TRUE(r.completed);
+  const CacheStats& after = ctx.dag().cache_stats();
+  EXPECT_GT(after.remote_hits, before.remote_hits);
+  EXPECT_GT(after.bytes_from_remote, before.bytes_from_remote);
+  EXPECT_GT(r.bytes_from_remote, 0.0);
+}
+
+TEST(Corruption, RemoteTierSameSeedIsBitIdentical) {
+  // The tier must not break the repo-wide determinism invariant: two runs
+  // of the evict -> demote -> corrupt -> read chain agree on makespan and
+  // every counter.
+  const auto soak = [] {
+    RemoteChain rc = build_remote_chain(/*verify=*/true);
+    Context& ctx = *rc.ctx;
+    if (rc.victim.dataset != kInvalidId) {
+      ctx.corrupt_remote_block(rc.victim);
+    }
+    const JobResult r = ctx.count(rc.a);
+    const FailureStats& st = ctx.dag().failure_stats();
+    const CacheStats& cs = ctx.dag().cache_stats();
+    return std::make_tuple(r.delay, r.bytes_from_remote, cs.remote_hits,
+                           cs.fault_backs, st.corruptions_detected,
+                           ctx.cluster().remote_used_bytes());
+  };
+  EXPECT_EQ(soak(), soak());
 }
 
 }  // namespace
