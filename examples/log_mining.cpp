@@ -36,12 +36,14 @@ int main() {
     if (window.size() > 6) {
       auto old = window.front();
       window.pop_front();
-      old->uncache();
-      for (int p = 0; p < old->num_partitions(); ++p) {
-        ctx.cluster().remove_block_everywhere({old->id(), p});
-      }
-      std::printf("  [t=%5.0fs] evicted %s\n", ctx.sim().now(),
-                  old->name().c_str());
+      // Uncache + drop every stored copy (RAM, remote pool, disk) and veto
+      // in-flight re-inserts, in one call. Setting a mode on
+      // ContextOptions::auto_cache instead makes the advisor do this
+      // automatically after a dataset's last consuming stage
+      // (docs/CACHING.md).
+      const Bytes dropped = ctx.dag().retire_dataset(old);
+      std::printf("  [t=%5.0fs] retired %s (%s freed)\n", ctx.sim().now(),
+                  old->name().c_str(), format_bytes(dropped).c_str());
     }
 
     // Three interactive queries over a random subset of loaded hours.

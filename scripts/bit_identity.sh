@@ -29,9 +29,10 @@ declare -A SCENARIOS=(
   [overload]="$BUILD_DIR/bench/bench_overload --pinned"
   [tail_tolerance]="$BUILD_DIR/bench/bench_tail_tolerance --pinned"
   [remote_memory]="$BUILD_DIR/bench/bench_remote_memory --pinned"
+  [auto_cache]="$BUILD_DIR/bench/bench_auto_cache --pinned"
 )
 
-for name in chaos chaos_corruption fig19_starkh20 fig19_sparkh30 overload tail_tolerance remote_memory; do
+for name in chaos chaos_corruption fig19_starkh20 fig19_sparkh30 overload tail_tolerance remote_memory auto_cache; do
   bin=${SCENARIOS[$name]%% *}
   if [ ! -x "$bin" ]; then
     echo "bit_identity: missing $bin (build the bench targets first)" >&2
@@ -43,7 +44,7 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 fail=0
 
-for name in chaos chaos_corruption fig19_starkh20 fig19_sparkh30 overload tail_tolerance remote_memory; do
+for name in chaos chaos_corruption fig19_starkh20 fig19_sparkh30 overload tail_tolerance remote_memory auto_cache; do
   cmd=${SCENARIOS[$name]}
   out="$tmp/$name.json"
   $cmd > "$out" 2>/dev/null

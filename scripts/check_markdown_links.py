@@ -6,8 +6,13 @@ ones that point inside the repository: the target file must exist, and a
 `#fragment` on a markdown target must match a heading's GitHub anchor.
 External (scheme://), mailto: and bare-anchor (#...) links are ignored.
 
+Additionally validates options-knob references: every `SomethingOptions::
+field` token in a markdown file must name a struct that exists under
+src/**/*.h and a member that appears in its body, so docs can never drift
+from the API headers silently.
+
 Usage: scripts/check_markdown_links.py [root]
-Exits non-zero listing every dangling link.
+Exits non-zero listing every dangling link or unknown knob.
 """
 import os
 import re
@@ -17,6 +22,10 @@ import unicodedata
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 CODE_FENCE_RE = re.compile(r"^(```|~~~)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)")
+# Knob references in prose/code spans: `ContextOptions::auto_cache`,
+# `AutoCacheOptions::free_grace_seconds`, ...
+OPTIONS_REF_RE = re.compile(r"\b([A-Z]\w*Options)::(\w+)\b")
+STRUCT_RE = re.compile(r"\bstruct\s+([A-Z]\w*Options)\b[^;{]*\{")
 
 
 def github_anchor(heading):
@@ -62,6 +71,54 @@ def anchors_of(path, cache={}):
     return cache[path]
 
 
+def options_structs(root, cache={}):
+    """Maps every *Options struct under src/**/*.h to its brace-matched
+    body text (all definitions concatenated if a name repeats)."""
+    if "done" not in cache:
+        cache["done"] = {}
+        structs = cache["done"]
+        for dirpath, _, filenames in os.walk(os.path.join(root, "src")):
+            for name in filenames:
+                if not name.endswith(".h"):
+                    continue
+                with open(os.path.join(dirpath, name),
+                          encoding="utf-8") as f:
+                    text = f.read()
+                for m in STRUCT_RE.finditer(text):
+                    depth, i = 1, m.end()
+                    while i < len(text) and depth > 0:
+                        if text[i] == "{":
+                            depth += 1
+                        elif text[i] == "}":
+                            depth -= 1
+                        i += 1
+                    structs[m.group(1)] = (
+                        structs.get(m.group(1), "") + text[m.end():i])
+    return cache["done"]
+
+
+def check_knob_refs(path, root):
+    """Every SomethingOptions::field token must name a real header struct
+    and a member that appears in its body (code fences included: that is
+    where most knob references live)."""
+    structs = options_structs(root)
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for m in OPTIONS_REF_RE.finditer(line):
+                struct, field = m.group(1), m.group(2)
+                if struct not in structs:
+                    errors.append(
+                        f"{path}:{lineno}: unknown options struct "
+                        f"'{struct}' (no such struct under src/**/*.h)")
+                elif not re.search(rf"\b{re.escape(field)}\b",
+                                   structs[struct]):
+                    errors.append(
+                        f"{path}:{lineno}: '{struct}::{field}' names no "
+                        f"member of {struct}")
+    return errors
+
+
 def check_file(path, root):
     errors = []
     in_fence = False
@@ -98,9 +155,11 @@ def main():
     for path in sorted(md_files(root)):
         checked += 1
         errors.extend(check_file(path, root))
+        errors.extend(check_knob_refs(path, root))
     for e in errors:
         print(e, file=sys.stderr)
-    print(f"check_markdown_links: {checked} files, {len(errors)} dangling")
+    print(f"check_markdown_links: {checked} files, {len(errors)} bad "
+          "links/knobs")
     return 1 if errors else 0
 
 

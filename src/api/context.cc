@@ -222,6 +222,11 @@ void ContextOptions::validate() const {
   } catch (const std::invalid_argument& e) {
     reject(std::string("tenants: ") + e.what());
   }
+  try {
+    auto_cache.validate();
+  } catch (const std::invalid_argument& e) {
+    reject(std::string("auto_cache: ") + e.what());
+  }
   if (trace.effective_enabled() && trace.ring_capacity == 0 &&
       !trace.aggregate && trace.chrome_path.empty()) {
     reject("trace enabled but no sink configured (ring_capacity = 0, "
@@ -267,6 +272,7 @@ Context::Context(ContextOptions options)
   dag_opts.cache = options_.cluster.cache;
   dag_opts.overload = options_.overload;
   dag_opts.tenants = options_.tenants;
+  dag_opts.auto_cache = options_.auto_cache;
   dag_ = std::make_unique<DagScheduler>(sim_, cluster_, options_.cost,
                                         locality_, groups_, dag_opts);
   dag_->set_tracer(tracer_.get());

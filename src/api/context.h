@@ -70,6 +70,13 @@ struct ContextOptions {
   // Tenants with cache_quota > 0 are mirrored into
   // cluster.cache.tenant_quota_fractions at construction.
   MultiTenantOptions tenants;
+  // Automatic lifetime-based cache management (sched/cache_advisor.h,
+  // docs/CACHING.md): the scheduler auto-frees dead cached datasets after
+  // their last consuming stage and, under AutoCacheMode::kFull, auto-caches
+  // reuse-ranked intermediates under a RAM budget. Defaults to kManual
+  // (no advisor constructed); timelines are then byte-identical to a build
+  // without the advisor.
+  AutoCacheOptions auto_cache;
   // Structured tracing (see obs/tracer.h and docs/OBSERVABILITY.md).
   // Disabled by default: the engine pays one pointer test per choke point
   // and simulated timelines are bit-identical either way.

@@ -97,6 +97,7 @@ void MetricsCollector::reset() noexcept {
   slowness_.reset();
   cache_.reset();
   remote_.reset();
+  auto_cache_.reset();
   policy_ = EvictionPolicyKind::kLru;
   tenants_.clear();
   tenant_index_.clear();
@@ -130,7 +131,7 @@ double MetricsCollector::cluster_utilization(const Cluster& cluster,
 }
 
 std::string MetricsCollector::summary() const {
-  char buf[3072];
+  char buf[4096];
   std::snprintf(
       buf, sizeof(buf),
       "jobs: %d (%d aborted)  tasks: %d  node-local: %.0f%%\n"
@@ -149,7 +150,9 @@ std::string MetricsCollector::summary() const {
       "%d  pressure transitions %d (red %d)\n"
       "slowness: peers %d suspect / %d degraded (recoveries %d)  hedges "
       "%lld (%lld won, %lld denied)  hedge bytes %s (%s wasted)  timeout "
-      "adaptations %lld  probes %d\n",
+      "adaptations %lld  probes %d\n"
+      "advisor: auto-caches %lld (%s)  auto-frees %lld (%s)  deferred %lld  "
+      "protected %lld  reads sampled %lld\n",
       jobs_, aborted_jobs_, tasks_, node_local_fraction() * 100.0,
       format_seconds(delays_.mean()).c_str(),
       format_seconds(delays_.count() ? delays_.percentile(0.5) : 0.0).c_str(),
@@ -179,7 +182,12 @@ std::string MetricsCollector::summary() const {
       slowness_.hedges_budget_denied,
       format_bytes(slowness_.hedge_bytes_issued).c_str(),
       format_bytes(slowness_.hedge_bytes_wasted).c_str(),
-      slowness_.timeout_adaptations, slowness_.placement_probes);
+      slowness_.timeout_adaptations, slowness_.placement_probes,
+      auto_cache_.auto_caches,
+      format_bytes(auto_cache_.bytes_promoted).c_str(),
+      auto_cache_.auto_frees, format_bytes(auto_cache_.bytes_freed).c_str(),
+      auto_cache_.frees_deferred, auto_cache_.frees_protected,
+      auto_cache_.reads_sampled);
   std::string out = buf;
   // Per-tenant appendix: only worth the lines in a genuinely multi-tenant
   // run (the single-tenant table above already tells the whole story).

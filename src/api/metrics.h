@@ -159,6 +159,35 @@ class MetricsCollector {
   // at the end of a run).
   void observe_slowness(const SlownessStats& stats) { slowness_ = stats; }
 
+  // Snapshot the cache-advisor counters (DagScheduler::auto_cache_stats(),
+  // taken at the end of a run). All-zero when the advisor is disabled.
+  void observe_auto_cache(const AutoCacheStats& stats) { auto_cache_ = stats; }
+
+  // Automatic cache management (from the last observe_auto_cache snapshot;
+  // see sched/cache_advisor.h and docs/CACHING.md).
+  long long auto_caches() const noexcept { return auto_cache_.auto_caches; }
+  long long auto_frees() const noexcept { return auto_cache_.auto_frees; }
+  long long auto_frees_deferred() const noexcept {
+    return auto_cache_.frees_deferred;
+  }
+  long long auto_frees_protected() const noexcept {
+    return auto_cache_.frees_protected;
+  }
+  long long advisor_reads_sampled() const noexcept {
+    return auto_cache_.reads_sampled;
+  }
+  Bytes bytes_auto_promoted() const noexcept {
+    return auto_cache_.bytes_promoted;
+  }
+  Bytes bytes_auto_freed() const noexcept { return auto_cache_.bytes_freed; }
+  // All-dataset recompute accounting (cached or not, sources excluded) —
+  // the advisor ablation's cross-arm comparable: manual arms recompute
+  // uncached intermediates that `cache_recomputes` never counts.
+  long long recomputes_all() const noexcept { return cache_.recomputes_all; }
+  Bytes bytes_recomputed_all() const noexcept {
+    return cache_.bytes_recomputed_all;
+  }
+
   // Fail-slow fault domain (from the last observe_slowness snapshot; see
   // cluster/slowness.h and docs/FAULT_MODEL.md).
   long long slowness_observations() const noexcept {
@@ -229,6 +258,7 @@ class MetricsCollector {
   SlownessStats slowness_;
   CacheStats cache_;
   RemoteMemoryStats remote_;
+  AutoCacheStats auto_cache_;
   EvictionPolicyKind policy_ = EvictionPolicyKind::kLru;
   // Per-tenant rollups in first-observed order + name -> index.
   std::vector<TenantSummary> tenants_;

@@ -339,6 +339,13 @@ void ChromeTraceSink::write(std::ostream& os) const {
                   "\"bytes\": " + num(e.bytes) +
                       ", \"tier\": " + std::to_string(e.code));
         break;
+      case TraceKind::kAutoCache:
+      case TraceKind::kAutoFree:
+        // Advisor decisions are driver-side (no server): jobs lane.
+        w.instant(std::string(trace_kind_name(e.kind)) + " d" +
+                      std::to_string(e.dataset),
+                  "block", e.t0, 0, kJobsTid, "\"bytes\": " + num(e.bytes));
+        break;
       case TraceKind::kTaskRetry:
       case TraceKind::kTaskFail:
         w.instant(std::string(trace_kind_name(e.kind)) + " j" +

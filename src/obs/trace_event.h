@@ -84,6 +84,14 @@ enum class TraceKind : std::uint8_t {
   // remote-memory tier is enabled.
   kBlockDemote,
   kBlockFaultBack,
+  // Automatic cache management (sched/cache_advisor.h). kAutoCache marks
+  // the advisor promoting an uncached intermediate (`dataset` = the
+  // promoted dataset, `bytes` = its estimated footprint); kAutoFree marks
+  // last-use reclamation of a dead dataset's storage across all tiers
+  // (`bytes` = stored bytes dropped). Only emitted when the advisor is
+  // enabled (AutoCacheOptions::mode != kManual).
+  kAutoCache,
+  kAutoFree,
 };
 
 const char* trace_kind_name(TraceKind kind);

@@ -31,6 +31,8 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kHedgeResolved: return "hedge-resolved";
     case TraceKind::kBlockDemote: return "block-demote";
     case TraceKind::kBlockFaultBack: return "block-fault-back";
+    case TraceKind::kAutoCache: return "auto-cache";
+    case TraceKind::kAutoFree: return "auto-free";
   }
   return "unknown";
 }

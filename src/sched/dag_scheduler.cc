@@ -50,6 +50,26 @@ DagScheduler::DagScheduler(sim::Simulation& sim, Cluster& cluster,
         });
     task_scheduler_.set_slowness_tracker(slowness_.get());
   }
+  if (options_.auto_cache.enabled()) {
+    // Automatic cache management: last-use auto-free (and, under kFull,
+    // reuse-ranked promotion). Pull-based — it acts inside submit /
+    // stage-release / job-finish hooks, never via standing events.
+    advisor_ = std::make_unique<CacheAdvisor>(
+        cluster, options_.auto_cache,
+        [this](const Dataset& ds) { return recompute_delay(ds); });
+    advisor_->set_event_fn([this](DatasetId id, Bytes bytes, bool promoted) {
+      if (!promoted) retired_.insert(id);
+      if (!obs::Tracer::active(tracer_)) return;
+      obs::TraceEvent e;
+      e.kind = promoted ? obs::TraceKind::kAutoCache
+                        : obs::TraceKind::kAutoFree;
+      e.t0 = e.t1 = sim_->now();
+      e.dataset = id;
+      e.bytes = bytes;
+      tracer_->emit(e);
+    });
+    install_insert_filter();
+  }
   // Configured tenants got ids 1..N in declaration order; wire their
   // fair-share weights and admission overrides into the schedulers.
   for (std::size_t i = 0; i < options.tenants.tenants.size(); ++i) {
@@ -165,6 +185,31 @@ void DagScheduler::start_job(Job& ref) {
 
   build_stage(ref, ref.final, std::nullopt);
   ref.result.num_stages = static_cast<int>(ref.stages.size());
+
+  if (advisor_) {
+    // Reclaim datasets dead past their grace period *before* this job's
+    // tasks plan, so the freed RAM is available to them.
+    advisor_->sweep(sim_->now());
+    if (options_.auto_cache.mode == AutoCacheMode::kFull) {
+      const auto promoted =
+          advisor_->select_promotions(ref.id, sim_->now());
+      // Freshly promoted datasets joined the cache *after* build_stage
+      // charged lineage refcounts; retro-charge this job's stages so the
+      // kLrc policy sees them referenced while the job runs.
+      for (const DatasetPtr& ds : promoted) {
+        for (const auto& stage : ref.stages) {
+          for (const auto& cds : stage->chain.datasets) {
+            if (cds->id() == ds->id()) {
+              cluster_->bump_lineage_refcount(ds->id(), +1);
+              stage->lineage_charged.push_back(ds->id());
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
   // Launch every stage whose parents are already satisfied. Snapshot the
   // count: a completing map stage can append resubmission stages.
   const std::size_t built = ref.stages.size();
@@ -341,6 +386,21 @@ DagScheduler::StageRun* DagScheduler::build_stage(
       cluster_->bump_lineage_refcount(ds->id(), +1);
       raw->lineage_charged.push_back(ds->id());
     }
+  }
+
+  if (advisor_) {
+    // Advisor bookkeeping mirrors the LRC charge but covers *every* chain
+    // dataset: live-stage counts drive last-use detection, and
+    // distinct-job re-references feed the cross-job reuse score.
+    for (const auto& ds : raw->chain.datasets) {
+      advisor_->on_stage_reference(ds, job.id, sim_->now());
+      raw->advisor_charged.push_back(ds->id());
+    }
+  }
+  if (!retired_.empty()) {
+    // A retired dataset referenced by a new job is live again: lift the
+    // re-insertion veto so its recompute can cache normally.
+    for (const auto& ds : raw->chain.datasets) retired_.erase(ds->id());
   }
 
   for (const auto& edge : raw->chain.shuffle_deps) {
@@ -640,6 +700,10 @@ void DagScheduler::finish_job(Job& job) {
     cb(results_.at(id));
   }
   jobs_.erase(id);  // `job` is dangling from here on
+  // Job boundaries are the advisor's other sweep point: a dataset whose
+  // last consumer just finished starts its grace period now and is
+  // reclaimed by a later submit/finish once the period elapses.
+  if (advisor_) advisor_->sweep(sim_->now());
   drain_admission_queue();
 }
 
@@ -1080,6 +1144,9 @@ void DagScheduler::plan_chain(const DatasetPtr& ds, int partition,
       emit_cache_probe(true, bytes);
       ++cache_stats_.hits;
       cache_stats_.bytes_from_cache += bytes;
+      // DAMON-style access sampling: served reads are the advisor's
+      // recency/frequency evidence against auto-freeing this dataset.
+      if (advisor_) advisor_->on_block_read(*ds, sim_->now());
       cluster_->touch_block(server, bid);
       if (options_.cache.pin_running_blocks) {
         // The block must survive until this task releases it; the
@@ -1180,6 +1247,12 @@ void DagScheduler::plan_chain(const DatasetPtr& ds, int partition,
       // eviction policy is judged on (headline of the cache ablation).
       ++cache_stats_.recomputes;
       cache_stats_.bytes_recomputed += bytes;
+    }
+    if (ds->op() != Op::kSource) {
+      // All-dataset accounting (the advisor's headline): every partition
+      // rebuilt via lineage, cached or not. A source read is a load.
+      ++cache_stats_.recomputes_all;
+      cache_stats_.bytes_recomputed_all += bytes;
     }
     const auto add_fetch = [&](Bytes fetch) {
       // Reduce-side fetch: map outputs stream from remote disks over the
@@ -1641,6 +1714,41 @@ void DagScheduler::release_lineage_refcounts(StageRun& stage) {
     cluster_->bump_lineage_refcount(id, -1);
   }
   stage.lineage_charged.clear();
+  if (advisor_) {
+    for (const DatasetId id : stage.advisor_charged) {
+      advisor_->on_stage_release(id, sim_->now());
+    }
+    stage.advisor_charged.clear();
+  }
+}
+
+void DagScheduler::install_insert_filter() {
+  if (insert_filter_installed_) return;
+  insert_filter_installed_ = true;
+  task_scheduler_.set_block_insert_filter(
+      [this](const BlockId& id) { return !retired_.contains(id.dataset); });
+}
+
+Bytes DagScheduler::retire_dataset(const DatasetPtr& ds) {
+  if (ds == nullptr) return 0.0;
+  ds->uncache();
+  Bytes dropped = 0.0;
+  for (int p = 0; p < ds->num_partitions(); ++p) {
+    const BlockId bid{ds->id(), p};
+    for (const ServerId s : cluster_->cache_locations(bid)) {
+      dropped += cluster_->server(s).storage().block_bytes(bid);
+    }
+    if (cluster_->remote_memory_enabled() && cluster_->remote_cached(bid)) {
+      dropped += cluster_->remote_block_bytes(bid);
+    }
+    for (ServerId s = 0; s < cluster_->size(); ++s) {
+      dropped += cluster_->disk_block_bytes(s, bid);
+    }
+    cluster_->remove_block_everywhere(bid);
+  }
+  retired_.insert(ds->id());
+  install_insert_filter();
+  return dropped;
 }
 
 double DagScheduler::recovery_chain_delay(const DatasetPtr& ds,

@@ -34,6 +34,7 @@
 #include "cluster/cost_model.h"
 #include "obs/tracer.h"
 #include "sched/admission.h"
+#include "sched/cache_advisor.h"
 #include "sched/stage.h"
 #include "sched/task.h"
 #include "sched/tenant.h"
@@ -78,6 +79,11 @@ struct DagOptions {
   // ContextOptions::tenants by api::Context; the default (no tenants,
   // fair_share off) is byte-identical to a single-tenant build.
   MultiTenantOptions tenants;
+  // Automatic lifetime-based cache management (sched/cache_advisor.h):
+  // last-use auto-free and reuse-ranked auto-cache promotion. Mirrored
+  // from ContextOptions::auto_cache by api::Context; the default kManual
+  // constructs no advisor and is byte-identical.
+  AutoCacheOptions auto_cache;
 };
 
 // Cache-policy effectiveness counters, accumulated by the task planner's
@@ -95,6 +101,12 @@ struct CacheStats {
   Bytes bytes_from_cache = 0.0;  // logical bytes served by hits
   Bytes bytes_from_remote = 0.0;  // stored bytes served by remote hits
   Bytes bytes_recomputed = 0.0;  // logical bytes rebuilt via lineage
+  // All-dataset recompute accounting (the auto-cache advisor's headline):
+  // unlike `recomputes`/`bytes_recomputed` above, these also count
+  // intermediates nobody asked to cache — exactly the work auto-caching
+  // can remove. Source reads are loads, not recomputes, and are excluded.
+  long long recomputes_all = 0;
+  Bytes bytes_recomputed_all = 0.0;
   void reset() noexcept { *this = CacheStats{}; }
 };
 
@@ -214,6 +226,27 @@ class DagScheduler {
   }
   SlownessTracker* slowness() noexcept { return slowness_.get(); }
 
+  // --- automatic cache management -------------------------------------------
+  // Advisor counters; a zero struct while auto_cache.mode == kManual (no
+  // advisor is constructed then).
+  const AutoCacheStats& auto_cache_stats() const noexcept {
+    static const AutoCacheStats kEmpty{};
+    return advisor_ ? advisor_->stats() : kEmpty;
+  }
+  CacheAdvisor* cache_advisor() noexcept { return advisor_.get(); }
+  // Retire a dataset now: uncache() plus drop every replica in every tier
+  // (RAM, remote pool, local spill), and veto re-insertion by lineage
+  // recomputes still in flight — without the veto a recomputed partition
+  // lands back in the dead dataset's cache and leaks until evicted. The
+  // veto lifts automatically if a later job references the dataset again.
+  // Returns the stored bytes dropped. The advisor's auto-free path shares
+  // this veto; pass a manually-freed dataset here instead of calling
+  // Dataset::uncache() directly when tasks may be running.
+  Bytes retire_dataset(const DatasetPtr& ds);
+  bool dataset_retired(DatasetId id) const {
+    return retired_.contains(id);
+  }
+
   // --- silent-data-corruption faults ---------------------------------------
   // Flip the checksum tag on one stored copy (cached replica, spilled copy,
   // or shuffle map-output unit). Returns false when no live copy exists.
@@ -274,6 +307,10 @@ class DagScheduler {
     // feed); charged at build, released exactly once at true completion or
     // job abort (relaunches for lost map outputs keep the charge).
     std::vector<DatasetId> lineage_charged;
+    // Every chain dataset's advisor live-stage charge (last-use analysis);
+    // same charge/release discipline as lineage_charged, but covering
+    // uncached datasets too. Empty unless the advisor is constructed.
+    std::vector<DatasetId> advisor_charged;
   };
   struct Job {
     JobId id = kInvalidId;
@@ -359,7 +396,12 @@ class DagScheduler {
   // also the kCostSize policy's per-block recompute-cost estimate.
   double recompute_delay_partition(const Dataset& ds, std::size_t p) const;
   // Decrements the lineage refcounts build_stage charged; idempotent.
+  // Also releases the advisor's live-stage charges (last-use analysis).
   void release_lineage_refcounts(StageRun& stage);
+  // Lazily hands the TaskScheduler the retired-dataset veto; until the
+  // first retirement the filter stays null and the completion path is
+  // untouched (byte-identity).
+  void install_insert_filter();
   double recovery_chain_delay(const DatasetPtr& ds, int partition) const;
   // Corrupt-flag vector for a shuffle, resized to n units on demand.
   std::vector<char>& corrupt_flags(const ShuffleKey& key, std::size_t n);
@@ -426,6 +468,14 @@ class DagScheduler {
   // Fail-slow scorecards; constructed only when faults.slowness.enabled
   // (the tracker also feeds the TaskScheduler's placement and timeouts).
   std::unique_ptr<SlownessTracker> slowness_;
+  // Automatic cache management; constructed only when auto_cache.enabled().
+  std::unique_ptr<CacheAdvisor> advisor_;
+  // Datasets freed while tasks may still be recomputing their partitions:
+  // the TaskScheduler's insert filter vetoes re-insertion (the
+  // uncache-during-recompute race). Entries leave when a new job's
+  // build_stage references the dataset again.
+  std::unordered_set<DatasetId> retired_;
+  bool insert_filter_installed_ = false;
   std::vector<HedgeBudget> hedge_budget_;
   std::vector<ServerId> hedge_hosts_scratch_;  // distinct source hosts
   // Overload protection (all inert while DagOptions::overload defaults).

@@ -714,6 +714,9 @@ void TaskScheduler::complete(std::uint64_t run_id) {
   set->runs_by_index[static_cast<std::size_t>(run.index)].clear();
 
   for (const auto& block : run.plan.blocks_to_cache) {
+    // The plan predates completion; a dataset freed in between must not
+    // have its recomputed partitions resurrected into a dead cache.
+    if (block_insert_filter_ && !block_insert_filter_(block.id)) continue;
     cluster_->insert_block(run.server, block.id, block.bytes,
                            block.spill_on_evict, block.recompute_cost,
                            set->ts->tenant);

@@ -282,6 +282,15 @@ class TaskScheduler {
   // Null or disabled costs one pointer test per choke point.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  // Veto on blocks_to_cache insertions at task completion. Plans are
+  // priced at launch; a dataset freed while its lineage recompute is in
+  // flight (the advisor's auto-free, or DagScheduler::retire_dataset)
+  // must not have the recomputed partition re-inserted into its dead
+  // cache. Null (the default) inserts everything, as before.
+  void set_block_insert_filter(std::function<bool(const BlockId&)> filter) {
+    block_insert_filter_ = std::move(filter);
+  }
+
   // Degrade mode under memory pressure (Red band): speculative copies are
   // temporarily not launched even with Options::speculation on. Flipped by
   // the DagScheduler on pressure-band transitions; already-running
@@ -443,6 +452,7 @@ class TaskScheduler {
   FailureStats* stats_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   SlownessTracker* slowness_ = nullptr;
+  std::function<bool(const BlockId&)> block_insert_filter_;
 
   std::list<std::shared_ptr<ActiveSet>> task_sets_;  // FIFO, all live sets
   // Sets with pending work, keyed by submission sequence so iteration
